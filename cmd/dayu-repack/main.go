@@ -1,0 +1,101 @@
+// Command dayu-repack rewrites an HDF5-like file with optimized storage
+// layouts, like h5repack guided by DaYu's data-format-optimization
+// findings.
+//
+// Usage:
+//
+//	dayu-repack -in src.h5 -out dst.h5 \
+//	    [-convert /path=contiguous ...] [-consolidate bytes]
+//
+// -convert may repeat; layouts are contiguous, chunked or compact.
+// -consolidate merges every 1-D fixed dataset smaller than the given
+// byte count into one indexed dataset per group.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/repack"
+	"dayu/internal/units"
+	"dayu/internal/vfd"
+)
+
+type convertList map[string]hdf5.Layout
+
+func (c convertList) String() string { return fmt.Sprint(map[string]hdf5.Layout(c)) }
+
+func (c convertList) Set(v string) error {
+	path, layoutName, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want /object/path=layout, got %q", v)
+	}
+	switch layoutName {
+	case "contiguous":
+		c[path] = hdf5.Contiguous
+	case "chunked":
+		c[path] = hdf5.Chunked
+	case "compact":
+		c[path] = hdf5.Compact
+	default:
+		return fmt.Errorf("unknown layout %q (contiguous, chunked, compact)", layoutName)
+	}
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "", "input file path")
+	out := flag.String("out", "", "output file path")
+	consolidate := flag.Int64("consolidate", 0, "merge 1-D datasets smaller than this many bytes")
+	converts := convertList{}
+	flag.Var(converts, "convert", "object layout conversion, e.g. -convert /g/data=contiguous (repeatable)")
+	flag.Parse()
+
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out, converts, *consolidate); err != nil {
+		fmt.Fprintln(os.Stderr, "dayu-repack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string, converts convertList, consolidate int64) error {
+	srcDrv, err := vfd.OpenFileDriver(in)
+	if err != nil {
+		return err
+	}
+	src, err := hdf5.Open(srcDrv, in, hdf5.Config{})
+	if err != nil {
+		return err
+	}
+	dstDrv, err := vfd.OpenFileDriver(out)
+	if err != nil {
+		return err
+	}
+	dst, err := hdf5.Create(dstDrv, out, hdf5.Config{})
+	if err != nil {
+		return err
+	}
+	if err := repack.File(src, dst, repack.Advice{
+		Convert:          converts,
+		ConsolidateBelow: consolidate,
+	}); err != nil {
+		return err
+	}
+	inSize, outSize := src.EOF(), dst.EOF()
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	if err := src.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("repacked %s (%s) -> %s (%s), %d conversions, consolidation threshold %s\n",
+		in, units.Bytes(inSize), out, units.Bytes(outSize),
+		len(converts), units.Bytes(consolidate))
+	return nil
+}

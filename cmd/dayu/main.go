@@ -1,0 +1,331 @@
+// Command dayu is the workflow tracing and analysis CLI.
+//
+// Subcommands:
+//
+//	dayu run -workflow <pyflextrkr|ddmd|arldm> [-machine m] [-nodes n] -traces dir
+//	    Execute a workload replica on the simulated cluster, saving
+//	    per-task traces and the workflow manifest.
+//
+//	dayu analyze -traces dir [-out dir] [-sdg] [-regions] [-page n]
+//	             [-by-stage] [-collapse n]
+//	    Build the FTG (default) or SDG from saved traces and write
+//	    DOT/SVG/HTML/JSON renderings.
+//
+//	dayu diagnose -traces dir
+//	    Run the observation rules and print findings with their
+//	    optimization guidelines.
+//
+//	dayu plan -traces dir [-tier nvme] [-nodes n]
+//	    Derive a data-locality plan (placement, co-scheduling, staging)
+//	    from saved traces and print it.
+//
+//	dayu report -traces dir [-o report.md] [-tier nvme] [-nodes n]
+//	    Render a Markdown optimization report: summary, per-task I/O,
+//	    dependence chains, findings by guideline, derived plan.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dayu/internal/analyzer"
+	"dayu/internal/diagnose"
+	"dayu/internal/graph"
+	"dayu/internal/optimizer"
+	"dayu/internal/report"
+	"dayu/internal/sim"
+	"dayu/internal/trace"
+	"dayu/internal/tracer"
+	"dayu/internal/units"
+	"dayu/internal/workflow"
+	"dayu/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dayu: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dayu: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report> [flags]
+  run       execute a workload replica with tracing on the simulated cluster
+  analyze   build FTG/SDG graphs from saved traces
+  diagnose  detect I/O observations and print optimization guidelines
+  plan      derive a data-locality optimization plan from traces
+  report    render a Markdown optimization report from traces`)
+}
+
+func loadWorkload(name string) (workflow.Spec, func(*workflow.Engine) error, error) {
+	switch name {
+	case "pyflextrkr":
+		spec, setup := workloads.PyFlextrkr(workloads.PyFlextrkrConfig{})
+		return spec, setup, nil
+	case "pyflextrkr-s3to5":
+		spec, setup := workloads.PyFlextrkrStages3to5(workloads.PyFlextrkrConfig{})
+		return spec, setup, nil
+	case "ddmd":
+		spec, setup := workloads.DDMD(workloads.DDMDConfig{})
+		return spec, setup, nil
+	case "arldm":
+		spec, setup := workloads.ARLDM(workloads.ARLDMConfig{})
+		return spec, setup, nil
+	}
+	return workflow.Spec{}, nil, fmt.Errorf("unknown workflow %q (pyflextrkr, pyflextrkr-s3to5, ddmd, arldm)", name)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("workflow", "pyflextrkr", "workload replica to run")
+	machine := fs.String("machine", "cpu-cluster", "simulated machine (cpu-cluster, gpu-cluster)")
+	nodes := fs.Int("nodes", 2, "cluster node count")
+	tracesDir := fs.String("traces", "traces", "trace output directory")
+	ioTrace := fs.Bool("io-trace", false, "record time-sensitive raw I/O traces")
+	parallel := fs.Bool("parallel", false, "execute stage tasks on goroutines (per-task profilers)")
+	fs.Parse(args)
+
+	m, err := sim.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	spec, setup, err := loadWorkload(*name)
+	if err != nil {
+		return err
+	}
+	eng, err := workflow.NewEngine(workflow.Cluster{Machine: m, Nodes: *nodes, Parallel: *parallel}, nil,
+		tracer.Config{IOTrace: *ioTrace})
+	if err != nil {
+		return err
+	}
+	if err := setup(eng); err != nil {
+		return err
+	}
+	res, err := eng.Run(spec)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*tracesDir, 0o755); err != nil {
+		return err
+	}
+	for _, tt := range res.Traces {
+		if _, err := tt.Save(*tracesDir); err != nil {
+			return err
+		}
+	}
+	if err := trace.SaveManifest(*tracesDir, res.Manifest); err != nil {
+		return err
+	}
+	fmt.Printf("workflow %s: %d tasks, simulated time %s\n",
+		spec.Name, len(res.Traces), units.Duration(res.Total()))
+	for _, s := range res.Stages {
+		fmt.Printf("  %-24s %s\n", s.Name, units.Duration(s.Time))
+	}
+	fmt.Printf("traces written to %s\n", *tracesDir)
+	return nil
+}
+
+func loadTraceDir(dir string) ([]*trace.TaskTrace, *trace.Manifest, error) {
+	traces, err := trace.LoadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(traces) == 0 {
+		return nil, nil, fmt.Errorf("no traces in %s", dir)
+	}
+	m, err := trace.LoadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	return traces, m, nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tracesDir := fs.String("traces", "traces", "trace input directory")
+	out := fs.String("out", "out", "graph output directory")
+	sdg := fs.Bool("sdg", false, "build the Semantic Dataflow Graph instead of the FTG")
+	regions := fs.Bool("regions", false, "add file address-region nodes (SDG only)")
+	page := fs.Int64("page", 4096, "address-region page size")
+	byStage := fs.Bool("by-stage", false, "aggregate task nodes by manifest stage")
+	collapse := fs.Int("collapse", 0, "collapse datasets of files holding more than N")
+	timeline := fs.Bool("timeline", false, "also emit the time-ordered task/file timeline")
+	fs.Parse(args)
+
+	traces, m, err := loadTraceDir(*tracesDir)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var g *graph.Graph
+	base := "ftg"
+	if *sdg {
+		g = analyzer.BuildSDG(traces, m, analyzer.Options{
+			PageSize: *page, IncludeRegions: *regions, IncludeFileMetadata: *regions,
+		})
+		base = "sdg"
+	} else {
+		g = analyzer.BuildFTG(traces, m)
+	}
+	if *byStage {
+		g = analyzer.AggregateByStage(g, m)
+	}
+	if *collapse > 0 {
+		g = analyzer.CollapseDatasets(g, *collapse)
+	}
+	buildTime := time.Since(start)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	outputs := map[string]string{
+		base + ".dot":  g.DOT(),
+		base + ".svg":  g.SVG(),
+		base + ".html": g.HTML(),
+	}
+	if data, err := json.MarshalIndent(g, "", " "); err == nil {
+		outputs[base+".json"] = string(data)
+	}
+	for name, content := range outputs {
+		if err := os.WriteFile(filepath.Join(*out, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	if *timeline {
+		tl := analyzer.BuildTimeline(traces, m)
+		if err := os.WriteFile(filepath.Join(*out, "timeline.html"), []byte(tl.HTML()), 0o644); err != nil {
+			return err
+		}
+		fmt.Print(tl.Text(100))
+		fmt.Printf("wrote %s/timeline.html\n", *out)
+	}
+	s := analyzer.Summarize(g)
+	fmt.Printf("%s: %d tasks, %d files, %d datasets, %d regions, %d edges, %s volume (built in %s)\n",
+		base, s.Tasks, s.Files, s.Datasets, s.Regions, s.Edges,
+		units.Bytes(s.Volume), units.Duration(buildTime))
+	fmt.Printf("wrote %s/{%s.dot,%s.svg,%s.html,%s.json}\n", *out, base, base, base, base)
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	tracesDir := fs.String("traces", "traces", "trace input directory")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	fs.Parse(args)
+
+	traces, m, err := loadTraceDir(*tracesDir)
+	if err != nil {
+		return err
+	}
+	findings := diagnose.Analyze(traces, m, diagnose.Thresholds{})
+	if *asJSON {
+		type jsonFinding struct {
+			Kind      diagnose.Kind      `json:"kind"`
+			Severity  string             `json:"severity"`
+			Guideline diagnose.Guideline `json:"guideline"`
+			Task      string             `json:"task,omitempty"`
+			File      string             `json:"file,omitempty"`
+			Object    string             `json:"object,omitempty"`
+			Detail    string             `json:"detail"`
+			Metrics   map[string]float64 `json:"metrics,omitempty"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Kind: f.Kind, Severity: f.Severity.String(), Guideline: f.Guideline,
+				Task: f.Task, File: f.File, Object: f.Object,
+				Detail: f.Detail, Metrics: f.Metrics,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	if len(findings) == 0 {
+		fmt.Println("no findings")
+		return nil
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	fmt.Printf("%d findings\n", len(findings))
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	tracesDir := fs.String("traces", "traces", "trace input directory")
+	out := fs.String("o", "", "output file (default stdout)")
+	tier := fs.String("tier", "nvme", "fast tier for the derived plan")
+	nodes := fs.Int("nodes", 2, "cluster node count for the derived plan")
+	fs.Parse(args)
+
+	traces, m, err := loadTraceDir(*tracesDir)
+	if err != nil {
+		return err
+	}
+	md := report.Generate(traces, m, report.Options{
+		Plan: &optimizer.LocalityOptions{
+			FastTier: *tier, Nodes: *nodes,
+			StageOutDisposable: true, CacheReused: true,
+		},
+	})
+	if *out == "" {
+		fmt.Print(md)
+		return nil
+	}
+	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	tracesDir := fs.String("traces", "traces", "trace input directory")
+	tier := fs.String("tier", "nvme", "node-local fast tier for placement")
+	nodes := fs.Int("nodes", 2, "cluster node count")
+	fs.Parse(args)
+
+	traces, m, err := loadTraceDir(*tracesDir)
+	if err != nil {
+		return err
+	}
+	plan := optimizer.PlanDataLocality(traces, m, optimizer.LocalityOptions{
+		FastTier: *tier, Nodes: *nodes, StageOutDisposable: true,
+	})
+	out, err := json.MarshalIndent(plan, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

@@ -1,0 +1,165 @@
+package dayu
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dayu/internal/diagnose"
+)
+
+// TestPublicAPIEndToEnd drives the complete public surface: trace a
+// two-task producer/consumer flow, persist and reload traces, build
+// both graph types, diagnose, and derive an optimization plan.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(TracerConfig{})
+
+	// Task 1: produce.
+	tr.BeginTask("produce")
+	f, err := CreateFileAt(tr, filepath.Join(dir, "data.bin"), "data.h5", FileConfig{Task: "produce"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := f.Root().CreateDataset("field", Float64, []int64{128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAll(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetAttrString("units", "K"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t1 := tr.EndTask()
+
+	// Task 2: consume from the persisted OS file.
+	tr.BeginTask("consume")
+	f2, err := OpenFileAt(tr, filepath.Join(dir, "data.bin"), "data.h5", FileConfig{Task: "consume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f2.OpenDatasetPath("/field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds2.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := ds2.AttrString("units"); err != nil || s != "K" {
+		t.Fatalf("attr = %q, %v", s, err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := tr.EndTask()
+
+	// Persist and reload traces.
+	tdir := filepath.Join(dir, "traces")
+	if err := os.MkdirAll(tdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []*TaskTrace{t1, t2} {
+		if _, err := tt.Save(tdir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := &Manifest{Workflow: "demo", TaskOrder: []string{"produce", "consume"}}
+	if err := SaveManifest(tdir, m); err != nil {
+		t.Fatal(err)
+	}
+	traces, err := LoadTraces(tdir)
+	if err != nil || len(traces) != 2 {
+		t.Fatalf("LoadTraces: %d, %v", len(traces), err)
+	}
+	m2, err := LoadManifest(tdir)
+	if err != nil || m2.Workflow != "demo" {
+		t.Fatalf("LoadManifest: %+v, %v", m2, err)
+	}
+
+	// Graphs.
+	ftg := BuildFTG(traces, m2)
+	if SummarizeGraph(ftg).Tasks != 2 {
+		t.Error("FTG tasks wrong")
+	}
+	sdg := BuildSDG(traces, m2, AnalyzerOptions{IncludeRegions: true, PageSize: 4096})
+	stats := SummarizeGraph(sdg)
+	if stats.Datasets == 0 || stats.Regions == 0 {
+		t.Errorf("SDG stats = %+v", stats)
+	}
+	if !strings.Contains(sdg.HTML(), "field") {
+		t.Error("SDG HTML missing dataset")
+	}
+	if AggregateByStage(ftg, m2) == nil || CollapseDatasets(sdg, 100) == nil {
+		t.Error("aggregation helpers failed")
+	}
+
+	// Diagnostics + plan.
+	findings := Diagnose(traces, m2, Thresholds{})
+	if len(findings) == 0 {
+		t.Error("no findings")
+	}
+	_ = FindingsOfKind(findings, diagnose.DisposableData)
+	plan := PlanDataLocality(traces, m2, LocalityOptions{FastTier: "nvme", Nodes: 1})
+	if len(plan.Placements) == 0 {
+		t.Error("plan derived no placements")
+	}
+}
+
+func TestPublicEngineRun(t *testing.T) {
+	eng, err := NewEngine(Cluster{Machine: MachineCPU, Nodes: 1}, nil, TracerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkflowSpec{Name: "w", Stages: []WorkflowStage{{Name: "s", Tasks: []WorkflowTask{{
+		Name: "t",
+		Fn: func(tc *TaskContext) error {
+			f, err := tc.Create("x.h5")
+			if err != nil {
+				return err
+			}
+			ds, err := f.Root().CreateDataset("d", Uint8, []int64{16}, &DatasetOpts{
+				Layout: Chunked, ChunkDims: []int64{4},
+			})
+			if err != nil {
+				return err
+			}
+			return ds.WriteAll(make([]byte, 16))
+		},
+	}}}}}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 || len(res.Traces) != 1 {
+		t.Errorf("result: %v, %d traces", res.Total(), len(res.Traces))
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if FixedString(4).Size != 4 {
+		t.Error("FixedString wrong")
+	}
+	if All([]int64{2, 3}).NumElems() != 6 {
+		t.Error("All wrong")
+	}
+	if Slab1D(2, 5).NumElems() != 5 {
+		t.Error("Slab1D wrong")
+	}
+	tr, err := NewTracerFromFile("/nonexistent")
+	if err == nil || tr != nil {
+		t.Error("NewTracerFromFile accepted missing file")
+	}
+	// Untraced file creation works with a nil tracer.
+	f, err := CreateFile(nil, "plain.h5", FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

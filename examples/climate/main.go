@@ -1,0 +1,97 @@
+// Climate: DaYu tracing over the netCDF-like format. A writer task
+// appends records of temp(time, lat, lon); the Data Semantic Mapper
+// exposes classic netCDF's signature behaviors - one compact header
+// metadata region, and strided per-record I/O for record variables.
+//
+// Run with: go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dayu"
+)
+
+const (
+	latN = 16
+	lonN = 32
+	days = 30
+)
+
+func main() {
+	tr := dayu.NewTracer(dayu.TracerConfig{})
+	tr.BeginTask("climate_writer")
+
+	f, err := dayu.CreateNetCDF(tr, "climate.nc", dayu.NCConfig{Task: "climate_writer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	timeD, err := f.DefineDim("time", dayu.NCUnlimited)
+	if err != nil {
+		log.Fatal(err)
+	}
+	latD, err := f.DefineDim("lat", latN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lonD, err := f.DefineDim("lon", lonN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temp, err := f.DefineVar("temp", dayu.NCFloat, []dayu.NCDimID{timeD, latD, lonD})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := temp.PutAttr("units", dayu.NCByte, []byte("kelvin")); err != nil {
+		log.Fatal(err)
+	}
+	humidity, err := f.DefineVar("humidity", dayu.NCFloat, []dayu.NCDimID{timeD, latD, lonD})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.EndDef(); err != nil {
+		log.Fatal(err)
+	}
+
+	// One record per simulated day, interleaving two record variables.
+	rec := make([]byte, latN*lonN*4)
+	for day := int64(0); day < days; day++ {
+		for i := range rec {
+			rec[i] = byte(day + int64(i))
+		}
+		if err := temp.Write([]int64{day, 0, 0}, []int64{1, latN, lonN}, rec); err != nil {
+			log.Fatal(err)
+		}
+		if err := humidity.Write([]int64{day, 0, 0}, []int64{1, latN, lonN}, rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A time-series read of one variable: strided across all records.
+	if _, err := temp.Read([]int64{0, 0, 0}, []int64{days, latN, lonN}); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	tt := tr.EndTask()
+
+	fmt.Println("object records (Table I) from the netCDF layer:")
+	for _, o := range tt.Objects {
+		fmt.Printf("  %-10s type=%-8s datatype=%-7s layout=%-7s reads=%d writes=%d\n",
+			o.Object, o.Type, o.Datatype, o.Layout, o.Reads, o.Writes)
+	}
+	fmt.Println("\nmapped statistics:")
+	for _, ms := range tt.Mapped {
+		obj := ms.Object
+		if obj == "" {
+			obj = "(header metadata)"
+		}
+		fmt.Printf("  %-18s metaOps=%-3d dataOps=%-4d bytes=%-8d regions=%d\n",
+			obj, ms.MetaOps, ms.DataOps, ms.Bytes(), len(ms.Regions))
+	}
+	fmt.Println("\nnote the strided record access: each record variable's data ops")
+	fmt.Println("scale with the record count, while all metadata concentrates in")
+	fmt.Println("the header region at the start of the file - the opposite of the")
+	fmt.Println("HDF5-like layer's scattered per-object headers.")
+}

@@ -1,0 +1,103 @@
+// Image preparation: an ARLDM-style variable-length data workload
+// comparing contiguous and chunked layouts for VL image storage - the
+// paper's §VI-C data-format optimization. Chunked VL datasets carry the
+// index metadata that lets the library coalesce heap writes, roughly
+// halving POSIX write operations.
+//
+// Run with: go run ./examples/imageprep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dayu"
+)
+
+const (
+	stories    = 48
+	imageBytes = 16 << 10
+)
+
+// saveImages writes five VL image datasets plus one text dataset, the
+// ARLDM stage-1 file structure.
+func saveImages(layout dayu.Layout) (*dayu.TaskTrace, error) {
+	tr := dayu.NewTracer(dayu.TracerConfig{})
+	tr.BeginTask("arldm_saveh5")
+	f, err := dayu.CreateFile(tr, "flintstones_out.h5", dayu.FileConfig{
+		Task: "arldm_saveh5", HeapCollectionSize: imageBytes * 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"image0", "image1", "image2", "image3", "image4", "text"}
+	for _, name := range names {
+		opts := &dayu.DatasetOpts{Layout: layout}
+		if layout == dayu.Chunked {
+			opts.ChunkDims = []int64{8}
+		}
+		ds, err := f.Root().CreateDataset(name, dayu.VLen, []int64{stories}, opts)
+		if err != nil {
+			return nil, err
+		}
+		mean := imageBytes
+		if name == "text" {
+			mean = 256
+		}
+		for start := 0; start < stories; start += 5 {
+			n := 5
+			if start+n > stories {
+				n = stories - start
+			}
+			values := make([][]byte, n)
+			for i := range values {
+				// Variable-length payloads: 50%-150% of the mean size.
+				values[i] = make([]byte, mean/2+(start+i)*mean/stories)
+			}
+			if err := ds.WriteVL(int64(start), values); err != nil {
+				return nil, err
+			}
+		}
+		if err := ds.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return tr.EndTask(), nil
+}
+
+func main() {
+	contig, err := saveImages(dayu.Contiguous)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chunked, err := saveImages(dayu.Chunked)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, tt *dayu.TaskTrace) (writes int64) {
+		for _, fr := range tt.Files {
+			fmt.Printf("%-22s writes=%-4d metaOps=%-4d dataOps=%-4d bytes=%d regions=%d\n",
+				label, fr.Writes, fr.MetaOps, fr.DataOps, fr.BytesWritten, len(fr.Regions))
+			writes += fr.Writes
+		}
+		return writes
+	}
+	cw := report("contiguous (baseline)", contig)
+	kw := report("chunked (optimized)", chunked)
+	fmt.Printf("\nchunked VL layout issues %.2fx fewer write operations (paper: ~2x)\n",
+		float64(cw)/float64(kw))
+
+	// Each dataset's file-region footprint, from the Characteristic
+	// Mapper (the fragmentation Figure 8 visualizes).
+	fmt.Println("\nper-dataset address regions (contiguous layout):")
+	for _, ms := range contig.Mapped {
+		if ms.Object == "" {
+			continue
+		}
+		fmt.Printf("  %-10s -> %d regions\n", ms.Object, len(ms.Regions))
+	}
+}

@@ -1,0 +1,3 @@
+module dayu
+
+go 1.22

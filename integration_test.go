@@ -1,0 +1,140 @@
+package dayu
+
+import (
+	"strings"
+	"testing"
+
+	"dayu/internal/diagnose"
+)
+
+// TestFullPipelineIntegration drives the complete DaYu loop through the
+// public API: run a workflow on the simulated cluster, diagnose it,
+// generate the report, repack a flagged file, and confirm the repacked
+// layout removes the finding.
+func TestFullPipelineIntegration(t *testing.T) {
+	// A workflow with a deliberately scattered stats file.
+	spec := WorkflowSpec{Name: "integration", Stages: []WorkflowStage{
+		{Name: "produce", Tasks: []WorkflowTask{{Name: "writer", Fn: func(tc *TaskContext) error {
+			f, err := tc.Create("stats.h5")
+			if err != nil {
+				return err
+			}
+			for i := 0; i < 24; i++ {
+				name := "stat_" + string(rune('a'+i))
+				ds, err := f.Root().CreateDataset(name, Float32, []int64{50}, nil)
+				if err != nil {
+					return err
+				}
+				if err := ds.WriteAll(make([]byte, 200)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}}},
+		{Name: "analyze", Tasks: []WorkflowTask{{Name: "reader", Fn: func(tc *TaskContext) error {
+			f, err := tc.Open("stats.h5")
+			if err != nil {
+				return err
+			}
+			kids, err := f.Root().Children()
+			if err != nil {
+				return err
+			}
+			for _, k := range kids {
+				ds, err := f.Root().OpenDataset(k)
+				if err != nil {
+					return err
+				}
+				if _, err := ds.ReadAll(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}}},
+	}}
+	eng, err := NewEngine(Cluster{Machine: MachineCPU, Nodes: 1}, nil, TracerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Diagnose: the scattering finding must fire.
+	findings := Diagnose(res.Traces, res.Manifest, Thresholds{ScatterMinDatasets: 16})
+	scatter := FindingsOfKind(findings, diagnose.DataScattering)
+	if len(scatter) != 1 || scatter[0].File != "stats.h5" {
+		t.Fatalf("scattering = %+v", scatter)
+	}
+
+	// Report mentions the layout guideline and the dependence chain.
+	md := GenerateReport(res.Traces, res.Manifest, ReportOptions{
+		Thresholds: Thresholds{ScatterMinDatasets: 16},
+	})
+	if !strings.Contains(md, "data-format-optimization") {
+		t.Error("report missing layout guideline")
+	}
+	if !strings.Contains(md, "writer -[stats.h5]-> reader") {
+		t.Error("report missing dependence chain")
+	}
+
+	// Timeline covers both tasks.
+	tl := BuildTimeline(res.Traces, res.Manifest)
+	if len(tl.Tasks) != 2 || tl.Duration() <= 0 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+
+	// Repack the scattered file per the finding: consolidate.
+	src, err := CreateFile(nil, "src.h5", FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		name := "stat_" + string(rune('a'+i))
+		ds, err := src.Root().CreateDataset(name, Float32, []int64{50}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteAll(make([]byte, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := CreateFile(nil, "dst.h5", FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Repack(src, dst, RepackAdvice{ConsolidateBelow: 512}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenConsolidated(dst.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Names()) != 24 {
+		t.Fatalf("consolidated %d datasets", len(c.Names()))
+	}
+	data, err := c.Read("stat_a")
+	if err != nil || len(data) != 200 {
+		t.Fatalf("consolidated read: %d bytes, %v", len(data), err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chains are extractable directly too.
+	chains := DependencyChains(res.Traces, res.Manifest)
+	if len(chains) != 1 || chains[0].Len() != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+
+	// Per-process merge: folding the two task traces under one name
+	// yields one coherent trace.
+	merged := MergeTraces("whole", res.Traces)
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Files) != 1 {
+		t.Fatalf("merged files = %d", len(merged.Files))
+	}
+}

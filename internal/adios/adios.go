@@ -1,0 +1,250 @@
+// Package adios implements an ADIOS-BP-like log-structured format, the
+// third descriptive format the paper names (§II). Its I/O signature is
+// the inverse of the other two layers: writes are pure sequential
+// appends of self-describing variable blocks grouped into steps (ideal
+// write bandwidth, near-zero metadata traffic during the run), and all
+// metadata lands in one index footer written at close. Readers load the
+// footer first, then seek directly to blocks. DaYu's profilers observe
+// it through the same VOL/VFD hooks as the HDF5- and netCDF-like
+// layers.
+package adios
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"dayu/internal/semantics"
+	"dayu/internal/sim"
+	"dayu/internal/vfd"
+	"dayu/internal/vol"
+)
+
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("adios: file is closed")
+	// ErrReadOnly is returned for writes to a reader.
+	ErrReadOnly = errors.New("adios: file opened for reading")
+	// ErrNoStep is returned when writing outside BeginStep/EndStep.
+	ErrNoStep = errors.New("adios: no step in progress")
+	// ErrNotFound is returned for unknown variables or steps.
+	ErrNotFound = errors.New("adios: not found")
+)
+
+const (
+	blockMagic   = "BPBK"
+	footerMagic  = "BPFT"
+	trailerSize  = 12 // indexOffset(8) + magic(4)
+	maxIndexSize = 16 << 20
+	maxSteps     = int64(1) << 24
+	maxBlockSize = int64(1) << 31
+)
+
+// Config carries tracing hooks, matching the other format layers.
+type Config struct {
+	Mailbox  *semantics.Mailbox
+	Observer vol.Observer
+	Task     string
+	Now      func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// indexEntry locates one variable block.
+type indexEntry struct {
+	name   string
+	step   int64
+	dims   []int64
+	offset int64
+	length int64
+}
+
+// File is an open BP-like file: either a writer (Create) or a reader
+// (Open).
+type File struct {
+	drv     vfd.Driver
+	name    string
+	cfg     Config
+	writer  bool
+	open    bool
+	inStep  bool
+	step    int64
+	eof     int64
+	index   []indexEntry
+	byName  map[string][]int // index positions per variable
+	current map[string]bool  // variables written this step
+}
+
+// Create starts a new writer.
+func Create(drv vfd.Driver, name string, cfg Config) (*File, error) {
+	cfg = cfg.withDefaults()
+	if err := drv.Truncate(0); err != nil {
+		return nil, fmt.Errorf("adios: create %s: %w", name, err)
+	}
+	f := &File{drv: drv, name: name, cfg: cfg, writer: true, open: true,
+		step: -1, byName: map[string][]int{}}
+	f.event(vol.FileCreate, vol.ObjectInfo{Name: "/", Type: "file"}, 0)
+	return f, nil
+}
+
+func (f *File) event(kind vol.EventKind, info vol.ObjectInfo, bytes int64) {
+	if f.cfg.Observer == nil {
+		return
+	}
+	info.File = f.name
+	f.cfg.Observer.OnEvent(vol.Event{
+		Kind: kind, Wall: f.cfg.Now(), Task: f.cfg.Task, Info: info, Bytes: bytes,
+	})
+}
+
+func (f *File) stamp(object string) func() {
+	if f.cfg.Mailbox == nil {
+		return func() {}
+	}
+	return f.cfg.Mailbox.Enter(semantics.Context{Object: object, File: f.name, Task: f.cfg.Task})
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// BeginStep opens the next output step.
+func (f *File) BeginStep() (int64, error) {
+	if !f.open {
+		return 0, ErrClosed
+	}
+	if !f.writer {
+		return 0, ErrReadOnly
+	}
+	if f.inStep {
+		return 0, fmt.Errorf("adios: step %d still in progress", f.step)
+	}
+	f.step++
+	f.inStep = true
+	f.current = map[string]bool{}
+	return f.step, nil
+}
+
+// EndStep closes the current step.
+func (f *File) EndStep() error {
+	if !f.open {
+		return ErrClosed
+	}
+	if !f.inStep {
+		return ErrNoStep
+	}
+	f.inStep = false
+	return nil
+}
+
+// WriteVar appends one variable block to the log: a self-describing
+// header plus the payload, both strictly sequential.
+func (f *File) WriteVar(name string, dims []int64, data []byte) error {
+	if !f.open {
+		return ErrClosed
+	}
+	if !f.writer {
+		return ErrReadOnly
+	}
+	if !f.inStep {
+		return ErrNoStep
+	}
+	if name == "" {
+		return fmt.Errorf("adios: empty variable name")
+	}
+	if f.current[name] {
+		return fmt.Errorf("adios: variable %q already written in step %d", name, f.step)
+	}
+	elems := int64(1)
+	for i, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("adios: variable %q dimension %d is %d", name, i, d)
+		}
+		elems *= d
+	}
+	exit := f.stamp("/" + name)
+	defer exit()
+
+	// Block header: magic, name, step, dims, payload length.
+	hdr := make([]byte, 0, 64)
+	hdr = append(hdr, blockMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(f.step))
+	hdr = append(hdr, byte(len(dims)))
+	for _, d := range dims {
+		hdr = binary.LittleEndian.AppendUint64(hdr, uint64(d))
+	}
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(data)))
+	if err := f.drv.WriteAt(hdr, f.eof, sim.Metadata); err != nil {
+		return fmt.Errorf("adios: write block header: %w", err)
+	}
+	f.eof += int64(len(hdr))
+	payloadOff := f.eof
+	if err := f.drv.WriteAt(data, f.eof, sim.RawData); err != nil {
+		return fmt.Errorf("adios: write block payload: %w", err)
+	}
+	f.eof += int64(len(data))
+
+	pos := len(f.index)
+	f.index = append(f.index, indexEntry{
+		name: name, step: f.step, dims: append([]int64(nil), dims...),
+		offset: payloadOff, length: int64(len(data)),
+	})
+	f.byName[name] = append(f.byName[name], pos)
+	f.current[name] = true
+	f.event(vol.DatasetWrite, vol.ObjectInfo{
+		Name: "/" + name, Type: "dataset", Datatype: "bytes",
+		Shape: dims, Layout: "log",
+	}, int64(len(data)))
+	return nil
+}
+
+// Close writes the index footer (writers) and closes the driver.
+func (f *File) Close() error {
+	if !f.open {
+		return nil
+	}
+	f.open = false
+	if f.writer {
+		if f.inStep {
+			return fmt.Errorf("adios: close with step %d in progress", f.step)
+		}
+		footer := f.serializeIndex()
+		footerOff := f.eof
+		if err := f.drv.WriteAt(footer, footerOff, sim.Metadata); err != nil {
+			return fmt.Errorf("adios: write footer: %w", err)
+		}
+		trailer := make([]byte, trailerSize)
+		binary.LittleEndian.PutUint64(trailer, uint64(footerOff))
+		copy(trailer[8:], footerMagic)
+		if err := f.drv.WriteAt(trailer, footerOff+int64(len(footer)), sim.Metadata); err != nil {
+			return fmt.Errorf("adios: write trailer: %w", err)
+		}
+	}
+	f.event(vol.FileClose, vol.ObjectInfo{Name: "/", Type: "file"}, 0)
+	return f.drv.Close()
+}
+
+func (f *File) serializeIndex() []byte {
+	var b []byte
+	b = append(b, footerMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(f.index)))
+	for _, e := range f.index {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.name)))
+		b = append(b, e.name...)
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.step))
+		b = append(b, byte(len(e.dims)))
+		for _, d := range e.dims {
+			b = binary.LittleEndian.AppendUint64(b, uint64(d))
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.offset))
+		b = binary.LittleEndian.AppendUint64(b, uint64(e.length))
+	}
+	return b
+}

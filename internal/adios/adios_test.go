@@ -1,0 +1,229 @@
+package adios
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"dayu/internal/tracer"
+	"dayu/internal/vfd"
+)
+
+func writeSample(t *testing.T, drv vfd.Driver, cfg Config, steps int) {
+	t.Helper()
+	f, err := Create(drv, "sim.bp", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		if _, err := f.BeginStep(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteVar("pressure", []int64{4, 8},
+			bytes.Repeat([]byte{byte(s + 1)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteVar("velocity", []int64{16},
+			bytes.Repeat([]byte{byte(0x10 + s)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	writeSample(t, drv, Config{}, 3)
+
+	r, err := Open(vfd.NewMemDriverFrom(append([]byte(nil), drv.Bytes()...)), "sim.bp", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 3 {
+		t.Fatalf("steps = %d", r.Steps())
+	}
+	names := r.VarNames()
+	if len(names) != 2 || names[0] != "pressure" || names[1] != "velocity" {
+		t.Fatalf("vars = %v", names)
+	}
+	for s := int64(0); s < 3; s++ {
+		p, err := r.ReadVar("pressure", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, bytes.Repeat([]byte{byte(s + 1)}, 32)) {
+			t.Fatalf("pressure step %d corrupted", s)
+		}
+	}
+	dims, err := r.VarDims("pressure", 1)
+	if err != nil || dims[0] != 4 || dims[1] != 8 {
+		t.Fatalf("dims = %v, %v", dims, err)
+	}
+	if _, err := r.ReadVar("pressure", 9); !errors.Is(err, ErrNotFound) {
+		t.Errorf("phantom step: %v", err)
+	}
+	if _, err := r.ReadVar("missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("phantom var: %v", err)
+	}
+}
+
+func TestStepProtocol(t *testing.T) {
+	f, err := Create(vfd.NewMemDriver(), "p.bp", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writing outside a step fails.
+	if err := f.WriteVar("v", []int64{1}, []byte{1}); !errors.Is(err, ErrNoStep) {
+		t.Errorf("write without step: %v", err)
+	}
+	if err := f.EndStep(); !errors.Is(err, ErrNoStep) {
+		t.Errorf("end without begin: %v", err)
+	}
+	if _, err := f.BeginStep(); err != nil {
+		t.Fatal(err)
+	}
+	// Nested BeginStep fails.
+	if _, err := f.BeginStep(); err == nil {
+		t.Error("nested step accepted")
+	}
+	// Duplicate variable per step fails.
+	if err := f.WriteVar("v", []int64{1}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteVar("v", []int64{1}, []byte{2}); err == nil {
+		t.Error("duplicate variable in step accepted")
+	}
+	// Bad geometry rejected.
+	if err := f.WriteVar("bad", []int64{0}, nil); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if err := f.WriteVar("", []int64{1}, []byte{1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Close mid-step fails; after EndStep it succeeds.
+	if err := f.Close(); err == nil {
+		t.Error("close mid-step accepted")
+	}
+	f.open = true // restore after failed close for the happy path
+	if err := f.EndStep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Readers refuse writes.
+	drv := vfd.NewMemDriver()
+	writeSample(t, drv, Config{}, 1)
+	r, err := Open(vfd.NewMemDriverFrom(append([]byte(nil), drv.Bytes()...)), "p.bp", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.BeginStep(); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("reader BeginStep: %v", err)
+	}
+	if err := r.WriteVar("v", []int64{1}, []byte{1}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("reader WriteVar: %v", err)
+	}
+}
+
+// TestLogStructuredIOSignature verifies the format's defining shape
+// under DaYu: sequential data appends, zero read traffic during writes,
+// and metadata concentrated at the file tail.
+func TestLogStructuredIOSignature(t *testing.T) {
+	tr := tracer.New(tracer.Config{})
+	tr.BeginTask("bp_writer")
+	drv := tr.WrapDriver(vfd.NewMemDriver(), "sim.bp")
+	writeSample(t, drv, Config{
+		Mailbox: tr.Mailbox(), Observer: tr.VOLObserver(), Task: "bp_writer",
+	}, 5)
+	tt := tr.EndTask()
+	if len(tt.Files) != 1 {
+		t.Fatal("file record missing")
+	}
+	fr := tt.Files[0]
+	if fr.Reads != 0 {
+		t.Errorf("log-structured writer issued %d reads", fr.Reads)
+	}
+	// All data writes are sequential appends.
+	if fr.SequentialOps < fr.DataOps-1 {
+		t.Errorf("appends not sequential: %d of %d", fr.SequentialOps, fr.DataOps)
+	}
+	// Variable attribution works through the mailbox.
+	var pressure bool
+	for _, ms := range tt.Mapped {
+		if ms.Object == "/pressure" && ms.DataOps == 5 {
+			pressure = true
+		}
+	}
+	if !pressure {
+		t.Error("pressure blocks not attributed")
+	}
+	// The index footer is the file's last metadata region.
+	var lastMetaEnd, fileEnd int64
+	for _, ms := range tt.Mapped {
+		for _, ext := range ms.Regions {
+			if ext.End > fileEnd {
+				fileEnd = ext.End
+			}
+		}
+		if ms.Object == "" {
+			for _, ext := range ms.Regions {
+				if ext.End > lastMetaEnd {
+					lastMetaEnd = ext.End
+				}
+			}
+		}
+	}
+	if lastMetaEnd != fileEnd {
+		t.Errorf("index footer not at file end: meta %d vs eof %d", lastMetaEnd, fileEnd)
+	}
+}
+
+func TestCorruptionRobustness(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	writeSample(t, drv, Config{}, 2)
+	pristine := drv.Bytes()
+	rng := rand.New(rand.NewSource(17))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on corrupted file: %v", r)
+		}
+	}()
+	exercise := func(data []byte) {
+		f, err := Open(vfd.NewMemDriverFrom(data), "x.bp", Config{})
+		if err != nil {
+			return
+		}
+		steps := f.Steps()
+		if steps > 8 { // corrupted step numbers must not drive huge scans
+			steps = 8
+		}
+		for _, name := range f.VarNames() {
+			for s := int64(0); s < steps; s++ {
+				_, _ = f.ReadVar(name, s)
+				_, _ = f.VarDims(name, s)
+			}
+		}
+	}
+	for i := 0; i < len(pristine); i += 3 {
+		data := append([]byte(nil), pristine...)
+		data[i] ^= 0xff
+		exercise(data)
+	}
+	for round := 0; round < 150; round++ {
+		data := append([]byte(nil), pristine...)
+		for j := 0; j < 1+rng.Intn(10); j++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		exercise(data)
+	}
+	for cut := 0; cut < len(pristine); cut += 7 {
+		exercise(append([]byte(nil), pristine[:cut]...))
+	}
+}

@@ -1,0 +1,166 @@
+package adios
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dayu/internal/sim"
+	"dayu/internal/vfd"
+	"dayu/internal/vol"
+)
+
+// Open loads an existing BP-like file for reading: one metadata read
+// for the trailer, one for the index footer, then direct payload seeks.
+func Open(drv vfd.Driver, name string, cfg Config) (*File, error) {
+	cfg = cfg.withDefaults()
+	f := &File{drv: drv, name: name, cfg: cfg, open: true, byName: map[string][]int{}}
+	f.event(vol.FileOpen, vol.ObjectInfo{Name: "/", Type: "file"}, 0)
+
+	eof := drv.EOF()
+	if eof < trailerSize {
+		return nil, fmt.Errorf("adios: %s too small for a trailer", name)
+	}
+	trailer := make([]byte, trailerSize)
+	if err := drv.ReadAt(trailer, eof-trailerSize, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("adios: read trailer: %w", err)
+	}
+	if string(trailer[8:]) != footerMagic {
+		return nil, fmt.Errorf("adios: bad trailer magic in %s", name)
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(trailer))
+	footerLen := eof - trailerSize - footerOff
+	if footerOff < 0 || footerLen <= 0 || footerLen > maxIndexSize {
+		return nil, fmt.Errorf("adios: implausible footer geometry in %s", name)
+	}
+	footer := make([]byte, footerLen)
+	if err := drv.ReadAt(footer, footerOff, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("adios: read footer: %w", err)
+	}
+	if err := f.parseIndex(footer); err != nil {
+		return nil, err
+	}
+	f.eof = footerOff
+	return f, nil
+}
+
+func (f *File) parseIndex(b []byte) error {
+	off := 0
+	fail := func(what string) error {
+		return fmt.Errorf("adios: truncated index at %s (offset %d)", what, off)
+	}
+	if len(b) < 8 || string(b[:4]) != footerMagic {
+		return fmt.Errorf("adios: bad footer magic")
+	}
+	off = 4
+	n := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if n < 0 || n > len(b) {
+		return fail("entry count")
+	}
+	for i := 0; i < n; i++ {
+		if off+2 > len(b) {
+			return fail("name length")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if off+nameLen > len(b) {
+			return fail("name")
+		}
+		name := string(b[off : off+nameLen])
+		off += nameLen
+		if off+8 > len(b) {
+			return fail("step")
+		}
+		step := int64(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		if off >= len(b) {
+			return fail("rank")
+		}
+		ndims := int(b[off])
+		off++
+		dims := make([]int64, 0, ndims)
+		for j := 0; j < ndims; j++ {
+			if off+8 > len(b) {
+				return fail("dimension")
+			}
+			d := int64(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+			if d <= 0 || d > 1<<32 {
+				return fmt.Errorf("adios: implausible dimension %d for %q", d, name)
+			}
+			dims = append(dims, d)
+		}
+		if off+16 > len(b) {
+			return fail("block location")
+		}
+		offset := int64(binary.LittleEndian.Uint64(b[off:]))
+		length := int64(binary.LittleEndian.Uint64(b[off+8:]))
+		off += 16
+		if offset < 0 || length < 0 || length > maxBlockSize || step < 0 || step > maxSteps {
+			return fmt.Errorf("adios: implausible block for %q", name)
+		}
+		pos := len(f.index)
+		f.index = append(f.index, indexEntry{name: name, step: step, dims: dims,
+			offset: offset, length: length})
+		f.byName[name] = append(f.byName[name], pos)
+		if step > f.step {
+			f.step = step
+		}
+	}
+	return nil
+}
+
+// Steps returns the number of steps recorded (writers report the count
+// so far).
+func (f *File) Steps() int64 { return f.step + 1 }
+
+// VarNames lists variables in first-appearance order per name, sorted.
+func (f *File) VarNames() []string {
+	names := make([]string, 0, len(f.byName))
+	for n := range f.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VarDims returns the dimensions a variable had in a given step.
+func (f *File) VarDims(name string, step int64) ([]int64, error) {
+	e, err := f.lookup(name, step)
+	if err != nil {
+		return nil, err
+	}
+	return append([]int64(nil), e.dims...), nil
+}
+
+func (f *File) lookup(name string, step int64) (indexEntry, error) {
+	for _, pos := range f.byName[name] {
+		if f.index[pos].step == step {
+			return f.index[pos], nil
+		}
+	}
+	return indexEntry{}, fmt.Errorf("%w: variable %q step %d", ErrNotFound, name, step)
+}
+
+// ReadVar fetches one variable block: a single direct payload read.
+func (f *File) ReadVar(name string, step int64) ([]byte, error) {
+	if !f.open {
+		return nil, ErrClosed
+	}
+	e, err := f.lookup(name, step)
+	if err != nil {
+		return nil, err
+	}
+	exit := f.stamp("/" + name)
+	defer exit()
+	out := make([]byte, e.length)
+	if err := f.drv.ReadAt(out, e.offset, sim.RawData); err != nil {
+		return nil, fmt.Errorf("adios: read %q step %d: %w", name, step, err)
+	}
+	f.event(vol.DatasetRead, vol.ObjectInfo{
+		Name: "/" + name, Type: "dataset", Datatype: "bytes",
+		Shape: e.dims, Layout: "log",
+	}, e.length)
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package analyzer
+
+import (
+	"fmt"
+
+	"dayu/internal/graph"
+	"dayu/internal/trace"
+)
+
+// Resolution adjustment (paper §V "Adjusting Resolution"): when SDGs
+// grow complex, nodes can be grouped along task, space or time
+// dimensions to keep graphs readable.
+
+// AggregateByStage merges every task node belonging to a manifest stage
+// into one stage node, re-targeting edges and summing their statistics.
+func AggregateByStage(g *graph.Graph, m *trace.Manifest) *graph.Graph {
+	if m == nil || len(m.Stages) == 0 {
+		return g
+	}
+	taskStage := map[string]string{}
+	for stage, tasks := range m.Stages {
+		for _, t := range tasks {
+			taskStage[taskNodeID(t)] = "stage:" + stage
+		}
+	}
+	remap := func(id string) string {
+		if s, ok := taskStage[id]; ok {
+			return s
+		}
+		return id
+	}
+
+	out := graph.New(g.Name + " (by stage)")
+	for _, n := range g.Nodes() {
+		if s, ok := taskStage[n.ID]; ok {
+			out.AddNode(graph.Node{
+				ID: s, Kind: graph.KindStage, Label: s[len("stage:"):],
+				StartNS: n.StartNS, EndNS: n.EndNS, Volume: n.Volume,
+			})
+			continue
+		}
+		out.AddNode(*n)
+	}
+	type edgeKey struct {
+		from, to string
+		op       graph.EdgeOp
+	}
+	merged := map[edgeKey]*graph.Edge{}
+	var order []edgeKey
+	for _, e := range g.Edges() {
+		k := edgeKey{remap(e.From), remap(e.To), e.Op}
+		if k.from == k.to && e.Op == graph.OpMap {
+			continue
+		}
+		if ex, ok := merged[k]; ok {
+			ex.Volume += e.Volume
+			ex.Ops += e.Ops
+			ex.MetaOps += e.MetaOps
+			ex.DataOps += e.DataOps
+			if e.Bandwidth > ex.Bandwidth {
+				ex.Bandwidth = e.Bandwidth
+			}
+			ex.Reused = ex.Reused || e.Reused
+			continue
+		}
+		cp := *e
+		cp.From, cp.To = k.from, k.to
+		merged[k] = &cp
+		order = append(order, k)
+	}
+	for _, k := range order {
+		if _, err := out.AddEdge(*merged[k]); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// CollapseDatasets replaces the dataset nodes of any file having more
+// than maxPerFile with a single aggregated node per file, preserving
+// total statistics. This is the space-dimension grouping for files with
+// very many small datasets (like PyFLEXTRKR stage 9).
+func CollapseDatasets(g *graph.Graph, maxPerFile int) *graph.Graph {
+	// Count dataset nodes per file via their map edges.
+	fileOf := map[string]string{}
+	perFile := map[string][]string{}
+	for _, e := range g.Edges() {
+		if e.Op != graph.OpMap {
+			continue
+		}
+		from, to := g.Node(e.From), g.Node(e.To)
+		if from == nil || to == nil {
+			continue
+		}
+		if from.Kind == graph.KindDataset && to.Kind == graph.KindFile {
+			if fileOf[from.ID] == "" {
+				fileOf[from.ID] = to.ID
+				perFile[to.ID] = append(perFile[to.ID], from.ID)
+			}
+		}
+	}
+	collapse := map[string]string{} // dataset node -> aggregate node
+	for fileID, dsets := range perFile {
+		if len(dsets) <= maxPerFile {
+			continue
+		}
+		aggID := "dataset:" + fileID + "::<aggregated>"
+		for _, d := range dsets {
+			collapse[d] = aggID
+		}
+	}
+	if len(collapse) == 0 {
+		return g
+	}
+
+	counts := map[string]int{}
+	for _, agg := range collapse {
+		counts[agg]++
+	}
+	out := graph.New(g.Name + " (datasets collapsed)")
+	for _, n := range g.Nodes() {
+		if agg, ok := collapse[n.ID]; ok {
+			out.AddNode(graph.Node{
+				ID: agg, Kind: graph.KindDataset,
+				Label:   fmt.Sprintf("%d datasets", counts[agg]),
+				StartNS: n.StartNS, EndNS: n.EndNS, Volume: n.Volume,
+			})
+			continue
+		}
+		out.AddNode(*n)
+	}
+	remap := func(id string) string {
+		if a, ok := collapse[id]; ok {
+			return a
+		}
+		return id
+	}
+	type edgeKey struct {
+		from, to string
+		op       graph.EdgeOp
+	}
+	merged := map[edgeKey]*graph.Edge{}
+	var order []edgeKey
+	for _, e := range g.Edges() {
+		k := edgeKey{remap(e.From), remap(e.To), e.Op}
+		if ex, ok := merged[k]; ok {
+			ex.Volume += e.Volume
+			ex.Ops += e.Ops
+			ex.MetaOps += e.MetaOps
+			ex.DataOps += e.DataOps
+			ex.Reused = ex.Reused || e.Reused
+			continue
+		}
+		cp := *e
+		cp.From, cp.To = k.from, k.to
+		merged[k] = &cp
+		order = append(order, k)
+	}
+	for _, k := range order {
+		if _, err := out.AddEdge(*merged[k]); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// AggregateByTime merges task nodes whose activity starts within the
+// same window (the paper's time-dimension grouping): tasks launched in
+// the same window collapse into one "window" node. Non-task nodes are
+// untouched.
+func AggregateByTime(g *graph.Graph, windowNS int64) *graph.Graph {
+	if windowNS <= 0 {
+		return g
+	}
+	var minStart int64
+	for _, n := range g.NodesOfKind(graph.KindTask) {
+		if minStart == 0 || (n.StartNS != 0 && n.StartNS < minStart) {
+			minStart = n.StartNS
+		}
+	}
+	remap := map[string]string{}
+	for _, n := range g.NodesOfKind(graph.KindTask) {
+		w := (n.StartNS - minStart) / windowNS
+		remap[n.ID] = fmt.Sprintf("window:%d", w)
+	}
+	out := graph.New(g.Name + " (by time)")
+	counts := map[string]int{}
+	for _, n := range g.Nodes() {
+		if w, ok := remap[n.ID]; ok {
+			counts[w]++
+			out.AddNode(graph.Node{
+				ID: w, Kind: graph.KindStage,
+				Label:   fmt.Sprintf("%s (%d tasks)", w[len("window:"):], counts[w]),
+				StartNS: n.StartNS, EndNS: n.EndNS, Volume: n.Volume,
+			})
+			continue
+		}
+		out.AddNode(*n)
+	}
+	// Window labels show final task counts.
+	for _, n := range out.NodesOfKind(graph.KindStage) {
+		n.Label = fmt.Sprintf("t+%s: %d tasks", n.ID[len("window:"):], counts[n.ID])
+	}
+	type edgeKey struct {
+		from, to string
+		op       graph.EdgeOp
+	}
+	merged := map[edgeKey]*graph.Edge{}
+	var order []edgeKey
+	mapID := func(id string) string {
+		if w, ok := remap[id]; ok {
+			return w
+		}
+		return id
+	}
+	for _, e := range g.Edges() {
+		k := edgeKey{mapID(e.From), mapID(e.To), e.Op}
+		if ex, ok := merged[k]; ok {
+			ex.Volume += e.Volume
+			ex.Ops += e.Ops
+			ex.MetaOps += e.MetaOps
+			ex.DataOps += e.DataOps
+			ex.Reused = ex.Reused || e.Reused
+			continue
+		}
+		cp := *e
+		cp.From, cp.To = k.from, k.to
+		merged[k] = &cp
+		order = append(order, k)
+	}
+	for _, k := range order {
+		if _, err := out.AddEdge(*merged[k]); err != nil {
+			panic(err)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a graph for reports.
+type Stats struct {
+	Tasks    int
+	Files    int
+	Datasets int
+	Regions  int
+	Edges    int
+	Volume   int64
+}
+
+// Summarize computes graph statistics.
+func Summarize(g *graph.Graph) Stats {
+	return Stats{
+		Tasks:    len(g.NodesOfKind(graph.KindTask)) + len(g.NodesOfKind(graph.KindStage)),
+		Files:    len(g.NodesOfKind(graph.KindFile)),
+		Datasets: len(g.NodesOfKind(graph.KindDataset)),
+		Regions:  len(g.NodesOfKind(graph.KindRegion)),
+		Edges:    g.NumEdges(),
+		Volume:   g.TotalVolume(),
+	}
+}

@@ -1,0 +1,315 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"dayu/internal/graph"
+	"dayu/internal/trace"
+)
+
+// fixtureTraces builds a small three-task workflow:
+//
+//	producer writes in.h5 (datasets /a, /b)
+//	consumer1 reads in.h5 (/a) and writes out1.h5
+//	consumer2 reads in.h5 (/a, metadata-only /b)
+func fixtureTraces() []*trace.TaskTrace {
+	return []*trace.TaskTrace{
+		{
+			Task: "producer", StartNS: 0, EndNS: 100,
+			Files: []trace.FileRecord{{
+				Task: "producer", File: "in.h5", OpenNS: 0, CloseNS: 90,
+				Ops: 10, Writes: 10, BytesWritten: 4096,
+				MetaOps: 4, DataOps: 6, MetaBytes: 96, DataBytes: 4000,
+			}},
+			Objects: []trace.ObjectRecord{
+				{Task: "producer", File: "in.h5", Object: "/a", Type: "dataset",
+					Datatype: "float64", Layout: "contiguous", Shape: []int64{256},
+					AcquiredNS: 1, ReleasedNS: 80, Writes: 1, BytesWritten: 2048},
+				{Task: "producer", File: "in.h5", Object: "/b", Type: "dataset",
+					Datatype: "float64", Layout: "chunked", Shape: []int64{256},
+					AcquiredNS: 1, ReleasedNS: 80, Writes: 1, BytesWritten: 2048},
+			},
+			Mapped: []trace.MappedStat{
+				{Task: "producer", File: "in.h5", Object: "/a", DataOps: 3, DataBytes: 2048,
+					Writes: 3, Regions: []trace.Extent{{Start: 512, End: 2560}}, FirstNS: 5, LastNS: 50},
+				{Task: "producer", File: "in.h5", Object: "/b", DataOps: 3, MetaOps: 2,
+					DataBytes: 2048, MetaBytes: 64, Writes: 5,
+					Regions: []trace.Extent{{Start: 4096, End: 6144}}, FirstNS: 20, LastNS: 80},
+				{Task: "producer", File: "in.h5", Object: "", MetaOps: 2, MetaBytes: 32,
+					Writes: 2, Regions: []trace.Extent{{Start: 0, End: 48}}, FirstNS: 0, LastNS: 90},
+			},
+		},
+		{
+			Task: "consumer1", StartNS: 100, EndNS: 200,
+			Files: []trace.FileRecord{
+				{Task: "consumer1", File: "in.h5", OpenNS: 100, CloseNS: 150,
+					Ops: 4, Reads: 4, BytesRead: 2048, MetaOps: 2, DataOps: 2,
+					MetaBytes: 48, DataBytes: 2000},
+				{Task: "consumer1", File: "out1.h5", OpenNS: 150, CloseNS: 190,
+					Ops: 3, Writes: 3, BytesWritten: 1024, MetaOps: 1, DataOps: 2,
+					MetaBytes: 24, DataBytes: 1000},
+			},
+			Mapped: []trace.MappedStat{
+				{Task: "consumer1", File: "in.h5", Object: "/a", DataOps: 2, DataBytes: 2048,
+					Reads: 2, Regions: []trace.Extent{{Start: 512, End: 2560}}, FirstNS: 105, LastNS: 140},
+				{Task: "consumer1", File: "out1.h5", Object: "/res", DataOps: 2, DataBytes: 1024,
+					Writes: 2, Regions: []trace.Extent{{Start: 512, End: 1536}}, FirstNS: 155, LastNS: 185},
+			},
+		},
+		{
+			Task: "consumer2", StartNS: 200, EndNS: 300,
+			Files: []trace.FileRecord{{
+				Task: "consumer2", File: "in.h5", OpenNS: 200, CloseNS: 290,
+				Ops: 3, Reads: 3, BytesRead: 2100, MetaOps: 1, DataOps: 2,
+				MetaBytes: 52, DataBytes: 2048,
+			}},
+			Mapped: []trace.MappedStat{
+				{Task: "consumer2", File: "in.h5", Object: "/a", DataOps: 2, DataBytes: 2048,
+					Reads: 2, Regions: []trace.Extent{{Start: 512, End: 2560}}, FirstNS: 205, LastNS: 250},
+				// Metadata-only access (like contact_map in Figure 7).
+				{Task: "consumer2", File: "in.h5", Object: "/b", MetaOps: 1, MetaBytes: 52,
+					Reads: 1, Regions: []trace.Extent{{Start: 4096, End: 4148}}, FirstNS: 260, LastNS: 260},
+			},
+		},
+	}
+}
+
+func fixtureManifest() *trace.Manifest {
+	return &trace.Manifest{
+		Workflow:   "fixture",
+		TaskOrder:  []string{"producer", "consumer1", "consumer2"},
+		Stages:     map[string][]string{"produce": {"producer"}, "consume": {"consumer1", "consumer2"}},
+		StageOrder: []string{"produce", "consume"},
+	}
+}
+
+func TestBuildFTG(t *testing.T) {
+	g := BuildFTG(fixtureTraces(), fixtureManifest())
+	if n := len(g.NodesOfKind(graph.KindTask)); n != 3 {
+		t.Fatalf("tasks = %d", n)
+	}
+	if n := len(g.NodesOfKind(graph.KindFile)); n != 2 {
+		t.Fatalf("files = %d", n)
+	}
+	// producer -> in.h5 write edge.
+	var prodWrite, reuse1, reuse2 bool
+	for _, e := range g.Edges() {
+		if e.From == "task:producer" && e.To == "file:in.h5" && e.Op == graph.OpWrite {
+			prodWrite = true
+			if e.Volume != 4096 || e.Ops != 10 {
+				t.Errorf("producer write edge stats: %+v", e)
+			}
+			if e.Bandwidth <= 0 {
+				t.Error("bandwidth not computed")
+			}
+		}
+		if e.From == "file:in.h5" && e.To == "task:consumer1" && e.Op == graph.OpRead {
+			reuse1 = e.Reused
+		}
+		if e.From == "file:in.h5" && e.To == "task:consumer2" && e.Op == graph.OpRead {
+			reuse2 = e.Reused
+		}
+	}
+	if !prodWrite {
+		t.Error("producer write edge missing")
+	}
+	// in.h5 read by two tasks: both read edges flagged as reuse.
+	if !reuse1 || !reuse2 {
+		t.Errorf("reuse flags = %v %v", reuse1, reuse2)
+	}
+	// out1.h5 written once, never read: no reuse flag.
+	for _, e := range g.OutEdges("file:out1.h5") {
+		if e.Reused {
+			t.Error("out1.h5 wrongly marked reused")
+		}
+	}
+}
+
+func TestBuildFTGOrderingWithoutManifest(t *testing.T) {
+	g := BuildFTG(fixtureTraces(), nil)
+	if g.NumNodes() == 0 {
+		t.Fatal("empty graph")
+	}
+	// Task nodes keep their start times for layout.
+	if g.Node("task:consumer2").StartNS != 200 {
+		t.Error("task timing lost")
+	}
+}
+
+func TestBuildSDG(t *testing.T) {
+	g := BuildSDG(fixtureTraces(), fixtureManifest(), Options{})
+	dsets := g.NodesOfKind(graph.KindDataset)
+	if len(dsets) != 3 { // /a, /b in in.h5; /res in out1.h5
+		t.Fatalf("datasets = %d", len(dsets))
+	}
+	// Dataset /a is read by two tasks: its read edges are reuse-marked.
+	aID := "dataset:in.h5::/a"
+	if g.Node(aID) == nil {
+		t.Fatal("dataset node /a missing")
+	}
+	readEdges := 0
+	for _, e := range g.OutEdges(aID) {
+		if e.Op == graph.OpRead {
+			readEdges++
+			if !e.Reused {
+				t.Error("dataset reuse not marked")
+			}
+		}
+	}
+	if readEdges != 2 {
+		t.Errorf("read edges = %d", readEdges)
+	}
+	// consumer2's /b access is metadata-only and labeled read_only.
+	var metaOnly bool
+	for _, e := range g.OutEdges("dataset:in.h5::/b") {
+		if e.To == "task:consumer2" {
+			metaOnly = true
+			if e.DataOps != 0 || e.MetaOps != 1 {
+				t.Errorf("metadata-only edge: %+v", e)
+			}
+			if e.Attrs["operation"] != "read_only" {
+				t.Errorf("operation label = %q", e.Attrs["operation"])
+			}
+		}
+	}
+	if !metaOnly {
+		t.Error("metadata-only edge missing")
+	}
+	// Dataset decorations from object records.
+	if g.Node(aID).Attrs["layout"] != "contiguous" {
+		t.Errorf("dataset attrs = %v", g.Node(aID).Attrs)
+	}
+	// Without regions, datasets map directly to files.
+	if len(g.NodesOfKind(graph.KindRegion)) != 0 {
+		t.Error("regions present though disabled")
+	}
+}
+
+func TestBuildSDGWithRegions(t *testing.T) {
+	g := BuildSDG(fixtureTraces(), fixtureManifest(), Options{
+		PageSize: 1024, IncludeRegions: true, IncludeFileMetadata: true,
+	})
+	regions := g.NodesOfKind(graph.KindRegion)
+	if len(regions) == 0 {
+		t.Fatal("no region nodes")
+	}
+	// /a touched [512,2560) with page 1024 -> pages [0,3).
+	rid := "region:in.h5::[0-3)"
+	if g.Node(rid) == nil {
+		ids := []string{}
+		for _, r := range regions {
+			ids = append(ids, r.ID)
+		}
+		t.Fatalf("expected region %s, have %v", rid, ids)
+	}
+	// dataset -> region -> file chain.
+	foundChain := false
+	for _, e := range g.OutEdges("dataset:in.h5::/a") {
+		if e.To == rid {
+			for _, e2 := range g.OutEdges(rid) {
+				if e2.To == "file:in.h5" {
+					foundChain = true
+				}
+			}
+		}
+	}
+	if !foundChain {
+		t.Error("dataset->region->file chain missing")
+	}
+	// File-Metadata pseudo node for unattributed superblock traffic.
+	if g.Node("meta:in.h5::File-Metadata") == nil {
+		t.Error("File-Metadata node missing")
+	}
+}
+
+func TestAggregateByStage(t *testing.T) {
+	g := BuildFTG(fixtureTraces(), fixtureManifest())
+	agg := AggregateByStage(g, fixtureManifest())
+	stages := agg.NodesOfKind(graph.KindStage)
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if len(agg.NodesOfKind(graph.KindTask)) != 0 {
+		t.Error("task nodes survived aggregation")
+	}
+	// The two consumer read edges merged into one stage edge.
+	var consumeRead *graph.Edge
+	for _, e := range agg.Edges() {
+		if e.From == "file:in.h5" && e.To == "stage:consume" && e.Op == graph.OpRead {
+			if consumeRead != nil {
+				t.Fatal("read edges not merged")
+			}
+			consumeRead = e
+		}
+	}
+	if consumeRead == nil {
+		t.Fatal("merged stage read edge missing")
+	}
+	if consumeRead.Volume != 2048+2100 {
+		t.Errorf("merged volume = %d", consumeRead.Volume)
+	}
+	// Nil manifest: pass-through.
+	if AggregateByStage(g, nil) != g {
+		t.Error("nil manifest should pass through")
+	}
+}
+
+func TestCollapseDatasets(t *testing.T) {
+	// File with many datasets collapses; others stay.
+	traces := fixtureTraces()
+	many := &trace.TaskTrace{Task: "scatter", StartNS: 300, EndNS: 400}
+	many.Files = []trace.FileRecord{{Task: "scatter", File: "s.h5", OpenNS: 300, CloseNS: 390,
+		Ops: 40, Writes: 40, BytesWritten: 40 * 100, MetaOps: 20, DataOps: 20}}
+	for i := 0; i < 40; i++ {
+		many.Mapped = append(many.Mapped, trace.MappedStat{
+			Task: "scatter", File: "s.h5", Object: "/small_" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			DataOps: 1, DataBytes: 100, Writes: 1,
+			Regions: []trace.Extent{{Start: int64(i * 100), End: int64(i*100 + 100)}},
+		})
+	}
+	traces = append(traces, many)
+	g := BuildSDG(traces, nil, Options{})
+	before := len(g.NodesOfKind(graph.KindDataset))
+	collapsed := CollapseDatasets(g, 10)
+	after := len(collapsed.NodesOfKind(graph.KindDataset))
+	if after >= before {
+		t.Fatalf("collapse had no effect: %d -> %d", before, after)
+	}
+	// The aggregate node exists and carries the label with the count.
+	var found bool
+	for _, n := range collapsed.NodesOfKind(graph.KindDataset) {
+		if strings.Contains(n.ID, "<aggregated>") {
+			found = true
+			if !strings.Contains(n.Label, "40 datasets") {
+				t.Errorf("aggregate label = %q", n.Label)
+			}
+		}
+	}
+	if !found {
+		t.Error("aggregate node missing")
+	}
+	// Graph below threshold passes through unchanged.
+	small := BuildSDG(fixtureTraces(), nil, Options{})
+	if CollapseDatasets(small, 10) != small {
+		t.Error("small graph should pass through")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := BuildSDG(fixtureTraces(), fixtureManifest(), Options{IncludeRegions: true, PageSize: 1024})
+	s := Summarize(g)
+	if s.Tasks != 3 || s.Files != 2 || s.Datasets != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Regions == 0 || s.Edges == 0 || s.Volume == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRendersDoNotPanic(t *testing.T) {
+	g := BuildSDG(fixtureTraces(), fixtureManifest(), Options{IncludeRegions: true, IncludeFileMetadata: true})
+	if len(g.DOT()) == 0 || len(g.SVG()) == 0 || len(g.HTML()) == 0 {
+		t.Error("empty render output")
+	}
+}

@@ -1,0 +1,147 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dayu/internal/trace"
+)
+
+// Dependency chains (paper contribution 1: "complete data dependence
+// chains for all I/O accesses"): the alternating task → file → task …
+// paths a datum travels through the workflow, with the volume carried
+// at each hop.
+
+// ChainHop is one producer-file-consumer step.
+type ChainHop struct {
+	Producer string
+	File     string
+	Consumer string
+	// Bytes is the volume the consumer read from the file.
+	Bytes int64
+}
+
+// Chain is one maximal dependence path through the workflow.
+type Chain struct {
+	Hops []ChainHop
+}
+
+// String renders the chain as "t1 -[f1]-> t2 -[f2]-> t3".
+func (c Chain) String() string {
+	if len(c.Hops) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(c.Hops[0].Producer)
+	for _, h := range c.Hops {
+		fmt.Fprintf(&b, " -[%s]-> %s", h.File, h.Consumer)
+	}
+	return b.String()
+}
+
+// Len returns the hop count.
+func (c Chain) Len() int { return len(c.Hops) }
+
+// DependencyChains extracts every maximal producer→consumer chain from
+// the traces. A hop exists when a task wrote data content to a file and
+// a later task read content from it. Chains start at tasks with no
+// data-producing predecessor hop and are extended greedily; cycles
+// (write-after-read updates) terminate a chain rather than looping.
+func DependencyChains(traces []*trace.TaskTrace, m *trace.Manifest) []Chain {
+	ordered := orderTasks(traces, m)
+	taskIdx := map[string]int{}
+	for i, t := range ordered {
+		taskIdx[t.Task] = i
+	}
+
+	// Build hop edges.
+	type writer struct {
+		task string
+		idx  int
+	}
+	firstWriter := map[string]writer{}
+	for i, t := range ordered {
+		for _, fr := range t.Files {
+			if fr.DataWrites > 0 {
+				if _, ok := firstWriter[fr.File]; !ok {
+					firstWriter[fr.File] = writer{task: t.Task, idx: i}
+				}
+			}
+		}
+	}
+	hopsFrom := map[string][]ChainHop{}
+	hasIncoming := map[string]bool{}
+	for i, t := range ordered {
+		for _, fr := range t.Files {
+			if fr.DataReads == 0 {
+				continue
+			}
+			w, ok := firstWriter[fr.File]
+			if !ok || w.idx >= i {
+				continue // pure input or self/future write
+			}
+			hop := ChainHop{Producer: w.task, File: fr.File, Consumer: t.Task, Bytes: fr.BytesRead}
+			hopsFrom[w.task] = append(hopsFrom[w.task], hop)
+			hasIncoming[t.Task] = true
+		}
+	}
+	for task := range hopsFrom {
+		sort.Slice(hopsFrom[task], func(a, b int) bool {
+			ha, hb := hopsFrom[task][a], hopsFrom[task][b]
+			if ha.File != hb.File {
+				return ha.File < hb.File
+			}
+			return ha.Consumer < hb.Consumer
+		})
+	}
+
+	// Depth-first expansion from root producers.
+	var chains []Chain
+	var walk func(task string, path []ChainHop, seen map[string]bool)
+	walk = func(task string, path []ChainHop, seen map[string]bool) {
+		next := hopsFrom[task]
+		extended := false
+		for _, hop := range next {
+			if seen[hop.Consumer] {
+				continue
+			}
+			seen[hop.Consumer] = true
+			walk(hop.Consumer, append(path, hop), seen)
+			delete(seen, hop.Consumer)
+			extended = true
+		}
+		if !extended && len(path) > 0 {
+			chains = append(chains, Chain{Hops: append([]ChainHop(nil), path...)})
+		}
+	}
+	var roots []string
+	for task := range hopsFrom {
+		if !hasIncoming[task] {
+			roots = append(roots, task)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return taskIdx[roots[i]] < taskIdx[roots[j]] })
+	for _, root := range roots {
+		walk(root, nil, map[string]bool{root: true})
+	}
+	return chains
+}
+
+// LongestChain returns the chain with the most hops (ties broken by
+// carried volume), or an empty chain when no dependencies exist.
+func LongestChain(chains []Chain) Chain {
+	var best Chain
+	var bestBytes int64
+	for _, c := range chains {
+		var bytes int64
+		for _, h := range c.Hops {
+			bytes += h.Bytes
+		}
+		if c.Len() > best.Len() || (c.Len() == best.Len() && bytes > bestBytes) {
+			best = c
+			bestBytes = bytes
+		}
+	}
+	return best
+}

@@ -1,0 +1,104 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"dayu/internal/trace"
+)
+
+func chainRecord(file string, reads, writes int64) trace.FileRecord {
+	fr := trace.FileRecord{File: file, Reads: reads, Writes: writes,
+		BytesRead: reads * 100, BytesWritten: writes * 100,
+		DataReads: reads, DataWrites: writes, DataOps: reads + writes}
+	fr.Ops = fr.DataOps
+	return fr
+}
+
+func chainTrace(task string, start int64, files ...trace.FileRecord) *trace.TaskTrace {
+	for i := range files {
+		files[i].Task = task
+	}
+	return &trace.TaskTrace{Task: task, StartNS: start, EndNS: start + 10, Files: files}
+}
+
+func TestDependencyChainsLinear(t *testing.T) {
+	traces := []*trace.TaskTrace{
+		chainTrace("t1", 0, chainRecord("a", 0, 1)),
+		chainTrace("t2", 10, chainRecord("a", 1, 0), chainRecord("b", 0, 1)),
+		chainTrace("t3", 20, chainRecord("b", 1, 0)),
+	}
+	chains := DependencyChains(traces, nil)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %d: %v", len(chains), chains)
+	}
+	want := "t1 -[a]-> t2 -[b]-> t3"
+	if got := chains[0].String(); got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if chains[0].Len() != 2 {
+		t.Errorf("len = %d", chains[0].Len())
+	}
+	if chains[0].Hops[0].Bytes != 100 {
+		t.Errorf("hop bytes = %d", chains[0].Hops[0].Bytes)
+	}
+}
+
+func TestDependencyChainsFanOut(t *testing.T) {
+	// t1 writes a; t2 and t3 both read it; t3 writes b read by t4.
+	traces := []*trace.TaskTrace{
+		chainTrace("t1", 0, chainRecord("a", 0, 1)),
+		chainTrace("t2", 10, chainRecord("a", 1, 0)),
+		chainTrace("t3", 20, chainRecord("a", 1, 0), chainRecord("b", 0, 1)),
+		chainTrace("t4", 30, chainRecord("b", 1, 0)),
+	}
+	chains := DependencyChains(traces, nil)
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v", chains)
+	}
+	var strs []string
+	for _, c := range chains {
+		strs = append(strs, c.String())
+	}
+	joined := strings.Join(strs, "; ")
+	if !strings.Contains(joined, "t1 -[a]-> t2") {
+		t.Errorf("missing short branch: %s", joined)
+	}
+	if !strings.Contains(joined, "t1 -[a]-> t3 -[b]-> t4") {
+		t.Errorf("missing long branch: %s", joined)
+	}
+	longest := LongestChain(chains)
+	if longest.Len() != 2 || longest.Hops[1].Consumer != "t4" {
+		t.Errorf("longest = %v", longest)
+	}
+}
+
+func TestDependencyChainsIgnoreCyclesAndInputs(t *testing.T) {
+	// t1 writes a; t2 reads AND rewrites a (write-after-read); t1 also
+	// reads a pure input that must not create a hop.
+	traces := []*trace.TaskTrace{
+		chainTrace("t1", 0, chainRecord("input", 1, 0), chainRecord("a", 0, 1)),
+		chainTrace("t2", 10, chainRecord("a", 1, 1)),
+	}
+	chains := DependencyChains(traces, nil)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+	if got := chains[0].String(); got != "t1 -[a]-> t2" {
+		t.Errorf("chain = %q", got)
+	}
+	// Self-reads of a task's own output never form a hop.
+	self := []*trace.TaskTrace{
+		chainTrace("solo", 0, chainRecord("own", 1, 1)),
+	}
+	if got := DependencyChains(self, nil); len(got) != 0 {
+		t.Errorf("self chain: %v", got)
+	}
+	// No dependencies at all.
+	if got := DependencyChains(nil, nil); len(got) != 0 {
+		t.Errorf("empty chains: %v", got)
+	}
+	if LongestChain(nil).Len() != 0 {
+		t.Error("LongestChain(nil) not empty")
+	}
+}

@@ -1,0 +1,143 @@
+package analyzer
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"dayu/internal/trace"
+	"dayu/internal/units"
+)
+
+// Timeline is the time-ordered view of a workflow the paper's SDG
+// layout encodes (nodes arranged by event start and end time): task
+// execution intervals and, within each task, the lifetime of every file
+// it held open.
+type Timeline struct {
+	// Start and End bound the whole workflow in wall-clock nanoseconds.
+	Start, End int64
+	Tasks      []TimelineTask
+}
+
+// TimelineTask is one task's interval plus its file lifetimes.
+type TimelineTask struct {
+	Name       string
+	Start, End int64
+	Files      []TimelineSpan
+}
+
+// TimelineSpan is one file's open-close window within a task.
+type TimelineSpan struct {
+	Name       string
+	Start, End int64
+	Bytes      int64
+}
+
+// BuildTimeline derives the time-ordered view from task traces.
+func BuildTimeline(traces []*trace.TaskTrace, m *trace.Manifest) *Timeline {
+	ordered := orderTasks(traces, m)
+	tl := &Timeline{}
+	for _, t := range ordered {
+		tt := TimelineTask{Name: t.Task, Start: t.StartNS, End: t.EndNS}
+		for _, fr := range t.Files {
+			tt.Files = append(tt.Files, TimelineSpan{
+				Name: fr.File, Start: fr.OpenNS, End: fr.CloseNS,
+				Bytes: fr.BytesRead + fr.BytesWritten,
+			})
+		}
+		sort.Slice(tt.Files, func(i, j int) bool { return tt.Files[i].Start < tt.Files[j].Start })
+		tl.Tasks = append(tl.Tasks, tt)
+		if tl.Start == 0 || t.StartNS < tl.Start {
+			tl.Start = t.StartNS
+		}
+		if t.EndNS > tl.End {
+			tl.End = t.EndNS
+		}
+	}
+	return tl
+}
+
+// Duration returns the workflow's wall-clock span.
+func (tl *Timeline) Duration() int64 { return tl.End - tl.Start }
+
+// Text renders a fixed-width Gantt chart: one row per task, '=' for the
+// task interval, file rows indented beneath.
+func (tl *Timeline) Text(width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	span := tl.Duration()
+	if span <= 0 {
+		span = 1
+	}
+	pos := func(ns int64) int {
+		p := int(float64(ns-tl.Start) / float64(span) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	bar := func(start, end int64, fill byte) string {
+		row := []byte(strings.Repeat(" ", width))
+		a, b := pos(start), pos(end)
+		for i := a; i <= b; i++ {
+			row[i] = fill
+		}
+		return string(row)
+	}
+	nameW := 10
+	for _, t := range tl.Tasks {
+		if len(t.Name) > nameW {
+			nameW = len(t.Name)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s |%s|\n", nameW, "timeline",
+		strings.Repeat("-", width))
+	for _, t := range tl.Tasks {
+		fmt.Fprintf(&sb, "%-*s |%s|\n", nameW, t.Name, bar(t.Start, t.End, '='))
+		for _, f := range t.Files {
+			label := "  " + f.Name
+			if len(label) > nameW {
+				label = label[:nameW]
+			}
+			fmt.Fprintf(&sb, "%-*s |%s| %s\n", nameW, label,
+				bar(f.Start, f.End, '.'), units.Bytes(f.Bytes))
+		}
+	}
+	return sb.String()
+}
+
+// HTML renders the timeline as a standalone page with proportional bars.
+func (tl *Timeline) HTML() string {
+	span := tl.Duration()
+	if span <= 0 {
+		span = 1
+	}
+	pct := func(ns int64) float64 { return 100 * float64(ns-tl.Start) / float64(span) }
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8"><title>workflow timeline</title><style>
+body { font-family: Helvetica, sans-serif; margin: 2em; }
+.row { position: relative; height: 22px; margin: 2px 0; background: #f4f4f4; }
+.bar { position: absolute; height: 100%; border-radius: 3px; }
+.task { background: #d62728; }
+.file { background: #1f77b4; opacity: .6; }
+.label { font-size: 12px; line-height: 22px; padding-left: 4px; position: absolute; white-space: nowrap; }
+</style></head><body><h1>Workflow timeline</h1>
+`)
+	for _, t := range tl.Tasks {
+		fmt.Fprintf(&sb, `<div class="row"><div class="bar task" style="left:%.2f%%;width:%.2f%%"></div><span class="label">%s</span></div>`+"\n",
+			pct(t.Start), pct(t.End)-pct(t.Start)+0.5, html.EscapeString(t.Name))
+		for _, f := range t.Files {
+			fmt.Fprintf(&sb, `<div class="row"><div class="bar file" style="left:%.2f%%;width:%.2f%%"></div><span class="label">· %s (%s)</span></div>`+"\n",
+				pct(f.Start), pct(f.End)-pct(f.Start)+0.5,
+				html.EscapeString(f.Name), units.Bytes(f.Bytes))
+		}
+	}
+	sb.WriteString("</body></html>\n")
+	return sb.String()
+}

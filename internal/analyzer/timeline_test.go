@@ -1,0 +1,124 @@
+package analyzer
+
+import (
+	"strings"
+	"testing"
+
+	"dayu/internal/trace"
+)
+
+func timelineTraces() []*trace.TaskTrace {
+	return []*trace.TaskTrace{
+		{
+			Task: "producer", StartNS: 1000, EndNS: 2000,
+			Files: []trace.FileRecord{{Task: "producer", File: "a.h5",
+				OpenNS: 1100, CloseNS: 1900, BytesWritten: 4096, Writes: 1, DataOps: 1, Ops: 1}},
+		},
+		{
+			Task: "consumer", StartNS: 2000, EndNS: 4000,
+			Files: []trace.FileRecord{
+				{Task: "consumer", File: "a.h5", OpenNS: 2100, CloseNS: 2500,
+					BytesRead: 4096, Reads: 1, DataOps: 1, Ops: 1},
+				{Task: "consumer", File: "b.h5", OpenNS: 2600, CloseNS: 3900,
+					BytesWritten: 1024, Writes: 1, DataOps: 1, Ops: 1},
+			},
+		},
+	}
+}
+
+func TestBuildTimeline(t *testing.T) {
+	tl := BuildTimeline(timelineTraces(), nil)
+	if tl.Start != 1000 || tl.End != 4000 {
+		t.Fatalf("bounds = [%d,%d]", tl.Start, tl.End)
+	}
+	if tl.Duration() != 3000 {
+		t.Fatal("duration wrong")
+	}
+	if len(tl.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(tl.Tasks))
+	}
+	if tl.Tasks[0].Name != "producer" || tl.Tasks[1].Name != "consumer" {
+		t.Errorf("order: %s %s", tl.Tasks[0].Name, tl.Tasks[1].Name)
+	}
+	c := tl.Tasks[1]
+	if len(c.Files) != 2 || c.Files[0].Name != "a.h5" || c.Files[1].Name != "b.h5" {
+		t.Fatalf("consumer files = %+v", c.Files)
+	}
+	if c.Files[0].Bytes != 4096 {
+		t.Error("file volume lost")
+	}
+}
+
+func TestTimelineText(t *testing.T) {
+	tl := BuildTimeline(timelineTraces(), nil)
+	txt := tl.Text(60)
+	if !strings.Contains(txt, "producer") || !strings.Contains(txt, "consumer") {
+		t.Fatal("task names missing")
+	}
+	if !strings.Contains(txt, "=") || !strings.Contains(txt, ".") {
+		t.Fatal("bars missing")
+	}
+	// The producer's bar ends before the consumer's begins (left to
+	// right ordering by time).
+	lines := strings.Split(txt, "\n")
+	var prodLine, consLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "producer") {
+			prodLine = l
+		}
+		if strings.HasPrefix(l, "consumer") {
+			consLine = l
+		}
+	}
+	if strings.LastIndex(prodLine, "=") > strings.Index(consLine, "=")+1 {
+		t.Error("timeline bars overlap incorrectly")
+	}
+	// Degenerate inputs don't panic.
+	empty := BuildTimeline(nil, nil)
+	if empty.Text(0) == "" {
+		t.Error("empty timeline text empty")
+	}
+}
+
+func TestTimelineHTML(t *testing.T) {
+	tl := BuildTimeline(timelineTraces(), nil)
+	h := tl.HTML()
+	for _, want := range []string{"<!DOCTYPE html>", "bar task", "bar file", "a.h5", "4.0 KiB"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Escaping.
+	traces := timelineTraces()
+	traces[0].Task = "<script>"
+	traces[0].Files[0].Task = "<script>"
+	h2 := BuildTimeline(traces, nil).HTML()
+	if strings.Contains(h2, "<script>") {
+		t.Error("HTML injection not escaped")
+	}
+}
+
+func TestAggregateByTime(t *testing.T) {
+	g := BuildFTG(timelineTraces(), nil)
+	// Window of 5000ns: both tasks (starts 1000 and 2000) share window 0.
+	agg := AggregateByTime(g, 5000)
+	if n := len(agg.NodesOfKind("stage")); n != 1 {
+		t.Fatalf("windows = %d", n)
+	}
+	if len(agg.NodesOfKind("task")) != 0 {
+		t.Error("task nodes survived time aggregation")
+	}
+	// Window of 500ns separates them.
+	agg2 := AggregateByTime(g, 500)
+	if n := len(agg2.NodesOfKind("stage")); n != 2 {
+		t.Fatalf("separated windows = %d", n)
+	}
+	// Edges re-targeted, volumes preserved.
+	if agg.TotalVolume() != g.TotalVolume() {
+		t.Error("volume lost in aggregation")
+	}
+	// Non-positive window passes through.
+	if AggregateByTime(g, 0) != g {
+		t.Error("zero window should pass through")
+	}
+}

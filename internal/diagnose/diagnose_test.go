@@ -1,0 +1,304 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"dayu/internal/trace"
+)
+
+// mkTrace builds a minimal trace with one file record.
+func mkTrace(task string, start int64, files ...trace.FileRecord) *trace.TaskTrace {
+	for i := range files {
+		files[i].Task = task
+		files[i].Ops = files[i].MetaOps + files[i].DataOps
+		// Tests describe content traffic; mirror it into the raw-data
+		// directional counters the rules use.
+		if files[i].DataReads == 0 && files[i].BytesRead > 0 {
+			files[i].DataReads = files[i].Reads
+		}
+		if files[i].DataWrites == 0 && files[i].BytesWritten > 0 {
+			files[i].DataWrites = files[i].Writes
+		}
+	}
+	return &trace.TaskTrace{Task: task, StartNS: start, EndNS: start + 100, Files: files}
+}
+
+func TestDetectReuseAndDisposable(t *testing.T) {
+	traces := []*trace.TaskTrace{
+		mkTrace("t1", 0, trace.FileRecord{File: "shared.h5", Writes: 2, BytesWritten: 100, DataOps: 2}),
+		mkTrace("t2", 100,
+			trace.FileRecord{File: "shared.h5", Reads: 2, BytesRead: 100, DataOps: 2},
+			trace.FileRecord{File: "once.h5", Writes: 1, BytesWritten: 10, DataOps: 1}),
+		mkTrace("t3", 200,
+			trace.FileRecord{File: "shared.h5", Reads: 1, BytesRead: 100, DataOps: 1},
+			trace.FileRecord{File: "once.h5", Reads: 1, BytesRead: 10, DataOps: 1}),
+	}
+	fs := Analyze(traces, nil, Thresholds{})
+	reuse := ByKind(fs, DataReuse)
+	if len(reuse) != 1 || reuse[0].File != "shared.h5" {
+		t.Fatalf("reuse = %+v", reuse)
+	}
+	if reuse[0].Guideline != GuidelineCaching {
+		t.Error("reuse guideline wrong")
+	}
+	disp := ByKind(fs, DisposableData)
+	var onceFound bool
+	for _, f := range disp {
+		if f.File == "once.h5" {
+			onceFound = true
+		}
+		if f.File == "shared.h5" {
+			t.Error("multi-consumer file marked disposable")
+		}
+	}
+	if !onceFound {
+		t.Errorf("once.h5 not disposable: %+v", disp)
+	}
+}
+
+func TestDetectReadWriteOrders(t *testing.T) {
+	traces := []*trace.TaskTrace{
+		mkTrace("producer", 0, trace.FileRecord{File: "a.h5", Writes: 1, BytesWritten: 10, DataOps: 1}),
+		mkTrace("updater", 100, trace.FileRecord{File: "a.h5", Reads: 1, Writes: 1,
+			BytesRead: 10, BytesWritten: 10, DataOps: 2}),
+		mkTrace("selfreader", 200, trace.FileRecord{File: "own.h5", Reads: 1, Writes: 1,
+			BytesRead: 5, BytesWritten: 5, DataOps: 2}),
+	}
+	fs := Analyze(traces, nil, Thresholds{})
+	war := ByKind(fs, WriteAfterRead)
+	if len(war) != 1 || war[0].Task != "updater" {
+		t.Fatalf("write-after-read = %+v", war)
+	}
+	raw := ByKind(fs, ReadAfterWrite)
+	if len(raw) != 1 || raw[0].Task != "selfreader" {
+		t.Fatalf("read-after-write = %+v", raw)
+	}
+}
+
+func TestDetectTimeDependentInput(t *testing.T) {
+	traces := []*trace.TaskTrace{
+		mkTrace("t1", 0, trace.FileRecord{File: "early.h5", Reads: 1, BytesRead: 5, DataOps: 1}),
+		mkTrace("t2", 100),
+		mkTrace("t3", 200, trace.FileRecord{File: "late.h5", Reads: 1, BytesRead: 5, DataOps: 1}),
+	}
+	fs := Analyze(traces, nil, Thresholds{})
+	tdi := ByKind(fs, TimeDependentInput)
+	if len(tdi) != 1 || tdi[0].File != "late.h5" {
+		t.Fatalf("time-dependent = %+v", tdi)
+	}
+	if tdi[0].Guideline != GuidelinePrefetch {
+		t.Error("guideline wrong")
+	}
+}
+
+func TestDetectScattering(t *testing.T) {
+	tt := &trace.TaskTrace{Task: "stage9", StartNS: 0, EndNS: 100}
+	tt.Files = []trace.FileRecord{{Task: "stage9", File: "stats.h5",
+		Reads: 64, BytesRead: 64 * 400, MetaOps: 32, DataOps: 32, Ops: 64}}
+	for i := 0; i < 32; i++ {
+		name := "/small" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		tt.Mapped = append(tt.Mapped, trace.MappedStat{
+			Task: "stage9", File: "stats.h5", Object: name,
+			DataOps: 1, DataBytes: 400, Reads: 1,
+		})
+		tt.Objects = append(tt.Objects, trace.ObjectRecord{
+			Task: "stage9", File: "stats.h5", Object: name, Type: "dataset",
+			Datatype: "float64", Shape: []int64{50}, ElemSize: 8, Layout: "contiguous",
+		})
+	}
+	fs := Analyze([]*trace.TaskTrace{tt}, nil, Thresholds{})
+	sc := ByKind(fs, DataScattering)
+	if len(sc) != 1 {
+		t.Fatalf("scattering = %+v", sc)
+	}
+	if sc[0].Severity != Critical || sc[0].Guideline != GuidelineLayout {
+		t.Error("scattering metadata wrong")
+	}
+	if sc[0].Metrics["small_datasets"] != 32 {
+		t.Errorf("metrics = %v", sc[0].Metrics)
+	}
+	// With a stricter threshold there is no finding.
+	fs2 := Analyze([]*trace.TaskTrace{tt}, nil, Thresholds{ScatterMinDatasets: 64})
+	if len(ByKind(fs2, DataScattering)) != 0 {
+		t.Error("threshold ignored")
+	}
+}
+
+func TestDetectMetadataOnlyAccess(t *testing.T) {
+	producer := &trace.TaskTrace{Task: "agg", StartNS: 0, EndNS: 100,
+		Files: []trace.FileRecord{{Task: "agg", File: "agg.h5", Writes: 4,
+			BytesWritten: 1 << 20, DataOps: 4, Ops: 4}},
+		Objects: []trace.ObjectRecord{{Task: "agg", File: "agg.h5", Object: "/contact_map",
+			Type: "dataset", Datatype: "float32", Shape: []int64{1 << 18}, ElemSize: 4,
+			Layout: "chunked", Writes: 1, BytesWritten: 1 << 20}},
+		Mapped: []trace.MappedStat{{Task: "agg", File: "agg.h5", Object: "/contact_map",
+			DataOps: 4, DataBytes: 1 << 20, Writes: 4}},
+	}
+	training := &trace.TaskTrace{Task: "training", StartNS: 100, EndNS: 200,
+		Files: []trace.FileRecord{{Task: "training", File: "agg.h5", Reads: 1,
+			BytesRead: 512, MetaOps: 1, Ops: 1}},
+		Mapped: []trace.MappedStat{{Task: "training", File: "agg.h5", Object: "/contact_map",
+			MetaOps: 1, MetaBytes: 512, Reads: 1}},
+	}
+	fs := Analyze([]*trace.TaskTrace{producer, training}, nil, Thresholds{})
+	mo := ByKind(fs, MetadataOnlyAccess)
+	if len(mo) != 1 || mo[0].Task != "training" || mo[0].Object != "/contact_map" {
+		t.Fatalf("metadata-only = %+v", mo)
+	}
+	if mo[0].Guideline != GuidelinePartial {
+		t.Error("guideline wrong")
+	}
+	if mo[0].Metrics["content_bytes"] != float64(1<<20) {
+		t.Errorf("content bytes = %v", mo[0].Metrics)
+	}
+}
+
+func TestDetectMetadataOverheadAndLayouts(t *testing.T) {
+	tt := &trace.TaskTrace{Task: "openmm", StartNS: 0, EndNS: 100,
+		Files: []trace.FileRecord{{Task: "openmm", File: "sim.h5",
+			Writes: 30, BytesWritten: 200 << 10, MetaOps: 20, DataOps: 10, Ops: 30}},
+		Objects: []trace.ObjectRecord{
+			{Task: "openmm", File: "sim.h5", Object: "/rmsd", Type: "dataset",
+				Datatype: "float32", Shape: []int64{1000}, ElemSize: 4, Layout: "chunked"},
+			{Task: "openmm", File: "sim.h5", Object: "/story", Type: "dataset",
+				Datatype: "vlen", Shape: []int64{100}, Layout: "contiguous",
+				Writes: 1, BytesWritten: 100 << 20},
+		},
+	}
+	fs := Analyze([]*trace.TaskTrace{tt}, nil, Thresholds{})
+	if len(ByKind(fs, MetadataOverhead)) != 1 {
+		t.Errorf("metadata overhead missing: %+v", fs)
+	}
+	csd := ByKind(fs, ChunkedSmallData)
+	if len(csd) != 1 || csd[0].Object != "/rmsd" {
+		t.Errorf("chunked-small = %+v", csd)
+	}
+	vc := ByKind(fs, VLenContiguous)
+	if len(vc) != 1 || vc[0].Object != "/story" {
+		t.Errorf("vlen-contiguous = %+v", vc)
+	}
+}
+
+func TestDetectSequentialAndIndependent(t *testing.T) {
+	traces := []*trace.TaskTrace{
+		mkTrace("aggregate", 0, trace.FileRecord{File: "sim.h5",
+			Reads: 10, BytesRead: 1 << 20, DataOps: 10, SequentialOps: 9}),
+		mkTrace("training", 100, trace.FileRecord{File: "train.h5",
+			Reads: 2, BytesRead: 100, DataOps: 2}),
+		mkTrace("inference", 200, trace.FileRecord{File: "infer.h5",
+			Reads: 2, BytesRead: 100, DataOps: 2}),
+	}
+	fs := Analyze(traces, nil, Thresholds{})
+	seq := ByKind(fs, ReadOnlySequential)
+	if len(seq) == 0 || seq[0].Task != "aggregate" {
+		t.Fatalf("sequential = %+v", seq)
+	}
+	ind := ByKind(fs, NoDataDependency)
+	if len(ind) < 1 {
+		t.Fatalf("independent = %+v", ind)
+	}
+	var trainInfer bool
+	for _, f := range ind {
+		if strings.Contains(f.Detail, `"training"`) && strings.Contains(f.Detail, `"inference"`) {
+			trainInfer = true
+		}
+	}
+	if !trainInfer {
+		t.Errorf("training/inference independence not found: %+v", ind)
+	}
+}
+
+func TestDetectAccessPatterns(t *testing.T) {
+	traces := []*trace.TaskTrace{
+		mkTrace("gen1", 0, trace.FileRecord{File: "c1.h5", Writes: 1, BytesWritten: 10, DataOps: 1}),
+		mkTrace("gen2", 50, trace.FileRecord{File: "c2.h5", Writes: 1, BytesWritten: 10, DataOps: 1}),
+		mkTrace("gen3", 60, trace.FileRecord{File: "c3.h5", Writes: 1, BytesWritten: 10, DataOps: 1}),
+		mkTrace("track1", 100,
+			trace.FileRecord{File: "c1.h5", Reads: 1, BytesRead: 10, DataOps: 1},
+			trace.FileRecord{File: "c2.h5", Reads: 1, BytesRead: 10, DataOps: 1}),
+		mkTrace("track2", 100,
+			trace.FileRecord{File: "c1.h5", Reads: 1, BytesRead: 10, DataOps: 1},
+			trace.FileRecord{File: "c2.h5", Reads: 1, BytesRead: 10, DataOps: 1}),
+		mkTrace("stats", 200,
+			trace.FileRecord{File: "c1.h5", Reads: 1, BytesRead: 10, DataOps: 1},
+			trace.FileRecord{File: "c2.h5", Reads: 1, BytesRead: 10, DataOps: 1},
+			trace.FileRecord{File: "c3.h5", Reads: 1, BytesRead: 10, DataOps: 1}),
+	}
+	m := &trace.Manifest{
+		Workflow:  "pft",
+		TaskOrder: []string{"gen1", "gen2", "gen3", "track1", "track2", "stats"},
+		Stages: map[string][]string{
+			"gen":    {"gen1", "gen2", "gen3"},
+			"tracks": {"track1", "track2"},
+			"stats":  {"stats"},
+		},
+		StageOrder: []string{"gen", "tracks", "stats"},
+	}
+	fs := Analyze(traces, m, Thresholds{})
+	ata := ByKind(fs, AllToAllPattern)
+	if len(ata) != 1 || ata[0].Task != "tracks" {
+		t.Fatalf("all-to-all = %+v", ata)
+	}
+	fin := ByKind(fs, FanInPattern)
+	if len(fin) != 1 || fin[0].Task != "stats" {
+		t.Fatalf("fan-in = %+v", fin)
+	}
+	for _, f := range append(ata, fin...) {
+		if f.Guideline != GuidelineCoSchedule {
+			t.Error("pattern guideline wrong")
+		}
+	}
+	// Without a manifest, pattern rules stay silent.
+	fs2 := Analyze(traces, nil, Thresholds{})
+	if len(ByKind(fs2, AllToAllPattern))+len(ByKind(fs2, FanInPattern)) != 0 {
+		t.Error("patterns detected without manifest")
+	}
+}
+
+func TestFindingsSortedBySeverity(t *testing.T) {
+	tt := &trace.TaskTrace{Task: "x", StartNS: 0, EndNS: 100}
+	tt.Files = []trace.FileRecord{{Task: "x", File: "f.h5",
+		Reads: 40, BytesRead: 40 * 100, MetaOps: 20, DataOps: 20, Ops: 40, SequentialOps: 30}}
+	for i := 0; i < 20; i++ {
+		name := "/tiny" + string(rune('a'+i))
+		tt.Mapped = append(tt.Mapped, trace.MappedStat{Task: "x", File: "f.h5", Object: name,
+			DataOps: 1, DataBytes: 100, Reads: 1})
+		tt.Objects = append(tt.Objects, trace.ObjectRecord{Task: "x", File: "f.h5",
+			Object: name, Type: "dataset", Shape: []int64{10}, ElemSize: 8})
+	}
+	fs := Analyze([]*trace.TaskTrace{tt}, nil, Thresholds{})
+	if len(fs) < 2 {
+		t.Fatalf("findings = %d", len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Severity > fs[i-1].Severity {
+			t.Fatal("findings not sorted by severity")
+		}
+	}
+	// String formatting is informative.
+	s := fs[0].String()
+	if !strings.Contains(s, string(fs[0].Kind)) || !strings.Contains(s, string(fs[0].Guideline)) {
+		t.Errorf("finding string = %q", s)
+	}
+}
+
+func TestDetectSmallIORequests(t *testing.T) {
+	small := mkTrace("reader", 0, trace.FileRecord{File: "tiny.h5",
+		Reads: 100, BytesRead: 100 * 200, DataOps: 100, DataBytes: 100 * 200})
+	big := mkTrace("bulk", 100, trace.FileRecord{File: "bulk.h5",
+		Reads: 100, BytesRead: 100 << 20, DataOps: 100, DataBytes: 100 << 20})
+	few := mkTrace("few", 200, trace.FileRecord{File: "few.h5",
+		Reads: 4, BytesRead: 4 * 100, DataOps: 4, DataBytes: 4 * 100})
+	fs := Analyze([]*trace.TaskTrace{small, big, few}, nil, Thresholds{})
+	got := ByKind(fs, SmallIORequests)
+	if len(got) != 1 || got[0].File != "tiny.h5" {
+		t.Fatalf("small-io = %+v", got)
+	}
+	if got[0].Guideline != GuidelineLayout {
+		t.Error("guideline wrong")
+	}
+	if got[0].Metrics["avg_access_bytes"] != 200 {
+		t.Errorf("metrics = %v", got[0].Metrics)
+	}
+}

@@ -1,0 +1,300 @@
+// Package graph provides the typed multigraph underlying DaYu's
+// File-Task Graphs and Semantic Dataflow Graphs, with DOT, SVG, HTML
+// and JSON emission. Nodes carry event timing and volume so renderers
+// can arrange them by start/end time and scale widths by data volume,
+// as the paper's Figure 3 describes.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies nodes.
+type Kind string
+
+// Node kinds used by the analyzer.
+const (
+	KindFile    Kind = "file"
+	KindTask    Kind = "task"
+	KindDataset Kind = "dataset"
+	KindRegion  Kind = "region" // file address region
+	KindMeta    Kind = "meta"   // file-metadata pseudo-dataset
+	KindStage   Kind = "stage"  // aggregated stage node
+)
+
+// Node is one graph vertex.
+type Node struct {
+	ID    string
+	Kind  Kind
+	Label string
+	// StartNS and EndNS bound the node's activity; renderers arrange
+	// nodes vertically by start and horizontally by end (Figure 3).
+	StartNS int64
+	EndNS   int64
+	// Volume is the node's total data volume in bytes (drives size).
+	Volume int64
+	// Attrs carries free-form annotations shown in interactive output.
+	Attrs map[string]string
+}
+
+// EdgeOp is the operation an edge represents.
+type EdgeOp string
+
+// Edge operations.
+const (
+	OpRead  EdgeOp = "read"
+	OpWrite EdgeOp = "write"
+	OpMap   EdgeOp = "map" // structural relation (dataset->region, etc.)
+)
+
+// Edge is one directed edge, decorated with the access statistics the
+// paper attaches to FTG/SDG edges (volume, counts, bandwidth, metadata
+// vs data split).
+type Edge struct {
+	From string
+	To   string
+	Op   EdgeOp
+	// Volume is bytes moved; Bandwidth is bytes/second (drives color).
+	Volume    int64
+	Bandwidth float64
+	// Operation counts split by class.
+	Ops     int64
+	MetaOps int64
+	DataOps int64
+	// AvgSize is the mean access size in bytes.
+	AvgSize int64
+	// Reused marks data-reuse edges (highlighted in the figures).
+	Reused bool
+	Attrs  map[string]string
+}
+
+// Graph is a directed multigraph with stable insertion order.
+type Graph struct {
+	Name  string
+	nodes map[string]*Node
+	order []string
+	edges []*Edge
+}
+
+// New returns an empty graph.
+func New(name string) *Graph {
+	return &Graph{Name: name, nodes: make(map[string]*Node)}
+}
+
+// AddNode inserts or updates a node. Updating merges volume and widens
+// the time window.
+func (g *Graph) AddNode(n Node) *Node {
+	if existing, ok := g.nodes[n.ID]; ok {
+		existing.Volume += n.Volume
+		if n.StartNS != 0 && (existing.StartNS == 0 || n.StartNS < existing.StartNS) {
+			existing.StartNS = n.StartNS
+		}
+		if n.EndNS > existing.EndNS {
+			existing.EndNS = n.EndNS
+		}
+		for k, v := range n.Attrs {
+			if existing.Attrs == nil {
+				existing.Attrs = map[string]string{}
+			}
+			existing.Attrs[k] = v
+		}
+		return existing
+	}
+	cp := n
+	g.nodes[n.ID] = &cp
+	g.order = append(g.order, n.ID)
+	return &cp
+}
+
+// Node returns a node by ID, or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, len(g.order))
+	for i, id := range g.order {
+		out[i] = g.nodes[id]
+	}
+	return out
+}
+
+// NodesOfKind returns nodes of one kind in insertion order.
+func (g *Graph) NodesOfKind(k Kind) []*Node {
+	var out []*Node
+	for _, id := range g.order {
+		if n := g.nodes[id]; n.Kind == k {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AddEdge appends an edge; endpoints must exist.
+func (g *Graph) AddEdge(e Edge) (*Edge, error) {
+	if g.nodes[e.From] == nil {
+		return nil, fmt.Errorf("graph: edge from unknown node %q", e.From)
+	}
+	if g.nodes[e.To] == nil {
+		return nil, fmt.Errorf("graph: edge to unknown node %q", e.To)
+	}
+	cp := e
+	g.edges = append(g.edges, &cp)
+	return &cp, nil
+}
+
+// Edges returns all edges in insertion order.
+func (g *Graph) Edges() []*Edge { return g.edges }
+
+// OutEdges returns edges leaving the node.
+func (g *Graph) OutEdges(id string) []*Edge {
+	var out []*Edge
+	for _, e := range g.edges {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns edges entering the node.
+func (g *Graph) InEdges(id string) []*Edge {
+	var out []*Edge
+	for _, e := range g.edges {
+		if e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OutDegree counts distinct successors of the node.
+func (g *Graph) OutDegree(id string) int {
+	seen := map[string]bool{}
+	for _, e := range g.edges {
+		if e.From == id {
+			seen[e.To] = true
+		}
+	}
+	return len(seen)
+}
+
+// NumNodes and NumEdges report graph size.
+func (g *Graph) NumNodes() int { return len(g.order) }
+
+// NumEdges reports the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Ranks computes a longest-path topological rank for each node (cycles
+// are broken by insertion order), used for layered rendering.
+func (g *Graph) Ranks() map[string]int {
+	ranks := make(map[string]int, len(g.order))
+	// Kahn-style longest path; fall back gracefully on cycles.
+	indeg := map[string]int{}
+	adj := map[string][]string{}
+	for _, e := range g.edges {
+		if e.From == e.To {
+			continue
+		}
+		indeg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	var queue []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		processed++
+		for _, next := range adj[id] {
+			if r := ranks[id] + 1; r > ranks[next] {
+				ranks[next] = r
+			}
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if processed < len(g.order) {
+		// Cycle: give remaining nodes their current best rank.
+		for _, id := range g.order {
+			if _, ok := ranks[id]; !ok {
+				ranks[id] = 0
+			}
+		}
+	}
+	return ranks
+}
+
+// TotalVolume sums edge volumes.
+func (g *Graph) TotalVolume() int64 {
+	var v int64
+	for _, e := range g.edges {
+		v += e.Volume
+	}
+	return v
+}
+
+// Filter returns the subgraph induced by the nodes keep accepts: kept
+// nodes plus every edge whose two endpoints were kept.
+func (g *Graph) Filter(name string, keep func(*Node) bool) *Graph {
+	out := New(name)
+	for _, n := range g.Nodes() {
+		if keep(n) {
+			out.AddNode(*n)
+		}
+	}
+	for _, e := range g.edges {
+		if out.Node(e.From) != nil && out.Node(e.To) != nil {
+			if _, err := out.AddEdge(*e); err != nil {
+				panic(err) // endpoints verified above
+			}
+		}
+	}
+	return out
+}
+
+// Neighborhood returns the subgraph of the given node plus everything
+// within the given number of hops (edges treated as undirected).
+func (g *Graph) Neighborhood(name, center string, hops int) *Graph {
+	dist := map[string]int{center: 0}
+	frontier := []string{center}
+	for d := 0; d < hops; d++ {
+		var next []string
+		for _, id := range frontier {
+			for _, e := range g.edges {
+				var other string
+				switch id {
+				case e.From:
+					other = e.To
+				case e.To:
+					other = e.From
+				default:
+					continue
+				}
+				if _, seen := dist[other]; !seen {
+					dist[other] = d + 1
+					next = append(next, other)
+				}
+			}
+		}
+		frontier = next
+	}
+	return g.Filter(name, func(n *Node) bool {
+		_, ok := dist[n.ID]
+		return ok
+	})
+}
+
+// SortedNodeIDs returns node IDs sorted lexically (for deterministic
+// reports).
+func (g *Graph) SortedNodeIDs() []string {
+	ids := append([]string(nil), g.order...)
+	sort.Strings(ids)
+	return ids
+}

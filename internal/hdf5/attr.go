@@ -1,0 +1,154 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dayu/internal/vol"
+)
+
+// Attributes are small metadata values stored compactly inside the
+// object header (like HDF5's compact attribute storage). Setting an
+// attribute rewrites the header; large attribute sets spill into header
+// continuation blocks.
+
+// maxAttrValue bounds attribute payloads.
+const maxAttrValue = 64 << 10
+
+// setAttr rewrites the header at addr with the attribute added/updated.
+func (f *File) setAttr(addr int64, objName string, name string, dt Datatype, value []byte) error {
+	if !f.open {
+		return ErrClosed
+	}
+	if err := validateLinkName(name); err != nil {
+		return err
+	}
+	if len(value) > maxAttrValue {
+		return fmt.Errorf("hdf5: attribute %q value too large (%d bytes)", name, len(value))
+	}
+	full := objName + "@" + name
+	exit := f.stamp(full)
+	defer exit()
+	hdr, err := f.readHeader(addr)
+	if err != nil {
+		return err
+	}
+	rec := attrRec{name: name, dt: dt, value: append([]byte(nil), value...)}
+	if i, ok := hdr.findAttr(name); ok {
+		hdr.attrs[i] = rec
+	} else {
+		hdr.attrs = append(hdr.attrs, rec)
+	}
+	if err := f.writeHeaderAt(addr, hdr); err != nil {
+		return err
+	}
+	f.event(vol.AttrWrite, vol.ObjectInfo{Name: full, Type: "attribute", Datatype: dt.String()}, int64(len(value)))
+	return nil
+}
+
+// getAttr reads an attribute value from the header at addr.
+func (f *File) getAttr(addr int64, objName, name string) ([]byte, Datatype, error) {
+	if !f.open {
+		return nil, Datatype{}, ErrClosed
+	}
+	full := objName + "@" + name
+	exit := f.stamp(full)
+	defer exit()
+	hdr, err := f.readHeader(addr)
+	if err != nil {
+		return nil, Datatype{}, err
+	}
+	i, ok := hdr.findAttr(name)
+	if !ok {
+		return nil, Datatype{}, fmt.Errorf("%w: attribute %s", ErrNotFound, full)
+	}
+	a := hdr.attrs[i]
+	f.event(vol.AttrRead, vol.ObjectInfo{Name: full, Type: "attribute", Datatype: a.dt.String()}, int64(len(a.value)))
+	return append([]byte(nil), a.value...), a.dt, nil
+}
+
+func listAttrs(hdr *objectHeader) []string {
+	names := make([]string, len(hdr.attrs))
+	for i, a := range hdr.attrs {
+		names[i] = a.name
+	}
+	return names
+}
+
+// SetAttr sets a raw attribute on the dataset.
+func (d *Dataset) SetAttr(name string, dt Datatype, value []byte) error {
+	if err := d.file.setAttr(d.addr, d.name, name, dt, value); err != nil {
+		return err
+	}
+	// Keep the cached header coherent.
+	hdr, err := d.file.readHeader(d.addr)
+	if err != nil {
+		return err
+	}
+	d.hdr = hdr
+	return nil
+}
+
+// Attr reads a raw attribute from the dataset.
+func (d *Dataset) Attr(name string) ([]byte, Datatype, error) {
+	return d.file.getAttr(d.addr, d.name, name)
+}
+
+// Attrs lists the dataset's attribute names.
+func (d *Dataset) Attrs() ([]string, error) {
+	hdr, err := d.file.readHeader(d.addr)
+	if err != nil {
+		return nil, err
+	}
+	return listAttrs(hdr), nil
+}
+
+// SetAttr sets a raw attribute on the group.
+func (g *Group) SetAttr(name string, dt Datatype, value []byte) error {
+	return g.file.setAttr(g.addr, g.name, name, dt, value)
+}
+
+// Attr reads a raw attribute from the group.
+func (g *Group) Attr(name string) ([]byte, Datatype, error) {
+	return g.file.getAttr(g.addr, g.name, name)
+}
+
+// Attrs lists the group's attribute names.
+func (g *Group) Attrs() ([]string, error) {
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return nil, err
+	}
+	return listAttrs(hdr), nil
+}
+
+// SetAttrString stores a string attribute.
+func (d *Dataset) SetAttrString(name, value string) error {
+	return d.SetAttr(name, FixedString(int64(len(value))), []byte(value))
+}
+
+// AttrString reads a string attribute.
+func (d *Dataset) AttrString(name string) (string, error) {
+	v, _, err := d.Attr(name)
+	return string(v), err
+}
+
+// SetAttrFloat64 stores a float64 attribute.
+func (d *Dataset) SetAttrFloat64(name string, value float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(value))
+	return d.SetAttr(name, Float64, buf[:])
+}
+
+// AttrFloat64 reads a float64 attribute.
+func (d *Dataset) AttrFloat64(name string) (float64, error) {
+	v, _, err := d.Attr(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("hdf5: attribute %q is not a float64", name)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(v)), nil
+}

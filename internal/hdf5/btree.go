@@ -1,0 +1,341 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dayu/internal/sim"
+)
+
+// The chunk index is a B-tree keyed by linearized chunk coordinate,
+// mapping to the chunk's file address and stored size. Every node access
+// is a metadata operation - this is the index traffic that makes chunked
+// layouts metadata-heavy on small datasets (paper §VI-B) and beneficial
+// for variable-length data (§VI-C).
+
+const (
+	btDescMagic = "BTDS"
+	btNodeMagic = "BTND"
+	btDescSize  = 24
+	btNodeHdr   = 12
+	btLeafEnt   = 24 // key(8) + addr(8) + size(8)
+	btIntEnt    = 16 // key(8) + child(8)
+)
+
+// btDesc is the persistent descriptor of a chunk index.
+type btDesc struct {
+	rootAddr int64
+	depth    int32 // 0 = root is a leaf
+	count    int64 // number of chunks indexed
+}
+
+// btEntry is a leaf entry.
+type btEntry struct {
+	key  int64
+	addr int64
+	size int64
+}
+
+// btNode is the in-memory form of one node.
+type btNode struct {
+	leaf    bool
+	entries []btEntry // for internal nodes, addr holds the child pointer and size is unused
+}
+
+type btree struct {
+	f        *File
+	descAddr int64
+	desc     btDesc
+	// cache holds nodes read or written through this handle, mirroring
+	// HDF5's metadata cache: repeated lookups over an open dataset do
+	// not re-read index nodes from storage. Writes go through.
+	cache map[int64]*btNode
+	// dirty defers descriptor persistence to File.Flush, like HDF5's
+	// deferred metadata writes.
+	dirty bool
+}
+
+func (f *File) createBTree() (*btree, error) {
+	bt := &btree{f: f, descAddr: f.alloc(btDescSize), cache: map[int64]*btNode{}}
+	f.btrees = append(f.btrees, bt)
+	// Start with an empty leaf root.
+	root, err := bt.writeNewNode(&btNode{leaf: true})
+	if err != nil {
+		return nil, err
+	}
+	bt.desc = btDesc{rootAddr: root}
+	if err := bt.writeDesc(); err != nil {
+		return nil, err
+	}
+	return bt, nil
+}
+
+func (f *File) openBTree(descAddr int64) (*btree, error) {
+	bt := &btree{f: f, descAddr: descAddr, cache: map[int64]*btNode{}}
+	f.btrees = append(f.btrees, bt)
+	buf := make([]byte, btDescSize)
+	if err := f.drv.ReadAt(buf, descAddr, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("hdf5: read chunk-index descriptor: %w", err)
+	}
+	if string(buf[:4]) != btDescMagic {
+		return nil, fmt.Errorf("hdf5: bad chunk-index descriptor magic at %d", descAddr)
+	}
+	bt.desc.depth = int32(binary.LittleEndian.Uint32(buf[4:]))
+	bt.desc.rootAddr = int64(binary.LittleEndian.Uint64(buf[8:]))
+	bt.desc.count = int64(binary.LittleEndian.Uint64(buf[16:]))
+	return bt, nil
+}
+
+func (b *btree) writeDesc() error {
+	buf := make([]byte, btDescSize)
+	copy(buf, btDescMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(b.desc.depth))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(b.desc.rootAddr))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(b.desc.count))
+	if err := b.f.drv.WriteAt(buf, b.descAddr, sim.Metadata); err != nil {
+		return fmt.Errorf("hdf5: write chunk-index descriptor: %w", err)
+	}
+	return nil
+}
+
+func (b *btree) leafCap() int     { return (b.f.cfg.BTreeNodeSize - btNodeHdr) / btLeafEnt }
+func (b *btree) internalCap() int { return (b.f.cfg.BTreeNodeSize - btNodeHdr) / btIntEnt }
+
+func (b *btree) writeNewNode(n *btNode) (int64, error) {
+	addr := b.f.alloc(int64(b.f.cfg.BTreeNodeSize))
+	return addr, b.writeNode(addr, n)
+}
+
+func (b *btree) writeNode(addr int64, n *btNode) error {
+	buf := make([]byte, b.f.cfg.BTreeNodeSize)
+	copy(buf, btNodeMagic)
+	if n.leaf {
+		buf[4] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(n.entries)))
+	off := btNodeHdr
+	for _, e := range n.entries {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(e.key))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(e.addr))
+		if n.leaf {
+			binary.LittleEndian.PutUint64(buf[off+16:], uint64(e.size))
+			off += btLeafEnt
+		} else {
+			off += btIntEnt
+		}
+	}
+	if err := b.f.drv.WriteAt(buf, addr, sim.Metadata); err != nil {
+		return fmt.Errorf("hdf5: write chunk-index node: %w", err)
+	}
+	b.cache[addr] = n
+	return nil
+}
+
+func (b *btree) readNode(addr int64) (*btNode, error) {
+	if n, ok := b.cache[addr]; ok {
+		return n, nil
+	}
+	buf := make([]byte, b.f.cfg.BTreeNodeSize)
+	if err := b.f.drv.ReadAt(buf, addr, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("hdf5: read chunk-index node at %d: %w", addr, err)
+	}
+	if string(buf[:4]) != btNodeMagic {
+		return nil, fmt.Errorf("hdf5: bad chunk-index node magic at %d", addr)
+	}
+	n := &btNode{leaf: buf[4] == 1}
+	cnt := int(binary.LittleEndian.Uint32(buf[8:]))
+	maxCnt := b.internalCap()
+	if n.leaf {
+		maxCnt = b.leafCap()
+	}
+	// Split operations briefly hold one extra entry in memory, never on
+	// disk; anything above the capacity is corruption.
+	if cnt < 0 || cnt > maxCnt {
+		return nil, fmt.Errorf("hdf5: implausible chunk-index entry count %d at %d", cnt, addr)
+	}
+	off := btNodeHdr
+	for i := 0; i < cnt; i++ {
+		var e btEntry
+		e.key = int64(binary.LittleEndian.Uint64(buf[off:]))
+		e.addr = int64(binary.LittleEndian.Uint64(buf[off+8:]))
+		if n.leaf {
+			e.size = int64(binary.LittleEndian.Uint64(buf[off+16:]))
+			off += btLeafEnt
+		} else {
+			off += btIntEnt
+		}
+		n.entries = append(n.entries, e)
+	}
+	b.cache[addr] = n
+	return n, nil
+}
+
+// get looks up a chunk by key, walking root to leaf.
+func (b *btree) get(key int64) (addr, size int64, found bool, err error) {
+	nodeAddr := b.desc.rootAddr
+	for depth := b.desc.depth; ; depth-- {
+		n, err := b.readNode(nodeAddr)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if e.key == key {
+					return e.addr, e.size, true, nil
+				}
+			}
+			return 0, 0, false, nil
+		}
+		// Find the rightmost child whose separator key <= key.
+		child := n.entries[0].addr
+		for _, e := range n.entries {
+			if e.key <= key {
+				child = e.addr
+			} else {
+				break
+			}
+		}
+		nodeAddr = child
+		if depth < 0 {
+			return 0, 0, false, fmt.Errorf("hdf5: chunk-index depth underflow")
+		}
+	}
+}
+
+// put inserts or updates the mapping key -> (addr, size).
+func (b *btree) put(key, addr, size int64) error {
+	promoKey, promoAddr, split, updated, err := b.insert(b.desc.rootAddr, b.desc.depth, key, addr, size)
+	if err != nil {
+		return err
+	}
+	if split {
+		newRoot := &btNode{leaf: false, entries: []btEntry{
+			{key: minKeySentinel, addr: b.desc.rootAddr},
+			{key: promoKey, addr: promoAddr},
+		}}
+		rootAddr, err := b.writeNewNode(newRoot)
+		if err != nil {
+			return err
+		}
+		b.desc.rootAddr = rootAddr
+		b.desc.depth++
+	}
+	if !updated {
+		b.desc.count++
+	}
+	b.dirty = true
+	return nil
+}
+
+// flush persists a dirty descriptor.
+func (b *btree) flush() error {
+	if !b.dirty {
+		return nil
+	}
+	if err := b.writeDesc(); err != nil {
+		return err
+	}
+	b.dirty = false
+	return nil
+}
+
+// minKeySentinel is the separator for the leftmost child of an internal
+// node; it compares <= every valid chunk key (keys are non-negative).
+const minKeySentinel = int64(-1 << 62)
+
+// insert recursively inserts into the subtree at nodeAddr (depth levels
+// above the leaves). It returns a promoted separator when the node split
+// and whether an existing entry was updated in place.
+func (b *btree) insert(nodeAddr int64, depth int32, key, addr, size int64) (promoKey, promoAddr int64, split, updated bool, err error) {
+	n, err := b.readNode(nodeAddr)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	if n.leaf {
+		pos := len(n.entries)
+		for i, e := range n.entries {
+			if e.key == key {
+				n.entries[i].addr = addr
+				n.entries[i].size = size
+				return 0, 0, false, true, b.writeNode(nodeAddr, n)
+			}
+			if e.key > key {
+				pos = i
+				break
+			}
+		}
+		n.entries = append(n.entries, btEntry{})
+		copy(n.entries[pos+1:], n.entries[pos:])
+		n.entries[pos] = btEntry{key: key, addr: addr, size: size}
+		if len(n.entries) <= b.leafCap() {
+			return 0, 0, false, false, b.writeNode(nodeAddr, n)
+		}
+		return b.splitNode(nodeAddr, n)
+	}
+
+	// Internal node: descend into the child covering key.
+	ci := 0
+	for i, e := range n.entries {
+		if e.key <= key {
+			ci = i
+		} else {
+			break
+		}
+	}
+	pk, pa, childSplit, upd, err := b.insert(n.entries[ci].addr, depth-1, key, addr, size)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	if !childSplit {
+		return 0, 0, false, upd, nil
+	}
+	pos := ci + 1
+	n.entries = append(n.entries, btEntry{})
+	copy(n.entries[pos+1:], n.entries[pos:])
+	n.entries[pos] = btEntry{key: pk, addr: pa}
+	if len(n.entries) <= b.internalCap() {
+		return 0, 0, false, upd, b.writeNode(nodeAddr, n)
+	}
+	promoKey, promoAddr, split, _, err = b.splitNode(nodeAddr, n)
+	return promoKey, promoAddr, split, upd, err
+}
+
+// splitNode moves the upper half of n into a new right sibling.
+func (b *btree) splitNode(nodeAddr int64, n *btNode) (promoKey, promoAddr int64, split, updated bool, err error) {
+	mid := len(n.entries) / 2
+	right := &btNode{leaf: n.leaf, entries: append([]btEntry(nil), n.entries[mid:]...)}
+	n.entries = n.entries[:mid]
+	rightAddr, err := b.writeNewNode(right)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	if err := b.writeNode(nodeAddr, n); err != nil {
+		return 0, 0, false, false, err
+	}
+	return right.entries[0].key, rightAddr, true, false, nil
+}
+
+// count returns the number of indexed chunks.
+func (b *btree) count() int64 { return b.desc.count }
+
+// walk visits every leaf entry in key order.
+func (b *btree) walk(visit func(btEntry) error) error {
+	return b.walkNode(b.desc.rootAddr, visit)
+}
+
+func (b *btree) walkNode(addr int64, visit func(btEntry) error) error {
+	n, err := b.readNode(addr)
+	if err != nil {
+		return err
+	}
+	for _, e := range n.entries {
+		if n.leaf {
+			if err := visit(e); err != nil {
+				return err
+			}
+		} else if err := b.walkNode(e.addr, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

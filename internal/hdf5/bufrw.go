@@ -1,0 +1,106 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// bufWriter serializes header payloads.
+type bufWriter struct {
+	buf []byte
+}
+
+func (w *bufWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *bufWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *bufWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *bufWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *bufWriter) i64(v int64)  { w.u64(uint64(v)) }
+
+func (w *bufWriter) str16(s string) {
+	if len(s) > 0xffff {
+		panic(fmt.Sprintf("hdf5: string too long (%d bytes)", len(s)))
+	}
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *bufWriter) bytes32(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// bufReader parses header payloads with sticky error handling.
+type bufReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *bufReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("hdf5: truncated header payload reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *bufReader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *bufReader) u8(what string) uint8 {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *bufReader) u16(what string) uint16 {
+	b := r.take(2, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *bufReader) u32(what string) uint32 {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *bufReader) u64(what string) uint64 {
+	b := r.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *bufReader) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *bufReader) str16(what string) string {
+	n := int(r.u16(what))
+	return string(r.take(n, what))
+}
+
+func (r *bufReader) bytes32(what string) []byte {
+	n := int(r.u32(what))
+	b := r.take(n, what)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

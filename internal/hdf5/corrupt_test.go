@@ -1,0 +1,120 @@
+package hdf5
+
+import (
+	"math/rand"
+	"testing"
+
+	"dayu/internal/vfd"
+)
+
+// buildCorruptionTarget produces the bytes of a healthy file with
+// groups, all three layouts, attributes and VL data.
+func buildCorruptionTarget(t *testing.T) []byte {
+	t.Helper()
+	drv := vfd.NewMemDriver()
+	f, err := Create(drv, "victim.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.Root().CreateGroup("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	contig, err := g.CreateDataset("contig", Float64, []int64{64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := contig.WriteAll(make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := contig.SetAttrString("units", "m"); err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := g.CreateDataset("chunked", Uint8, []int64{256},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chunked.WriteAll(make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	vl, err := g.CreateDataset("vl", VLen, []int64{4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vl.WriteVL(0, [][]byte{[]byte("one"), []byte("two"), []byte("three"), []byte("four")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return drv.Bytes()
+}
+
+// exerciseFile opens and fully walks a possibly-corrupted file. All
+// outcomes are acceptable except panics.
+func exerciseFile(data []byte) {
+	f, err := Open(vfd.NewMemDriverFrom(data), "victim.h5", Config{})
+	if err != nil {
+		return
+	}
+	kids, err := f.Root().Children()
+	if err != nil {
+		return
+	}
+	for _, k := range kids {
+		g, err := f.Root().OpenGroup(k)
+		if err != nil {
+			continue
+		}
+		names, err := g.Children()
+		if err != nil {
+			continue
+		}
+		for _, name := range names {
+			ds, err := g.OpenDataset(name)
+			if err != nil {
+				continue
+			}
+			if ds.Datatype().IsVLen() {
+				_, _ = ds.ReadVL(0, ds.Dims()[0])
+			} else {
+				_, _ = ds.ReadAll()
+			}
+			_, _ = ds.Attrs()
+		}
+	}
+	_ = f.Close()
+}
+
+// TestCorruptionRobustness flips bytes all over a valid file and
+// requires every open/walk to fail cleanly (error or partial data)
+// rather than panic: a parser that crashes on a damaged file is
+// unusable as tooling.
+func TestCorruptionRobustness(t *testing.T) {
+	pristine := buildCorruptionTarget(t)
+	rng := rand.New(rand.NewSource(99))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on corrupted file: %v", r)
+		}
+	}()
+	// Single-byte flips at deterministic positions.
+	for i := 0; i < len(pristine); i += 7 {
+		data := append([]byte(nil), pristine...)
+		data[i] ^= 0xff
+		exerciseFile(data)
+	}
+	// Bursts of random damage.
+	for round := 0; round < 200; round++ {
+		data := append([]byte(nil), pristine...)
+		for j := 0; j < 1+rng.Intn(16); j++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		exerciseFile(data)
+	}
+	// Truncations at every granularity.
+	for cut := 0; cut < len(pristine); cut += 13 {
+		exerciseFile(append([]byte(nil), pristine[:cut]...))
+	}
+}

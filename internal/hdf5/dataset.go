@@ -1,0 +1,374 @@
+package hdf5
+
+import (
+	"fmt"
+
+	"dayu/internal/sim"
+	"dayu/internal/vol"
+)
+
+// Layout selects a dataset storage layout.
+type Layout uint8
+
+// Dataset storage layouts. The trade-offs mirror HDF5 (paper §II,
+// Challenge 2): contiguous favors whole-dataset sequential access,
+// chunked favors partial/parallel access and variable-length indexing,
+// compact inlines tiny data in the object header.
+const (
+	Contiguous Layout = Layout(layoutContiguous)
+	Chunked    Layout = Layout(layoutChunked)
+	Compact    Layout = Layout(layoutCompact)
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case Contiguous:
+		return "contiguous"
+	case Chunked:
+		return "chunked"
+	case Compact:
+		return "compact"
+	}
+	return "unknown"
+}
+
+// maxCompactSize bounds compact dataset payloads so headers stay small.
+const maxCompactSize = 64 << 10
+
+// DatasetOpts configures dataset creation.
+type DatasetOpts struct {
+	// Layout defaults to Contiguous.
+	Layout Layout
+	// ChunkDims must be set (same rank as dims) when Layout is Chunked.
+	ChunkDims []int64
+}
+
+// Dataset is a handle to a dataset object.
+type Dataset struct {
+	file *File
+	name string // full path
+	addr int64
+	hdr  *objectHeader
+	bt   *btree // chunk index, lazily opened
+}
+
+// Name returns the dataset's full path.
+func (d *Dataset) Name() string { return d.name }
+
+// Dims returns the dataset dimensions.
+func (d *Dataset) Dims() []int64 { return append([]int64(nil), d.hdr.dims...) }
+
+// Datatype returns the element type.
+func (d *Dataset) Datatype() Datatype { return d.hdr.dtype }
+
+// Layout returns the storage layout.
+func (d *Dataset) Layout() Layout { return Layout(d.hdr.layout.kind) }
+
+// NumElems returns the total element count.
+func (d *Dataset) NumElems() int64 { return numElems(d.hdr.dims) }
+
+// info builds the VOL object description (Table I, parameter 5).
+func (d *Dataset) info() vol.ObjectInfo {
+	return vol.ObjectInfo{
+		Name:      d.name,
+		Type:      "dataset",
+		Datatype:  d.hdr.dtype.String(),
+		Shape:     d.Dims(),
+		ElemSize:  d.hdr.dtype.Size,
+		Layout:    d.Layout().String(),
+		ChunkDims: append([]int64(nil), d.hdr.layout.chunkDims...),
+	}
+}
+
+// CreateDataset creates a dataset in the group. For fixed-size types
+// with contiguous layout the data region is allocated eagerly; chunked
+// layouts allocate chunks on first write through the chunk index.
+func (g *Group) CreateDataset(name string, dt Datatype, dims []int64, opts *DatasetOpts) (*Dataset, error) {
+	if !g.file.open {
+		return nil, ErrClosed
+	}
+	if err := validateLinkName(name); err != nil {
+		return nil, err
+	}
+	if !dt.Valid() {
+		return nil, fmt.Errorf("hdf5: invalid datatype for dataset %q", name)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("hdf5: dataset %q needs at least one dimension", name)
+	}
+	for i, dim := range dims {
+		if dim <= 0 {
+			return nil, fmt.Errorf("hdf5: dataset %q dimension %d is %d", name, i, dim)
+		}
+	}
+	if dt.IsVLen() && len(dims) != 1 {
+		return nil, fmt.Errorf("hdf5: variable-length dataset %q must be one-dimensional", name)
+	}
+	var o DatasetOpts
+	if opts != nil {
+		o = *opts
+	}
+	if o.Layout == 0 {
+		o.Layout = Contiguous
+	}
+
+	full := g.childPath(name)
+	exit := g.file.stamp(full)
+	defer exit()
+
+	hdr := &objectHeader{typ: objDataset, name: name, dtype: dt, dims: append([]int64(nil), dims...)}
+	totalBytes := numElems(dims) * dt.Size
+
+	switch o.Layout {
+	case Contiguous:
+		hdr.layout = layoutInfo{
+			kind:     layoutContiguous,
+			dataAddr: g.file.alloc(totalBytes),
+			dataSize: totalBytes,
+		}
+	case Compact:
+		if totalBytes > maxCompactSize {
+			return nil, fmt.Errorf("hdf5: dataset %q too large for compact layout (%d bytes)", name, totalBytes)
+		}
+		if dt.IsVLen() {
+			return nil, fmt.Errorf("hdf5: compact layout does not support variable-length data")
+		}
+		hdr.layout = layoutInfo{kind: layoutCompact, compact: make([]byte, totalBytes)}
+	case Chunked:
+		if len(o.ChunkDims) != len(dims) {
+			return nil, fmt.Errorf("hdf5: dataset %q chunk rank %d does not match rank %d",
+				name, len(o.ChunkDims), len(dims))
+		}
+		for i, c := range o.ChunkDims {
+			if c <= 0 {
+				return nil, fmt.Errorf("hdf5: dataset %q chunk dimension %d is %d", name, i, c)
+			}
+		}
+		bt, err := g.file.createBTree()
+		if err != nil {
+			return nil, err
+		}
+		hdr.layout = layoutInfo{
+			kind:      layoutChunked,
+			chunkDims: append([]int64(nil), o.ChunkDims...),
+			indexAddr: bt.descAddr,
+		}
+	default:
+		return nil, fmt.Errorf("hdf5: unknown layout %d", o.Layout)
+	}
+
+	addr, err := g.file.writeNewHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.addChild(name, objDataset, addr); err != nil {
+		return nil, err
+	}
+	d := &Dataset{file: g.file, name: full, addr: addr, hdr: hdr}
+	g.file.event(vol.DatasetCreate, d.info(), 0)
+	return d, nil
+}
+
+// OpenDataset opens a dataset by name within the group.
+func (g *Group) OpenDataset(name string) (*Dataset, error) {
+	if !g.file.open {
+		return nil, ErrClosed
+	}
+	full := g.childPath(name)
+	exit := g.file.stamp(full)
+	defer exit()
+	ghdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := ghdr.findChild(name)
+	if !ok || c.typ != objDataset {
+		return nil, fmt.Errorf("%w: dataset %s", ErrNotFound, full)
+	}
+	hdr, err := g.file.readHeader(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{file: g.file, name: full, addr: c.addr, hdr: hdr}
+	g.file.event(vol.DatasetOpen, d.info(), 0)
+	return d, nil
+}
+
+// Close releases the handle, flushing buffered variable-length payloads
+// and any deferred chunk-index metadata, and emits the lifetime-ending
+// VOL event. Concurrent handles to the same chunked dataset are not
+// coherence-protected; close one handle before opening another.
+func (d *Dataset) Close() error {
+	if d.file.open {
+		if err := d.file.heap.flush(); err != nil {
+			return err
+		}
+		if d.bt != nil {
+			if err := d.bt.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	d.file.event(vol.DatasetClose, d.info(), 0)
+	return nil
+}
+
+// Extend grows a chunked dataset to newDims (each dimension must be at
+// least its current extent), like H5Dset_extent. Existing chunks keep
+// their data; the new region reads as zeros until written. Only chunked
+// layouts are extendible - contiguous and compact storage is allocated
+// at creation, exactly the trade-off the paper's Challenge 2 describes.
+func (d *Dataset) Extend(newDims []int64) error {
+	if !d.file.open {
+		return ErrClosed
+	}
+	if d.hdr.layout.kind != layoutChunked {
+		return fmt.Errorf("hdf5: %s: only chunked datasets are extendible", d.name)
+	}
+	if len(newDims) != len(d.hdr.dims) {
+		return fmt.Errorf("hdf5: %s: extend rank %d does not match rank %d",
+			d.name, len(newDims), len(d.hdr.dims))
+	}
+	for i, dim := range newDims {
+		if dim < d.hdr.dims[i] {
+			return fmt.Errorf("hdf5: %s: dimension %d cannot shrink (%d < %d)",
+				d.name, i, dim, d.hdr.dims[i])
+		}
+	}
+	// Growing the grid invalidates linearized chunk keys unless the
+	// non-leading dimensions keep their chunk-grid extents.
+	oldGrid := chunkGrid(d.hdr.dims, d.hdr.layout.chunkDims)
+	newGrid := chunkGrid(newDims, d.hdr.layout.chunkDims)
+	for i := 1; i < len(oldGrid); i++ {
+		if oldGrid[i] != newGrid[i] {
+			return fmt.Errorf("hdf5: %s: extending dimension %d would renumber existing chunks; only the leading dimension may grow the chunk grid", d.name, i)
+		}
+	}
+	exit := d.file.stamp(d.name)
+	defer exit()
+	d.hdr.dims = append([]int64(nil), newDims...)
+	if err := d.file.writeHeaderAt(d.addr, d.hdr); err != nil {
+		return err
+	}
+	d.file.event(vol.DatasetWrite, d.info(), 0)
+	return nil
+}
+
+// chunkIndex lazily opens the dataset's chunk index.
+func (d *Dataset) chunkIndex() (*btree, error) {
+	if d.bt == nil {
+		bt, err := d.file.openBTree(d.hdr.layout.indexAddr)
+		if err != nil {
+			return nil, err
+		}
+		d.bt = bt
+	}
+	return d.bt, nil
+}
+
+// Write stores packed element data (row-major over the selection) for
+// fixed-size datatypes.
+func (d *Dataset) Write(sel Selection, data []byte) error {
+	if !d.file.open {
+		return ErrClosed
+	}
+	if d.hdr.dtype.IsVLen() {
+		return fmt.Errorf("hdf5: use WriteVL for variable-length dataset %s", d.name)
+	}
+	if err := sel.validate(d.hdr.dims); err != nil {
+		return err
+	}
+	want := sel.NumElems() * d.hdr.dtype.Size
+	if int64(len(data)) != want {
+		return fmt.Errorf("hdf5: write %s: have %d bytes, selection needs %d", d.name, len(data), want)
+	}
+	exit := d.file.stamp(d.name)
+	err := d.writeRaw(sel, data)
+	exit()
+	if err != nil {
+		return err
+	}
+	d.file.event(vol.DatasetWrite, d.info(), int64(len(data)))
+	return nil
+}
+
+// WriteAll writes the entire dataset.
+func (d *Dataset) WriteAll(data []byte) error { return d.Write(All(d.hdr.dims), data) }
+
+// Read fetches packed element data for fixed-size datatypes.
+func (d *Dataset) Read(sel Selection) ([]byte, error) {
+	if !d.file.open {
+		return nil, ErrClosed
+	}
+	if d.hdr.dtype.IsVLen() {
+		return nil, fmt.Errorf("hdf5: use ReadVL for variable-length dataset %s", d.name)
+	}
+	if err := sel.validate(d.hdr.dims); err != nil {
+		return nil, err
+	}
+	out := make([]byte, sel.NumElems()*d.hdr.dtype.Size)
+	exit := d.file.stamp(d.name)
+	err := d.readRaw(sel, out)
+	exit()
+	if err != nil {
+		return nil, err
+	}
+	d.file.event(vol.DatasetRead, d.info(), int64(len(out)))
+	return out, nil
+}
+
+// ReadAll reads the entire dataset.
+func (d *Dataset) ReadAll() ([]byte, error) { return d.Read(All(d.hdr.dims)) }
+
+// writeRaw dispatches a fixed-element write by layout. data is packed in
+// selection order; sel is already validated.
+func (d *Dataset) writeRaw(sel Selection, data []byte) error {
+	es := d.hdr.dtype.Size
+	switch d.hdr.layout.kind {
+	case layoutContiguous:
+		var srcOff int64
+		for _, r := range sel.runs(d.hdr.dims) {
+			n := r.count * es
+			if err := d.file.drv.WriteAt(data[srcOff:srcOff+n],
+				d.hdr.layout.dataAddr+r.start*es, sim.RawData); err != nil {
+				return fmt.Errorf("hdf5: write %s: %w", d.name, err)
+			}
+			srcOff += n
+		}
+		return nil
+	case layoutCompact:
+		copySlab(d.hdr.layout.compact, d.hdr.dims, sel,
+			data, sel.Count, All(sel.Count), es)
+		return d.file.writeHeaderAt(d.addr, d.hdr)
+	case layoutChunked:
+		return d.writeChunked(sel, data)
+	}
+	return fmt.Errorf("hdf5: write %s: unknown layout", d.name)
+}
+
+// readRaw dispatches a fixed-element read by layout into out (packed in
+// selection order).
+func (d *Dataset) readRaw(sel Selection, out []byte) error {
+	es := d.hdr.dtype.Size
+	switch d.hdr.layout.kind {
+	case layoutContiguous:
+		var dstOff int64
+		for _, r := range sel.runs(d.hdr.dims) {
+			n := r.count * es
+			if err := d.file.drv.ReadAt(out[dstOff:dstOff+n],
+				d.hdr.layout.dataAddr+r.start*es, sim.RawData); err != nil {
+				return fmt.Errorf("hdf5: read %s: %w", d.name, err)
+			}
+			dstOff += n
+		}
+		return nil
+	case layoutCompact:
+		copySlab(out, sel.Count, All(sel.Count),
+			d.hdr.layout.compact, d.hdr.dims, sel, es)
+		return nil
+	case layoutChunked:
+		return d.readChunked(sel, out)
+	}
+	return fmt.Errorf("hdf5: read %s: unknown layout", d.name)
+}

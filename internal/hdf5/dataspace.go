@@ -1,0 +1,176 @@
+package hdf5
+
+import "fmt"
+
+// Selection is an n-dimensional hyperslab: Offset and Count per
+// dimension. The zero Selection is invalid; use All for whole-dataset
+// access.
+type Selection struct {
+	Offset []int64
+	Count  []int64
+}
+
+// All selects every element of a dataset with the given dimensions.
+func All(dims []int64) Selection {
+	off := make([]int64, len(dims))
+	cnt := append([]int64(nil), dims...)
+	return Selection{Offset: off, Count: cnt}
+}
+
+// Slab1D selects [off, off+count) of a one-dimensional dataset.
+func Slab1D(off, count int64) Selection {
+	return Selection{Offset: []int64{off}, Count: []int64{count}}
+}
+
+// NumElems returns the number of selected elements.
+func (s Selection) NumElems() int64 {
+	if len(s.Count) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for _, c := range s.Count {
+		n *= c
+	}
+	return n
+}
+
+// validate checks the selection against dataset dimensions.
+func (s Selection) validate(dims []int64) error {
+	if len(s.Offset) != len(dims) || len(s.Count) != len(dims) {
+		return fmt.Errorf("hdf5: selection rank %d/%d does not match dataset rank %d",
+			len(s.Offset), len(s.Count), len(dims))
+	}
+	for i := range dims {
+		if s.Offset[i] < 0 || s.Count[i] <= 0 {
+			return fmt.Errorf("hdf5: invalid selection dim %d: offset %d count %d",
+				i, s.Offset[i], s.Count[i])
+		}
+		if s.Offset[i]+s.Count[i] > dims[i] {
+			return fmt.Errorf("hdf5: selection dim %d [%d,%d) exceeds extent %d",
+				i, s.Offset[i], s.Offset[i]+s.Count[i], dims[i])
+		}
+	}
+	return nil
+}
+
+// run is a contiguous span of elements in a flattened element space.
+type run struct {
+	start int64 // linear element index
+	count int64
+}
+
+// numElems returns the element count of dims.
+func numElems(dims []int64) int64 {
+	n := int64(1)
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}
+
+// linearIndex flattens idx (row-major) within dims.
+func linearIndex(dims, idx []int64) int64 {
+	var lin int64
+	for i := range dims {
+		lin = lin*dims[i] + idx[i]
+	}
+	return lin
+}
+
+// runs decomposes the selection over a space with the given dims into
+// contiguous element runs in increasing linear order, coalescing
+// adjacent runs (so selecting full rows yields a single run per block).
+func (s Selection) runs(dims []int64) []run {
+	n := len(dims)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []run{{start: s.Offset[0], count: s.Count[0]}}
+	}
+	idx := make([]int64, n)
+	copy(idx, s.Offset)
+	var out []run
+	for {
+		start := linearIndex(dims, idx)
+		r := run{start: start, count: s.Count[n-1]}
+		if k := len(out) - 1; k >= 0 && out[k].start+out[k].count == r.start {
+			out[k].count += r.count
+		} else {
+			out = append(out, r)
+		}
+		// Advance the row index (all dims but the last).
+		d := n - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < s.Offset[d]+s.Count[d] {
+				break
+			}
+			idx[d] = s.Offset[d]
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// intersect returns the overlap of the selection with the box
+// [boxOff, boxOff+boxDims) expressed in both global coordinates and
+// box-local coordinates; ok is false when they do not overlap.
+func (s Selection) intersect(boxOff, boxDims []int64) (global, local Selection, ok bool) {
+	n := len(boxOff)
+	global = Selection{Offset: make([]int64, n), Count: make([]int64, n)}
+	local = Selection{Offset: make([]int64, n), Count: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		lo := s.Offset[i]
+		if b := boxOff[i]; b > lo {
+			lo = b
+		}
+		hi := s.Offset[i] + s.Count[i]
+		if b := boxOff[i] + boxDims[i]; b < hi {
+			hi = b
+		}
+		if hi <= lo {
+			return Selection{}, Selection{}, false
+		}
+		global.Offset[i] = lo
+		global.Count[i] = hi - lo
+		local.Offset[i] = lo - boxOff[i]
+		local.Count[i] = hi - lo
+	}
+	return global, local, true
+}
+
+// copySlab copies the elements selected by srcSel within srcDims out of
+// src into the positions selected by dstSel within dstDims of dst. The
+// two selections must have identical Count vectors. Sizes are in
+// elements; elemSize converts to bytes.
+func copySlab(dst []byte, dstDims []int64, dstSel Selection,
+	src []byte, srcDims []int64, srcSel Selection, elemSize int64) {
+	dstRuns := dstSel.runs(dstDims)
+	srcRuns := srcSel.runs(srcDims)
+	// Walk both run lists in lockstep, splitting the longer run.
+	di, si := 0, 0
+	var dOff, sOff int64
+	for di < len(dstRuns) && si < len(srcRuns) {
+		d, s := dstRuns[di], srcRuns[si]
+		dRem := d.count - dOff
+		sRem := s.count - sOff
+		n := dRem
+		if sRem < n {
+			n = sRem
+		}
+		db := (d.start + dOff) * elemSize
+		sb := (s.start + sOff) * elemSize
+		copy(dst[db:db+n*elemSize], src[sb:sb+n*elemSize])
+		dOff += n
+		sOff += n
+		if dOff == d.count {
+			di, dOff = di+1, 0
+		}
+		if sOff == s.count {
+			si, sOff = si+1, 0
+		}
+	}
+}

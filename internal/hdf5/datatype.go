@@ -1,0 +1,83 @@
+package hdf5
+
+import "fmt"
+
+// TypeClass categorizes element types.
+type TypeClass uint8
+
+// Type classes.
+const (
+	// ClassFixed is a fixed-size numeric type.
+	ClassFixed TypeClass = 1
+	// ClassString is a fixed-size string type.
+	ClassString TypeClass = 2
+	// ClassVLen is a variable-length byte-sequence type; elements are
+	// stored in the global heap and referenced from the dataset.
+	ClassVLen TypeClass = 3
+)
+
+// vlRefSize is the on-disk size of a variable-length element reference:
+// collection address (8) + offset (4) + length (4).
+const vlRefSize = 16
+
+// Datatype describes a dataset or attribute element type.
+type Datatype struct {
+	Class TypeClass
+	// Size is the element size in bytes; for ClassVLen it is the
+	// reference size (the payload lives in the global heap).
+	Size int64
+	// name is the human-readable type name for semantics records.
+	name string
+}
+
+// Predefined datatypes.
+var (
+	Float64 = Datatype{Class: ClassFixed, Size: 8, name: "float64"}
+	Float32 = Datatype{Class: ClassFixed, Size: 4, name: "float32"}
+	Int64   = Datatype{Class: ClassFixed, Size: 8, name: "int64"}
+	Int32   = Datatype{Class: ClassFixed, Size: 4, name: "int32"}
+	Int16   = Datatype{Class: ClassFixed, Size: 2, name: "int16"}
+	Uint8   = Datatype{Class: ClassFixed, Size: 1, name: "uint8"}
+	// VLen is the variable-length byte-sequence type used for images,
+	// text and sparse records.
+	VLen = Datatype{Class: ClassVLen, Size: vlRefSize, name: "vlen"}
+)
+
+// FixedString returns a fixed-size string type of n bytes.
+func FixedString(n int64) Datatype {
+	return Datatype{Class: ClassString, Size: n, name: fmt.Sprintf("string%d", n)}
+}
+
+// String returns the type name.
+func (t Datatype) String() string {
+	if t.name != "" {
+		return t.name
+	}
+	return fmt.Sprintf("class%d/%dB", t.Class, t.Size)
+}
+
+// IsVLen reports whether elements are variable-length.
+func (t Datatype) IsVLen() bool { return t.Class == ClassVLen }
+
+// Valid reports whether the datatype is well-formed.
+func (t Datatype) Valid() bool {
+	switch t.Class {
+	case ClassFixed, ClassString:
+		return t.Size > 0
+	case ClassVLen:
+		return t.Size == vlRefSize
+	}
+	return false
+}
+
+func typeName(class TypeClass, size int64) string {
+	for _, t := range []Datatype{Float64, Float32, Int64, Int32, Int16, Uint8, VLen} {
+		if t.Class == class && t.Size == size {
+			return t.name
+		}
+	}
+	if class == ClassString {
+		return fmt.Sprintf("string%d", size)
+	}
+	return fmt.Sprintf("class%d/%dB", class, size)
+}

@@ -1,0 +1,135 @@
+package hdf5
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestUnlink(t *testing.T) {
+	f := newTestFile(t, Config{})
+	if _, err := f.Root().CreateDataset("d", Uint8, []int64{4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Root().CreateGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Root().Unlink("d"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Root().Exists("d") {
+		t.Error("unlinked dataset still visible")
+	}
+	if _, err := f.Root().OpenDataset("d"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("open after unlink: %v", err)
+	}
+	// Other members untouched.
+	if !f.Root().Exists("g") {
+		t.Error("sibling lost")
+	}
+	// The name can be reused.
+	if _, err := f.Root().CreateDataset("d", Float64, []int64{2}, nil); err != nil {
+		t.Errorf("reuse after unlink: %v", err)
+	}
+	if err := f.Root().Unlink("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unlink missing: %v", err)
+	}
+}
+
+func TestExtendChunkedDataset(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("grow", Uint8, []int64{8},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.Repeat([]byte{1}, 8)
+	if err := ds.WriteAll(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Extend([]int64{16}); err != nil {
+		t.Fatal(err)
+	}
+	if dims := ds.Dims(); dims[0] != 16 {
+		t.Fatalf("dims after extend = %v", dims)
+	}
+	// Old data intact, new region zero.
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:8], first) {
+		t.Error("existing data lost on extend")
+	}
+	if !bytes.Equal(got[8:], make([]byte, 8)) {
+		t.Error("extended region not zero")
+	}
+	// Write into the new region.
+	if err := ds.Write(Slab1D(8, 8), bytes.Repeat([]byte{2}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ds.ReadAll()
+	if !bytes.Equal(got[8:], bytes.Repeat([]byte{2}, 8)) {
+		t.Error("write to extended region lost")
+	}
+	// The extension persists via the header.
+	ds2, err := f.Root().OpenDataset("grow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Dims()[0] != 16 {
+		t.Error("extend not persisted")
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	f := newTestFile(t, Config{})
+	contig, _ := f.Root().CreateDataset("c", Uint8, []int64{8}, nil)
+	if err := contig.Extend([]int64{16}); err == nil {
+		t.Error("contiguous dataset extended")
+	}
+	ds, _ := f.Root().CreateDataset("k", Uint8, []int64{8, 8},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{4, 4}})
+	if err := ds.Extend([]int64{16}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if err := ds.Extend([]int64{4, 8}); err == nil {
+		t.Error("shrink accepted")
+	}
+	// Growing a trailing dimension across a chunk boundary would
+	// renumber chunks and must be refused.
+	if err := ds.Extend([]int64{8, 16}); err == nil {
+		t.Error("trailing-dimension grid growth accepted")
+	}
+	// Growing the leading dimension is fine for 2-D too.
+	if err := ds.Extend([]int64{16, 8}); err != nil {
+		t.Errorf("leading-dimension extend failed: %v", err)
+	}
+}
+
+func TestExtend2DRoundTrip(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("m", Uint8, []int64{4, 8},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{2, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := bytes.Repeat([]byte{7}, 32)
+	if err := ds.WriteAll(block); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Extend([]int64{8, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Write(Selection{Offset: []int64{4, 0}, Count: []int64{4, 8}},
+		bytes.Repeat([]byte{9}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:32], block) || !bytes.Equal(got[32:], bytes.Repeat([]byte{9}, 32)) {
+		t.Error("2-D extend round trip failed")
+	}
+}

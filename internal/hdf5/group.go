@@ -1,0 +1,200 @@
+package hdf5
+
+import (
+	"fmt"
+	"strings"
+
+	"dayu/internal/vol"
+)
+
+// Group is a handle to a group object.
+type Group struct {
+	file *File
+	name string // full path: "/" or "/a/b"
+	addr int64
+}
+
+// Name returns the group's full path.
+func (g *Group) Name() string { return g.name }
+
+func (g *Group) childPath(name string) string {
+	if g.name == "/" {
+		return "/" + name
+	}
+	return g.name + "/" + name
+}
+
+func validateLinkName(name string) error {
+	if name == "" || strings.Contains(name, "/") {
+		return fmt.Errorf("hdf5: invalid link name %q", name)
+	}
+	return nil
+}
+
+// addChild links a new object into the group's symbol table. The group
+// header is re-read and rewritten: symbol-table maintenance is metadata
+// traffic, exactly as in HDF5.
+func (g *Group) addChild(name string, typ objType, addr int64) error {
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return err
+	}
+	if _, dup := hdr.findChild(name); dup {
+		return fmt.Errorf("%w: %s", ErrExists, g.childPath(name))
+	}
+	hdr.children = append(hdr.children, childEntry{name: name, typ: typ, addr: addr})
+	return g.file.writeHeaderAt(g.addr, hdr)
+}
+
+// CreateGroup creates a child group.
+func (g *Group) CreateGroup(name string) (*Group, error) {
+	if !g.file.open {
+		return nil, ErrClosed
+	}
+	if err := validateLinkName(name); err != nil {
+		return nil, err
+	}
+	full := g.childPath(name)
+	defer g.file.stamp(full)()
+	addr, err := g.file.writeNewHeader(&objectHeader{typ: objGroup, name: name})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.addChild(name, objGroup, addr); err != nil {
+		return nil, err
+	}
+	g.file.event(vol.GroupCreate, vol.ObjectInfo{Name: full, Type: "group"}, 0)
+	return &Group{file: g.file, name: full, addr: addr}, nil
+}
+
+// OpenGroup opens a child group by name.
+func (g *Group) OpenGroup(name string) (*Group, error) {
+	if !g.file.open {
+		return nil, ErrClosed
+	}
+	full := g.childPath(name)
+	defer g.file.stamp(full)()
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := hdr.findChild(name)
+	if !ok || c.typ != objGroup {
+		return nil, fmt.Errorf("%w: group %s", ErrNotFound, full)
+	}
+	g.file.event(vol.GroupOpen, vol.ObjectInfo{Name: full, Type: "group"}, 0)
+	return &Group{file: g.file, name: full, addr: c.addr}, nil
+}
+
+// Children lists the names of the group's members in insertion order.
+func (g *Group) Children() ([]string, error) {
+	if !g.file.open {
+		return nil, ErrClosed
+	}
+	defer g.file.stamp(g.name)()
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(hdr.children))
+	for i, c := range hdr.children {
+		names[i] = c.name
+	}
+	return names, nil
+}
+
+// ChildType reports whether a member is a "group" or a "dataset".
+func (g *Group) ChildType(name string) (string, error) {
+	if !g.file.open {
+		return "", ErrClosed
+	}
+	defer g.file.stamp(g.name)()
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return "", err
+	}
+	c, ok := hdr.findChild(name)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, g.childPath(name))
+	}
+	if c.typ == objGroup {
+		return "group", nil
+	}
+	return "dataset", nil
+}
+
+// Exists reports whether the group has a member with the given name.
+func (g *Group) Exists(name string) bool {
+	if !g.file.open {
+		return false
+	}
+	defer g.file.stamp(g.name)()
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return false
+	}
+	_, ok := hdr.findChild(name)
+	return ok
+}
+
+// Unlink removes a member from the group's symbol table. Like HDF5's
+// H5Ldelete without repacking, the object's storage is leaked until the
+// file is rewritten; only the name disappears.
+func (g *Group) Unlink(name string) error {
+	if !g.file.open {
+		return ErrClosed
+	}
+	defer g.file.stamp(g.name)()
+	hdr, err := g.file.readHeader(g.addr)
+	if err != nil {
+		return err
+	}
+	for i, c := range hdr.children {
+		if c.name == name {
+			hdr.children = append(hdr.children[:i], hdr.children[i+1:]...)
+			return g.file.writeHeaderAt(g.addr, hdr)
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNotFound, g.childPath(name))
+}
+
+// OpenGroupPath walks an absolute slash-separated path from the root
+// and returns the group at its end.
+func (f *File) OpenGroupPath(path string) (*Group, error) {
+	g := f.root
+	for _, part := range splitPath(path) {
+		next, err := g.OpenGroup(part)
+		if err != nil {
+			return nil, err
+		}
+		g = next
+	}
+	return g, nil
+}
+
+// OpenDatasetPath opens a dataset by absolute path, e.g. "/g/data".
+func (f *File) OpenDatasetPath(path string) (*Dataset, error) {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("hdf5: %q does not name a dataset", path)
+	}
+	g := f.root
+	for _, part := range parts[:len(parts)-1] {
+		next, err := g.OpenGroup(part)
+		if err != nil {
+			return nil, err
+		}
+		g = next
+	}
+	return g.OpenDataset(parts[len(parts)-1])
+}
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}

@@ -1,0 +1,635 @@
+package hdf5
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dayu/internal/vfd"
+)
+
+// newTestFile creates a file over a fresh memory driver.
+func newTestFile(t *testing.T, cfg Config) *File {
+	t.Helper()
+	f, err := Create(vfd.NewMemDriver(), "test.h5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	f, err := Create(drv, "rt.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := f.Root().CreateGroup("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := g.CreateDataset("d", Int32, []int64{8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := ds.WriteAll(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open over the same bytes.
+	drv2 := vfd.NewMemDriverFrom(append([]byte(nil), drv.Bytes()...))
+	f2, err := Open(drv2, "rt.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f2.OpenDatasetPath("/g/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round-trip mismatch: %v", got)
+	}
+	if ds2.Datatype() != Int32 {
+		t.Errorf("datatype = %v", ds2.Datatype())
+	}
+	if dims := ds2.Dims(); len(dims) != 1 || dims[0] != 8 {
+		t.Errorf("dims = %v", dims)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	drv := vfd.NewMemDriverFrom(make([]byte, 128))
+	if _, err := Open(drv, "bad.h5", Config{}); err == nil {
+		t.Fatal("opened garbage file")
+	}
+	if _, err := Open(vfd.NewMemDriver(), "empty.h5", Config{}); err == nil {
+		t.Fatal("opened empty file")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	f := newTestFile(t, Config{})
+	a, err := f.Root().CreateGroup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateGroup("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Root().CreateGroup("a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate group: %v", err)
+	}
+	if _, err := f.Root().CreateGroup("bad/name"); err == nil {
+		t.Fatal("slash in name accepted")
+	}
+	if _, err := f.Root().CreateGroup(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	g, err := f.OpenGroupPath("/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "/a/b" {
+		t.Errorf("path = %q", g.Name())
+	}
+	if _, err := f.OpenGroupPath("/a/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing group: %v", err)
+	}
+	kids, err := f.Root().Children()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 1 || kids[0] != "a" {
+		t.Errorf("children = %v", kids)
+	}
+	if !f.Root().Exists("a") || f.Root().Exists("zzz") {
+		t.Error("Exists wrong")
+	}
+}
+
+func TestManyChildrenSpillContinuation(t *testing.T) {
+	// Enough children to overflow the 512-byte inline header.
+	f := newTestFile(t, Config{})
+	g, err := f.Root().CreateGroup("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := g.CreateDataset(fmt.Sprintf("dset%03d", i), Float64, []int64{4}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids, err := g.Children()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != n {
+		t.Fatalf("children = %d, want %d", len(kids), n)
+	}
+	// Every dataset must still resolve.
+	for i := 0; i < n; i += 17 {
+		if _, err := g.OpenDataset(fmt.Sprintf("dset%03d", i)); err != nil {
+			t.Fatalf("open dset%03d: %v", i, err)
+		}
+	}
+}
+
+func TestContiguousHyperslab2D(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("m", Uint8, []int64{8, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, 64)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	if err := ds.WriteAll(full); err != nil {
+		t.Fatal(err)
+	}
+	// Read a 3x2 block at (2,3).
+	sel := Selection{Offset: []int64{2, 3}, Count: []int64{3, 2}}
+	got, err := ds.Read(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{2*8 + 3, 2*8 + 4, 3*8 + 3, 3*8 + 4, 4*8 + 3, 4*8 + 4}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("slab = %v, want %v", got, want)
+	}
+	// Overwrite the block and verify surrounding data is untouched.
+	if err := ds.Write(sel, []byte{100, 101, 102, 103, 104, 105}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[2*8+3] != 100 || all[4*8+4] != 105 {
+		t.Error("slab write missed")
+	}
+	if all[2*8+2] != 2*8+2 || all[2*8+5] != 2*8+5 {
+		t.Error("slab write leaked outside selection")
+	}
+}
+
+func TestSelectionValidation(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("v", Uint8, []int64{4, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Selection{
+		{Offset: []int64{0}, Count: []int64{4}},        // rank mismatch
+		{Offset: []int64{-1, 0}, Count: []int64{1, 1}}, // negative offset
+		{Offset: []int64{0, 0}, Count: []int64{0, 1}},  // zero count
+		{Offset: []int64{3, 0}, Count: []int64{2, 1}},  // overflow
+	}
+	for i, s := range bad {
+		if _, err := ds.Read(s); err == nil {
+			t.Errorf("bad selection %d accepted", i)
+		}
+	}
+	// Wrong buffer size.
+	if err := ds.Write(All(ds.Dims()), make([]byte, 3)); err == nil {
+		t.Error("short write buffer accepted")
+	}
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("c", Uint8, []int64{10, 10},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Layout() != Chunked {
+		t.Fatal("layout not chunked")
+	}
+	full := make([]byte, 100)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	if err := ds.WriteAll(full); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, full) {
+		t.Fatalf("chunked round-trip mismatch")
+	}
+	n, err := ds.NumChunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 { // ceil(10/4)^2
+		t.Errorf("chunks = %d, want 9", n)
+	}
+	// Partial read spanning chunk boundaries.
+	sel := Selection{Offset: []int64{3, 3}, Count: []int64{4, 4}}
+	slab, err := ds.Read(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r < 4; r++ {
+		for c := int64(0); c < 4; c++ {
+			if want := byte((3+r)*10 + 3 + c); slab[r*4+c] != want {
+				t.Fatalf("slab[%d,%d] = %d, want %d", r, c, slab[r*4+c], want)
+			}
+		}
+	}
+	// Partial write crossing chunks, then verify.
+	patch := []byte{200, 201, 202, 203}
+	if err := ds.Write(Selection{Offset: []int64{3, 2}, Count: []int64{2, 2}}, patch); err != nil {
+		t.Fatal(err)
+	}
+	all, _ := ds.ReadAll()
+	if all[3*10+2] != 200 || all[3*10+3] != 201 || all[4*10+2] != 202 || all[4*10+3] != 203 {
+		t.Error("cross-chunk write wrong")
+	}
+	if all[3*10+1] != 31 || all[3*10+4] != 34 {
+		t.Error("cross-chunk write leaked")
+	}
+}
+
+func TestChunkedUnwrittenReadsZero(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("z", Int32, []int64{16},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write only the second chunk.
+	if err := ds.Write(Slab1D(4, 4), bytes.Repeat([]byte{0xff}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:16], make([]byte, 16)) {
+		t.Error("unwritten chunk not zero")
+	}
+	if !bytes.Equal(got[16:32], bytes.Repeat([]byte{0xff}, 16)) {
+		t.Error("written chunk lost")
+	}
+	if n, _ := ds.NumChunks(); n != 1 {
+		t.Errorf("chunks = %d, want 1", n)
+	}
+}
+
+func TestChunkedPersistence(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	f, err := Create(drv, "p.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := f.Root().CreateDataset("c", Uint8, []int64{64},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{7}, 64)
+	if err := ds.WriteAll(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(vfd.NewMemDriverFrom(append([]byte(nil), drv.Bytes()...)), "p.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f2.OpenDatasetPath("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("chunked data lost across reopen")
+	}
+}
+
+func TestCompactLayout(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("small", Int16, []int64{10},
+		&DatasetOpts{Layout: Compact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 20)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if err := ds.WriteAll(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Read(Slab1D(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[4:14]) {
+		t.Fatalf("compact slab = %v", got)
+	}
+	// Compact data persists in the header.
+	ds2, err := f.Root().OpenDataset("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ds2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("compact data lost on reopen")
+	}
+	// Too-large compact datasets are rejected.
+	if _, err := f.Root().CreateDataset("huge", Float64, []int64{1 << 20},
+		&DatasetOpts{Layout: Compact}); err == nil {
+		t.Fatal("oversized compact dataset accepted")
+	}
+}
+
+func TestDatasetCreationValidation(t *testing.T) {
+	f := newTestFile(t, Config{})
+	root := f.Root()
+	cases := []struct {
+		name string
+		dt   Datatype
+		dims []int64
+		opts *DatasetOpts
+	}{
+		{"baddims", Float64, nil, nil},
+		{"zerodim", Float64, []int64{0}, nil},
+		{"negdim", Float64, []int64{-1}, nil},
+		{"badtype", Datatype{}, []int64{4}, nil},
+		{"vl2d", VLen, []int64{2, 2}, nil},
+		{"chunkrank", Float64, []int64{4, 4}, &DatasetOpts{Layout: Chunked, ChunkDims: []int64{2}}},
+		{"chunkzero", Float64, []int64{4}, &DatasetOpts{Layout: Chunked, ChunkDims: []int64{0}}},
+		{"vlcompact", VLen, []int64{4}, &DatasetOpts{Layout: Compact}},
+	}
+	for _, c := range cases {
+		if _, err := root.CreateDataset(c.name, c.dt, c.dims, c.opts); err == nil {
+			t.Errorf("case %q accepted", c.name)
+		}
+	}
+	// Duplicate names rejected.
+	if _, err := root.CreateDataset("dup", Float64, []int64{2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.CreateDataset("dup", Float64, []int64{2}, nil); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate dataset: %v", err)
+	}
+	// Open of a group as dataset fails.
+	if _, err := root.CreateGroup("agroup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.OpenDataset("agroup"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("group opened as dataset: %v", err)
+	}
+}
+
+func TestVLenContiguous(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("vl", VLen, []int64{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := [][]byte{
+		[]byte("short"),
+		bytes.Repeat([]byte{0xab}, 3000),
+		[]byte(""),
+		[]byte("x"),
+		bytes.Repeat([]byte{0x11}, 100),
+	}
+	if err := ds.WriteVL(0, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadVL(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if !bytes.Equal(got[i], vals[i]) {
+			t.Errorf("vl[%d]: got %d bytes, want %d", i, len(got[i]), len(vals[i]))
+		}
+	}
+	// Partial read.
+	part, err := ds.ReadVL(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part[0], vals[1]) || !bytes.Equal(part[1], vals[2]) {
+		t.Error("partial VL read wrong")
+	}
+	// Unwritten elements read as nil.
+	ds2, err := f.Root().CreateDataset("vl2", VLen, []int64{3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds2.WriteVL(1, [][]byte{[]byte("mid")}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ds2.ReadVL(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[0] != nil || string(got2[1]) != "mid" || got2[2] != nil {
+		t.Errorf("sparse VL read = %q %q %q", got2[0], got2[1], got2[2])
+	}
+}
+
+func TestVLenChunkedCoalesced(t *testing.T) {
+	f := newTestFile(t, Config{HeapCollectionSize: 4 << 10})
+	ds, err := f.Root().CreateDataset("vl", VLen, []int64{20},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals [][]byte
+	for i := 0; i < 20; i++ {
+		vals = append(vals, bytes.Repeat([]byte{byte(i)}, 700+i*13))
+	}
+	if err := ds.WriteVL(0, vals); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered payloads must be readable before flush.
+	early, err := ds.ReadVL(19, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(early[0], vals[19]) {
+		t.Error("pre-flush VL read wrong")
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadVL(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if !bytes.Equal(got[i], vals[i]) {
+			t.Errorf("vl[%d] mismatch after flush", i)
+		}
+	}
+}
+
+func TestVLenOversizeObject(t *testing.T) {
+	// An object bigger than a heap collection gets a dedicated collection.
+	f := newTestFile(t, Config{HeapCollectionSize: 1 << 10})
+	ds, err := f.Root().CreateDataset("big", VLen, []int64{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0x5a}, 10<<10)
+	if err := ds.WriteVL(0, [][]byte{big, []byte("tiny")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadVL(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[0], big) || string(got[1]) != "tiny" {
+		t.Error("oversize heap object corrupted")
+	}
+}
+
+func TestVLenTypeMismatch(t *testing.T) {
+	f := newTestFile(t, Config{})
+	fixed, _ := f.Root().CreateDataset("f", Float64, []int64{2}, nil)
+	if err := fixed.WriteVL(0, [][]byte{{1}}); err == nil {
+		t.Error("WriteVL on fixed dataset accepted")
+	}
+	if _, err := fixed.ReadVL(0, 1); err == nil {
+		t.Error("ReadVL on fixed dataset accepted")
+	}
+	vl, _ := f.Root().CreateDataset("v", VLen, []int64{2}, nil)
+	if err := vl.Write(All(vl.Dims()), make([]byte, 32)); err == nil {
+		t.Error("Write on VL dataset accepted")
+	}
+	if _, err := vl.Read(All(vl.Dims())); err == nil {
+		t.Error("Read on VL dataset accepted")
+	}
+	if err := vl.WriteVL(0, nil); err != nil {
+		t.Error("empty WriteVL should be a no-op:", err)
+	}
+	if err := vl.WriteVL(1, [][]byte{{1}, {2}}); err == nil {
+		t.Error("out-of-bounds WriteVL accepted")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("d", Float64, []int64{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetAttrString("units", "kelvin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetAttrFloat64("scale", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := ds.AttrString("units"); err != nil || s != "kelvin" {
+		t.Errorf("units = %q, %v", s, err)
+	}
+	if v, err := ds.AttrFloat64("scale"); err != nil || v != 2.5 {
+		t.Errorf("scale = %v, %v", v, err)
+	}
+	// Overwrite.
+	if err := ds.SetAttrString("units", "celsius"); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := ds.AttrString("units"); s != "celsius" {
+		t.Errorf("overwritten units = %q", s)
+	}
+	names, err := ds.Attrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Errorf("attrs = %v", names)
+	}
+	if _, _, err := ds.Attr("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing attr: %v", err)
+	}
+	// Group attributes work too.
+	if err := f.Root().SetAttr("note", FixedString(2), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := f.Root().Attr("note")
+	if err != nil || string(v) != "hi" {
+		t.Errorf("group attr = %q, %v", v, err)
+	}
+	// Attribute survives reopen of the dataset handle.
+	ds2, _ := f.Root().OpenDataset("d")
+	if s, _ := ds2.AttrString("units"); s != "celsius" {
+		t.Error("attr lost on reopen")
+	}
+	// Oversize attribute rejected.
+	if err := ds.SetAttr("big", Uint8, make([]byte, maxAttrValue+1)); err == nil {
+		t.Error("oversize attribute accepted")
+	}
+}
+
+func TestClosedFileOperationsFail(t *testing.T) {
+	f := newTestFile(t, Config{})
+	ds, err := f.Root().CreateDataset("d", Uint8, []int64{4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Error("double close:", err)
+	}
+	if _, err := f.Root().CreateGroup("g"); err != ErrClosed {
+		t.Errorf("create after close: %v", err)
+	}
+	if err := ds.WriteAll(make([]byte, 4)); err != ErrClosed {
+		t.Errorf("write after close: %v", err)
+	}
+	if _, err := ds.Read(All(ds.Dims())); err != ErrClosed {
+		t.Errorf("read after close: %v", err)
+	}
+	if err := f.Flush(); err != ErrClosed {
+		t.Errorf("flush after close: %v", err)
+	}
+}
+
+func TestEOFGrowsMonotonically(t *testing.T) {
+	f := newTestFile(t, Config{})
+	prev := f.EOF()
+	for i := 0; i < 10; i++ {
+		if _, err := f.Root().CreateDataset(fmt.Sprintf("d%d", i), Float64, []int64{128}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if f.EOF() < prev {
+			t.Fatal("EOF shrank")
+		}
+		prev = f.EOF()
+	}
+}

@@ -1,0 +1,367 @@
+package hdf5
+
+import (
+	"fmt"
+
+	"dayu/internal/sim"
+)
+
+// objType distinguishes object-header kinds.
+type objType uint8
+
+const (
+	objGroup   objType = 1
+	objDataset objType = 2
+)
+
+// layoutKind enumerates dataset storage layouts.
+type layoutKind uint8
+
+// Storage layouts (exported via Layout in dataset.go).
+const (
+	layoutContiguous layoutKind = 1
+	layoutChunked    layoutKind = 2
+	layoutCompact    layoutKind = 3
+)
+
+// attrRec is one attribute stored compactly in the object header.
+type attrRec struct {
+	name  string
+	dt    Datatype
+	value []byte
+}
+
+// childEntry is one symbol-table entry of a group.
+type childEntry struct {
+	name string
+	typ  objType
+	addr int64
+}
+
+// layoutInfo is the storage-layout message of a dataset header.
+type layoutInfo struct {
+	kind layoutKind
+	// contiguous
+	dataAddr int64
+	dataSize int64
+	// chunked
+	chunkDims []int64
+	indexAddr int64 // chunk-index descriptor block
+	// compact
+	compact []byte
+}
+
+// objectHeader is the in-memory form of an object header block.
+type objectHeader struct {
+	typ   objType
+	name  string
+	attrs []attrRec
+	// group fields
+	children []childEntry
+	// dataset fields
+	dtype  Datatype
+	dims   []int64
+	layout layoutInfo
+	// continuation bookkeeping (persisted in the header prefix)
+	contAddr int64
+	contCap  int64
+}
+
+const headerPrefixSize = 28
+
+func (h *objectHeader) findChild(name string) (childEntry, bool) {
+	for _, c := range h.children {
+		if c.name == name {
+			return c, true
+		}
+	}
+	return childEntry{}, false
+}
+
+func (h *objectHeader) findAttr(name string) (int, bool) {
+	for i, a := range h.attrs {
+		if a.name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func (h *objectHeader) serializePayload() []byte {
+	w := &bufWriter{}
+	w.str16(h.name)
+	w.u16(uint16(len(h.attrs)))
+	for _, a := range h.attrs {
+		w.str16(a.name)
+		w.u8(uint8(a.dt.Class))
+		w.i64(a.dt.Size)
+		w.str16(a.dt.name)
+		w.bytes32(a.value)
+	}
+	switch h.typ {
+	case objGroup:
+		w.u32(uint32(len(h.children)))
+		for _, c := range h.children {
+			w.str16(c.name)
+			w.u8(uint8(c.typ))
+			w.i64(c.addr)
+		}
+	case objDataset:
+		w.u8(uint8(h.dtype.Class))
+		w.i64(h.dtype.Size)
+		w.str16(h.dtype.name)
+		w.u8(uint8(len(h.dims)))
+		for _, d := range h.dims {
+			w.i64(d)
+		}
+		w.u8(uint8(h.layout.kind))
+		switch h.layout.kind {
+		case layoutContiguous:
+			w.i64(h.layout.dataAddr)
+			w.i64(h.layout.dataSize)
+		case layoutChunked:
+			for _, d := range h.layout.chunkDims {
+				w.i64(d)
+			}
+			w.i64(h.layout.indexAddr)
+		case layoutCompact:
+			w.bytes32(h.layout.compact)
+		}
+	}
+	return w.buf
+}
+
+func parseHeaderPayload(typ objType, payload []byte) (*objectHeader, error) {
+	h := &objectHeader{typ: typ}
+	r := &bufReader{buf: payload}
+	h.name = r.str16("name")
+	nattrs := int(r.u16("attr count"))
+	for i := 0; i < nattrs && r.err == nil; i++ {
+		var a attrRec
+		a.name = r.str16("attr name")
+		class := TypeClass(r.u8("attr class"))
+		size := r.i64("attr size")
+		name := r.str16("attr type name")
+		if name == "" {
+			name = typeName(class, size)
+		}
+		a.dt = Datatype{Class: class, Size: size, name: name}
+		a.value = r.bytes32("attr value")
+		h.attrs = append(h.attrs, a)
+	}
+	switch typ {
+	case objGroup:
+		n := int(r.u32("child count"))
+		for i := 0; i < n && r.err == nil; i++ {
+			var c childEntry
+			c.name = r.str16("child name")
+			c.typ = objType(r.u8("child type"))
+			c.addr = r.i64("child addr")
+			h.children = append(h.children, c)
+		}
+	case objDataset:
+		class := TypeClass(r.u8("dtype class"))
+		size := r.i64("dtype size")
+		tname := r.str16("dtype name")
+		if tname == "" {
+			tname = typeName(class, size)
+		}
+		h.dtype = Datatype{Class: class, Size: size, name: tname}
+		ndims := int(r.u8("ndims"))
+		for i := 0; i < ndims && r.err == nil; i++ {
+			h.dims = append(h.dims, r.i64("dim"))
+		}
+		h.layout.kind = layoutKind(r.u8("layout kind"))
+		switch h.layout.kind {
+		case layoutContiguous:
+			h.layout.dataAddr = r.i64("data addr")
+			h.layout.dataSize = r.i64("data size")
+		case layoutChunked:
+			for i := 0; i < ndims && r.err == nil; i++ {
+				h.layout.chunkDims = append(h.layout.chunkDims, r.i64("chunk dim"))
+			}
+			h.layout.indexAddr = r.i64("index addr")
+		case layoutCompact:
+			h.layout.compact = r.bytes32("compact data")
+		default:
+			if r.err == nil {
+				return nil, fmt.Errorf("hdf5: unknown layout kind %d", h.layout.kind)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("hdf5: unknown object type %d", typ)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := h.sanityCheck(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Bounds that keep parsed headers from driving huge or overflowing
+// allocations when a file is corrupted.
+const (
+	maxDimExtent  = int64(1) << 32
+	maxTotalBytes = int64(1) << 31 // single-dataset byte ceiling
+	maxElemSize   = int64(1) << 20
+	maxChunkBytes = int64(1) << 28
+)
+
+// sanityCheck rejects parsed headers whose geometry cannot be valid,
+// before any caller sizes buffers from it.
+func (h *objectHeader) sanityCheck() error {
+	if h.typ != objDataset {
+		return nil
+	}
+	if !h.dtype.Valid() || h.dtype.Size > maxElemSize {
+		return fmt.Errorf("hdf5: implausible datatype in header of %q", h.name)
+	}
+	checkDims := func(dims []int64, what string) (int64, error) {
+		total := int64(1)
+		for _, d := range dims {
+			if d <= 0 || d > maxDimExtent {
+				return 0, fmt.Errorf("hdf5: implausible %s extent %d in %q", what, d, h.name)
+			}
+			total *= d
+			if total > maxTotalBytes/h.dtype.Size {
+				return 0, fmt.Errorf("hdf5: implausible %s volume in %q", what, h.name)
+			}
+		}
+		return total, nil
+	}
+	total, err := checkDims(h.dims, "dataset")
+	if err != nil {
+		return err
+	}
+	switch h.layout.kind {
+	case layoutChunked:
+		chunkElems, err := checkDims(h.layout.chunkDims, "chunk")
+		if err != nil {
+			return err
+		}
+		if chunkElems*h.dtype.Size > maxChunkBytes {
+			return fmt.Errorf("hdf5: implausible chunk size in %q", h.name)
+		}
+	case layoutCompact:
+		if int64(len(h.layout.compact)) != total*h.dtype.Size {
+			return fmt.Errorf("hdf5: compact payload size mismatch in %q", h.name)
+		}
+	case layoutContiguous:
+		if h.layout.dataSize != total*h.dtype.Size || h.layout.dataAddr < 0 {
+			return fmt.Errorf("hdf5: contiguous layout mismatch in %q", h.name)
+		}
+	}
+	return nil
+}
+
+// writeNewHeader allocates a header block for h and writes it, returning
+// the block address.
+func (f *File) writeNewHeader(h *objectHeader) (int64, error) {
+	addr := f.alloc(int64(f.cfg.HeaderSize))
+	if err := f.writeHeaderAt(addr, h); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// writeHeaderAt serializes h into the header block at addr, spilling to
+// a continuation block when the payload outgrows the inline capacity.
+// Continuation blocks are reallocated with doubling capacity; superseded
+// blocks are leaked, mirroring HDF5's no-compaction allocation.
+func (f *File) writeHeaderAt(addr int64, h *objectHeader) error {
+	payload := h.serializePayload()
+	inlineCap := f.cfg.HeaderSize - headerPrefixSize
+	block := make([]byte, f.cfg.HeaderSize)
+	copy(block, headerMagic)
+	block[4] = byte(h.typ)
+	putU32 := func(off int, v uint32) {
+		block[off] = byte(v)
+		block[off+1] = byte(v >> 8)
+		block[off+2] = byte(v >> 16)
+		block[off+3] = byte(v >> 24)
+	}
+	putU64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			block[off+i] = byte(v >> (8 * i))
+		}
+	}
+	putU32(8, uint32(len(payload)))
+
+	var overflow []byte
+	if len(payload) > inlineCap {
+		copy(block[headerPrefixSize:], payload[:inlineCap])
+		overflow = payload[inlineCap:]
+		if int64(len(overflow)) > h.contCap {
+			newCap := int64(len(overflow)) * 2
+			if newCap < 256 {
+				newCap = 256
+			}
+			h.contAddr = f.alloc(newCap)
+			h.contCap = newCap
+		}
+	} else {
+		copy(block[headerPrefixSize:], payload)
+	}
+	putU64(12, uint64(h.contAddr))
+	putU32(20, uint32(h.contCap))
+
+	if err := f.drv.WriteAt(block, addr, sim.Metadata); err != nil {
+		return fmt.Errorf("hdf5: write object header %q: %w", h.name, err)
+	}
+	if overflow != nil {
+		if err := f.drv.WriteAt(overflow, h.contAddr, sim.Metadata); err != nil {
+			return fmt.Errorf("hdf5: write header continuation %q: %w", h.name, err)
+		}
+	}
+	return nil
+}
+
+// readHeader reads and parses the object header at addr.
+func (f *File) readHeader(addr int64) (*objectHeader, error) {
+	block := make([]byte, f.cfg.HeaderSize)
+	if err := f.drv.ReadAt(block, addr, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("hdf5: read object header at %d: %w", addr, err)
+	}
+	if string(block[:4]) != headerMagic {
+		return nil, fmt.Errorf("hdf5: bad object header magic at %d", addr)
+	}
+	typ := objType(block[4])
+	getU32 := func(off int) uint32 {
+		return uint32(block[off]) | uint32(block[off+1])<<8 |
+			uint32(block[off+2])<<16 | uint32(block[off+3])<<24
+	}
+	getU64 := func(off int) uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(block[off+i]) << (8 * i)
+		}
+		return v
+	}
+	payloadLen := int(getU32(8))
+	contAddr := int64(getU64(12))
+	contCap := int64(getU32(20))
+	if payloadLen < 0 || payloadLen > 16<<20 {
+		return nil, fmt.Errorf("hdf5: implausible header payload length %d at %d", payloadLen, addr)
+	}
+
+	inlineCap := f.cfg.HeaderSize - headerPrefixSize
+	payload := make([]byte, payloadLen)
+	if payloadLen <= inlineCap {
+		copy(payload, block[headerPrefixSize:headerPrefixSize+payloadLen])
+	} else {
+		copy(payload, block[headerPrefixSize:headerPrefixSize+inlineCap])
+		over := payload[inlineCap:]
+		if err := f.drv.ReadAt(over, contAddr, sim.Metadata); err != nil {
+			return nil, fmt.Errorf("hdf5: read header continuation at %d: %w", contAddr, err)
+		}
+	}
+	h, err := parseHeaderPayload(typ, payload)
+	if err != nil {
+		return nil, err
+	}
+	h.contAddr = contAddr
+	h.contCap = contCap
+	return h, nil
+}

@@ -1,0 +1,314 @@
+package hdf5
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dayu/internal/sim"
+	"dayu/internal/vfd"
+)
+
+// TestLayoutEquivalenceProperty: for any dataset shape, chunk shape and
+// sequence of hyperslab writes, the chunked, contiguous and compact
+// layouts must expose identical contents - the storage layout is an
+// implementation detail, exactly the property HDF5 guarantees.
+func TestLayoutEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		ndims := 1 + rng.Intn(3)
+		dims := make([]int64, ndims)
+		chunk := make([]int64, ndims)
+		for i := range dims {
+			dims[i] = int64(1 + rng.Intn(9))
+			chunk[i] = int64(1 + rng.Intn(int(dims[i])))
+		}
+		f := newTestFile(t, Config{})
+		contig, err := f.Root().CreateDataset("contig", Uint8, dims, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunked, err := f.Root().CreateDataset("chunked", Uint8, dims,
+			&DatasetOpts{Layout: Chunked, ChunkDims: chunk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compact, err := f.Root().CreateDataset("compact", Uint8, dims,
+			&DatasetOpts{Layout: Compact})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mirror of the expected contents.
+		mirror := make([]byte, numElems(dims))
+
+		for w := 0; w < 8; w++ {
+			sel := Selection{Offset: make([]int64, ndims), Count: make([]int64, ndims)}
+			for i := range dims {
+				sel.Offset[i] = int64(rng.Intn(int(dims[i])))
+				sel.Count[i] = 1 + int64(rng.Intn(int(dims[i]-sel.Offset[i])))
+			}
+			data := make([]byte, sel.NumElems())
+			rng.Read(data)
+			for _, ds := range []*Dataset{contig, chunked, compact} {
+				if err := ds.Write(sel, data); err != nil {
+					t.Fatalf("round %d write %d (%v %v): %v", round, w, dims, chunk, err)
+				}
+			}
+			// Update the mirror through the same run decomposition.
+			var off int64
+			for _, r := range sel.runs(dims) {
+				copy(mirror[r.start:r.start+r.count], data[off:off+r.count])
+				off += r.count
+			}
+			// Random read-back selection must agree across layouts and
+			// with the mirror.
+			got := map[string][]byte{}
+			for _, ds := range []*Dataset{contig, chunked, compact} {
+				all, err := ds.ReadAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[ds.Name()] = all
+			}
+			if !bytes.Equal(got["/contig"], mirror) {
+				t.Fatalf("round %d: contiguous diverged from mirror (dims %v)", round, dims)
+			}
+			if !bytes.Equal(got["/chunked"], mirror) {
+				t.Fatalf("round %d: chunked diverged from mirror (dims %v chunk %v)", round, dims, chunk)
+			}
+			if !bytes.Equal(got["/compact"], mirror) {
+				t.Fatalf("round %d: compact diverged from mirror (dims %v)", round, dims)
+			}
+		}
+	}
+}
+
+// TestSelectionRunsProperty: run decomposition covers exactly the
+// selected elements, in increasing order, without overlap.
+func TestSelectionRunsProperty(t *testing.T) {
+	f := func(rawDims []uint8, rawOff []uint8) bool {
+		ndims := 1 + len(rawDims)%3
+		dims := make([]int64, ndims)
+		sel := Selection{Offset: make([]int64, ndims), Count: make([]int64, ndims)}
+		for i := 0; i < ndims; i++ {
+			d := int64(1)
+			if i < len(rawDims) {
+				d += int64(rawDims[i] % 7)
+			}
+			dims[i] = d
+			off := int64(0)
+			if i < len(rawOff) {
+				off = int64(rawOff[i]) % d
+			}
+			sel.Offset[i] = off
+			sel.Count[i] = d - off
+		}
+		runs := sel.runs(dims)
+		var total int64
+		last := int64(-1)
+		for _, r := range runs {
+			if r.count <= 0 || r.start <= last {
+				return false
+			}
+			last = r.start + r.count - 1
+			total += r.count
+		}
+		return total == sel.NumElems()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBTreeStress inserts thousands of chunk keys in random order and
+// verifies every lookup and the ordered walk.
+func TestBTreeStress(t *testing.T) {
+	f := newTestFile(t, Config{BTreeNodeSize: 256}) // small nodes force deep trees
+	bt, err := f.createBTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	keys := rand.New(rand.NewSource(3)).Perm(n)
+	for _, k := range keys {
+		if err := bt.put(int64(k), int64(k*10+1), int64(k+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.count() != n {
+		t.Fatalf("count = %d, want %d", bt.count(), n)
+	}
+	// Updates in place do not change the count.
+	if err := bt.put(42, 999, 999); err != nil {
+		t.Fatal(err)
+	}
+	if bt.count() != n {
+		t.Fatal("update changed count")
+	}
+	for k := 0; k < n; k++ {
+		addr, size, found, err := bt.get(int64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("key %d missing", k)
+		}
+		if k == 42 {
+			if addr != 999 || size != 999 {
+				t.Fatal("update lost")
+			}
+		} else if addr != int64(k*10+1) || size != int64(k+1) {
+			t.Fatalf("key %d: addr=%d size=%d", k, addr, size)
+		}
+	}
+	if _, _, found, _ := bt.get(int64(n + 5)); found {
+		t.Error("phantom key found")
+	}
+	// Walk yields every key exactly once, in order.
+	var walked []int64
+	if err := bt.walk(func(e btEntry) error {
+		walked = append(walked, e.key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != n {
+		t.Fatalf("walked %d keys", len(walked))
+	}
+	for i := 1; i < len(walked); i++ {
+		if walked[i] <= walked[i-1] {
+			t.Fatal("walk out of order")
+		}
+	}
+}
+
+// TestBTreePersistenceAfterFlush verifies deferred descriptor writes
+// reach storage on flush and survive reopen.
+func TestBTreePersistenceAfterFlush(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	f, err := Create(drv, "bt.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := f.Root().CreateDataset("c", Uint8, []int64{1024},
+		&DatasetOpts{Layout: Chunked, ChunkDims: []int64{16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAll(bytes.Repeat([]byte{9}, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	// Close the dataset handle only: its deferred index metadata must
+	// be persisted by the handle close.
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(vfd.NewMemDriverFrom(append([]byte(nil), drv.Bytes()...)), "bt.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f2.OpenDatasetPath("/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ds2.NumChunks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Fatalf("chunks after reopen = %d, want 64", n)
+	}
+	got, err := ds2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{9}, 1024)) {
+		t.Fatal("chunk data lost across flush/reopen")
+	}
+}
+
+// faultDriver injects a write or read failure after a countdown,
+// exercising error propagation through every format layer.
+type faultDriver struct {
+	vfd.Driver
+	failAfter int
+	failRead  bool
+	ops       int
+}
+
+func (d *faultDriver) tick() error {
+	d.ops++
+	if d.ops > d.failAfter {
+		return fmt.Errorf("injected fault at op %d", d.ops)
+	}
+	return nil
+}
+
+func (d *faultDriver) ReadAt(p []byte, off int64, class sim.OpClass) error {
+	if d.failRead {
+		if err := d.tick(); err != nil {
+			return err
+		}
+	}
+	return d.Driver.ReadAt(p, off, class)
+}
+
+func (d *faultDriver) WriteAt(p []byte, off int64, class sim.OpClass) error {
+	if !d.failRead {
+		if err := d.tick(); err != nil {
+			return err
+		}
+	}
+	return d.Driver.WriteAt(p, off, class)
+}
+
+func TestFaultInjectionPropagates(t *testing.T) {
+	// Write faults at every possible op index must surface as errors,
+	// never as panics or silent corruption.
+	for failAfter := 0; failAfter < 25; failAfter++ {
+		drv := &faultDriver{Driver: vfd.NewMemDriver(), failAfter: failAfter}
+		f, err := Create(drv, "fault.h5", Config{})
+		if err != nil {
+			continue // fault hit during create: fine
+		}
+		ds, err := f.Root().CreateDataset("d", Uint8, []int64{256},
+			&DatasetOpts{Layout: Chunked, ChunkDims: []int64{32}})
+		if err != nil {
+			continue
+		}
+		if err := ds.WriteAll(make([]byte, 256)); err != nil {
+			continue
+		}
+		_ = f.Flush()
+	}
+	// Read fault during open of a valid file.
+	good := vfd.NewMemDriver()
+	f, err := Create(good, "ok.h5", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Root().CreateDataset("d", Uint8, []int64{16}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for failAfter := 0; failAfter < 5; failAfter++ {
+		drv := &faultDriver{
+			Driver:    vfd.NewMemDriverFrom(append([]byte(nil), good.Bytes()...)),
+			failAfter: failAfter, failRead: true,
+		}
+		f2, err := Open(drv, "ok.h5", Config{})
+		if err != nil {
+			continue
+		}
+		if _, err := f2.Root().OpenDataset("d"); err == nil && failAfter < 2 {
+			t.Errorf("failAfter=%d: open sequence did not observe fault", failAfter)
+		}
+	}
+}

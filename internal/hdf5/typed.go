@@ -1,0 +1,123 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Typed element helpers: convenience wrappers that encode/decode Go
+// slices through the byte-oriented dataset API, so applications do not
+// hand-roll little-endian packing.
+
+// WriteFloat64s writes vals into the selection of a Float64 dataset.
+func (d *Dataset) WriteFloat64s(sel Selection, vals []float64) error {
+	if d.hdr.dtype != Float64 {
+		return fmt.Errorf("hdf5: %s is %s, not float64", d.name, d.hdr.dtype)
+	}
+	buf := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return d.Write(sel, buf)
+}
+
+// ReadFloat64s reads the selection of a Float64 dataset.
+func (d *Dataset) ReadFloat64s(sel Selection) ([]float64, error) {
+	if d.hdr.dtype != Float64 {
+		return nil, fmt.Errorf("hdf5: %s is %s, not float64", d.name, d.hdr.dtype)
+	}
+	buf, err := d.Read(sel)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(buf)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return vals, nil
+}
+
+// WriteFloat32s writes vals into the selection of a Float32 dataset.
+func (d *Dataset) WriteFloat32s(sel Selection, vals []float32) error {
+	if d.hdr.dtype != Float32 {
+		return fmt.Errorf("hdf5: %s is %s, not float32", d.name, d.hdr.dtype)
+	}
+	buf := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return d.Write(sel, buf)
+}
+
+// ReadFloat32s reads the selection of a Float32 dataset.
+func (d *Dataset) ReadFloat32s(sel Selection) ([]float32, error) {
+	if d.hdr.dtype != Float32 {
+		return nil, fmt.Errorf("hdf5: %s is %s, not float32", d.name, d.hdr.dtype)
+	}
+	buf, err := d.Read(sel)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float32, len(buf)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return vals, nil
+}
+
+// WriteInt64s writes vals into the selection of an Int64 dataset.
+func (d *Dataset) WriteInt64s(sel Selection, vals []int64) error {
+	if d.hdr.dtype != Int64 {
+		return fmt.Errorf("hdf5: %s is %s, not int64", d.name, d.hdr.dtype)
+	}
+	buf := make([]byte, len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	return d.Write(sel, buf)
+}
+
+// ReadInt64s reads the selection of an Int64 dataset.
+func (d *Dataset) ReadInt64s(sel Selection) ([]int64, error) {
+	if d.hdr.dtype != Int64 {
+		return nil, fmt.Errorf("hdf5: %s is %s, not int64", d.name, d.hdr.dtype)
+	}
+	buf, err := d.Read(sel)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int64, len(buf)/8)
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return vals, nil
+}
+
+// WriteInt32s writes vals into the selection of an Int32 dataset.
+func (d *Dataset) WriteInt32s(sel Selection, vals []int32) error {
+	if d.hdr.dtype != Int32 {
+		return fmt.Errorf("hdf5: %s is %s, not int32", d.name, d.hdr.dtype)
+	}
+	buf := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+	}
+	return d.Write(sel, buf)
+}
+
+// ReadInt32s reads the selection of an Int32 dataset.
+func (d *Dataset) ReadInt32s(sel Selection) ([]int32, error) {
+	if d.hdr.dtype != Int32 {
+		return nil, fmt.Errorf("hdf5: %s is %s, not int32", d.name, d.hdr.dtype)
+	}
+	buf, err := d.Read(sel)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int32, len(buf)/4)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return vals, nil
+}

@@ -1,0 +1,93 @@
+package netcdf
+
+import (
+	"math/rand"
+	"testing"
+
+	"dayu/internal/vfd"
+)
+
+func buildCorruptionTarget(t *testing.T) []byte {
+	t.Helper()
+	drv := vfd.NewMemDriver()
+	f, err := Create(drv, "victim.nc", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeD, _ := f.DefineDim("time", UnlimitedDim)
+	xD, _ := f.DefineDim("x", 8)
+	fixed, err := f.DefineVar("coords", Double, []DimID{xD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.PutAttr("units", Byte, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	recVar, err := f.DefineVar("series", Float, []DimID{timeD, xD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutGlobalAttr("title", Byte, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.WriteAll(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	for rec := int64(0); rec < 4; rec++ {
+		if err := recVar.Write([]int64{rec, 0}, []int64{1, 8}, make([]byte, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close marked the session driver closed; recover the bytes.
+	return drv.Bytes()
+}
+
+func exerciseFile(data []byte) {
+	f, err := Open(vfd.NewMemDriverFrom(data), "victim.nc", Config{})
+	if err != nil {
+		return
+	}
+	for _, name := range f.VarNames() {
+		v, err := f.VarByName(name)
+		if err != nil {
+			continue
+		}
+		_, _ = v.ReadAll()
+		_, _, _ = v.Attr("units")
+	}
+	_, _, _ = f.GlobalAttr("title")
+	_ = f.Close()
+}
+
+// TestCorruptionRobustness: damaged netCDF headers must fail cleanly,
+// never panic or drive unbounded allocations.
+func TestCorruptionRobustness(t *testing.T) {
+	pristine := buildCorruptionTarget(t)
+	rng := rand.New(rand.NewSource(5))
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic on corrupted file: %v", r)
+		}
+	}()
+	for i := 0; i < len(pristine); i += 5 {
+		data := append([]byte(nil), pristine...)
+		data[i] ^= 0xff
+		exerciseFile(data)
+	}
+	for round := 0; round < 200; round++ {
+		data := append([]byte(nil), pristine...)
+		for j := 0; j < 1+rng.Intn(12); j++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		exerciseFile(data)
+	}
+	for cut := 0; cut < len(pristine); cut += 11 {
+		exerciseFile(append([]byte(nil), pristine[:cut]...))
+	}
+}

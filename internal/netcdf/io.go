@@ -1,0 +1,370 @@
+package netcdf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dayu/internal/sim"
+	"dayu/internal/vfd"
+	"dayu/internal/vol"
+)
+
+const headerPrefix = 48 // magic(4) pad(4) len(8) cap(8) numrecs(8) datastart(8) recstart(8)
+
+// EndDef freezes definitions, computes the data layout (fixed variables
+// contiguous in definition order, record variables interleaved), and
+// writes the header. This is the single all-metadata-up-front region
+// that distinguishes classic netCDF from HDF5's scattered metadata.
+func (f *File) EndDef() error {
+	if !f.open {
+		return ErrClosed
+	}
+	if !f.defMode {
+		return ErrDataMode
+	}
+	// Size the header with slack, as netCDF's reserved header space.
+	payload := f.serializeHeader()
+	f.headerCap = int64(len(payload)+headerPrefix) * 2
+	if f.headerCap < 1024 {
+		f.headerCap = 1024
+	}
+	f.dataStart = f.headerCap
+
+	// Fixed variables first.
+	off := f.dataStart
+	for _, v := range f.vars {
+		if v.isRecord {
+			continue
+		}
+		v.begin = off
+		v.vsize = v.fixedElems() * v.typ.Size()
+		off += v.vsize
+	}
+	// Record variables interleave after the fixed section.
+	f.recStart = off
+	f.recSize = 0
+	for _, v := range f.vars {
+		if !v.isRecord {
+			continue
+		}
+		v.recOffset = f.recSize
+		v.vsize = v.fixedElems() * v.typ.Size()
+		f.recSize += v.vsize
+		v.begin = f.recStart + v.recOffset
+	}
+	f.defMode = false
+	return f.writeHeader()
+}
+
+func (f *File) serializeHeader() []byte {
+	var b []byte
+	u16 := func(v uint16) { b = binary.LittleEndian.AppendUint16(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	i64 := func(v int64) { b = binary.LittleEndian.AppendUint64(b, uint64(v)) }
+	str := func(s string) { u16(uint16(len(s))); b = append(b, s...) }
+	putAttrs := func(attrs []attr) {
+		u32(uint32(len(attrs)))
+		for _, a := range attrs {
+			str(a.name)
+			b = append(b, byte(a.typ))
+			u32(uint32(len(a.value)))
+			b = append(b, a.value...)
+		}
+	}
+	u32(uint32(len(f.dims)))
+	for _, d := range f.dims {
+		str(d.name)
+		i64(d.length)
+	}
+	putAttrs(f.gattrs)
+	u32(uint32(len(f.vars)))
+	for _, v := range f.vars {
+		str(v.name)
+		b = append(b, byte(v.typ))
+		u16(uint16(len(v.dimIDs)))
+		for _, id := range v.dimIDs {
+			u32(uint32(id))
+		}
+		putAttrs(v.attrs)
+		i64(v.begin)
+		i64(v.vsize)
+		i64(v.recOffset)
+		if v.isRecord {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// writeHeader persists the full header block (one metadata write).
+func (f *File) writeHeader() error {
+	payload := f.serializeHeader()
+	if int64(len(payload)+headerPrefix) > f.headerCap {
+		return fmt.Errorf("netcdf: header grew beyond its reserved space")
+	}
+	block := make([]byte, f.headerCap)
+	copy(block, ncMagic)
+	binary.LittleEndian.PutUint64(block[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(block[16:], uint64(f.headerCap))
+	binary.LittleEndian.PutUint64(block[24:], uint64(f.numRecs))
+	binary.LittleEndian.PutUint64(block[32:], uint64(f.dataStart))
+	binary.LittleEndian.PutUint64(block[40:], uint64(f.recStart))
+	copy(block[headerPrefix:], payload)
+	if err := f.drv.WriteAt(block, 0, sim.Metadata); err != nil {
+		return fmt.Errorf("netcdf: write header: %w", err)
+	}
+	return nil
+}
+
+// Open reads an existing file's header and returns it in data mode.
+func Open(drv vfd.Driver, name string, cfg Config) (*File, error) {
+	cfg = cfg.withDefaults()
+	f := &File{drv: drv, name: name, cfg: cfg, open: true}
+	f.event(vol.FileOpen, vol.ObjectInfo{Name: "/", Type: "file"}, 0)
+
+	prefix := make([]byte, headerPrefix)
+	if err := drv.ReadAt(prefix, 0, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("netcdf: read header: %w", err)
+	}
+	if string(prefix[:4]) != ncMagic {
+		return nil, fmt.Errorf("netcdf: bad magic %q", prefix[:4])
+	}
+	plen := int64(binary.LittleEndian.Uint64(prefix[8:]))
+	f.headerCap = int64(binary.LittleEndian.Uint64(prefix[16:]))
+	f.numRecs = int64(binary.LittleEndian.Uint64(prefix[24:]))
+	f.dataStart = int64(binary.LittleEndian.Uint64(prefix[32:]))
+	f.recStart = int64(binary.LittleEndian.Uint64(prefix[40:]))
+	if plen < 0 || plen > 16<<20 || f.headerCap < headerPrefix || f.headerCap > 32<<20 ||
+		f.numRecs < 0 || f.numRecs > 1<<24 || f.dataStart < 0 || f.recStart < 0 {
+		return nil, fmt.Errorf("netcdf: implausible header geometry")
+	}
+	payload := make([]byte, plen)
+	if err := drv.ReadAt(payload, headerPrefix, sim.Metadata); err != nil {
+		return nil, fmt.Errorf("netcdf: read header payload: %w", err)
+	}
+	if err := f.parseHeader(payload); err != nil {
+		return nil, err
+	}
+	f.recSize = 0
+	for _, v := range f.vars {
+		if v.isRecord {
+			f.recSize += v.vsize
+		}
+	}
+	return f, nil
+}
+
+func (f *File) parseHeader(b []byte) error {
+	off := 0
+	fail := func(what string) error {
+		return fmt.Errorf("netcdf: truncated header at %s (offset %d)", what, off)
+	}
+	u16 := func() (uint16, bool) {
+		if off+2 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint16(b[off:])
+		off += 2
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, true
+	}
+	i64 := func() (int64, bool) {
+		if off+8 > len(b) {
+			return 0, false
+		}
+		v := int64(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := u16()
+		if !ok || off+int(n) > len(b) {
+			return "", false
+		}
+		s := string(b[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
+	getAttrs := func() ([]attr, bool) {
+		n, ok := u32()
+		if !ok || int(n) > len(b) { // each attr needs at least one byte
+			return nil, false
+		}
+		attrs := make([]attr, 0, n)
+		for i := uint32(0); i < n; i++ {
+			var a attr
+			if a.name, ok = str(); !ok {
+				return nil, false
+			}
+			if off >= len(b) {
+				return nil, false
+			}
+			a.typ = Type(b[off])
+			off++
+			vlen, ok := u32()
+			if !ok || off+int(vlen) > len(b) {
+				return nil, false
+			}
+			a.value = append([]byte(nil), b[off:off+int(vlen)]...)
+			off += int(vlen)
+			attrs = append(attrs, a)
+		}
+		return attrs, true
+	}
+
+	ndims, ok := u32()
+	if !ok || int(ndims) > len(b) {
+		return fail("dim count")
+	}
+	for i := uint32(0); i < ndims; i++ {
+		var d dim
+		if d.name, ok = str(); !ok {
+			return fail("dim name")
+		}
+		if d.length, ok = i64(); !ok {
+			return fail("dim length")
+		}
+		f.dims = append(f.dims, d)
+	}
+	if f.gattrs, ok = getAttrs(); !ok {
+		return fail("global attributes")
+	}
+	nvars, ok := u32()
+	if !ok || int(nvars) > len(b) {
+		return fail("var count")
+	}
+	for i := uint32(0); i < nvars; i++ {
+		v := &Var{file: f}
+		if v.name, ok = str(); !ok {
+			return fail("var name")
+		}
+		if off >= len(b) {
+			return fail("var type")
+		}
+		v.typ = Type(b[off])
+		off++
+		nd, ok := u16()
+		if !ok {
+			return fail("var rank")
+		}
+		for j := uint16(0); j < nd; j++ {
+			id, ok := u32()
+			if !ok {
+				return fail("var dim")
+			}
+			v.dimIDs = append(v.dimIDs, DimID(id))
+		}
+		if v.attrs, ok = getAttrs(); !ok {
+			return fail("var attributes")
+		}
+		if v.begin, ok = i64(); !ok {
+			return fail("var begin")
+		}
+		if v.vsize, ok = i64(); !ok {
+			return fail("var vsize")
+		}
+		if v.recOffset, ok = i64(); !ok {
+			return fail("var recOffset")
+		}
+		if off >= len(b) {
+			return fail("var record flag")
+		}
+		v.isRecord = b[off] == 1
+		off++
+		f.vars = append(f.vars, v)
+	}
+	return f.sanityCheck()
+}
+
+// sanityCheck rejects parsed geometry that cannot be valid before any
+// data access sizes a buffer from it.
+func (f *File) sanityCheck() error {
+	const maxExtent = int64(1) << 32
+	const maxVarBytes = int64(1) << 31
+	for _, d := range f.dims {
+		if d.length < 0 || d.length > maxExtent {
+			return fmt.Errorf("netcdf: implausible dimension %q length %d", d.name, d.length)
+		}
+	}
+	for _, v := range f.vars {
+		if v.typ.Size() == 0 {
+			return fmt.Errorf("netcdf: variable %q has unknown type", v.name)
+		}
+		for i, id := range v.dimIDs {
+			if int(id) < 0 || int(id) >= len(f.dims) {
+				return fmt.Errorf("netcdf: variable %q references unknown dimension", v.name)
+			}
+			if f.dims[id].length == UnlimitedDim && i != 0 {
+				return fmt.Errorf("netcdf: variable %q has a non-leading unlimited dimension", v.name)
+			}
+		}
+		if v.begin < 0 || v.vsize < 0 || v.vsize > maxVarBytes || v.recOffset < 0 {
+			return fmt.Errorf("netcdf: implausible layout for variable %q", v.name)
+		}
+		if v.vsize != v.fixedElems()*v.typ.Size() {
+			return fmt.Errorf("netcdf: layout size mismatch for variable %q", v.name)
+		}
+	}
+	return nil
+}
+
+// VarByName looks up a variable, emitting the open event.
+func (f *File) VarByName(name string) (*Var, error) {
+	if !f.open {
+		return nil, ErrClosed
+	}
+	for _, v := range f.vars {
+		if v.name == name {
+			f.event(vol.DatasetOpen, v.info(), 0)
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: variable %s", ErrNotFound, name)
+}
+
+// VarNames lists the defined variables.
+func (f *File) VarNames() []string {
+	names := make([]string, len(f.vars))
+	for i, v := range f.vars {
+		names[i] = v.name
+	}
+	return names
+}
+
+// NumRecs returns the current record count.
+func (f *File) NumRecs() int64 { return f.numRecs }
+
+// Sync persists the record count to the header.
+func (f *File) Sync() error {
+	if !f.open {
+		return ErrClosed
+	}
+	if f.defMode {
+		return ErrDefineMode
+	}
+	return f.writeHeader()
+}
+
+// Close syncs (in data mode) and closes the driver.
+func (f *File) Close() error {
+	if !f.open {
+		return nil
+	}
+	if !f.defMode {
+		if err := f.writeHeader(); err != nil {
+			return err
+		}
+	}
+	f.open = false
+	f.event(vol.FileClose, vol.ObjectInfo{Name: "/", Type: "file"}, 0)
+	return f.drv.Close()
+}

@@ -1,0 +1,305 @@
+// Package netcdf implements a classic-netCDF-like self-describing
+// format: a single header region holding all dimensions, attributes and
+// variable descriptors, followed by contiguous fixed-size variable data
+// and interleaved record-variable data along one unlimited dimension.
+//
+// It is the second descriptive format the paper names (§I): its I/O
+// behavior differs from the HDF5-like library in exactly the ways DaYu
+// is built to expose - all metadata lives in one file region, fixed
+// variables are fully contiguous, and record variables interleave so a
+// single variable read becomes one operation per record. The package
+// emits the same VOL events and VFD operation classes as internal/hdf5,
+// so the Data Semantic Mapper and Workflow Analyzer work over netCDF
+// files unchanged.
+package netcdf
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dayu/internal/semantics"
+	"dayu/internal/vfd"
+	"dayu/internal/vol"
+)
+
+var (
+	// ErrDefineMode is returned for data access before EndDef.
+	ErrDefineMode = errors.New("netcdf: file is in define mode")
+	// ErrDataMode is returned for definitions after EndDef.
+	ErrDataMode = errors.New("netcdf: definitions are frozen after EndDef")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("netcdf: file is closed")
+	// ErrNotFound is returned for unknown names.
+	ErrNotFound = errors.New("netcdf: not found")
+)
+
+const (
+	ncMagic = "CDF1"
+	// UnlimitedDim is the length passed to DefineDim for the record
+	// dimension.
+	UnlimitedDim int64 = 0
+)
+
+// Type is a netCDF external type.
+type Type uint8
+
+// Classic netCDF external types.
+const (
+	Byte   Type = 1
+	Short  Type = 2
+	Int    Type = 4
+	Float  Type = 5
+	Double Type = 6
+)
+
+// Size returns the element size in bytes.
+func (t Type) Size() int64 {
+	switch t {
+	case Byte:
+		return 1
+	case Short:
+		return 2
+	case Int, Float:
+		return 4
+	case Double:
+		return 8
+	}
+	return 0
+}
+
+func (t Type) String() string {
+	switch t {
+	case Byte:
+		return "byte"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return "unknown"
+}
+
+// DimID identifies a defined dimension.
+type DimID int
+
+type dim struct {
+	name   string
+	length int64 // 0 = unlimited
+}
+
+type attr struct {
+	name  string
+	typ   Type
+	value []byte
+}
+
+// Var is a variable handle.
+type Var struct {
+	file      *File
+	name      string
+	typ       Type
+	dimIDs    []DimID
+	attrs     []attr
+	begin     int64 // data start offset
+	vsize     int64 // bytes per record (record vars) or total (fixed)
+	recOffset int64 // offset within a record (record vars)
+	isRecord  bool
+}
+
+// Config mirrors hdf5.Config: tracing hooks plus a time source.
+type Config struct {
+	Mailbox  *semantics.Mailbox
+	Observer vol.Observer
+	Task     string
+	Now      func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// File is an open netCDF-like file.
+type File struct {
+	drv     vfd.Driver
+	name    string
+	cfg     Config
+	dims    []dim
+	gattrs  []attr
+	vars    []*Var
+	defMode bool
+	open    bool
+	numRecs int64
+	recSize int64
+	// header geometry
+	headerCap int64
+	dataStart int64
+	recStart  int64
+}
+
+// Create starts a new file in define mode.
+func Create(drv vfd.Driver, name string, cfg Config) (*File, error) {
+	cfg = cfg.withDefaults()
+	if err := drv.Truncate(0); err != nil {
+		return nil, fmt.Errorf("netcdf: create %s: %w", name, err)
+	}
+	f := &File{drv: drv, name: name, cfg: cfg, defMode: true, open: true}
+	f.event(vol.FileCreate, vol.ObjectInfo{Name: "/", Type: "file"}, 0)
+	return f, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// event emits a VOL event.
+func (f *File) event(kind vol.EventKind, info vol.ObjectInfo, bytes int64) {
+	if f.cfg.Observer == nil {
+		return
+	}
+	info.File = f.name
+	f.cfg.Observer.OnEvent(vol.Event{
+		Kind: kind, Wall: f.cfg.Now(), Task: f.cfg.Task, Info: info, Bytes: bytes,
+	})
+}
+
+func (f *File) stamp(object string) func() {
+	if f.cfg.Mailbox == nil {
+		return func() {}
+	}
+	return f.cfg.Mailbox.Enter(semantics.Context{Object: object, File: f.name, Task: f.cfg.Task})
+}
+
+// DefineDim defines a dimension; length UnlimitedDim declares the
+// record dimension (at most one).
+func (f *File) DefineDim(name string, length int64) (DimID, error) {
+	if !f.open {
+		return 0, ErrClosed
+	}
+	if !f.defMode {
+		return 0, ErrDataMode
+	}
+	if name == "" || length < 0 {
+		return 0, fmt.Errorf("netcdf: invalid dimension %q length %d", name, length)
+	}
+	for _, d := range f.dims {
+		if d.name == name {
+			return 0, fmt.Errorf("netcdf: dimension %q already defined", name)
+		}
+		if length == UnlimitedDim && d.length == UnlimitedDim {
+			return 0, fmt.Errorf("netcdf: only one unlimited dimension allowed")
+		}
+	}
+	f.dims = append(f.dims, dim{name: name, length: length})
+	return DimID(len(f.dims) - 1), nil
+}
+
+// DefineVar defines a variable over previously defined dimensions. If
+// the first dimension is the unlimited one the variable is a record
+// variable.
+func (f *File) DefineVar(name string, typ Type, dimIDs []DimID) (*Var, error) {
+	if !f.open {
+		return nil, ErrClosed
+	}
+	if !f.defMode {
+		return nil, ErrDataMode
+	}
+	if name == "" || typ.Size() == 0 {
+		return nil, fmt.Errorf("netcdf: invalid variable %q", name)
+	}
+	for _, v := range f.vars {
+		if v.name == name {
+			return nil, fmt.Errorf("netcdf: variable %q already defined", name)
+		}
+	}
+	for i, id := range dimIDs {
+		if int(id) < 0 || int(id) >= len(f.dims) {
+			return nil, fmt.Errorf("netcdf: variable %q references unknown dimension %d", name, id)
+		}
+		if f.dims[id].length == UnlimitedDim && i != 0 {
+			return nil, fmt.Errorf("netcdf: unlimited dimension must be the first dimension of %q", name)
+		}
+	}
+	v := &Var{file: f, name: name, typ: typ, dimIDs: append([]DimID(nil), dimIDs...)}
+	v.isRecord = len(dimIDs) > 0 && f.dims[dimIDs[0]].length == UnlimitedDim
+	f.vars = append(f.vars, v)
+	f.event(vol.DatasetCreate, v.info(), 0)
+	return v, nil
+}
+
+// PutGlobalAttr sets a global attribute (define mode only).
+func (f *File) PutGlobalAttr(name string, typ Type, value []byte) error {
+	if !f.open {
+		return ErrClosed
+	}
+	if !f.defMode {
+		return ErrDataMode
+	}
+	f.gattrs = append(f.gattrs, attr{name: name, typ: typ, value: append([]byte(nil), value...)})
+	return nil
+}
+
+// PutAttr sets a variable attribute (define mode only).
+func (v *Var) PutAttr(name string, typ Type, value []byte) error {
+	if !v.file.open {
+		return ErrClosed
+	}
+	if !v.file.defMode {
+		return ErrDataMode
+	}
+	v.attrs = append(v.attrs, attr{name: name, typ: typ, value: append([]byte(nil), value...)})
+	return nil
+}
+
+// Name returns the variable name.
+func (v *Var) Name() string { return v.name }
+
+// Type returns the external type.
+func (v *Var) Type() Type { return v.typ }
+
+// Dims returns the variable's current shape (the record dimension
+// reports the current record count).
+func (v *Var) Dims() []int64 {
+	out := make([]int64, len(v.dimIDs))
+	for i, id := range v.dimIDs {
+		if v.file.dims[id].length == UnlimitedDim {
+			out[i] = v.file.numRecs
+		} else {
+			out[i] = v.file.dims[id].length
+		}
+	}
+	return out
+}
+
+func (v *Var) info() vol.ObjectInfo {
+	layout := "contiguous"
+	if v.isRecord {
+		layout = "record"
+	}
+	return vol.ObjectInfo{
+		Name:     "/" + v.name,
+		Type:     "dataset",
+		Datatype: v.typ.String(),
+		Shape:    v.Dims(),
+		ElemSize: v.typ.Size(),
+		Layout:   layout,
+	}
+}
+
+// fixedElems returns the element count of the non-record dimensions.
+func (v *Var) fixedElems() int64 {
+	n := int64(1)
+	for i, id := range v.dimIDs {
+		if i == 0 && v.isRecord {
+			continue
+		}
+		n *= v.file.dims[id].length
+	}
+	return n
+}

@@ -1,0 +1,393 @@
+package netcdf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/tracer"
+	"dayu/internal/vfd"
+)
+
+// buildClimateFile defines a classic climate-style file: fixed lat/lon
+// coordinate variables plus a record variable temp(time, lat, lon).
+func buildClimateFile(t *testing.T, drv vfd.Driver, cfg Config) *File {
+	t.Helper()
+	f, err := Create(drv, "climate.nc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeD, err := f.DefineDim("time", UnlimitedDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latD, err := f.DefineDim("lat", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lonD, err := f.DefineDim("lon", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := f.DefineVar("lat", Double, []DimID{latD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lat.PutAttr("units", Byte, []byte("degrees_north")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DefineVar("lon", Double, []DimID{lonD}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DefineVar("temp", Float, []DimID{timeD, latD, lonD}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DefineVar("pressure", Float, []DimID{timeD, latD, lonD}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PutGlobalAttr("title", Byte, []byte("toy climate")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDefineModeRules(t *testing.T) {
+	f, err := Create(vfd.NewMemDriver(), "x.nc", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.DefineDim("d", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.DefineVar("v", Int, []DimID{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data access in define mode fails.
+	if err := v.WriteAll(make([]byte, 16)); !errors.Is(err, ErrDefineMode) {
+		t.Errorf("write in define mode: %v", err)
+	}
+	if err := f.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	// Definitions in data mode fail.
+	if _, err := f.DefineDim("late", 2); !errors.Is(err, ErrDataMode) {
+		t.Errorf("define after EndDef: %v", err)
+	}
+	if _, err := f.DefineVar("late", Int, nil); !errors.Is(err, ErrDataMode) {
+		t.Errorf("var after EndDef: %v", err)
+	}
+	if err := f.EndDef(); !errors.Is(err, ErrDataMode) {
+		t.Errorf("double EndDef: %v", err)
+	}
+	// Invalid definitions.
+	f2, _ := Create(vfd.NewMemDriver(), "y.nc", Config{})
+	if _, err := f2.DefineDim("", 3); err == nil {
+		t.Error("empty dim name accepted")
+	}
+	if _, err := f2.DefineDim("neg", -1); err == nil {
+		t.Error("negative dim accepted")
+	}
+	u1, _ := f2.DefineDim("u1", UnlimitedDim)
+	if _, err := f2.DefineDim("u2", UnlimitedDim); err == nil {
+		t.Error("second unlimited dim accepted")
+	}
+	fix, _ := f2.DefineDim("fix", 2)
+	if _, err := f2.DefineVar("bad", Int, []DimID{fix, u1}); err == nil {
+		t.Error("unlimited dim in non-first position accepted")
+	}
+	if _, err := f2.DefineVar("bad2", Type(99), nil); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := f2.DefineVar("bad3", Int, []DimID{99}); err == nil {
+		t.Error("unknown dim id accepted")
+	}
+}
+
+func TestFixedVariableRoundTrip(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	f := buildClimateFile(t, drv, Config{})
+	lat, err := f.VarByName("lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4*8)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := lat.WriteAll(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lat.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fixed variable round trip failed")
+	}
+	// Partial slab.
+	part, err := lat.Read([]int64{1}, []int64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(part, data[8:24]) {
+		t.Fatal("fixed slab read wrong")
+	}
+	// Attribute.
+	val, typ, err := lat.Attr("units")
+	if err != nil || typ != Byte || string(val) != "degrees_north" {
+		t.Fatalf("attr = %q, %v, %v", val, typ, err)
+	}
+	if _, _, err := lat.Attr("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing attr: %v", err)
+	}
+}
+
+func TestRecordVariablesInterleaveAndPersist(t *testing.T) {
+	drv := vfd.NewMemDriver()
+	f := buildClimateFile(t, drv, Config{})
+	temp, _ := f.VarByName("temp")
+	pres, _ := f.VarByName("pressure")
+
+	recBytes := 4 * 8 * 4 // lat*lon*sizeof(float)
+	mkRec := func(fill byte) []byte { return bytes.Repeat([]byte{fill}, recBytes) }
+
+	// Write three records of temp and two of pressure, out of order.
+	for rec, fill := range map[int64]byte{0: 1, 1: 2, 2: 3} {
+		if err := temp.Write([]int64{rec, 0, 0}, []int64{1, 4, 8}, mkRec(fill)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pres.Write([]int64{1, 0, 0}, []int64{1, 4, 8}, mkRec(9)); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRecs() != 3 {
+		t.Fatalf("numRecs = %d", f.NumRecs())
+	}
+	// Reading beyond records fails.
+	if _, err := temp.Read([]int64{2, 0, 0}, []int64{2, 4, 8}); err == nil {
+		t.Error("read past records succeeded")
+	}
+	got, err := temp.Read([]int64{1, 0, 0}, []int64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:recBytes], mkRec(2)) || !bytes.Equal(got[recBytes:], mkRec(3)) {
+		t.Fatal("record read wrong")
+	}
+	// Pressure record 1 is intact despite temp interleaving.
+	p, err := pres.Read([]int64{1, 0, 0}, []int64{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, mkRec(9)) {
+		t.Fatal("interleaved record corrupted")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify everything persisted, including record count.
+	f2, err := Open(vfd.NewMemDriverFrom(append([]byte(nil), drv.Bytes()...)), "climate.nc", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumRecs() != 3 {
+		t.Fatalf("reopened numRecs = %d", f2.NumRecs())
+	}
+	temp2, err := f2.VarByName("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims := temp2.Dims(); dims[0] != 3 || dims[1] != 4 || dims[2] != 8 {
+		t.Fatalf("reopened dims = %v", dims)
+	}
+	got2, err := temp2.Read([]int64{0, 0, 0}, []int64{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, mkRec(1)) {
+		t.Fatal("record 0 lost across reopen")
+	}
+	if val, _, err := f2.GlobalAttr("title"); err != nil || string(val) != "toy climate" {
+		t.Fatalf("global attr lost: %q, %v", val, err)
+	}
+	if len(f2.VarNames()) != 4 {
+		t.Fatalf("vars = %v", f2.VarNames())
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open(vfd.NewMemDriverFrom(make([]byte, 256)), "bad.nc", Config{}); err == nil {
+		t.Error("garbage opened")
+	}
+	if _, err := Open(vfd.NewMemDriver(), "empty.nc", Config{}); err == nil {
+		t.Error("empty file opened")
+	}
+}
+
+func TestSlabValidation(t *testing.T) {
+	f := buildClimateFile(t, vfd.NewMemDriver(), Config{})
+	lat, _ := f.VarByName("lat")
+	if err := lat.Write([]int64{3}, []int64{2}, make([]byte, 16)); err == nil {
+		t.Error("overflow slab accepted")
+	}
+	if err := lat.Write([]int64{0}, []int64{2}, make([]byte, 3)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := lat.Write([]int64{0, 0}, []int64{1, 1}, make([]byte, 8)); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	temp, _ := f.VarByName("temp")
+	if err := temp.WriteAll(nil); err == nil {
+		t.Error("WriteAll on record variable accepted")
+	}
+}
+
+// TestDaYuTracesNetCDF proves the cross-format claim: the same Data
+// Semantic Mapper observes netCDF I/O, attributes operations to
+// variables, and distinguishes the single header metadata region.
+func TestDaYuTracesNetCDF(t *testing.T) {
+	tr := tracer.New(tracer.Config{})
+	tr.BeginTask("climate_task")
+	drv := tr.WrapDriver(vfd.NewMemDriver(), "climate.nc")
+	f := buildClimateFile(t, drv, Config{
+		Mailbox: tr.Mailbox(), Observer: tr.VOLObserver(), Task: "climate_task",
+	})
+	temp, err := f.VarByName("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recBytes := 4 * 8 * 4
+	for rec := int64(0); rec < 5; rec++ {
+		if err := temp.Write([]int64{rec, 0, 0}, []int64{1, 4, 8},
+			bytes.Repeat([]byte{byte(rec)}, recBytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := temp.Read([]int64{0, 0, 0}, []int64{5, 4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tt := tr.EndTask()
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Table I: temp appears with its record layout.
+	var tempObj bool
+	for _, o := range tt.Objects {
+		if o.Object == "/temp" {
+			tempObj = true
+			if o.Datatype != "float" || o.Layout != "record" {
+				t.Errorf("temp description: %+v", o)
+			}
+			if o.Writes != 5 || o.Reads != 1 {
+				t.Errorf("temp accesses: r%d w%d", o.Reads, o.Writes)
+			}
+		}
+	}
+	if !tempObj {
+		t.Fatal("no object record for /temp")
+	}
+	// Characteristic Mapper: temp's I/O attributed; record access is
+	// strided (one op per record), so >= 10 data ops for 5w+5r records.
+	for _, ms := range tt.Mapped {
+		if ms.Object == "/temp" {
+			if ms.DataOps < 10 {
+				t.Errorf("temp data ops = %d, want >= 10 (strided records)", ms.DataOps)
+			}
+			if ms.MetaOps != 0 {
+				t.Errorf("temp charged %d metadata ops; netCDF metadata is all in the header", ms.MetaOps)
+			}
+		}
+		// Header traffic is unattributed metadata at file offset 0.
+		if ms.Object == "" {
+			if ms.MetaOps == 0 || ms.Regions[0].Start != 0 {
+				t.Errorf("header stats wrong: %+v", ms)
+			}
+		}
+	}
+	if len(tt.Files) != 1 || tt.Files[0].MetaOps == 0 {
+		t.Fatal("file record missing header metadata ops")
+	}
+}
+
+// TestNetCDFVsHDF5MetadataShape verifies the structural difference DaYu
+// should expose: netCDF concentrates metadata in one region while the
+// HDF5-like format scatters it across the file.
+func TestNetCDFVsHDF5MetadataShape(t *testing.T) {
+	// netCDF: all metadata extents at the file head.
+	tr := tracer.New(tracer.Config{})
+	tr.BeginTask("nc")
+	ncDrv := tr.WrapDriver(vfd.NewMemDriver(), "m.nc")
+	nc := buildClimateFile(t, ncDrv, Config{Mailbox: tr.Mailbox(), Observer: tr.VOLObserver(), Task: "nc"})
+	lat, _ := nc.VarByName("lat")
+	if err := lat.WriteAll(make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ncTrace := tr.EndTask()
+	var ncMetaEnd int64
+	for _, ms := range ncTrace.Mapped {
+		if ms.Object == "" {
+			for _, ext := range ms.Regions {
+				if ext.End > ncMetaEnd {
+					ncMetaEnd = ext.End
+				}
+			}
+		}
+	}
+	if ncMetaEnd > 2048 {
+		t.Errorf("netCDF metadata extends to %d; expected a compact header region", ncMetaEnd)
+	}
+
+	// HDF5: per-object headers scatter metadata through the file.
+	tr2 := tracer.New(tracer.Config{})
+	tr2.BeginTask("h5")
+	h5Drv := tr2.WrapDriver(vfd.NewMemDriver(), "m.h5")
+	h5, err := hdf5.Create(h5Drv, "m.h5", hdf5.Config{
+		Mailbox: tr2.Mailbox(), Observer: tr2.VOLObserver(), Task: "h5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		ds, err := h5.Root().CreateDataset(name, hdf5.Float64, []int64{512}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteAll(make([]byte, 4096)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h5.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h5Trace := tr2.EndTask()
+	var h5MetaEnd int64
+	for _, fr := range h5Trace.Files {
+		_ = fr
+	}
+	for _, ms := range h5Trace.Mapped {
+		if ms.MetaOps > 0 {
+			for _, ext := range ms.Regions {
+				if ext.End > h5MetaEnd {
+					h5MetaEnd = ext.End
+				}
+			}
+		}
+	}
+	if h5MetaEnd <= 4096 {
+		t.Errorf("HDF5 metadata ends at %d; expected scattered object headers", h5MetaEnd)
+	}
+}

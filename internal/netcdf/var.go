@@ -1,0 +1,233 @@
+package netcdf
+
+import (
+	"fmt"
+
+	"dayu/internal/sim"
+	"dayu/internal/vol"
+)
+
+// hyperslab validation and run decomposition over the variable's
+// non-record dimensions.
+
+func (v *Var) validate(start, count []int64, forWrite bool) error {
+	if len(start) != len(v.dimIDs) || len(count) != len(v.dimIDs) {
+		return fmt.Errorf("netcdf: %s: slab rank %d/%d does not match rank %d",
+			v.name, len(start), len(count), len(v.dimIDs))
+	}
+	for i, id := range v.dimIDs {
+		if start[i] < 0 || count[i] <= 0 {
+			return fmt.Errorf("netcdf: %s: invalid slab dim %d", v.name, i)
+		}
+		length := v.file.dims[id].length
+		if length == UnlimitedDim {
+			// Writes may extend the record dimension; reads may not.
+			if !forWrite && start[i]+count[i] > v.file.numRecs {
+				return fmt.Errorf("netcdf: %s: record slab [%d,%d) beyond %d records",
+					v.name, start[i], start[i]+count[i], v.file.numRecs)
+			}
+			continue
+		}
+		if start[i]+count[i] > length {
+			return fmt.Errorf("netcdf: %s: slab dim %d [%d,%d) exceeds extent %d",
+				v.name, i, start[i], start[i]+count[i], length)
+		}
+	}
+	return nil
+}
+
+// maxSlabBytes bounds a single hyperslab transfer, protecting against
+// corrupted geometry driving unbounded allocations.
+const maxSlabBytes = int64(1) << 28
+
+func slabElems(count []int64) int64 {
+	n := int64(1)
+	for _, c := range count {
+		n *= c
+	}
+	return n
+}
+
+// fixedRuns decomposes a slab over the variable's trailing len(start)
+// dimensions into contiguous element runs (offsets relative to the
+// slab space origin). Record variables pass their non-record suffix.
+func (v *Var) fixedRuns(start, count []int64) []run {
+	ids := v.dimIDs[len(v.dimIDs)-len(start):]
+	dims := make([]int64, len(start))
+	for i, id := range ids {
+		dims[i] = v.file.dims[id].length
+	}
+	return decompose(dims, start, count)
+}
+
+type run struct{ start, count int64 }
+
+func decompose(dims, start, count []int64) []run {
+	n := len(dims)
+	if n == 0 {
+		return []run{{0, 1}}
+	}
+	idx := append([]int64(nil), start...)
+	var out []run
+	for {
+		var lin int64
+		for i := range dims {
+			lin = lin*dims[i] + idx[i]
+		}
+		r := run{start: lin, count: count[n-1]}
+		if k := len(out) - 1; k >= 0 && out[k].start+out[k].count == r.start {
+			out[k].count += r.count
+		} else {
+			out = append(out, r)
+		}
+		d := n - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < start[d]+count[d] {
+				break
+			}
+			idx[d] = start[d]
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// Write stores a hyperslab. For record variables the first start/count
+// pair addresses records; writing past the current record count extends
+// the file, and each record becomes at least one separate I/O operation
+// (the interleaved layout's strided access).
+func (v *Var) Write(start, count []int64, data []byte) error {
+	f := v.file
+	if !f.open {
+		return ErrClosed
+	}
+	if f.defMode {
+		return ErrDefineMode
+	}
+	if err := v.validate(start, count, true); err != nil {
+		return err
+	}
+	want := slabElems(count) * v.typ.Size()
+	if int64(len(data)) != want {
+		return fmt.Errorf("netcdf: %s: have %d bytes, slab needs %d", v.name, len(data), want)
+	}
+	exit := f.stamp("/" + v.name)
+	defer exit()
+
+	es := v.typ.Size()
+	if !v.isRecord {
+		var off int64
+		for _, r := range v.fixedRuns(start, count) {
+			n := r.count * es
+			if err := f.drv.WriteAt(data[off:off+n], v.begin+r.start*es, sim.RawData); err != nil {
+				return fmt.Errorf("netcdf: write %s: %w", v.name, err)
+			}
+			off += n
+		}
+	} else {
+		var off int64
+		for rec := start[0]; rec < start[0]+count[0]; rec++ {
+			base := f.recStart + rec*f.recSize + v.recOffset
+			for _, r := range v.fixedRuns(start[1:], count[1:]) {
+				n := r.count * es
+				if err := f.drv.WriteAt(data[off:off+n], base+r.start*es, sim.RawData); err != nil {
+					return fmt.Errorf("netcdf: write %s record %d: %w", v.name, rec, err)
+				}
+				off += n
+			}
+			if rec+1 > f.numRecs {
+				f.numRecs = rec + 1
+			}
+		}
+	}
+	f.event(vol.DatasetWrite, v.info(), int64(len(data)))
+	return nil
+}
+
+// Read fetches a hyperslab.
+func (v *Var) Read(start, count []int64) ([]byte, error) {
+	f := v.file
+	if !f.open {
+		return nil, ErrClosed
+	}
+	if f.defMode {
+		return nil, ErrDefineMode
+	}
+	if err := v.validate(start, count, false); err != nil {
+		return nil, err
+	}
+	want := slabElems(count) * v.typ.Size()
+	if want < 0 || want > maxSlabBytes {
+		return nil, fmt.Errorf("netcdf: %s: implausible read size %d", v.name, want)
+	}
+	out := make([]byte, want)
+	exit := f.stamp("/" + v.name)
+	defer exit()
+
+	es := v.typ.Size()
+	if !v.isRecord {
+		var off int64
+		for _, r := range v.fixedRuns(start, count) {
+			n := r.count * es
+			if err := f.drv.ReadAt(out[off:off+n], v.begin+r.start*es, sim.RawData); err != nil {
+				return nil, fmt.Errorf("netcdf: read %s: %w", v.name, err)
+			}
+			off += n
+		}
+	} else {
+		var off int64
+		for rec := start[0]; rec < start[0]+count[0]; rec++ {
+			base := f.recStart + rec*f.recSize + v.recOffset
+			for _, r := range v.fixedRuns(start[1:], count[1:]) {
+				n := r.count * es
+				if err := f.drv.ReadAt(out[off:off+n], base+r.start*es, sim.RawData); err != nil {
+					return nil, fmt.Errorf("netcdf: read %s record %d: %w", v.name, rec, err)
+				}
+				off += n
+			}
+		}
+	}
+	f.event(vol.DatasetRead, v.info(), int64(len(out)))
+	return out, nil
+}
+
+// WriteAll writes the whole fixed variable (not valid for record vars).
+func (v *Var) WriteAll(data []byte) error {
+	if v.isRecord {
+		return fmt.Errorf("netcdf: %s: WriteAll on a record variable", v.name)
+	}
+	start := make([]int64, len(v.dimIDs))
+	return v.Write(start, v.Dims(), data)
+}
+
+// ReadAll reads the whole variable (record vars read all records).
+func (v *Var) ReadAll() ([]byte, error) {
+	start := make([]int64, len(v.dimIDs))
+	return v.Read(start, v.Dims())
+}
+
+// Attr returns a variable attribute value.
+func (v *Var) Attr(name string) ([]byte, Type, error) {
+	for _, a := range v.attrs {
+		if a.name == name {
+			v.file.event(vol.AttrRead, vol.ObjectInfo{
+				Name: "/" + v.name + "@" + name, Type: "attribute", Datatype: a.typ.String(),
+			}, int64(len(a.value)))
+			return append([]byte(nil), a.value...), a.typ, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: attribute %s of %s", ErrNotFound, name, v.name)
+}
+
+// GlobalAttr returns a global attribute value.
+func (f *File) GlobalAttr(name string) ([]byte, Type, error) {
+	for _, a := range f.gattrs {
+		if a.name == name {
+			return append([]byte(nil), a.value...), a.typ, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("%w: global attribute %s", ErrNotFound, name)
+}

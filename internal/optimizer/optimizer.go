@@ -1,0 +1,241 @@
+// Package optimizer turns DaYu's diagnostic findings into concrete
+// optimization decisions, following the paper's guidelines (§III-A):
+// data-locality plans (placement, co-scheduling, prefetch/stage-in,
+// stage-out) for the workflow engine, and storage-layout advice
+// (contiguous vs chunked vs consolidation) for the format layer.
+package optimizer
+
+import (
+	"sort"
+
+	"dayu/internal/diagnose"
+	"dayu/internal/hdf5"
+	"dayu/internal/trace"
+	"dayu/internal/workflow"
+)
+
+// LocalityOptions tunes plan construction.
+type LocalityOptions struct {
+	// FastTier is the node-local device files are placed on (e.g.
+	// "nvme" or "sata-ssd").
+	FastTier string
+	// Nodes is the cluster node count for co-scheduling.
+	Nodes int
+	// AsyncStageOut overlaps stage-out with later work.
+	AsyncStageOut bool
+	// StageOutDisposable schedules disposable files for stage-out after
+	// their last consumer.
+	StageOutDisposable bool
+	// CacheReused applies the customized-caching guideline: files with
+	// two or more distinct consumers are held in the memory buffer
+	// after first access.
+	CacheReused bool
+}
+
+// PlanDataLocality derives a placement/co-scheduling plan from traces:
+// every task is scheduled on the node holding most of its input bytes,
+// its outputs are placed on that node's fast tier, pure inputs are
+// staged in just before their first consumer stage, and (optionally)
+// single-consumer files are staged out afterwards. This is the
+// guideline-driven optimization evaluated in Figures 11 and 12.
+func PlanDataLocality(traces []*trace.TaskTrace, m *trace.Manifest, opts LocalityOptions) *workflow.Plan {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.FastTier == "" {
+		opts.FastTier = "nvme"
+	}
+	ordered := orderedTraces(traces, m)
+	stageOf := stageIndex(m)
+
+	plan := &workflow.Plan{
+		Placements:    map[string]workflow.Placement{},
+		NodeOf:        map[string]int{},
+		StageIn:       map[string][]string{},
+		StageOut:      map[string][]string{},
+		AsyncStageOut: opts.AsyncStageOut,
+	}
+
+	writers := map[string]string{} // file -> first producing task
+	readersOf := map[string][]string{}
+	for _, t := range ordered {
+		for _, fr := range t.Files {
+			if fr.DataWrites > 0 {
+				if _, ok := writers[fr.File]; !ok {
+					writers[fr.File] = t.Task
+				}
+			}
+			if fr.DataReads > 0 {
+				readersOf[fr.File] = append(readersOf[fr.File], t.Task)
+			}
+		}
+	}
+
+	// Schedule tasks by input affinity, in execution order.
+	rr := 0
+	for _, t := range ordered {
+		votes := make([]int64, opts.Nodes)
+		var hasVote bool
+		for _, fr := range t.Files {
+			if fr.DataReads == 0 {
+				continue
+			}
+			if pl, ok := plan.Placements[fr.File]; ok {
+				votes[pl.Node] += fr.BytesRead
+				hasVote = true
+			}
+		}
+		node := rr % opts.Nodes
+		if hasVote {
+			best := 0
+			for n := 1; n < opts.Nodes; n++ {
+				if votes[n] > votes[best] {
+					best = n
+				}
+			}
+			node = best
+		} else {
+			rr++
+		}
+		plan.NodeOf[t.Task] = node
+		// Outputs land on the task's node-local fast tier.
+		for _, fr := range t.Files {
+			if fr.DataWrites > 0 {
+				if _, ok := plan.Placements[fr.File]; !ok {
+					plan.Placements[fr.File] = workflow.Placement{Device: opts.FastTier, Node: node}
+				}
+			}
+		}
+	}
+
+	// Pure inputs: place on the first reader's node and stage them in
+	// right before that reader's stage (delayed prefetch for
+	// time-dependent inputs).
+	for file, readers := range readersOf {
+		if _, produced := writers[file]; produced || len(readers) == 0 {
+			continue
+		}
+		first := readers[0]
+		node := plan.NodeOf[first]
+		plan.Placements[file] = workflow.Placement{Device: opts.FastTier, Node: node}
+		if st, ok := stageOf[first]; ok {
+			plan.StageIn[st] = append(plan.StageIn[st], file)
+		}
+	}
+
+	// Disposable outputs: stage out after the last consumer.
+	if opts.StageOutDisposable {
+		for file, readers := range readersOf {
+			if _, produced := writers[file]; !produced || len(uniqueStrings(readers)) != 1 {
+				continue
+			}
+			last := readers[len(readers)-1]
+			if st, ok := stageOf[last]; ok {
+				plan.StageOut[st] = append(plan.StageOut[st], file)
+			}
+		}
+	}
+	// Heavily reused files are candidates for the memory buffer.
+	if opts.CacheReused {
+		for file, readers := range readersOf {
+			if len(uniqueStrings(readers)) >= 2 {
+				plan.CacheFiles = append(plan.CacheFiles, file)
+			}
+		}
+		sort.Strings(plan.CacheFiles)
+	}
+	for _, lists := range []map[string][]string{plan.StageIn, plan.StageOut} {
+		for k := range lists {
+			sort.Strings(lists[k])
+		}
+	}
+	return plan
+}
+
+func orderedTraces(traces []*trace.TaskTrace, m *trace.Manifest) []*trace.TaskTrace {
+	out := append([]*trace.TaskTrace(nil), traces...)
+	rank := map[string]int{}
+	if m != nil {
+		for i, t := range m.TaskOrder {
+			rank[t] = i
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, oki := rank[out[i].Task]
+		rj, okj := rank[out[j].Task]
+		if oki && okj {
+			return ri < rj
+		}
+		return out[i].StartNS < out[j].StartNS
+	})
+	return out
+}
+
+func stageIndex(m *trace.Manifest) map[string]string {
+	idx := map[string]string{}
+	if m == nil {
+		return idx
+	}
+	for stage, tasks := range m.Stages {
+		for _, t := range tasks {
+			idx[t] = stage
+		}
+	}
+	return idx
+}
+
+func uniqueStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LayoutAdvice recommends a storage layout per (file, object) from the
+// layout-mismatch findings, applying the §III-A data-format guidelines:
+// small fixed-length data becomes contiguous (or consolidated), large
+// VL data becomes chunked.
+type LayoutAdvice struct {
+	// Convert maps "file::object" to the recommended layout.
+	Convert map[string]hdf5.Layout
+	// Consolidate lists files whose many small datasets should merge
+	// into one large dataset.
+	Consolidate []string
+	// SkipDatasets lists "file::object" accesses that move data no task
+	// uses (partial-file-access candidates).
+	SkipDatasets []string
+}
+
+// AdviseLayout derives layout recommendations from findings.
+func AdviseLayout(findings []diagnose.Finding) LayoutAdvice {
+	adv := LayoutAdvice{Convert: map[string]hdf5.Layout{}}
+	seenCons := map[string]bool{}
+	seenSkip := map[string]bool{}
+	for _, f := range findings {
+		key := f.File + "::" + f.Object
+		switch f.Kind {
+		case diagnose.ChunkedSmallData:
+			adv.Convert[key] = hdf5.Contiguous
+		case diagnose.VLenContiguous:
+			adv.Convert[key] = hdf5.Chunked
+		case diagnose.DataScattering:
+			if !seenCons[f.File] {
+				seenCons[f.File] = true
+				adv.Consolidate = append(adv.Consolidate, f.File)
+			}
+		case diagnose.MetadataOnlyAccess:
+			if !seenSkip[key] {
+				seenSkip[key] = true
+				adv.SkipDatasets = append(adv.SkipDatasets, key)
+			}
+		}
+	}
+	sort.Strings(adv.Consolidate)
+	sort.Strings(adv.SkipDatasets)
+	return adv
+}

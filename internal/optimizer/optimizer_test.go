@@ -1,0 +1,171 @@
+package optimizer
+
+import (
+	"testing"
+
+	"dayu/internal/diagnose"
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/trace"
+	"dayu/internal/tracer"
+	"dayu/internal/workflow"
+	"dayu/internal/workloads"
+)
+
+func mkFileRecord(file string, reads, writes int64) trace.FileRecord {
+	fr := trace.FileRecord{File: file, Reads: reads, Writes: writes,
+		BytesRead: reads * 1000, BytesWritten: writes * 1000,
+		DataReads: reads, DataWrites: writes, DataOps: reads + writes}
+	fr.Ops = fr.MetaOps + fr.DataOps
+	return fr
+}
+
+func mkTrace(task string, start int64, files ...trace.FileRecord) *trace.TaskTrace {
+	for i := range files {
+		files[i].Task = task
+	}
+	return &trace.TaskTrace{Task: task, StartNS: start, EndNS: start + 10, Files: files}
+}
+
+func chainTraces() ([]*trace.TaskTrace, *trace.Manifest) {
+	traces := []*trace.TaskTrace{
+		mkTrace("gen", 0,
+			mkFileRecord("input.h5", 3, 0),
+			mkFileRecord("mid.h5", 0, 3)),
+		mkTrace("consume", 10,
+			mkFileRecord("mid.h5", 3, 0),
+			mkFileRecord("out.h5", 0, 2)),
+		mkTrace("report", 20,
+			mkFileRecord("out.h5", 1, 0)),
+	}
+	m := &trace.Manifest{
+		Workflow:  "chain",
+		TaskOrder: []string{"gen", "consume", "report"},
+		Stages: map[string][]string{
+			"s1": {"gen"}, "s2": {"consume"}, "s3": {"report"},
+		},
+		StageOrder: []string{"s1", "s2", "s3"},
+	}
+	return traces, m
+}
+
+func TestPlanDataLocality(t *testing.T) {
+	traces, m := chainTraces()
+	plan := PlanDataLocality(traces, m, LocalityOptions{
+		FastTier: "nvme", Nodes: 2, StageOutDisposable: true, AsyncStageOut: true,
+	})
+	// Producer outputs placed on the producer's node-local fast tier.
+	pl, ok := plan.Placements["mid.h5"]
+	if !ok || pl.Device != "nvme" {
+		t.Fatalf("mid.h5 placement = %+v", pl)
+	}
+	if pl.Node != plan.NodeOf["gen"] {
+		t.Error("output not on producer's node")
+	}
+	// Consumer co-scheduled onto the node holding its input.
+	if plan.NodeOf["consume"] != pl.Node {
+		t.Errorf("consume on node %d, input on node %d", plan.NodeOf["consume"], pl.Node)
+	}
+	// report follows out.h5's node.
+	if plan.NodeOf["report"] != plan.NodeOf["consume"] {
+		t.Error("report not co-scheduled with its input")
+	}
+	// Pure input staged in before its first consumer's stage.
+	if got := plan.StageIn["s1"]; len(got) != 1 || got[0] != "input.h5" {
+		t.Errorf("stage-in = %v", plan.StageIn)
+	}
+	// Single-consumer outputs staged out after their consumer.
+	if got := plan.StageOut["s2"]; len(got) != 1 || got[0] != "mid.h5" {
+		t.Errorf("stage-out s2 = %v", plan.StageOut)
+	}
+	if got := plan.StageOut["s3"]; len(got) != 1 || got[0] != "out.h5" {
+		t.Errorf("stage-out s3 = %v", plan.StageOut)
+	}
+	if !plan.AsyncStageOut {
+		t.Error("async flag lost")
+	}
+	// The plan validates against the machine it targets.
+	if err := plan.Validate(sim.MachineCPU, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanDefaultsAndDegenerateInputs(t *testing.T) {
+	plan := PlanDataLocality(nil, nil, LocalityOptions{})
+	if plan == nil || len(plan.Placements) != 0 {
+		t.Fatal("empty traces should give empty plan")
+	}
+	// Without a manifest, timestamps order tasks; plan still forms.
+	traces, _ := chainTraces()
+	plan = PlanDataLocality(traces, nil, LocalityOptions{Nodes: 2})
+	if len(plan.Placements) == 0 {
+		t.Error("no placements derived")
+	}
+}
+
+func TestPlanImprovesWorkflowTime(t *testing.T) {
+	// End-to-end: the locality plan must beat the shared-storage
+	// baseline on the PyFLEXTRKR replica (the Figure 11 effect).
+	cfg := workloads.PyFlextrkrConfig{ParallelTasks: 3, InputFiles: 3, FeatureBytes: 32 << 10,
+		Stage9Datasets: 8, Stage9Accesses: 3}
+	cluster := workflow.Cluster{Machine: sim.MachineCPU, Nodes: 2}
+
+	spec, setup := workloads.PyFlextrkr(cfg)
+	base, err := workflow.NewEngine(cluster, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup(base); err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := base.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan := PlanDataLocality(baseRes.Traces, baseRes.Manifest, LocalityOptions{
+		FastTier: "nvme", Nodes: cluster.Nodes,
+	})
+	spec2, setup2 := workloads.PyFlextrkr(cfg)
+	opt, err := workflow.NewEngine(cluster, plan, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup2(opt); err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := opt.Run(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.Total() >= baseRes.Total() {
+		t.Errorf("optimized (%v) not faster than baseline (%v)", optRes.Total(), baseRes.Total())
+	}
+}
+
+func TestAdviseLayout(t *testing.T) {
+	findings := []diagnose.Finding{
+		{Kind: diagnose.ChunkedSmallData, File: "a.h5", Object: "/rmsd"},
+		{Kind: diagnose.VLenContiguous, File: "b.h5", Object: "/image0"},
+		{Kind: diagnose.DataScattering, File: "s.h5"},
+		{Kind: diagnose.DataScattering, File: "s.h5"}, // duplicate collapses
+		{Kind: diagnose.MetadataOnlyAccess, File: "agg.h5", Object: "/contact_map"},
+		{Kind: diagnose.DataReuse, File: "x.h5"}, // irrelevant to layout
+	}
+	adv := AdviseLayout(findings)
+	if adv.Convert["a.h5::/rmsd"] != hdf5.Contiguous {
+		t.Error("chunked-small not converted to contiguous")
+	}
+	if adv.Convert["b.h5::/image0"] != hdf5.Chunked {
+		t.Error("vlen-contiguous not converted to chunked")
+	}
+	if len(adv.Consolidate) != 1 || adv.Consolidate[0] != "s.h5" {
+		t.Errorf("consolidate = %v", adv.Consolidate)
+	}
+	if len(adv.SkipDatasets) != 1 || adv.SkipDatasets[0] != "agg.h5::/contact_map" {
+		t.Errorf("skip = %v", adv.SkipDatasets)
+	}
+	if len(adv.Convert) != 2 {
+		t.Errorf("convert map = %v", adv.Convert)
+	}
+}

@@ -1,0 +1,288 @@
+// Package repack rewrites HDF5-like files with optimized storage
+// layouts, applying DaYu's data-format-optimization guideline the way
+// h5repack applies layout changes to real HDF5 files: converting
+// datasets between contiguous and chunked layouts, and consolidating
+// many small datasets into one large dataset indexed by offset (the
+// PyFLEXTRKR stage-9 optimization of §VII-C2).
+package repack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dayu/internal/hdf5"
+)
+
+// Advice configures the rewrite.
+type Advice struct {
+	// Convert maps object paths (e.g. "/g/rmsd") to their target layout.
+	Convert map[string]hdf5.Layout
+	// ChunkDims supplies chunk shapes for conversions to chunked layout;
+	// nil uses ceil(dim/8) per dimension.
+	ChunkDims func(dims []int64) []int64
+	// ConsolidateBelow, when positive, merges every fixed-size dataset
+	// smaller than this many bytes (per group) into one large dataset
+	// named ConsolidatedName, with a per-dataset offset index stored as
+	// attributes. Variable-length datasets are never consolidated.
+	ConsolidateBelow int64
+}
+
+// ConsolidatedName is the merged dataset's name within each group.
+const ConsolidatedName = "__consolidated__"
+
+func defaultChunkDims(dims []int64) []int64 {
+	out := make([]int64, len(dims))
+	for i, d := range dims {
+		c := (d + 7) / 8
+		if c < 1 {
+			c = 1
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// File rewrites src into dst (an empty, freshly created file) applying
+// the advice. Both files stay open; the caller owns their lifecycles.
+func File(src, dst *hdf5.File, adv Advice) error {
+	if adv.ChunkDims == nil {
+		adv.ChunkDims = defaultChunkDims
+	}
+	return copyGroup(src.Root(), dst.Root(), adv)
+}
+
+func copyGroup(src, dst *hdf5.Group, adv Advice) error {
+	kids, err := src.Children()
+	if err != nil {
+		return err
+	}
+	type small struct {
+		name string
+		dt   hdf5.Datatype
+		dims []int64
+		data []byte
+	}
+	var smalls []small
+
+	for _, name := range kids {
+		kind, err := src.ChildType(name)
+		if err != nil {
+			return err
+		}
+		if kind == "group" {
+			sg, err := src.OpenGroup(name)
+			if err != nil {
+				return err
+			}
+			dg, err := dst.CreateGroup(name)
+			if err != nil {
+				return err
+			}
+			if err := copyGroup(sg, dg, adv); err != nil {
+				return err
+			}
+			continue
+		}
+		ds, err := src.OpenDataset(name)
+		if err != nil {
+			return err
+		}
+		dims := ds.Dims()
+		totalBytes := ds.NumElems() * ds.Datatype().Size
+
+		// Small fixed datasets may be swept into the consolidated blob.
+		if adv.ConsolidateBelow > 0 && !ds.Datatype().IsVLen() &&
+			totalBytes < adv.ConsolidateBelow && len(dims) == 1 {
+			data, err := ds.ReadAll()
+			if err != nil {
+				return err
+			}
+			smalls = append(smalls, small{name: name, dt: ds.Datatype(), dims: dims, data: data})
+			if err := ds.Close(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := copyDataset(ds, dst, name, adv); err != nil {
+			return err
+		}
+		if err := ds.Close(); err != nil {
+			return err
+		}
+	}
+
+	if len(smalls) > 0 {
+		sort.Slice(smalls, func(i, j int) bool { return smalls[i].name < smalls[j].name })
+		var blob []byte
+		type span struct{ off, n int64 }
+		index := map[string]span{}
+		for _, s := range smalls {
+			index[s.name] = span{off: int64(len(blob)), n: int64(len(s.data))}
+			blob = append(blob, s.data...)
+		}
+		cds, err := dst.CreateDataset(ConsolidatedName, hdf5.Uint8, []int64{int64(len(blob))}, nil)
+		if err != nil {
+			return err
+		}
+		if err := cds.WriteAll(blob); err != nil {
+			return err
+		}
+		// The offset index keeps the original datasets addressable.
+		for _, s := range smalls {
+			sp := index[s.name]
+			var enc [16]byte
+			binary.LittleEndian.PutUint64(enc[:8], uint64(sp.off))
+			binary.LittleEndian.PutUint64(enc[8:], uint64(sp.n))
+			if err := cds.SetAttr(s.name, hdf5.Int64, enc[:]); err != nil {
+				return err
+			}
+		}
+		if err := cds.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyDataset(ds *hdf5.Dataset, dst *hdf5.Group, name string, adv Advice) error {
+	dims := ds.Dims()
+	target := ds.Layout()
+	if l, ok := adv.Convert[ds.Name()]; ok {
+		target = l
+	}
+	opts := &hdf5.DatasetOpts{Layout: target}
+	if target == hdf5.Chunked {
+		opts.ChunkDims = adv.ChunkDims(dims)
+	}
+	out, err := dst.CreateDataset(name, ds.Datatype(), dims, opts)
+	if err != nil {
+		return err
+	}
+	if ds.Datatype().IsVLen() {
+		values, err := ds.ReadVL(0, dims[0])
+		if err != nil {
+			return err
+		}
+		// nil entries were never written; preserve holes.
+		start := int64(-1)
+		var batch [][]byte
+		flush := func() error {
+			if start < 0 || len(batch) == 0 {
+				return nil
+			}
+			if err := out.WriteVL(start, batch); err != nil {
+				return err
+			}
+			start, batch = -1, nil
+			return nil
+		}
+		for i, v := range values {
+			if v == nil {
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			if start < 0 {
+				start = int64(i)
+			}
+			batch = append(batch, v)
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	} else {
+		data, err := ds.ReadAll()
+		if err != nil {
+			return err
+		}
+		if err := out.WriteAll(data); err != nil {
+			return err
+		}
+	}
+	// Attributes carry over verbatim.
+	attrs, err := ds.Attrs()
+	if err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		v, dt, err := ds.Attr(a)
+		if err != nil {
+			return err
+		}
+		if err := out.SetAttr(a, dt, v); err != nil {
+			return err
+		}
+	}
+	return out.Close()
+}
+
+// Consolidated is an open handle on a group's consolidated blob with
+// the offset index loaded once - the access mode that realizes the
+// optimization (one object open, direct offset reads, no per-dataset
+// metadata traffic).
+type Consolidated struct {
+	ds    *hdf5.Dataset
+	index map[string][2]int64 // name -> {offset, length}
+}
+
+// OpenConsolidated opens the blob and loads its index.
+func OpenConsolidated(g *hdf5.Group) (*Consolidated, error) {
+	cds, err := g.OpenDataset(ConsolidatedName)
+	if err != nil {
+		return nil, err
+	}
+	names, err := cds.Attrs()
+	if err != nil {
+		return nil, err
+	}
+	c := &Consolidated{ds: cds, index: make(map[string][2]int64, len(names))}
+	for _, name := range names {
+		enc, _, err := cds.Attr(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(enc) != 16 {
+			return nil, fmt.Errorf("repack: malformed index entry for %q", name)
+		}
+		c.index[name] = [2]int64{
+			int64(binary.LittleEndian.Uint64(enc[:8])),
+			int64(binary.LittleEndian.Uint64(enc[8:])),
+		}
+	}
+	return c, nil
+}
+
+// Names lists the original datasets held in the blob.
+func (c *Consolidated) Names() []string {
+	names := make([]string, 0, len(c.index))
+	for n := range c.index {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Read fetches one original dataset's bytes by offset.
+func (c *Consolidated) Read(name string) ([]byte, error) {
+	sp, ok := c.index[name]
+	if !ok {
+		return nil, fmt.Errorf("repack: no consolidated entry %q", name)
+	}
+	return c.ds.Read(hdf5.Slab1D(sp[0], sp[1]))
+}
+
+// Close releases the underlying dataset handle.
+func (c *Consolidated) Close() error { return c.ds.Close() }
+
+// ReadConsolidated is a one-shot convenience for single lookups; hot
+// paths should keep an OpenConsolidated handle instead.
+func ReadConsolidated(g *hdf5.Group, name string) ([]byte, error) {
+	c, err := OpenConsolidated(g)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Read(name)
+}

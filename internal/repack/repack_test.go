@@ -1,0 +1,248 @@
+package repack
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/vfd"
+)
+
+func newFile(t *testing.T, name string) (*hdf5.File, *vfd.OpLog) {
+	t.Helper()
+	log := &vfd.OpLog{}
+	drv := vfd.NewProfiledDriver(vfd.NewMemDriver(), name, nil, log)
+	f, err := hdf5.Create(drv, name, hdf5.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, log
+}
+
+func TestRepackLayoutConversion(t *testing.T) {
+	src, _ := newFile(t, "src.h5")
+	g, err := src.Root().CreateGroup("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := g.CreateDataset("c", hdf5.Uint8, []int64{256},
+		&hdf5.DatasetOpts{Layout: hdf5.Chunked, ChunkDims: []int64{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xa7}, 256)
+	if err := chunked.WriteAll(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := chunked.SetAttrString("units", "K"); err != nil {
+		t.Fatal(err)
+	}
+	contig, err := g.CreateDataset("k", hdf5.Uint8, []int64{128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := contig.WriteAll(payload[:128]); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _ := newFile(t, "dst.h5")
+	err = File(src, dst, Advice{Convert: map[string]hdf5.Layout{
+		"/g/c": hdf5.Contiguous,
+		"/g/k": hdf5.Chunked,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := dst.OpenDatasetPath("/g/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Layout() != hdf5.Contiguous {
+		t.Errorf("layout = %v", out.Layout())
+	}
+	got, err := out.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("data lost in conversion")
+	}
+	if u, err := out.AttrString("units"); err != nil || u != "K" {
+		t.Errorf("attr = %q, %v", u, err)
+	}
+	out2, err := dst.OpenDatasetPath("/g/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Layout() != hdf5.Chunked {
+		t.Errorf("k layout = %v", out2.Layout())
+	}
+	got2, _ := out2.ReadAll()
+	if !bytes.Equal(got2, payload[:128]) {
+		t.Error("k data lost")
+	}
+}
+
+func TestRepackConsolidation(t *testing.T) {
+	src, _ := newFile(t, "src.h5")
+	const n = 16
+	want := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("stat_%02d", i)
+		ds, err := src.Root().CreateDataset(name, hdf5.Uint8, []int64{100}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{byte(i + 1)}, 100)
+		if err := ds.WriteAll(data); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = data
+	}
+	// One big dataset stays separate.
+	big, err := src.Root().CreateDataset("big", hdf5.Uint8, []int64{4096}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.WriteAll(make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _ := newFile(t, "dst.h5")
+	if err := File(src, dst, Advice{ConsolidateBelow: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// The small datasets are gone; the blob holds them all.
+	kids, err := dst.Root().Children()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 { // big + consolidated
+		t.Fatalf("children = %v", kids)
+	}
+	for name, data := range want {
+		got, err := ReadConsolidated(dst.Root(), name)
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("%s corrupted", name)
+		}
+	}
+	if _, err := ReadConsolidated(dst.Root(), "missing"); err == nil {
+		t.Error("missing consolidated entry resolved")
+	}
+	// The big dataset is untouched.
+	if _, err := dst.OpenDatasetPath("/big"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepackVLenPreservesHoles(t *testing.T) {
+	src, _ := newFile(t, "src.h5")
+	vl, err := src.Root().CreateDataset("vl", hdf5.VLen, []int64{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vl.WriteVL(0, [][]byte{[]byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vl.WriteVL(2, [][]byte{[]byte("c"), []byte("d")}); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := newFile(t, "dst.h5")
+	if err := File(src, dst, Advice{Convert: map[string]hdf5.Layout{
+		"/vl": hdf5.Chunked,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := dst.OpenDatasetPath("/vl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadVL(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "a" || got[1] != nil || string(got[2]) != "c" ||
+		string(got[3]) != "d" || got[4] != nil {
+		t.Errorf("VL repack: %q", got)
+	}
+}
+
+// TestRepackReducesReplayedIOTime: the end-to-end point of the tool -
+// the stage-9 access pattern against the repacked (consolidated) file
+// replays faster on NVMe than against the original scattered file.
+func TestRepackReducesReplayedIOTime(t *testing.T) {
+	build := func(consolidate bool) []sim.Op {
+		src, _ := newFile(t, "s.h5")
+		for i := 0; i < 32; i++ {
+			ds, err := src.Root().CreateDataset(fmt.Sprintf("stat_%02d", i), hdf5.Uint8, []int64{400}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ds.WriteAll(make([]byte, 400)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		target := src
+		var log *vfd.OpLog
+		if consolidate {
+			dst, dlog := newFile(t, "d.h5")
+			if err := File(src, dst, Advice{ConsolidateBelow: 1024}); err != nil {
+				t.Fatal(err)
+			}
+			target, log = dst, dlog
+			log.Reset()
+			// Access pattern: open the blob once, then every original
+			// dataset read 23 times through the loaded index.
+			c, err := OpenConsolidated(target.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for a := 0; a < 23; a++ {
+				for i := 0; i < 32; i++ {
+					if _, err := c.Read(fmt.Sprintf("stat_%02d", i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return log.SimOps()
+		}
+		// Baseline: per-dataset open + read.
+		slog := &vfd.OpLog{}
+		drv := vfd.NewProfiledDriver(vfd.NewMemDriverFrom(nil), "replay.h5", nil, slog)
+		_ = drv
+		// Re-trace the scattered access against the original file by
+		// re-running opens/reads with a fresh op log wrapper.
+		src2, log2 := newFile(t, "s2.h5")
+		for i := 0; i < 32; i++ {
+			ds, _ := src2.Root().CreateDataset(fmt.Sprintf("stat_%02d", i), hdf5.Uint8, []int64{400}, nil)
+			_ = ds.WriteAll(make([]byte, 400))
+		}
+		log2.Reset()
+		for a := 0; a < 23; a++ {
+			for i := 0; i < 32; i++ {
+				ds, err := src2.Root().OpenDataset(fmt.Sprintf("stat_%02d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ds.ReadAll(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return log2.SimOps()
+	}
+	scattered := sim.Replay(build(false), sim.NVMeSSD, 1)
+	consolidated := sim.Replay(build(true), sim.NVMeSSD, 1)
+	if consolidated >= scattered {
+		t.Errorf("repacked replay (%v) not faster than scattered (%v)", consolidated, scattered)
+	}
+}

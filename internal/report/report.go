@@ -1,0 +1,268 @@
+// Package report renders DaYu's analysis as a human-readable Markdown
+// optimization report: workflow summary, per-task I/O characteristics,
+// findings grouped by optimization guideline, and the derived
+// data-locality plan. It plays the role the paper assigns to a Drishti
+// integration (§IX future work): turning traces and findings into
+// actionable recommendations for performance analysts.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dayu/internal/analyzer"
+	"dayu/internal/diagnose"
+	"dayu/internal/optimizer"
+	"dayu/internal/trace"
+	"dayu/internal/units"
+	"dayu/internal/workflow"
+)
+
+// Options configures report generation.
+type Options struct {
+	// Thresholds tunes the diagnostic rules.
+	Thresholds diagnose.Thresholds
+	// Plan optionally includes a locality plan section derived with
+	// these options; nil skips the section.
+	Plan *optimizer.LocalityOptions
+	// MaxRows bounds per-table row counts (0 = 20).
+	MaxRows int
+}
+
+// guidelineHelp explains each §III-A guideline in one sentence.
+var guidelineHelp = map[diagnose.Guideline]string{
+	diagnose.GuidelineCaching:     "keep frequently reused data in the fastest tier (memory buffer or node-local SSD) to avoid repeated shared-storage reads",
+	diagnose.GuidelinePartial:     "move only the file segments tasks actually consume; skip staging content that is never read",
+	diagnose.GuidelinePrefetch:    "stage data toward its consumers ahead of use - delayed for mid-workflow inputs, rolling for sequential readers",
+	diagnose.GuidelineLayout:      "match the storage layout to the access pattern: contiguous for whole-dataset access, chunked for partial/VL access, consolidation for many small datasets",
+	diagnose.GuidelineStageOut:    "offload data with no further consumers to slower storage, freeing the fast tier",
+	diagnose.GuidelineParallelize: "run data-independent tasks concurrently",
+	diagnose.GuidelineCoSchedule:  "place consumers on the nodes that hold their inputs",
+}
+
+// Generate renders the full Markdown report.
+func Generate(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) string {
+	if opts.MaxRows == 0 {
+		opts.MaxRows = 20
+	}
+	var b strings.Builder
+	name := "workflow"
+	if m != nil && m.Workflow != "" {
+		name = m.Workflow
+	}
+	fmt.Fprintf(&b, "# DaYu optimization report: %s\n\n", name)
+
+	writeSummary(&b, traces, m)
+	writeTaskTable(&b, traces, opts.MaxRows)
+	writeFileTable(&b, traces, opts.MaxRows)
+	writeChains(&b, traces, m, opts.MaxRows)
+	findings := diagnose.Analyze(traces, m, opts.Thresholds)
+	writeFindings(&b, findings)
+	if opts.Plan != nil {
+		writePlan(&b, optimizer.PlanDataLocality(traces, m, *opts.Plan))
+	}
+	return b.String()
+}
+
+func writeSummary(b *strings.Builder, traces []*trace.TaskTrace, m *trace.Manifest) {
+	var files = map[string]bool{}
+	var objects = map[string]bool{}
+	var ops, metaOps, bytesMoved int64
+	var span time.Duration
+	for _, t := range traces {
+		span += time.Duration(t.EndNS - t.StartNS)
+		for _, fr := range t.Files {
+			files[fr.File] = true
+			ops += fr.Ops
+			metaOps += fr.MetaOps
+			bytesMoved += fr.BytesRead + fr.BytesWritten
+		}
+		for _, o := range t.Objects {
+			objects[o.File+"::"+o.Object] = true
+		}
+	}
+	fmt.Fprintf(b, "## Summary\n\n")
+	fmt.Fprintf(b, "- tasks: %d", len(traces))
+	if m != nil && len(m.StageOrder) > 0 {
+		fmt.Fprintf(b, " across %d stages", len(m.StageOrder))
+	}
+	fmt.Fprintf(b, "\n- files: %d, data objects: %d\n", len(files), len(objects))
+	fmt.Fprintf(b, "- I/O: %d operations (%s metadata), %s moved\n",
+		ops, units.Percent(float64(metaOps), float64(ops)), units.Bytes(bytesMoved))
+	g := analyzer.BuildSDG(traces, m, analyzer.Options{})
+	s := analyzer.Summarize(g)
+	fmt.Fprintf(b, "- semantic dataflow graph: %d nodes, %d edges\n\n",
+		s.Tasks+s.Files+s.Datasets, s.Edges)
+}
+
+func writeTaskTable(b *strings.Builder, traces []*trace.TaskTrace, maxRows int) {
+	fmt.Fprintf(b, "## Per-task I/O\n\n")
+	fmt.Fprintf(b, "| task | files | ops | meta/data | read | written |\n")
+	fmt.Fprintf(b, "|---|---|---|---|---|---|\n")
+	shown := 0
+	for _, t := range traces {
+		if shown >= maxRows {
+			fmt.Fprintf(b, "| … %d more tasks | | | | | |\n", len(traces)-shown)
+			break
+		}
+		var ops, meta, data, br, bw int64
+		for _, fr := range t.Files {
+			ops += fr.Ops
+			meta += fr.MetaOps
+			data += fr.DataOps
+			br += fr.BytesRead
+			bw += fr.BytesWritten
+		}
+		fmt.Fprintf(b, "| %s | %d | %d | %d/%d | %s | %s |\n",
+			t.Task, len(t.Files), ops, meta, data, units.Bytes(br), units.Bytes(bw))
+		shown++
+	}
+	b.WriteString("\n")
+}
+
+func writeFileTable(b *strings.Builder, traces []*trace.TaskTrace, maxRows int) {
+	type fstat struct {
+		readers, writers map[string]bool
+		bytes            int64
+	}
+	stats := map[string]*fstat{}
+	for _, t := range traces {
+		for _, fr := range t.Files {
+			s := stats[fr.File]
+			if s == nil {
+				s = &fstat{readers: map[string]bool{}, writers: map[string]bool{}}
+				stats[fr.File] = s
+			}
+			if fr.DataReads > 0 {
+				s.readers[t.Task] = true
+			}
+			if fr.DataWrites > 0 {
+				s.writers[t.Task] = true
+			}
+			s.bytes += fr.BytesRead + fr.BytesWritten
+		}
+	}
+	names := make([]string, 0, len(stats))
+	for n := range stats {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return stats[names[i]].bytes > stats[names[j]].bytes })
+
+	fmt.Fprintf(b, "## Files by traffic\n\n")
+	fmt.Fprintf(b, "| file | producers | consumers | total traffic |\n|---|---|---|---|\n")
+	for i, n := range names {
+		if i >= maxRows {
+			fmt.Fprintf(b, "| … %d more files | | | |\n", len(names)-i)
+			break
+		}
+		s := stats[n]
+		fmt.Fprintf(b, "| %s | %d | %d | %s |\n", n, len(s.writers), len(s.readers), units.Bytes(s.bytes))
+	}
+	b.WriteString("\n")
+}
+
+func writeChains(b *strings.Builder, traces []*trace.TaskTrace, m *trace.Manifest, maxRows int) {
+	chains := analyzer.DependencyChains(traces, m)
+	if len(chains) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "## Data dependence chains\n\n")
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Len() > chains[j].Len() })
+	for i, c := range chains {
+		if i >= maxRows {
+			fmt.Fprintf(b, "- … %d more chains\n", len(chains)-i)
+			break
+		}
+		fmt.Fprintf(b, "- `%s`\n", c.String())
+	}
+	longest := analyzer.LongestChain(chains)
+	fmt.Fprintf(b, "\nThe longest dependence chain spans %d hops; its files are the "+
+		"workflow's critical data path and the first candidates for fast-tier placement.\n\n",
+		longest.Len())
+}
+
+func writeFindings(b *strings.Builder, findings []diagnose.Finding) {
+	fmt.Fprintf(b, "## Findings and recommendations\n\n")
+	if len(findings) == 0 {
+		b.WriteString("No I/O anti-patterns detected.\n\n")
+		return
+	}
+	byGuideline := map[diagnose.Guideline][]diagnose.Finding{}
+	var order []diagnose.Guideline
+	for _, f := range findings {
+		if _, ok := byGuideline[f.Guideline]; !ok {
+			order = append(order, f.Guideline)
+		}
+		byGuideline[f.Guideline] = append(byGuideline[f.Guideline], f)
+	}
+	for _, g := range order {
+		fs := byGuideline[g]
+		fmt.Fprintf(b, "### %s (%d findings)\n\n", g, len(fs))
+		if help, ok := guidelineHelp[g]; ok {
+			fmt.Fprintf(b, "*Guideline:* %s.\n\n", help)
+		}
+		max := 10
+		for i, f := range fs {
+			if i >= max {
+				fmt.Fprintf(b, "- … %d more\n", len(fs)-i)
+				break
+			}
+			loc := f.File
+			if f.Object != "" {
+				loc += "::" + f.Object
+			}
+			if f.Task != "" {
+				loc = f.Task + " → " + loc
+			}
+			fmt.Fprintf(b, "- **[%s] %s** %s: %s\n", f.Severity, f.Kind, loc, f.Detail)
+		}
+		b.WriteString("\n")
+	}
+}
+
+func writePlan(b *strings.Builder, plan *workflow.Plan) {
+	fmt.Fprintf(b, "## Derived data-locality plan\n\n")
+	if len(plan.Placements) > 0 {
+		fmt.Fprintf(b, "**Placements** (%d files):\n\n", len(plan.Placements))
+		names := make([]string, 0, len(plan.Placements))
+		for n := range plan.Placements {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		max := 15
+		for i, n := range names {
+			if i >= max {
+				fmt.Fprintf(b, "- … %d more\n", len(names)-i)
+				break
+			}
+			pl := plan.Placements[n]
+			fmt.Fprintf(b, "- `%s` → %s on node %d\n", n, pl.Device, pl.Node)
+		}
+		b.WriteString("\n")
+	}
+	if len(plan.NodeOf) > 0 {
+		fmt.Fprintf(b, "**Co-scheduling:** %d tasks pinned to input-holding nodes.\n\n", len(plan.NodeOf))
+	}
+	for title, m := range map[string]map[string][]string{
+		"Stage-in (prefetch)": plan.StageIn, "Stage-out": plan.StageOut,
+	} {
+		if len(m) == 0 {
+			continue
+		}
+		stages := make([]string, 0, len(m))
+		for s := range m {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		fmt.Fprintf(b, "**%s:**\n\n", title)
+		for _, s := range stages {
+			fmt.Fprintf(b, "- before/after `%s`: %s\n", s, strings.Join(m[s], ", "))
+		}
+		b.WriteString("\n")
+	}
+	if len(plan.CacheFiles) > 0 {
+		fmt.Fprintf(b, "**Memory-buffer caching:** %s\n\n", strings.Join(plan.CacheFiles, ", "))
+	}
+}

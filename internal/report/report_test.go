@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dayu/internal/optimizer"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+	"dayu/internal/workflow"
+	"dayu/internal/workloads"
+)
+
+func ddmdTraces(t *testing.T) (*workflow.Result, Options) {
+	t.Helper()
+	spec, setup := workloads.DDMD(workloads.DDMDConfig{
+		SimTasks: 4, ContactMapBytes: 32 << 10, SmallBytes: 4 << 10, Epochs: 4,
+	})
+	eng, err := workflow.NewEngine(workflow.Cluster{Machine: sim.MachineGPU, Nodes: 2}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, Options{Plan: &optimizer.LocalityOptions{
+		FastTier: "nvme", Nodes: 2, StageOutDisposable: true, CacheReused: true,
+	}}
+}
+
+func TestGenerateReport(t *testing.T) {
+	res, opts := ddmdTraces(t)
+	md := Generate(res.Traces, res.Manifest, opts)
+
+	for _, want := range []string{
+		"# DaYu optimization report: ddmd",
+		"## Summary",
+		"## Per-task I/O",
+		"## Files by traffic",
+		"## Findings and recommendations",
+		"partial-file-access",      // contact_map metadata-only finding
+		"data-format-optimization", // chunked small datasets
+		"## Derived data-locality plan",
+		"**Placements**",
+		"**Co-scheduling:**",
+		"nvme",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Tables are well-formed markdown.
+	if !strings.Contains(md, "| task | files | ops |") {
+		t.Error("task table header missing")
+	}
+	// Guideline help text rendered.
+	if !strings.Contains(md, "*Guideline:*") {
+		t.Error("guideline explanations missing")
+	}
+}
+
+func TestGenerateEmptyTraces(t *testing.T) {
+	md := Generate(nil, nil, Options{})
+	if !strings.Contains(md, "No I/O anti-patterns detected") {
+		t.Error("empty report missing no-findings note")
+	}
+	if !strings.Contains(md, "# DaYu optimization report: workflow") {
+		t.Error("default workflow name missing")
+	}
+}
+
+func TestRowLimits(t *testing.T) {
+	res, _ := ddmdTraces(t)
+	md := Generate(res.Traces, res.Manifest, Options{MaxRows: 2})
+	if !strings.Contains(md, "more tasks") {
+		t.Error("task table not truncated")
+	}
+	if !strings.Contains(md, "more files") {
+		t.Error("file table not truncated")
+	}
+}

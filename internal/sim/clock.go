@@ -1,0 +1,45 @@
+// Package sim provides the simulated hardware substrate the paper's
+// evaluation machines (Table III) are replaced with: parametric storage
+// device models, a cluster/network model, and a deterministic virtual
+// clock. Performance experiments (Figures 11-13) replay real I/O
+// operation logs produced by the DaYu profilers against these models,
+// so relative results depend only on operation counts, sizes and
+// placement - exactly the first-order effects the paper measures.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a deterministic virtual clock. It is not safe for concurrent
+// use; each simulated execution context owns its own clock.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual time as an offset from simulation start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative advances panic: simulated
+// time never runs backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %v", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to time t if t is later than the current
+// time; earlier targets are ignored (the clock is monotone).
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero for reuse across independent runs.
+func (c *Clock) Reset() { c.now = 0 }

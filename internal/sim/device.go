@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// OpClass distinguishes the two I/O classes the DaYu VFD profiler tags
+// (Table II, parameter 6): file metadata traffic versus raw dataset data.
+type OpClass uint8
+
+const (
+	// RawData is dataset content I/O.
+	RawData OpClass = iota
+	// Metadata is format-internal traffic: superblocks, object headers,
+	// chunk indexes, heap headers.
+	Metadata
+)
+
+func (c OpClass) String() string {
+	if c == Metadata {
+		return "metadata"
+	}
+	return "data"
+}
+
+// DeviceSpec is a parametric storage device model. Costs are first-order:
+// a fixed per-operation latency plus a bandwidth term, with metadata
+// operations paying an additional small-I/O penalty, and contention
+// scaling when multiple processes hit the device concurrently.
+type DeviceSpec struct {
+	// Name identifies the device in reports, e.g. "nfs", "nvme".
+	Name string
+	// OpLatency is the fixed cost per I/O operation (seek/RPC/queue).
+	OpLatency time.Duration
+	// MetaLatency is an extra fixed cost applied to metadata operations
+	// (small synchronous updates, index lookups).
+	MetaLatency time.Duration
+	// ReadBW and WriteBW are sustained bandwidths in bytes/second.
+	ReadBW  float64
+	WriteBW float64
+	// ContentionFactor scales the bandwidth (transfer) term of per-op
+	// cost under concurrency: effective = base * (1 + f*(procs-1)).
+	// 0 models a perfectly parallel device, 1 a fully serialized one.
+	// Sustained bandwidth is a shared resource on every tier.
+	ContentionFactor float64
+	// OpContention scales the fixed per-operation latency term the same
+	// way. Deep-queue devices (NVMe) hide concurrent small operations
+	// well (low value); metadata-server-bound parallel filesystems and
+	// spinning disks do not (high value).
+	OpContention float64
+	// Shared marks devices reachable from every node (PFS/NFS); unshared
+	// devices are node-local and staging is needed to reach them remotely.
+	Shared bool
+}
+
+// Validate reports whether the spec is physically meaningful.
+func (d DeviceSpec) Validate() error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("sim: device spec missing name")
+	case d.ReadBW <= 0 || d.WriteBW <= 0:
+		return fmt.Errorf("sim: device %q has non-positive bandwidth", d.Name)
+	case d.OpLatency < 0 || d.MetaLatency < 0:
+		return fmt.Errorf("sim: device %q has negative latency", d.Name)
+	case d.ContentionFactor < 0 || d.OpContention < 0:
+		return fmt.Errorf("sim: device %q has negative contention factor", d.Name)
+	}
+	return nil
+}
+
+// Cost returns the un-contended virtual time one operation takes on the
+// device.
+func (d DeviceSpec) Cost(class OpClass, bytes int64, write bool) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	bw := d.ReadBW
+	if write {
+		bw = d.WriteBW
+	}
+	transfer := time.Duration(float64(bytes) / bw * float64(time.Second))
+	cost := d.OpLatency + transfer
+	if class == Metadata {
+		cost += d.MetaLatency
+	}
+	return cost
+}
+
+// Contended scales a base duration by the bandwidth contention factor
+// for procs concurrent processes.
+func (d DeviceSpec) Contended(base time.Duration, procs int) time.Duration {
+	if procs <= 1 {
+		return base
+	}
+	f := 1 + d.ContentionFactor*float64(procs-1)
+	return time.Duration(float64(base) * f)
+}
+
+// ContendedCost returns the per-operation virtual time under procs-way
+// concurrency, scaling the latency and transfer terms by their
+// respective contention factors.
+func (d DeviceSpec) ContendedCost(class OpClass, bytes int64, write bool, procs int) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	bw := d.ReadBW
+	if write {
+		bw = d.WriteBW
+	}
+	lat := d.OpLatency
+	if class == Metadata {
+		lat += d.MetaLatency
+	}
+	transfer := time.Duration(float64(bytes) / bw * float64(time.Second))
+	if procs > 1 {
+		lat = time.Duration(float64(lat) * (1 + d.OpContention*float64(procs-1)))
+		transfer = time.Duration(float64(transfer) * (1 + d.ContentionFactor*float64(procs-1)))
+	}
+	return lat + transfer
+}
+
+// Device presets. Parameters are first-order approximations of the tiers
+// in Table III; absolute values are not calibrated to the authors'
+// testbed (the paper compares shapes, not absolute numbers).
+var (
+	// NFS: the CPU cluster's default shared filesystem. High per-op RPC
+	// latency, modest bandwidth, near-serial under contention.
+	NFS = DeviceSpec{
+		Name: "nfs", OpLatency: 400 * time.Microsecond,
+		MetaLatency: 300 * time.Microsecond,
+		ReadBW:      220e6, WriteBW: 180e6,
+		ContentionFactor: 0.80, OpContention: 0.9, Shared: true,
+	}
+	// BeeGFS: the GPU cluster's parallel filesystem; better parallel
+	// bandwidth than NFS but still latency-bound for small I/O.
+	BeeGFS = DeviceSpec{
+		Name: "beegfs", OpLatency: 250 * time.Microsecond,
+		MetaLatency: 200 * time.Microsecond,
+		ReadBW:      900e6, WriteBW: 700e6,
+		ContentionFactor: 0.45, OpContention: 0.65, Shared: true,
+	}
+	// NVMeSSD: node-local NVMe, the fast tier used for DaYu-guided
+	// placement and the Figure 13a consolidation experiment.
+	NVMeSSD = DeviceSpec{
+		Name: "nvme", OpLatency: 20 * time.Microsecond,
+		MetaLatency: 8 * time.Microsecond,
+		ReadBW:      2800e6, WriteBW: 2000e6,
+		ContentionFactor: 0.80, OpContention: 0.05,
+	}
+	// SATASSD: node-local SATA SSD.
+	SATASSD = DeviceSpec{
+		Name: "sata-ssd", OpLatency: 80 * time.Microsecond,
+		MetaLatency: 30 * time.Microsecond,
+		ReadBW:      520e6, WriteBW: 480e6,
+		ContentionFactor: 0.90, OpContention: 0.20,
+	}
+	// HDD: node-local spinning disk; seek-dominated.
+	HDD = DeviceSpec{
+		Name: "hdd", OpLatency: 6 * time.Millisecond,
+		MetaLatency: 2 * time.Millisecond,
+		ReadBW:      160e6, WriteBW: 140e6,
+		ContentionFactor: 1.0, OpContention: 1.0,
+	}
+	// Memory: in-memory staging tier (Hermes-style buffer).
+	Memory = DeviceSpec{
+		Name: "memory", OpLatency: 200 * time.Nanosecond,
+		MetaLatency: 100 * time.Nanosecond,
+		ReadBW:      12e9, WriteBW: 10e9,
+		ContentionFactor: 0.10, OpContention: 0.01,
+	}
+)
+
+// DeviceByName resolves a preset device spec by its Name field.
+func DeviceByName(name string) (DeviceSpec, error) {
+	for _, d := range []DeviceSpec{NFS, BeeGFS, NVMeSSD, SATASSD, HDD, Memory} {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DeviceSpec{}, fmt.Errorf("sim: unknown device %q", name)
+}

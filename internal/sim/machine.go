@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// NetworkSpec models the interconnect used for staging data between the
+// shared filesystem and node-local tiers, and between nodes.
+type NetworkSpec struct {
+	Name    string
+	Latency time.Duration
+	// BW is point-to-point bandwidth in bytes/second.
+	BW float64
+}
+
+// TransferCost is the virtual time to move `bytes` across the network.
+func (n NetworkSpec) TransferCost(bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return n.Latency + time.Duration(float64(bytes)/n.BW*float64(time.Second))
+}
+
+// Machine describes one of the evaluation platforms from Table III:
+// a default shared store plus the node-local options.
+type Machine struct {
+	Name    string
+	Notes   string
+	Default DeviceSpec   // shared filesystem tasks use unless placed
+	Local   []DeviceSpec // node-local tiers available for placement
+	Network NetworkSpec
+	// CoresPerNode bounds how many simulated processes run concurrently
+	// on one node without time-slicing.
+	CoresPerNode int
+	MemoryBytes  int64
+}
+
+// LocalByName returns the machine's node-local tier with the given name.
+func (m Machine) LocalByName(name string) (DeviceSpec, error) {
+	for _, d := range m.Local {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DeviceSpec{}, fmt.Errorf("sim: machine %q has no local device %q", m.Name, name)
+}
+
+// The two machines in Table III.
+var (
+	// MachineCPU: 2x Intel Xeon Silver 4114, 48 GB RAM;
+	// NFS (default), NVMe SSD, SATA SSD, HDD (node-local).
+	MachineCPU = Machine{
+		Name:    "cpu-cluster",
+		Notes:   "2x Intel Xeon Silver 4114, 48 GB RAM",
+		Default: NFS,
+		Local:   []DeviceSpec{NVMeSSD, SATASSD, HDD, Memory},
+		Network: NetworkSpec{Name: "10GbE", Latency: 60 * time.Microsecond, BW: 1.1e9},
+		// 2 sockets x 10 cores x 2 HT ~= 40; the paper runs up to 48
+		// processes per 2 nodes, i.e. 24 per node.
+		CoresPerNode: 24,
+		MemoryBytes:  48 << 30,
+	}
+	// MachineGPU: 2x AMD EPYC, RTX 2080 Ti, 384 GB RAM;
+	// NFS (default), BeeGFS with caching, node-local SSD.
+	MachineGPU = Machine{
+		Name:         "gpu-cluster",
+		Notes:        "2x AMD EPYC, NVidia RTX 2080 Ti, 384 GB RAM",
+		Default:      BeeGFS,
+		Local:        []DeviceSpec{NVMeSSD, Memory},
+		Network:      NetworkSpec{Name: "25GbE", Latency: 40 * time.Microsecond, BW: 2.8e9},
+		CoresPerNode: 32,
+		MemoryBytes:  384 << 30,
+	}
+)
+
+// Machines lists all Table III machine configurations.
+func Machines() []Machine { return []Machine{MachineCPU, MachineGPU} }
+
+// MachineByName resolves a Table III machine by name.
+func MachineByName(name string) (Machine, error) {
+	for _, m := range Machines() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("sim: unknown machine %q", name)
+}

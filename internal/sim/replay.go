@@ -1,0 +1,71 @@
+package sim
+
+import "time"
+
+// Op is one I/O operation to replay against a device model. Experiment
+// harnesses convert DaYu VFD trace records into Ops, which keeps the
+// simulated timing grounded in the operation stream the real format
+// library produced.
+type Op struct {
+	Class OpClass
+	Bytes int64
+	Write bool
+}
+
+// Replay returns the virtual time for one process to issue ops in order
+// on dev while procs processes contend for the device. Latency and
+// bandwidth terms contend independently (see ContendedCost).
+func Replay(ops []Op, dev DeviceSpec, procs int) time.Duration {
+	var total time.Duration
+	for _, op := range ops {
+		total += dev.ContendedCost(op.Class, op.Bytes, op.Write, procs)
+	}
+	return total
+}
+
+// ReplayParallel models perProc[i] as the op stream of process i, all
+// contending on dev; the wave completes when the slowest process does.
+func ReplayParallel(perProc [][]Op, dev DeviceSpec) time.Duration {
+	procs := len(perProc)
+	var max time.Duration
+	for _, ops := range perProc {
+		if t := Replay(ops, dev, procs); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Summary aggregates an op stream the way DaYu's VFD statistics do.
+type Summary struct {
+	Ops       int
+	MetaOps   int
+	DataOps   int
+	Bytes     int64
+	MetaBytes int64
+	DataBytes int64
+	Reads     int
+	Writes    int
+}
+
+// Summarize computes op-stream statistics.
+func Summarize(ops []Op) Summary {
+	var s Summary
+	for _, op := range ops {
+		s.Ops++
+		s.Bytes += op.Bytes
+		if op.Class == Metadata {
+			s.MetaOps++
+			s.MetaBytes += op.Bytes
+		} else {
+			s.DataOps++
+			s.DataBytes += op.Bytes
+		}
+		if op.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+	}
+	return s
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockMonotone(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatal("new clock not at zero")
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(3 * time.Millisecond)
+	if c.Now() != 8*time.Millisecond {
+		t.Fatalf("Now() = %v, want 8ms", c.Now())
+	}
+	c.AdvanceTo(4 * time.Millisecond) // earlier: no-op
+	if c.Now() != 8*time.Millisecond {
+		t.Fatal("AdvanceTo moved clock backwards")
+	}
+	c.AdvanceTo(10 * time.Millisecond)
+	if c.Now() != 10*time.Millisecond {
+		t.Fatal("AdvanceTo failed to move clock forward")
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Second)
+}
+
+func TestDeviceSpecsValid(t *testing.T) {
+	for _, d := range []DeviceSpec{NFS, BeeGFS, NVMeSSD, SATASSD, HDD, Memory} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", d.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []DeviceSpec{
+		{},
+		{Name: "x", ReadBW: 0, WriteBW: 1},
+		{Name: "x", ReadBW: 1, WriteBW: 1, OpLatency: -1},
+		{Name: "x", ReadBW: 1, WriteBW: 1, ContentionFactor: -0.5},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Bigger transfers cost more; metadata ops cost more than data ops
+	// of the same size; negative byte counts are treated as zero.
+	d := NFS
+	small := d.Cost(RawData, 4<<10, false)
+	big := d.Cost(RawData, 4<<20, false)
+	if big <= small {
+		t.Errorf("big transfer (%v) not costlier than small (%v)", big, small)
+	}
+	meta := d.Cost(Metadata, 4<<10, false)
+	if meta <= small {
+		t.Errorf("metadata op (%v) not costlier than data op (%v)", meta, small)
+	}
+	if d.Cost(RawData, -5, false) != d.Cost(RawData, 0, false) {
+		t.Error("negative bytes not clamped")
+	}
+}
+
+func TestTierOrdering(t *testing.T) {
+	// For small random I/O the tiers must order memory < nvme < sata < nfs
+	// and hdd slowest: that ordering drives every placement experiment.
+	costs := map[string]time.Duration{}
+	for _, d := range []DeviceSpec{Memory, NVMeSSD, SATASSD, NFS, HDD} {
+		costs[d.Name] = d.Cost(RawData, 4<<10, false)
+	}
+	order := []string{"memory", "nvme", "sata-ssd", "nfs", "hdd"}
+	for i := 1; i < len(order); i++ {
+		if costs[order[i-1]] >= costs[order[i]] {
+			t.Errorf("tier %s (%v) not faster than %s (%v)",
+				order[i-1], costs[order[i-1]], order[i], costs[order[i]])
+		}
+	}
+}
+
+func TestContention(t *testing.T) {
+	base := time.Millisecond
+	if got := NFS.Contended(base, 1); got != base {
+		t.Errorf("single proc scaled: %v", got)
+	}
+	c2 := NFS.Contended(base, 2)
+	c8 := NFS.Contended(base, 8)
+	if !(c8 > c2 && c2 > base) {
+		t.Errorf("contention not monotone: %v %v %v", base, c2, c8)
+	}
+	// For small (latency-bound) operations, NVMe's deep queues contend
+	// far less than NFS: compare the 8-way/1-way cost growth.
+	growth := func(d DeviceSpec) float64 {
+		one := d.ContendedCost(Metadata, 512, false, 1)
+		eight := d.ContendedCost(Metadata, 512, false, 8)
+		return float64(eight) / float64(one)
+	}
+	if growth(NVMeSSD) >= growth(NFS) {
+		t.Errorf("NVMe small-op contention growth (%.2f) not below NFS (%.2f)",
+			growth(NVMeSSD), growth(NFS))
+	}
+	// ContendedCost at procs=1 matches the plain cost.
+	if NFS.ContendedCost(RawData, 4<<10, true, 1) != NFS.Cost(RawData, 4<<10, true) {
+		t.Error("ContendedCost(1) != Cost")
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	d, err := DeviceByName("beegfs")
+	if err != nil || d.Name != "beegfs" {
+		t.Fatalf("DeviceByName(beegfs) = %v, %v", d, err)
+	}
+	if _, err := DeviceByName("floppy"); err == nil {
+		t.Error("unknown device resolved")
+	}
+}
+
+func TestMachines(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 2 {
+		t.Fatalf("want 2 machines (Table III), got %d", len(ms))
+	}
+	for _, m := range ms {
+		if err := m.Default.Validate(); err != nil {
+			t.Errorf("%s default: %v", m.Name, err)
+		}
+		if !m.Default.Shared {
+			t.Errorf("%s default device must be shared", m.Name)
+		}
+		for _, d := range m.Local {
+			if err := d.Validate(); err != nil {
+				t.Errorf("%s local %s: %v", m.Name, d.Name, err)
+			}
+			if d.Shared {
+				t.Errorf("%s local device %s marked shared", m.Name, d.Name)
+			}
+		}
+		if m.CoresPerNode <= 0 || m.MemoryBytes <= 0 {
+			t.Errorf("%s has non-positive resources", m.Name)
+		}
+	}
+	if _, err := MachineByName("cpu-cluster"); err != nil {
+		t.Error(err)
+	}
+	if _, err := MachineByName("tpu-pod"); err == nil {
+		t.Error("unknown machine resolved")
+	}
+	if _, err := MachineCPU.LocalByName("nvme"); err != nil {
+		t.Error(err)
+	}
+	if _, err := MachineCPU.LocalByName("beegfs"); err == nil {
+		t.Error("cpu cluster should not have local beegfs")
+	}
+}
+
+func TestNetworkTransferCost(t *testing.T) {
+	n := MachineCPU.Network
+	zero := n.TransferCost(0)
+	if zero != n.Latency {
+		t.Errorf("zero-byte transfer = %v, want latency %v", zero, n.Latency)
+	}
+	if n.TransferCost(-1) != zero {
+		t.Error("negative bytes not clamped")
+	}
+	if n.TransferCost(1<<30) <= n.TransferCost(1<<20) {
+		t.Error("transfer cost not monotone in size")
+	}
+}
+
+func TestReplayAndSummarize(t *testing.T) {
+	ops := []Op{
+		{Class: Metadata, Bytes: 512, Write: false},
+		{Class: RawData, Bytes: 1 << 20, Write: true},
+		{Class: RawData, Bytes: 1 << 20, Write: false},
+	}
+	s := Summarize(ops)
+	if s.Ops != 3 || s.MetaOps != 1 || s.DataOps != 2 {
+		t.Fatalf("bad counts: %+v", s)
+	}
+	if s.Bytes != 512+2<<20 || s.MetaBytes != 512 || s.DataBytes != 2<<20 {
+		t.Fatalf("bad bytes: %+v", s)
+	}
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("bad rw: %+v", s)
+	}
+
+	t1 := Replay(ops, NVMeSSD, 1)
+	t4 := Replay(ops, NVMeSSD, 4)
+	if t4 <= t1 {
+		t.Error("contended replay not slower")
+	}
+	// Parallel wave: max of per-proc costs at full contention.
+	wave := ReplayParallel([][]Op{ops, ops[:1]}, NVMeSSD)
+	if want := Replay(ops, NVMeSSD, 2); wave != want {
+		t.Errorf("wave = %v, want %v", wave, want)
+	}
+	if ReplayParallel(nil, NVMeSSD) != 0 {
+		t.Error("empty wave should cost nothing")
+	}
+}
+
+func TestReplayProperty(t *testing.T) {
+	// Replay is additive: splitting an op stream never changes total cost
+	// at fixed contention.
+	f := func(sizes []int16) bool {
+		var ops []Op
+		for _, s := range sizes {
+			b := int64(s)
+			if b < 0 {
+				b = -b
+			}
+			ops = append(ops, Op{Class: RawData, Bytes: b * 64})
+		}
+		whole := Replay(ops, SATASSD, 1)
+		half := len(ops) / 2
+		split := Replay(ops[:half], SATASSD, 1) + Replay(ops[half:], SATASSD, 1)
+		diff := whole - split
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Duration(len(ops)+1) // rounding slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContendedCostProperties(t *testing.T) {
+	// For every preset device, cost is monotone in bytes and in process
+	// count, and metadata never costs less than raw data of equal size.
+	devs := []DeviceSpec{NFS, BeeGFS, NVMeSSD, SATASSD, HDD, Memory}
+	f := func(rawBytes uint32, procs uint8, write bool) bool {
+		bytes := int64(rawBytes % (64 << 20))
+		p := 1 + int(procs%32)
+		for _, d := range devs {
+			c1 := d.ContendedCost(RawData, bytes, write, p)
+			c2 := d.ContendedCost(RawData, bytes*2, write, p)
+			if c2 < c1 {
+				return false
+			}
+			cp := d.ContendedCost(RawData, bytes, write, p+1)
+			if cp < c1 {
+				return false
+			}
+			meta := d.ContendedCost(Metadata, bytes, write, p)
+			if meta < c1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// traceSuffix names on-disk task traces.
+const traceSuffix = ".trace.json"
+
+// Encode writes the trace as JSON to w.
+func (t *TaskTrace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// EncodedSize returns the serialized byte size of the trace: the
+// storage-overhead metric of Figure 9d.
+func (t *TaskTrace) EncodedSize() (int64, error) {
+	var cw countingWriter
+	if err := t.Encode(&cw); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// Decode reads one trace from r.
+func Decode(r io.Reader) (*TaskTrace, error) {
+	var t TaskTrace
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Save writes the trace to dir as <task>.trace.json. Slashes in task
+// names are flattened.
+func (t *TaskTrace) Save(dir string) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	name := strings.ReplaceAll(t.Task, "/", "_") + traceSuffix
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("trace: save: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := t.Encode(bw); err != nil {
+		return "", fmt.Errorf("trace: save %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return "", fmt.Errorf("trace: save %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// Load reads one trace file.
+func Load(path string) (*TaskTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// LoadDir reads every task trace in dir, sorted by task name.
+func LoadDir(dir string) ([]*TaskTrace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load dir: %w", err)
+	}
+	var traces []*TaskTrace
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), traceSuffix) {
+			continue
+		}
+		t, err := Load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, t)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Task < traces[j].Task })
+	return traces, nil
+}
+
+// Manifest records workflow-level context the analyzer needs but a
+// single task cannot know: the task execution order (the paper notes
+// current FTG construction takes task ordering as input).
+type Manifest struct {
+	Workflow string `json:"workflow"`
+	// TaskOrder lists task names in execution order; tasks in the same
+	// Stages entry may run in parallel.
+	TaskOrder []string `json:"task_order"`
+	// Stages optionally groups tasks into pipeline stages by name.
+	Stages map[string][]string `json:"stages,omitempty"`
+	// StageOrder lists stage names in execution order.
+	StageOrder []string `json:"stage_order,omitempty"`
+}
+
+// SaveManifest writes the manifest to dir/manifest.json.
+func SaveManifest(dir string, m *Manifest) error {
+	f, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("trace: save manifest: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadManifest reads dir/manifest.json; a missing manifest returns nil
+// without error (ordering falls back to trace timestamps).
+func LoadManifest(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, "manifest.json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("trace: load manifest: %w", err)
+	}
+	defer f.Close()
+	var m Manifest
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("trace: load manifest: %w", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import "sort"
+
+// Merge combines the traces of one logical task's parallel processes
+// (DaYu's profilers are per-process; the paper's future-work MPI support
+// needs per-rank traces folded into one task view). Statistics sum,
+// lifetimes take the envelope, address regions merge, and the raw I/O
+// traces concatenate in wall-clock order. The merged trace carries the
+// given task name.
+func Merge(task string, parts []*TaskTrace) *TaskTrace {
+	out := &TaskTrace{Task: task}
+	if len(parts) == 0 {
+		return out
+	}
+
+	type objKey struct{ file, object string }
+	objects := map[objKey]*ObjectRecord{}
+	files := map[string]*FileRecord{}
+	mapped := map[objKey]*MappedStat{}
+
+	for _, p := range parts {
+		if out.StartNS == 0 || (p.StartNS != 0 && p.StartNS < out.StartNS) {
+			out.StartNS = p.StartNS
+		}
+		if p.EndNS > out.EndNS {
+			out.EndNS = p.EndNS
+		}
+		for _, o := range p.Objects {
+			k := objKey{o.File, o.Object}
+			agg := objects[k]
+			if agg == nil {
+				cp := o
+				cp.Task = task
+				objects[k] = &cp
+				continue
+			}
+			if o.AcquiredNS < agg.AcquiredNS {
+				agg.AcquiredNS = o.AcquiredNS
+			}
+			if o.ReleasedNS > agg.ReleasedNS {
+				agg.ReleasedNS = o.ReleasedNS
+			}
+			agg.Reads += o.Reads
+			agg.Writes += o.Writes
+			agg.BytesRead += o.BytesRead
+			agg.BytesWritten += o.BytesWritten
+		}
+		for _, fr := range p.Files {
+			agg := files[fr.File]
+			if agg == nil {
+				cp := fr
+				cp.Task = task
+				cp.Regions = append([]Extent(nil), fr.Regions...)
+				files[fr.File] = &cp
+				continue
+			}
+			if fr.OpenNS < agg.OpenNS {
+				agg.OpenNS = fr.OpenNS
+			}
+			if fr.CloseNS > agg.CloseNS {
+				agg.CloseNS = fr.CloseNS
+			}
+			agg.Ops += fr.Ops
+			agg.Reads += fr.Reads
+			agg.Writes += fr.Writes
+			agg.BytesRead += fr.BytesRead
+			agg.BytesWritten += fr.BytesWritten
+			agg.DataReads += fr.DataReads
+			agg.DataWrites += fr.DataWrites
+			agg.SequentialOps += fr.SequentialOps
+			agg.MetaOps += fr.MetaOps
+			agg.DataOps += fr.DataOps
+			agg.MetaBytes += fr.MetaBytes
+			agg.DataBytes += fr.DataBytes
+			agg.Regions = MergeExtents(append(agg.Regions, fr.Regions...))
+		}
+		for _, ms := range p.Mapped {
+			k := objKey{ms.File, ms.Object}
+			agg := mapped[k]
+			if agg == nil {
+				cp := ms
+				cp.Task = task
+				cp.Regions = append([]Extent(nil), ms.Regions...)
+				mapped[k] = &cp
+				continue
+			}
+			agg.MetaOps += ms.MetaOps
+			agg.DataOps += ms.DataOps
+			agg.MetaBytes += ms.MetaBytes
+			agg.DataBytes += ms.DataBytes
+			agg.Reads += ms.Reads
+			agg.Writes += ms.Writes
+			if ms.FirstNS < agg.FirstNS {
+				agg.FirstNS = ms.FirstNS
+			}
+			if ms.LastNS > agg.LastNS {
+				agg.LastNS = ms.LastNS
+			}
+			agg.Regions = MergeExtents(append(agg.Regions, ms.Regions...))
+		}
+		for _, io := range p.IOTrace {
+			out.IOTrace = append(out.IOTrace, io)
+		}
+	}
+
+	for _, o := range objects {
+		out.Objects = append(out.Objects, *o)
+	}
+	sort.Slice(out.Objects, func(i, j int) bool {
+		if out.Objects[i].File != out.Objects[j].File {
+			return out.Objects[i].File < out.Objects[j].File
+		}
+		return out.Objects[i].Object < out.Objects[j].Object
+	})
+	for _, fr := range files {
+		out.Files = append(out.Files, *fr)
+	}
+	sort.Slice(out.Files, func(i, j int) bool { return out.Files[i].File < out.Files[j].File })
+	for _, ms := range mapped {
+		out.Mapped = append(out.Mapped, *ms)
+	}
+	sort.Slice(out.Mapped, func(i, j int) bool {
+		if out.Mapped[i].File != out.Mapped[j].File {
+			return out.Mapped[i].File < out.Mapped[j].File
+		}
+		return out.Mapped[i].Object < out.Mapped[j].Object
+	})
+	sort.SliceStable(out.IOTrace, func(i, j int) bool {
+		return out.IOTrace[i].WallNS < out.IOTrace[j].WallNS
+	})
+	return out
+}

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMergeExtents(t *testing.T) {
+	cases := []struct {
+		in, want []Extent
+	}{
+		{nil, nil},
+		{[]Extent{{0, 10}}, []Extent{{0, 10}}},
+		{[]Extent{{0, 10}, {5, 15}}, []Extent{{0, 15}}},
+		{[]Extent{{10, 20}, {0, 5}}, []Extent{{0, 5}, {10, 20}}},
+		{[]Extent{{0, 5}, {5, 10}}, []Extent{{0, 10}}}, // touching merge
+		{[]Extent{{0, 100}, {10, 20}}, []Extent{{0, 100}}},
+		{[]Extent{{3, 4}, {1, 2}, {2, 3}}, []Extent{{1, 4}}},
+	}
+	for i, c := range cases {
+		if got := MergeExtents(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: MergeExtents = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMergeExtentsProperties(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		var in []Extent
+		for i := 0; i+1 < len(pairs); i += 2 {
+			a, b := int64(pairs[i]), int64(pairs[i+1])
+			if a > b {
+				a, b = b, a
+			}
+			in = append(in, Extent{a, b + 1})
+		}
+		out := MergeExtents(in)
+		// Sorted and disjoint.
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Start < out[j].Start }) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Start <= out[i-1].End {
+				return false
+			}
+		}
+		// Total coverage preserved: every input point is inside some output.
+		for _, e := range in {
+			covered := false
+			for _, o := range out {
+				if e.Start >= o.Start && e.End <= o.End {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtentBasics(t *testing.T) {
+	e := Extent{10, 30}
+	if e.Len() != 20 {
+		t.Error("Len wrong")
+	}
+	if !e.Overlaps(Extent{25, 40}) || e.Overlaps(Extent{31, 40}) == true && false {
+		t.Error("Overlaps wrong")
+	}
+	if e.Overlaps(Extent{40, 50}) {
+		t.Error("disjoint extents overlap")
+	}
+}
+
+func sampleTrace() *TaskTrace {
+	return &TaskTrace{
+		Task:    "stage1/task0",
+		StartNS: 100,
+		EndNS:   500,
+		Objects: []ObjectRecord{{
+			Task: "stage1/task0", File: "a.h5", Object: "/g/d",
+			Type: "dataset", Datatype: "float64", Shape: []int64{8},
+			ElemSize: 8, Layout: "contiguous",
+			AcquiredNS: 110, ReleasedNS: 300,
+			Reads: 1, Writes: 2, BytesRead: 64, BytesWritten: 128,
+		}},
+		Files: []FileRecord{{
+			Task: "stage1/task0", File: "a.h5",
+			OpenNS: 100, CloseNS: 450,
+			Ops: 7, Reads: 3, Writes: 4,
+			BytesRead: 100, BytesWritten: 200,
+			MetaOps: 5, DataOps: 2, MetaBytes: 60, DataBytes: 240,
+			Regions: []Extent{{0, 48}, {512, 1024}},
+		}},
+		Mapped: []MappedStat{{
+			Task: "stage1/task0", File: "a.h5", Object: "/g/d",
+			MetaOps: 2, DataOps: 2, MetaBytes: 20, DataBytes: 240,
+			Reads: 1, Writes: 3,
+			Regions: []Extent{{512, 1024}}, FirstNS: 110, LastNS: 290,
+		}},
+		IOTrace: []IORecord{{Seq: 0, WallNS: 120, File: "a.h5", Offset: 0, Length: 48, Write: true, Meta: true}},
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleTrace()
+	bad.Task = ""
+	if bad.Validate() == nil {
+		t.Error("empty task accepted")
+	}
+	bad = sampleTrace()
+	bad.EndNS = 0
+	if bad.Validate() == nil {
+		t.Error("negative duration accepted")
+	}
+	bad = sampleTrace()
+	bad.Objects[0].Task = "other"
+	if bad.Validate() == nil {
+		t.Error("foreign object record accepted")
+	}
+	bad = sampleTrace()
+	bad.Files[0].Ops = 99
+	if bad.Validate() == nil {
+		t.Error("inconsistent op counts accepted")
+	}
+	bad = sampleTrace()
+	bad.Objects[0].ReleasedNS = 0
+	if bad.Validate() == nil {
+		t.Error("negative object lifetime accepted")
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Objects[0].Lifetime() != 190*time.Nanosecond {
+		t.Error("object lifetime wrong")
+	}
+	if tr.Files[0].Lifetime() != 350*time.Nanosecond {
+		t.Error("file lifetime wrong")
+	}
+	if tr.Mapped[0].Ops() != 4 || tr.Mapped[0].Bytes() != 260 {
+		t.Error("mapped totals wrong")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+	sz, err := tr.EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != int64(buf.Cap()) && sz <= 0 {
+		t.Error("EncodedSize non-positive")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage decoded")
+	}
+	if _, err := Decode(bytes.NewReader([]byte(`{"task":""}`))); err == nil {
+		t.Error("invalid trace decoded")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	tr := sampleTrace()
+	path, err := tr.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Task != tr.Task {
+		t.Error("loaded wrong task")
+	}
+	tr2 := sampleTrace()
+	tr2.Task = "stage2/task0"
+	tr2.Objects = nil
+	tr2.Files = nil
+	tr2.Mapped = nil
+	if _, err := tr2.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	all, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || all[0].Task != "stage1/task0" || all[1].Task != "stage2/task0" {
+		t.Fatalf("LoadDir = %d traces", len(all))
+	}
+}
+
+func TestManifest(t *testing.T) {
+	dir := t.TempDir()
+	// Missing manifest: nil, no error.
+	m, err := LoadManifest(dir)
+	if err != nil || m != nil {
+		t.Fatalf("missing manifest: %v, %v", m, err)
+	}
+	want := &Manifest{
+		Workflow:   "pyflextrkr",
+		TaskOrder:  []string{"t1", "t2"},
+		Stages:     map[string][]string{"s1": {"t1"}, "s2": {"t2"}},
+		StageOrder: []string{"s1", "s2"},
+	}
+	if err := SaveManifest(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("manifest round trip: %+v", got)
+	}
+}
+
+func TestFileNames(t *testing.T) {
+	tr := sampleTrace()
+	tr.Files = append(tr.Files, FileRecord{Task: tr.Task, File: "b.h5", OpenNS: 1, CloseNS: 2},
+		FileRecord{Task: tr.Task, File: "a.h5", OpenNS: 3, CloseNS: 4})
+	names := tr.FileNames()
+	if !reflect.DeepEqual(names, []string{"a.h5", "b.h5"}) {
+		t.Fatalf("FileNames = %v", names)
+	}
+}

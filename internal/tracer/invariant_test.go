@@ -1,0 +1,166 @@
+package tracer
+
+import (
+	"math/rand"
+	"testing"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/trace"
+	"dayu/internal/vfd"
+)
+
+// TestMapperConservation: the Characteristic Mapper must conserve the
+// operation stream - for every file, the per-object mapped statistics
+// (including the unattributed bucket) must sum exactly to the Table II
+// file totals, for arbitrary access patterns. A mapper that loses or
+// double-counts operations would silently corrupt every downstream
+// graph and finding.
+func TestMapperConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 25; round++ {
+		tr := New(Config{})
+		tr.BeginTask("t")
+		drv := tr.WrapDriver(vfd.NewMemDriver(), "f.h5")
+		f, err := hdf5.Create(drv, "f.h5", hdf5.Config{
+			Mailbox: tr.Mailbox(), Observer: tr.VOLObserver(), Task: "t",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random mix of datasets, layouts, attrs and accesses.
+		nds := 1 + rng.Intn(5)
+		var names []string
+		for i := 0; i < nds; i++ {
+			name := string(rune('a' + i))
+			size := int64(64 + rng.Intn(4096))
+			var opts *hdf5.DatasetOpts
+			switch rng.Intn(3) {
+			case 1:
+				opts = &hdf5.DatasetOpts{Layout: hdf5.Chunked,
+					ChunkDims: []int64{int64(16 + rng.Intn(int(size)))}}
+			case 2:
+				opts = &hdf5.DatasetOpts{Layout: hdf5.Compact}
+			}
+			ds, err := f.Root().CreateDataset(name, hdf5.Uint8, []int64{size}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names = append(names, name)
+			if err := ds.WriteAll(make([]byte, size)); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(2) == 0 {
+				if err := ds.SetAttrString("u", "x"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			ds, err := f.Root().OpenDataset(names[rng.Intn(len(names))])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dim := ds.Dims()[0]
+			off := rng.Int63n(dim)
+			cnt := 1 + rng.Int63n(dim-off)
+			if rng.Intn(2) == 0 {
+				if _, err := ds.Read(hdf5.Slab1D(off, cnt)); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := ds.Write(hdf5.Slab1D(off, cnt), make([]byte, cnt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tt := tr.EndTask()
+		checkConservation(t, tt, round)
+	}
+}
+
+func checkConservation(t *testing.T, tt *trace.TaskTrace, round int) {
+	t.Helper()
+	type sums struct {
+		metaOps, dataOps, metaBytes, dataBytes, reads, writes int64
+	}
+	perFile := map[string]sums{}
+	for _, ms := range tt.Mapped {
+		s := perFile[ms.File]
+		s.metaOps += ms.MetaOps
+		s.dataOps += ms.DataOps
+		s.metaBytes += ms.MetaBytes
+		s.dataBytes += ms.DataBytes
+		s.reads += ms.Reads
+		s.writes += ms.Writes
+		perFile[ms.File] = s
+	}
+	for _, fr := range tt.Files {
+		s := perFile[fr.File]
+		if s.metaOps != fr.MetaOps || s.dataOps != fr.DataOps {
+			t.Errorf("round %d: op conservation violated for %s: mapped %d/%d vs file %d/%d",
+				round, fr.File, s.metaOps, s.dataOps, fr.MetaOps, fr.DataOps)
+		}
+		if s.metaBytes != fr.MetaBytes || s.dataBytes != fr.DataBytes {
+			t.Errorf("round %d: byte conservation violated for %s", round, fr.File)
+		}
+		if s.reads != fr.Reads || s.writes != fr.Writes {
+			t.Errorf("round %d: direction conservation violated for %s", round, fr.File)
+		}
+	}
+}
+
+// TestVOLVFDByteAgreement: application-visible bytes reported by the
+// VOL layer must equal the raw-data bytes the VFD layer attributes to
+// the same dataset for simple contiguous access (no amplification).
+func TestVOLVFDByteAgreement(t *testing.T) {
+	tr := New(Config{})
+	tr.BeginTask("t")
+	drv := tr.WrapDriver(vfd.NewMemDriver(), "f.h5")
+	f, err := hdf5.Create(drv, "f.h5", hdf5.Config{
+		Mailbox: tr.Mailbox(), Observer: tr.VOLObserver(), Task: "t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := f.Root().CreateDataset("d", hdf5.Uint8, []int64{1 << 14}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteAll(make([]byte, 1<<14)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Read(hdf5.Slab1D(100, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tt := tr.EndTask()
+
+	var obj *trace.ObjectRecord
+	for i := range tt.Objects {
+		if tt.Objects[i].Object == "/d" {
+			obj = &tt.Objects[i]
+		}
+	}
+	if obj == nil {
+		t.Fatal("object record missing")
+	}
+	var mapped *trace.MappedStat
+	for i := range tt.Mapped {
+		if tt.Mapped[i].Object == "/d" {
+			mapped = &tt.Mapped[i]
+		}
+	}
+	if mapped == nil {
+		t.Fatal("mapped stat missing")
+	}
+	if obj.BytesWritten != 1<<14 || obj.BytesRead != 1000 {
+		t.Fatalf("VOL bytes: r%d w%d", obj.BytesRead, obj.BytesWritten)
+	}
+	if mapped.DataBytes != obj.BytesWritten+obj.BytesRead {
+		t.Errorf("contiguous amplification: VFD data bytes %d vs VOL %d",
+			mapped.DataBytes, obj.BytesWritten+obj.BytesRead)
+	}
+}

@@ -1,0 +1,36 @@
+package tracer
+
+import "dayu/internal/vfd"
+
+// WrapDriver decorates a raw driver with the VFD profiler (and any
+// extra observers, e.g. an op log for replay). When the VFD profiler is
+// disabled and no extras are given, the driver is returned unchanged.
+func (t *Tracer) WrapDriver(inner vfd.Driver, fileName string, extra ...vfd.Observer) vfd.Driver {
+	var obs []vfd.Observer
+	if o := t.VFDObserver(); o != nil {
+		obs = append(obs, o)
+	}
+	for _, o := range extra {
+		if o != nil {
+			obs = append(obs, o)
+		}
+	}
+	if len(obs) == 0 {
+		return inner
+	}
+	var observer vfd.Observer
+	if len(obs) == 1 {
+		observer = obs[0]
+	} else {
+		observer = multiObserver(obs)
+	}
+	return vfd.NewProfiledDriver(inner, fileName, t.mailbox, observer)
+}
+
+type multiObserver []vfd.Observer
+
+func (m multiObserver) Observe(op vfd.Op) {
+	for _, o := range m {
+		o.Observe(op)
+	}
+}

@@ -1,0 +1,78 @@
+// Package vfd implements the Virtual File Driver layer: the byte-address
+// interface every low-level I/O operation of the HDF5-like format flows
+// through. It mirrors the role of HDF5's VFD plugin API, which DaYu's
+// low-level profiler hooks (paper §IV). Drivers include an in-memory
+// store, an OS-file store, and a profiling decorator that records each
+// operation tagged with the data-object context from the semantics
+// mailbox.
+package vfd
+
+import (
+	"errors"
+	"time"
+
+	"dayu/internal/sim"
+)
+
+// ErrClosed is returned by operations on a closed driver.
+var ErrClosed = errors.New("vfd: driver is closed")
+
+// Driver is the low-level file access interface. Offsets are absolute
+// byte addresses within the file; Class tags each operation as metadata
+// or raw data (Table II, parameter 6).
+type Driver interface {
+	// ReadAt reads len(p) bytes at offset off. Short reads return an error.
+	ReadAt(p []byte, off int64, class sim.OpClass) error
+	// WriteAt writes len(p) bytes at offset off, extending the file as
+	// needed.
+	WriteAt(p []byte, off int64, class sim.OpClass) error
+	// EOF reports the current end-of-file address.
+	EOF() int64
+	// Truncate sets the file size.
+	Truncate(size int64) error
+	// Close releases the driver. Further operations fail with ErrClosed.
+	Close() error
+}
+
+// Op is one recorded low-level I/O operation.
+type Op struct {
+	// Seq is the operation's sequence number within its recorder.
+	Seq int64
+	// Wall is the wall-clock time the operation started (for overhead
+	// analysis and time ordering).
+	Wall time.Time
+	// Offset and Length delimit the accessed file region.
+	Offset int64
+	Length int64
+	// Write is true for writes, false for reads.
+	Write bool
+	// Class distinguishes metadata from raw-data traffic.
+	Class sim.OpClass
+	// Object, File and Task are the semantic context stamped by the
+	// object layer through the mailbox; Object may be empty for I/O
+	// issued outside any object access (e.g. superblock flushes).
+	Object string
+	File   string
+	Task   string
+}
+
+// End returns the exclusive end address of the accessed region.
+func (o Op) End() int64 { return o.Offset + o.Length }
+
+// SimOp converts the record to a sim.Op for cost replay.
+func (o Op) SimOp() sim.Op {
+	return sim.Op{Class: o.Class, Bytes: o.Length, Write: o.Write}
+}
+
+// Observer receives each operation as it completes. Implementations must
+// be cheap: they run on the I/O path (this is where DaYu's runtime
+// overhead comes from, measured in Figure 9).
+type Observer interface {
+	Observe(op Op)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(op Op)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(op Op) { f(op) }

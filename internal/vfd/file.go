@@ -1,0 +1,75 @@
+package vfd
+
+import (
+	"fmt"
+	"os"
+
+	"dayu/internal/sim"
+)
+
+// FileDriver backs a file with the operating system's filesystem, for
+// persisting traced HDF5-like files to disk (used by the CLI tools).
+type FileDriver struct {
+	f      *os.File
+	closed bool
+}
+
+// OpenFileDriver opens or creates path for read/write access.
+func OpenFileDriver(path string) (*FileDriver, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfd: open %s: %w", path, err)
+	}
+	return &FileDriver{f: f}, nil
+}
+
+// ReadAt implements Driver.
+func (d *FileDriver) ReadAt(p []byte, off int64, _ sim.OpClass) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if _, err := d.f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("vfd: read %s at %d: %w", d.f.Name(), off, err)
+	}
+	return nil
+}
+
+// WriteAt implements Driver.
+func (d *FileDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if _, err := d.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("vfd: write %s at %d: %w", d.f.Name(), off, err)
+	}
+	return nil
+}
+
+// EOF implements Driver.
+func (d *FileDriver) EOF() int64 {
+	if d.closed {
+		return 0
+	}
+	info, err := d.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
+// Truncate implements Driver.
+func (d *FileDriver) Truncate(size int64) error {
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Truncate(size)
+}
+
+// Close implements Driver.
+func (d *FileDriver) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

@@ -1,0 +1,103 @@
+package vfd
+
+import (
+	"fmt"
+
+	"dayu/internal/sim"
+)
+
+// MemDriver stores file contents in a growable byte slice. It backs all
+// simulated executions: the format library performs real byte-level I/O
+// against it while profilers record the operation stream.
+type MemDriver struct {
+	buf    []byte
+	closed bool
+}
+
+// NewMemDriver returns an empty in-memory file.
+func NewMemDriver() *MemDriver { return &MemDriver{} }
+
+// NewMemDriverFrom returns an in-memory file initialized with contents.
+// The driver takes ownership of the slice.
+func NewMemDriverFrom(contents []byte) *MemDriver {
+	return &MemDriver{buf: contents}
+}
+
+// Bytes exposes the current file contents (not a copy). Callers must not
+// mutate it while the driver is in use.
+func (d *MemDriver) Bytes() []byte { return d.buf }
+
+// ReadAt implements Driver.
+func (d *MemDriver) ReadAt(p []byte, off int64, _ sim.OpClass) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return fmt.Errorf("vfd: negative read offset %d", off)
+	}
+	end := off + int64(len(p))
+	if end > int64(len(d.buf)) {
+		return fmt.Errorf("vfd: read [%d,%d) beyond EOF %d", off, end, len(d.buf))
+	}
+	copy(p, d.buf[off:end])
+	return nil
+}
+
+// WriteAt implements Driver.
+func (d *MemDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return fmt.Errorf("vfd: negative write offset %d", off)
+	}
+	end := off + int64(len(p))
+	if end > int64(len(d.buf)) {
+		if end > int64(cap(d.buf)) {
+			grown := make([]byte, end, growCap(end, int64(cap(d.buf))))
+			copy(grown, d.buf)
+			d.buf = grown
+		} else {
+			d.buf = d.buf[:end]
+		}
+	}
+	copy(d.buf[off:end], p)
+	return nil
+}
+
+func growCap(need, have int64) int64 {
+	if have == 0 {
+		have = 4096
+	}
+	for have < need {
+		have *= 2
+	}
+	return have
+}
+
+// EOF implements Driver.
+func (d *MemDriver) EOF() int64 { return int64(len(d.buf)) }
+
+// Truncate implements Driver.
+func (d *MemDriver) Truncate(size int64) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return fmt.Errorf("vfd: negative truncate size %d", size)
+	}
+	if size <= int64(len(d.buf)) {
+		d.buf = d.buf[:size]
+		return nil
+	}
+	for int64(len(d.buf)) < size {
+		d.buf = append(d.buf, 0)
+	}
+	return nil
+}
+
+// Close implements Driver.
+func (d *MemDriver) Close() error {
+	d.closed = true
+	return nil
+}

@@ -1,0 +1,111 @@
+package vfd
+
+import (
+	"time"
+
+	"dayu/internal/semantics"
+	"dayu/internal/sim"
+)
+
+// ProfiledDriver decorates a Driver, recording every operation to an
+// Observer with the semantic context read from the mailbox. This is the
+// interposition point of DaYu's VFD profiler: it sees byte addresses and
+// op classes but learns object names only through the mailbox, exactly
+// like the paper's shared-memory channel.
+type ProfiledDriver struct {
+	inner    Driver
+	mailbox  *semantics.Mailbox
+	observer Observer
+	fileName string
+	seq      int64
+	// now allows tests and the virtual-time harness to control
+	// timestamps; defaults to time.Now.
+	now func() time.Time
+}
+
+// NewProfiledDriver wraps inner. fileName labels all recorded ops;
+// mailbox supplies object context (may be nil for unattributed tracing);
+// observer receives each op (must be non-nil).
+func NewProfiledDriver(inner Driver, fileName string, mailbox *semantics.Mailbox, observer Observer) *ProfiledDriver {
+	if observer == nil {
+		panic("vfd: NewProfiledDriver with nil observer")
+	}
+	return &ProfiledDriver{
+		inner:    inner,
+		mailbox:  mailbox,
+		observer: observer,
+		fileName: fileName,
+		now:      time.Now,
+	}
+}
+
+// SetTimeSource overrides the wall-clock source (used in tests).
+func (d *ProfiledDriver) SetTimeSource(now func() time.Time) { d.now = now }
+
+func (d *ProfiledDriver) record(off, length int64, write bool, class sim.OpClass) {
+	op := Op{
+		Seq:    d.seq,
+		Wall:   d.now(),
+		Offset: off,
+		Length: length,
+		Write:  write,
+		Class:  class,
+		File:   d.fileName,
+	}
+	d.seq++
+	if d.mailbox != nil {
+		ctx := d.mailbox.Current()
+		op.Object = ctx.Object
+		op.Task = ctx.Task
+	}
+	d.observer.Observe(op)
+}
+
+// ReadAt implements Driver.
+func (d *ProfiledDriver) ReadAt(p []byte, off int64, class sim.OpClass) error {
+	if err := d.inner.ReadAt(p, off, class); err != nil {
+		return err
+	}
+	d.record(off, int64(len(p)), false, class)
+	return nil
+}
+
+// WriteAt implements Driver.
+func (d *ProfiledDriver) WriteAt(p []byte, off int64, class sim.OpClass) error {
+	if err := d.inner.WriteAt(p, off, class); err != nil {
+		return err
+	}
+	d.record(off, int64(len(p)), true, class)
+	return nil
+}
+
+// EOF implements Driver.
+func (d *ProfiledDriver) EOF() int64 { return d.inner.EOF() }
+
+// Truncate implements Driver.
+func (d *ProfiledDriver) Truncate(size int64) error { return d.inner.Truncate(size) }
+
+// Close implements Driver.
+func (d *ProfiledDriver) Close() error { return d.inner.Close() }
+
+// OpLog is an Observer that retains every operation in memory. The
+// workflow harness uses it to hand complete op streams to the analyzer
+// and to the device-model replay.
+type OpLog struct {
+	Ops []Op
+}
+
+// Observe implements Observer.
+func (l *OpLog) Observe(op Op) { l.Ops = append(l.Ops, op) }
+
+// SimOps converts the log to sim ops for cost replay.
+func (l *OpLog) SimOps() []sim.Op {
+	out := make([]sim.Op, len(l.Ops))
+	for i, op := range l.Ops {
+		out[i] = op.SimOp()
+	}
+	return out
+}
+
+// Reset clears the log for reuse.
+func (l *OpLog) Reset() { l.Ops = l.Ops[:0] }

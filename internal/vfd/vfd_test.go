@@ -1,0 +1,239 @@
+package vfd
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dayu/internal/semantics"
+	"dayu/internal/sim"
+)
+
+func TestMemDriverReadWrite(t *testing.T) {
+	d := NewMemDriver()
+	if d.EOF() != 0 {
+		t.Fatal("fresh driver not empty")
+	}
+	data := []byte("hello, dayu")
+	if err := d.WriteAt(data, 5, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if d.EOF() != 5+int64(len(data)) {
+		t.Fatalf("EOF = %d", d.EOF())
+	}
+	got := make([]byte, len(data))
+	if err := d.ReadAt(got, 5, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	// The gap [0,5) must read back zeroed.
+	gap := make([]byte, 5)
+	if err := d.ReadAt(gap, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gap, make([]byte, 5)) {
+		t.Fatalf("gap not zeroed: %v", gap)
+	}
+}
+
+func TestMemDriverErrors(t *testing.T) {
+	d := NewMemDriver()
+	if err := d.ReadAt(make([]byte, 1), 0, sim.RawData); err == nil {
+		t.Error("read past EOF succeeded")
+	}
+	if err := d.ReadAt(make([]byte, 1), -1, sim.RawData); err == nil {
+		t.Error("negative-offset read succeeded")
+	}
+	if err := d.WriteAt([]byte{1}, -1, sim.RawData); err == nil {
+		t.Error("negative-offset write succeeded")
+	}
+	if err := d.Truncate(-1); err == nil {
+		t.Error("negative truncate succeeded")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte{1}, 0, sim.RawData); err != ErrClosed {
+		t.Errorf("write after close: %v", err)
+	}
+	if err := d.ReadAt(make([]byte, 1), 0, sim.RawData); err != ErrClosed {
+		t.Errorf("read after close: %v", err)
+	}
+	if err := d.Truncate(0); err != ErrClosed {
+		t.Errorf("truncate after close: %v", err)
+	}
+}
+
+func TestMemDriverTruncate(t *testing.T) {
+	d := NewMemDriverFrom([]byte("abcdef"))
+	if err := d.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.EOF() != 3 {
+		t.Fatalf("EOF after shrink = %d", d.EOF())
+	}
+	if err := d.Truncate(6); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if err := d.ReadAt(got, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{'a', 'b', 'c', 0, 0, 0}) {
+		t.Fatalf("grown contents: %q", got)
+	}
+}
+
+func TestMemDriverPropertyRoundTrip(t *testing.T) {
+	// Writing arbitrary data at an arbitrary (bounded) offset then reading
+	// it back yields the same bytes.
+	f := func(data []byte, off uint16) bool {
+		d := NewMemDriver()
+		if err := d.WriteAt(data, int64(off), sim.RawData); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := d.ReadAt(got, int64(off), sim.RawData); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileDriver(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.h5")
+	d, err := OpenFileDriver(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("persist"), 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if d.EOF() != 7 {
+		t.Fatalf("EOF = %d", d.EOF())
+	}
+	got := make([]byte, 7)
+	if err := d.ReadAt(got, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persist" {
+		t.Fatalf("got %q", got)
+	}
+	if err := d.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.EOF() != 3 {
+		t.Fatalf("EOF after truncate = %d", d.EOF())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Error("double close errored:", err)
+	}
+	if err := d.WriteAt([]byte{1}, 0, sim.RawData); err != ErrClosed {
+		t.Errorf("write after close: %v", err)
+	}
+}
+
+func TestProfiledDriverRecordsOps(t *testing.T) {
+	log := &OpLog{}
+	mb := semantics.NewMailbox()
+	base := time.Unix(1000, 0)
+	d := NewProfiledDriver(NewMemDriver(), "trace.h5", mb, log)
+	d.SetTimeSource(func() time.Time { return base })
+
+	exit := mb.Enter(semantics.Context{Object: "/g/ds", File: "trace.h5", Task: "t0"})
+	if err := d.WriteAt(make([]byte, 128), 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	exit()
+	if err := d.WriteAt(make([]byte, 16), 128, sim.Metadata); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if err := d.ReadAt(buf, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(log.Ops) != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(log.Ops))
+	}
+	w := log.Ops[0]
+	if !w.Write || w.Offset != 0 || w.Length != 128 || w.Class != sim.RawData {
+		t.Fatalf("op0 = %+v", w)
+	}
+	if w.Object != "/g/ds" || w.Task != "t0" || w.File != "trace.h5" {
+		t.Fatalf("op0 semantics = %+v", w)
+	}
+	if w.End() != 128 {
+		t.Fatalf("End() = %d", w.End())
+	}
+	if !w.Wall.Equal(base) {
+		t.Fatal("time source not used")
+	}
+	meta := log.Ops[1]
+	if meta.Class != sim.Metadata || meta.Object != semantics.NoObject {
+		t.Fatalf("op1 = %+v", meta)
+	}
+	r := log.Ops[2]
+	if r.Write || r.Length != 64 {
+		t.Fatalf("op2 = %+v", r)
+	}
+	// Sequence numbers are dense and ordered.
+	for i, op := range log.Ops {
+		if op.Seq != int64(i) {
+			t.Fatalf("seq %d at index %d", op.Seq, i)
+		}
+	}
+}
+
+func TestProfiledDriverErrorsNotRecorded(t *testing.T) {
+	log := &OpLog{}
+	d := NewProfiledDriver(NewMemDriver(), "x", nil, log)
+	if err := d.ReadAt(make([]byte, 4), 0, sim.RawData); err == nil {
+		t.Fatal("expected read error")
+	}
+	if len(log.Ops) != 0 {
+		t.Fatal("failed op was recorded")
+	}
+}
+
+func TestProfiledDriverNilObserverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil observer accepted")
+		}
+	}()
+	NewProfiledDriver(NewMemDriver(), "x", nil, nil)
+}
+
+func TestOpLogSimOps(t *testing.T) {
+	log := &OpLog{Ops: []Op{
+		{Offset: 0, Length: 10, Write: true, Class: sim.Metadata},
+		{Offset: 10, Length: 20, Class: sim.RawData},
+	}}
+	ops := log.SimOps()
+	if len(ops) != 2 || ops[0].Bytes != 10 || !ops[0].Write || ops[1].Class != sim.RawData {
+		t.Fatalf("SimOps = %+v", ops)
+	}
+	log.Reset()
+	if len(log.Ops) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestObserverFunc(t *testing.T) {
+	var n int
+	ObserverFunc(func(Op) { n++ }).Observe(Op{})
+	if n != 1 {
+		t.Fatal("ObserverFunc not invoked")
+	}
+}

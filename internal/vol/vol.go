@@ -1,0 +1,107 @@
+// Package vol defines the Virtual Object Layer event schema: the
+// object-level interposition point DaYu's high-level profiler hooks
+// (paper §IV, Table I). The format library (internal/hdf5) emits these
+// events; the tracer consumes them and joins them with VFD operations.
+package vol
+
+import "time"
+
+// EventKind enumerates object-layer operations.
+type EventKind uint8
+
+// Object-layer operation kinds.
+const (
+	FileCreate EventKind = iota
+	FileOpen
+	FileClose
+	GroupCreate
+	GroupOpen
+	DatasetCreate
+	DatasetOpen
+	DatasetClose
+	DatasetRead
+	DatasetWrite
+	AttrWrite
+	AttrRead
+)
+
+var kindNames = [...]string{
+	"file-create", "file-open", "file-close",
+	"group-create", "group-open",
+	"dataset-create", "dataset-open", "dataset-close",
+	"dataset-read", "dataset-write",
+	"attr-write", "attr-read",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// IsAccess reports whether the event moves data (read/write) rather than
+// managing object lifetime.
+func (k EventKind) IsAccess() bool {
+	switch k {
+	case DatasetRead, DatasetWrite, AttrRead, AttrWrite:
+		return true
+	}
+	return false
+}
+
+// ObjectInfo captures the "Object Description" semantics of Table I:
+// shape, type, size and layout of the object being accessed.
+type ObjectInfo struct {
+	// Name is the full object path within the file, e.g. "/g/contact_map".
+	Name string
+	// File is the name of the containing file.
+	File string
+	// Type is "file", "group", "dataset" or "attribute".
+	Type string
+	// Datatype describes the element type, e.g. "float64", "vlen".
+	Datatype string
+	// Shape lists the dataset dimensions (nil for non-datasets).
+	Shape []int64
+	// ElemSize is the fixed element size in bytes (0 for variable-length).
+	ElemSize int64
+	// Layout is "contiguous", "chunked" or "compact" for datasets.
+	Layout string
+	// ChunkDims lists chunk dimensions for chunked layouts.
+	ChunkDims []int64
+}
+
+// Event is one object-layer operation.
+type Event struct {
+	Kind EventKind
+	// Wall is the wall-clock start of the operation.
+	Wall time.Time
+	// Task is the workflow task performing the operation.
+	Task string
+	// Info describes the object.
+	Info ObjectInfo
+	// Bytes is the application-visible data volume for access events.
+	Bytes int64
+}
+
+// Observer receives object-layer events. Like the VFD observer it runs
+// on the access path and must stay cheap.
+type Observer interface {
+	OnEvent(ev Event)
+}
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc func(ev Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(ev Event) { f(ev) }
+
+// Multi fans an event out to several observers.
+type Multi []Observer
+
+// OnEvent implements Observer.
+func (m Multi) OnEvent(ev Event) {
+	for _, o := range m {
+		o.OnEvent(ev)
+	}
+}

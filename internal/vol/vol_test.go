@@ -1,0 +1,71 @@
+package vol
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[EventKind]string{
+		FileCreate:    "file-create",
+		FileOpen:      "file-open",
+		FileClose:     "file-close",
+		GroupCreate:   "group-create",
+		GroupOpen:     "group-open",
+		DatasetCreate: "dataset-create",
+		DatasetOpen:   "dataset-open",
+		DatasetClose:  "dataset-close",
+		DatasetRead:   "dataset-read",
+		DatasetWrite:  "dataset-write",
+		AttrWrite:     "attr-write",
+		AttrRead:      "attr-read",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Error("out-of-range kind not unknown")
+	}
+}
+
+func TestIsAccess(t *testing.T) {
+	access := []EventKind{DatasetRead, DatasetWrite, AttrRead, AttrWrite}
+	for _, k := range access {
+		if !k.IsAccess() {
+			t.Errorf("%v should be an access", k)
+		}
+	}
+	nonAccess := []EventKind{FileCreate, FileOpen, FileClose, GroupCreate,
+		GroupOpen, DatasetCreate, DatasetOpen, DatasetClose}
+	for _, k := range nonAccess {
+		if k.IsAccess() {
+			t.Errorf("%v should not be an access", k)
+		}
+	}
+}
+
+func TestObserverFuncAndMulti(t *testing.T) {
+	var got []Event
+	obs := ObserverFunc(func(ev Event) { got = append(got, ev) })
+	ev := Event{Kind: DatasetWrite, Wall: time.Unix(1, 0), Task: "t",
+		Info: ObjectInfo{Name: "/d", File: "f.h5", Type: "dataset"}, Bytes: 64}
+	obs.OnEvent(ev)
+	if len(got) != 1 || got[0].Info.Name != "/d" || got[0].Bytes != 64 {
+		t.Fatalf("ObserverFunc got %+v", got)
+	}
+
+	var a, b int
+	multi := Multi{
+		ObserverFunc(func(Event) { a++ }),
+		ObserverFunc(func(Event) { b++ }),
+	}
+	multi.OnEvent(ev)
+	multi.OnEvent(ev)
+	if a != 2 || b != 2 {
+		t.Errorf("Multi fan-out: a=%d b=%d", a, b)
+	}
+	// Empty multi is a no-op.
+	Multi{}.OnEvent(ev)
+}

@@ -1,0 +1,111 @@
+package workflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+)
+
+func writeHeavySpec(payload []byte) Spec {
+	return Spec{Name: "wh", Stages: []Stage{
+		{Name: "write", Tasks: []Task{{Name: "w", Fn: func(tc *TaskContext) error {
+			f, err := tc.Create("out.h5")
+			if err != nil {
+				return err
+			}
+			ds, err := f.Root().CreateDataset("d", hdf5.Uint8, []int64{int64(len(payload))}, nil)
+			if err != nil {
+				return err
+			}
+			return ds.WriteAll(payload)
+		}}}},
+	}}
+}
+
+func TestAsyncWritesOverlapDeviceTime(t *testing.T) {
+	payload := bytes.Repeat([]byte{1}, 512<<10)
+	run := func(plan *Plan) *Result {
+		eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, plan, tracer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(writeHeavySpec(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	async := run(&Plan{AsyncWrites: true})
+
+	// The critical path shrinks: the 512 KiB data write admits to the
+	// memory buffer instead of waiting on NFS.
+	if async.Total() >= base.Total() {
+		t.Errorf("async writes (%v) not faster than sync (%v)", async.Total(), base.Total())
+	}
+	// The device time did not disappear - it shows up as an async drain
+	// pseudo-stage excluded from the critical path.
+	var drainFound bool
+	for _, s := range async.Stages {
+		if strings.HasPrefix(s.Name, "async-drain:") {
+			drainFound = true
+			if !s.Async {
+				t.Error("drain stage on the critical path")
+			}
+			if s.Time <= 0 {
+				t.Error("drain stage has no time")
+			}
+		}
+	}
+	if !drainFound {
+		t.Fatal("async drain stage missing")
+	}
+	// Conservation: critical + drain >= the synchronous stage time
+	// (the device work is deferred, not deleted).
+	drain := async.StageTime("async-drain:write")
+	if async.StageTime("write")+drain < base.StageTime("write") {
+		t.Errorf("async write work vanished: %v + %v < %v",
+			async.StageTime("write"), drain, base.StageTime("write"))
+	}
+	// No drain stage when nothing was written asynchronously.
+	if len(base.Stages) != 1 {
+		t.Errorf("baseline has %d stages", len(base.Stages))
+	}
+}
+
+func TestAsyncWritesPreserveData(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x77}, 64<<10)
+	spec := writeHeavySpec(payload)
+	spec.Stages = append(spec.Stages, Stage{Name: "verify", Tasks: []Task{{
+		Name: "r", Fn: func(tc *TaskContext) error {
+			f, err := tc.Open("out.h5")
+			if err != nil {
+				return err
+			}
+			ds, err := f.OpenDatasetPath("/d")
+			if err != nil {
+				return err
+			}
+			got, err := ds.ReadAll()
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload) {
+				t.Error("async-written data corrupted")
+			}
+			return nil
+		},
+	}}})
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1},
+		&Plan{AsyncWrites: true}, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package workflow
+
+import (
+	"fmt"
+	"time"
+
+	"dayu/internal/adios"
+	"dayu/internal/hdf5"
+	"dayu/internal/netcdf"
+	"dayu/internal/tracer"
+	"dayu/internal/vfd"
+)
+
+// TaskContext is the I/O environment handed to a task body. All file
+// access goes through the traced format library so the Data Semantic
+// Mapper observes every object access and I/O operation.
+type TaskContext struct {
+	engine      *Engine
+	tracer      *tracer.Tracer
+	task        string
+	node        int
+	opLog       *vfd.OpLog
+	computeTime time.Duration
+	open        []*hdf5.File
+	openNC      []*netcdf.File
+	openBP      []*adios.File
+}
+
+// Task returns the executing task's name.
+func (tc *TaskContext) Task() string { return tc.task }
+
+// Node returns the node the task is scheduled on.
+func (tc *TaskContext) Node() int { return tc.node }
+
+// Compute adds d of synthetic non-I/O work to the task's virtual time.
+func (tc *TaskContext) Compute(d time.Duration) {
+	if d > 0 {
+		tc.computeTime += d
+	}
+}
+
+// Create creates (or truncates) a file with default format parameters.
+func (tc *TaskContext) Create(name string) (*hdf5.File, error) {
+	return tc.CreateWith(name, hdf5.Config{})
+}
+
+// CreateWith creates a file with custom format parameters; tracing
+// fields of cfg are overridden by the engine's tracer.
+func (tc *TaskContext) CreateWith(name string, cfg hdf5.Config) (*hdf5.File, error) {
+	store := &fileStore{name: name}
+	tc.engine.mu.Lock()
+	tc.engine.files[name] = store
+	tc.engine.mu.Unlock()
+	return tc.openStore(store, cfg, true)
+}
+
+// Open opens an existing file.
+func (tc *TaskContext) Open(name string) (*hdf5.File, error) {
+	tc.engine.mu.Lock()
+	store, ok := tc.engine.files[name]
+	tc.engine.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	}
+	return tc.openStore(store, hdf5.Config{}, false)
+}
+
+func (tc *TaskContext) openStore(store *fileStore, cfg hdf5.Config, create bool) (*hdf5.File, error) {
+	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, store.name, tc.opLog)
+	cfg.Mailbox = tc.tracer.Mailbox()
+	cfg.Observer = tc.tracer.VOLObserver()
+	cfg.Task = tc.task
+	var (
+		f   *hdf5.File
+		err error
+	)
+	if create {
+		f, err = hdf5.Create(drv, store.name, cfg)
+	} else {
+		f, err = hdf5.Open(drv, store.name, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tc.open = append(tc.open, f)
+	return f, nil
+}
+
+// CreateNC creates (or truncates) a netCDF-like file in define mode,
+// traced by the same profilers as the HDF5-like layer.
+func (tc *TaskContext) CreateNC(name string) (*netcdf.File, error) {
+	store := &fileStore{name: name}
+	tc.engine.mu.Lock()
+	tc.engine.files[name] = store
+	tc.engine.mu.Unlock()
+	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
+	f, err := netcdf.Create(drv, name, netcdf.Config{
+		Mailbox:  tc.tracer.Mailbox(),
+		Observer: tc.tracer.VOLObserver(),
+		Task:     tc.task,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.openNC = append(tc.openNC, f)
+	return f, nil
+}
+
+// OpenNC opens an existing netCDF-like file in data mode.
+func (tc *TaskContext) OpenNC(name string) (*netcdf.File, error) {
+	tc.engine.mu.Lock()
+	store, ok := tc.engine.files[name]
+	tc.engine.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	}
+	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
+	f, err := netcdf.Open(drv, name, netcdf.Config{
+		Mailbox:  tc.tracer.Mailbox(),
+		Observer: tc.tracer.VOLObserver(),
+		Task:     tc.task,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.openNC = append(tc.openNC, f)
+	return f, nil
+}
+
+// CreateBP creates (or truncates) an ADIOS-BP-like log-structured file.
+func (tc *TaskContext) CreateBP(name string) (*adios.File, error) {
+	store := &fileStore{name: name}
+	tc.engine.mu.Lock()
+	tc.engine.files[name] = store
+	tc.engine.mu.Unlock()
+	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
+	f, err := adios.Create(drv, name, adios.Config{
+		Mailbox:  tc.tracer.Mailbox(),
+		Observer: tc.tracer.VOLObserver(),
+		Task:     tc.task,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.openBP = append(tc.openBP, f)
+	return f, nil
+}
+
+// OpenBP opens an existing BP-like file for reading.
+func (tc *TaskContext) OpenBP(name string) (*adios.File, error) {
+	tc.engine.mu.Lock()
+	store, ok := tc.engine.files[name]
+	tc.engine.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	}
+	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
+	f, err := adios.Open(drv, name, adios.Config{
+		Mailbox:  tc.tracer.Mailbox(),
+		Observer: tc.tracer.VOLObserver(),
+		Task:     tc.task,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.openBP = append(tc.openBP, f)
+	return f, nil
+}
+
+// Exists reports whether a file exists in the workflow store.
+func (tc *TaskContext) Exists(name string) bool {
+	tc.engine.mu.Lock()
+	defer tc.engine.mu.Unlock()
+	_, ok := tc.engine.files[name]
+	return ok
+}
+
+// FileSize reports a stored file's size in bytes.
+func (tc *TaskContext) FileSize(name string) int64 { return tc.engine.FileSize(name) }
+
+// closeAll closes any files the task left open (idempotent for files
+// already closed by the task body).
+func (tc *TaskContext) closeAll() error {
+	for _, f := range tc.open {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	tc.open = nil
+	for _, f := range tc.openNC {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	tc.openNC = nil
+	for _, f := range tc.openBP {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	tc.openBP = nil
+	return nil
+}

@@ -1,0 +1,109 @@
+package workflow
+
+import (
+	"bytes"
+	"testing"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/netcdf"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+)
+
+// TestMixedFormatWorkflow runs a producer writing netCDF and HDF5-like
+// files in one task, and a consumer reading both - the tracer must
+// observe both formats uniformly within the same task trace.
+func TestMixedFormatWorkflow(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5c}, 8*16)
+	spec := Spec{Name: "mixed", Stages: []Stage{
+		{Name: "produce", Tasks: []Task{{Name: "producer", Fn: func(tc *TaskContext) error {
+			nc, err := tc.CreateNC("grid.nc")
+			if err != nil {
+				return err
+			}
+			x, err := nc.DefineDim("x", 16)
+			if err != nil {
+				return err
+			}
+			v, err := nc.DefineVar("field", netcdf.Double, []netcdf.DimID{x})
+			if err != nil {
+				return err
+			}
+			if err := nc.EndDef(); err != nil {
+				return err
+			}
+			if err := v.WriteAll(payload); err != nil {
+				return err
+			}
+			if err := nc.Close(); err != nil {
+				return err
+			}
+			// Sibling HDF5-like output in the same task.
+			h5, err := tc.Create("meta.h5")
+			if err != nil {
+				return err
+			}
+			ds, err := h5.Root().CreateDataset("index", hdf5.Uint8, []int64{16}, nil)
+			if err != nil {
+				return err
+			}
+			return ds.WriteAll(make([]byte, 16))
+		}}}},
+		{Name: "consume", Tasks: []Task{{Name: "consumer", Fn: func(tc *TaskContext) error {
+			nc, err := tc.OpenNC("grid.nc")
+			if err != nil {
+				return err
+			}
+			v, err := nc.VarByName("field")
+			if err != nil {
+				return err
+			}
+			got, err := v.ReadAll()
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload) {
+				t.Error("netCDF data corrupted across tasks")
+			}
+			if err := nc.Close(); err != nil {
+				return err
+			}
+			h5, err := tc.Open("meta.h5")
+			if err != nil {
+				return err
+			}
+			_, err = h5.OpenDatasetPath("/index")
+			return err
+		}}}},
+	}}
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both formats appear in the producer's trace with object records.
+	var ncSeen, h5Seen bool
+	for _, tt := range res.Traces {
+		if tt.Task != "producer" {
+			continue
+		}
+		for _, o := range tt.Objects {
+			if o.File == "grid.nc" && o.Object == "/field" {
+				ncSeen = true
+			}
+			if o.File == "meta.h5" && o.Object == "/index" {
+				h5Seen = true
+			}
+		}
+	}
+	if !ncSeen || !h5Seen {
+		t.Errorf("mixed-format tracing incomplete: nc=%v h5=%v", ncSeen, h5Seen)
+	}
+	// Virtual time accrues for both files.
+	if res.StageTime("produce") <= 0 || res.StageTime("consume") <= 0 {
+		t.Error("stage times missing")
+	}
+}

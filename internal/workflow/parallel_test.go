@@ -1,0 +1,187 @@
+package workflow
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+)
+
+// fanSpec: N writer tasks in one stage, a reader that consumes them all.
+func fanSpec(n int, payload []byte) Spec {
+	var writers []Task
+	for i := 0; i < n; i++ {
+		i := i
+		writers = append(writers, Task{
+			Name: fmt.Sprintf("writer_%02d", i),
+			Fn: func(tc *TaskContext) error {
+				f, err := tc.Create(fmt.Sprintf("part_%02d.h5", i))
+				if err != nil {
+					return err
+				}
+				ds, err := f.Root().CreateDataset("part", hdf5.Uint8, []int64{int64(len(payload))}, nil)
+				if err != nil {
+					return err
+				}
+				return ds.WriteAll(payload)
+			},
+		})
+	}
+	return Spec{Name: "fan", Stages: []Stage{
+		{Name: "write", Tasks: writers},
+		{Name: "gather", Tasks: []Task{{Name: "gather", Fn: func(tc *TaskContext) error {
+			for i := 0; i < n; i++ {
+				f, err := tc.Open(fmt.Sprintf("part_%02d.h5", i))
+				if err != nil {
+					return err
+				}
+				ds, err := f.OpenDatasetPath("/part")
+				if err != nil {
+					return err
+				}
+				got, err := ds.ReadAll()
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, payload) {
+					return fmt.Errorf("part %d corrupted", i)
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}}}},
+	}}
+}
+
+// TestParallelExecutionMatchesSequential: goroutine execution must yield
+// identical virtual timings, traces and op streams (run with -race).
+func TestParallelExecutionMatchesSequential(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 32<<10)
+	run := func(parallel bool) *Result {
+		eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 2, Parallel: parallel},
+			nil, tracer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(fanSpec(8, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(false)
+	par := run(true)
+
+	if seq.Total() != par.Total() {
+		t.Errorf("virtual times differ: seq %v, par %v", seq.Total(), par.Total())
+	}
+	for _, stage := range []string{"write", "gather"} {
+		if seq.StageTime(stage) != par.StageTime(stage) {
+			t.Errorf("stage %s differs: %v vs %v", stage, seq.StageTime(stage), par.StageTime(stage))
+		}
+	}
+	// Traces arrive in deterministic task order either way.
+	var seqTasks, parTasks []string
+	for _, tt := range seq.Traces {
+		seqTasks = append(seqTasks, tt.Task)
+	}
+	for _, tt := range par.Traces {
+		parTasks = append(parTasks, tt.Task)
+	}
+	if !reflect.DeepEqual(seqTasks, parTasks) {
+		t.Errorf("trace order differs:\nseq %v\npar %v", seqTasks, parTasks)
+	}
+	// Op streams per task are identical.
+	for task, files := range seq.OpsByTask {
+		pfiles := par.OpsByTask[task]
+		if len(pfiles) != len(files) {
+			t.Fatalf("task %s file count differs", task)
+		}
+		for file, ops := range files {
+			if !reflect.DeepEqual(ops, pfiles[file]) {
+				t.Errorf("task %s file %s ops differ", task, file)
+			}
+		}
+	}
+}
+
+// TestParallelSharedReaders: all tasks of a stage concurrently read the
+// same file (the all-to-all pattern) without corruption.
+func TestParallelSharedReaders(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x3C}, 64<<10)
+	var readers []Task
+	for i := 0; i < 8; i++ {
+		readers = append(readers, Task{
+			Name: fmt.Sprintf("reader_%02d", i),
+			Fn: func(tc *TaskContext) error {
+				f, err := tc.Open("shared.h5")
+				if err != nil {
+					return err
+				}
+				ds, err := f.OpenDatasetPath("/data")
+				if err != nil {
+					return err
+				}
+				got, err := ds.ReadAll()
+				if err != nil {
+					return err
+				}
+				if !bytes.Equal(got, payload) {
+					return fmt.Errorf("shared data corrupted")
+				}
+				return nil
+			},
+		})
+	}
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 2, Parallel: true},
+		nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Preload("shared.h5", hdf5.Config{}, func(f *hdf5.File) error {
+		ds, err := f.Root().CreateDataset("data", hdf5.Uint8, []int64{int64(len(payload))}, nil)
+		if err != nil {
+			return err
+		}
+		return ds.WriteAll(payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(Spec{Name: "shared", Stages: []Stage{{Name: "read", Tasks: readers}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Traces) != 8 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	// Every reader's trace shows the full read volume.
+	for _, tt := range res.Traces {
+		if tt.Files[0].BytesRead < int64(len(payload)) {
+			t.Errorf("task %s read %d bytes", tt.Task, tt.Files[0].BytesRead)
+		}
+	}
+}
+
+// TestParallelErrorPropagation: a failing task in a parallel stage
+// surfaces its error.
+func TestParallelErrorPropagation(t *testing.T) {
+	tasks := []Task{
+		{Name: "good", Fn: func(tc *TaskContext) error { return nil }},
+		{Name: "bad", Fn: func(tc *TaskContext) error { return fmt.Errorf("kaboom") }},
+	}
+	eng, _ := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1, Parallel: true}, nil, tracer.Config{})
+	_, err := eng.Run(Spec{Name: "e", Stages: []Stage{{Name: "s", Tasks: tasks}}})
+	if err == nil {
+		t.Fatal("parallel task error swallowed")
+	}
+	if got := err.Error(); !sort.StringsAreSorted([]string{got}) && got == "" {
+		t.Error("empty error")
+	}
+}

@@ -1,0 +1,130 @@
+package workflow
+
+import (
+	"fmt"
+
+	"dayu/internal/sim"
+)
+
+// Placement locates a file on the cluster: a device tier and, for
+// node-local tiers, a node index.
+type Placement struct {
+	// Device is a sim device name ("nfs", "beegfs", "nvme", "sata-ssd",
+	// "hdd", "memory"). Empty selects the machine's default shared tier.
+	Device string
+	// Node is the owning node for node-local devices (ignored for
+	// shared tiers).
+	Node int
+}
+
+// Plan is the set of optimization decisions DaYu's diagnostics suggest,
+// applied by the engine: data placement, task co-scheduling, prefetch
+// (stage-in) and stage-out.
+type Plan struct {
+	// Placements pins files to tiers; unlisted files live on the
+	// machine's default shared storage.
+	Placements map[string]Placement
+	// DefaultPlacement, when set, applies to every file without an
+	// explicit placement entry.
+	DefaultPlacement *Placement
+	// NodeOf co-schedules tasks onto nodes; unlisted tasks round-robin.
+	NodeOf map[string]int
+	// StageIn lists files to copy to their planned placement before the
+	// named stage runs (the prefetch guideline); the copy cost appears
+	// as a "Stage-In" pseudo stage, as in Figure 11.
+	StageIn map[string][]string
+	// StageOut lists files to copy back to shared storage after the
+	// named stage; the cost appears as a "Stage-Out" pseudo stage.
+	StageOut map[string][]string
+	// AsyncStageOut overlaps stage-out with subsequent compute: its cost
+	// is reported but excluded from the critical path (DDMD §VII-C1
+	// "Asynchronous Data Staging").
+	AsyncStageOut bool
+	// CacheFiles applies the customized-caching guideline (§III-A-1):
+	// listed files are held in a Hermes-style memory buffer after their
+	// first access, so subsequent tasks' reads replay against the
+	// memory tier instead of the file's home device.
+	CacheFiles []string
+	// AsyncWrites models asynchronous I/O (paper §IX future work):
+	// raw-data writes land in a memory buffer on the critical path and
+	// drain to the home device in the background. Each task still pays
+	// the memory-buffer cost and all metadata writes; the drained device
+	// time is reported as an async pseudo-stage per stage.
+	AsyncWrites bool
+}
+
+// cached reports whether a file is memory-cached by the plan.
+func (p *Plan) cached(file string) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.CacheFiles {
+		if f == file {
+			return true
+		}
+	}
+	return false
+}
+
+// placementOf resolves the effective placement for a file.
+func (p *Plan) placementOf(file string) Placement {
+	if p == nil {
+		return Placement{}
+	}
+	if pl, ok := p.Placements[file]; ok {
+		return pl
+	}
+	if p.DefaultPlacement != nil {
+		return *p.DefaultPlacement
+	}
+	return Placement{}
+}
+
+// deviceFor resolves a placement to a device spec on the machine.
+func deviceFor(m sim.Machine, pl Placement) (sim.DeviceSpec, error) {
+	if pl.Device == "" {
+		return m.Default, nil
+	}
+	if pl.Device == m.Default.Name {
+		return m.Default, nil
+	}
+	d, err := m.LocalByName(pl.Device)
+	if err != nil {
+		return sim.DeviceSpec{}, fmt.Errorf("workflow: placement: %w", err)
+	}
+	return d, nil
+}
+
+// Validate checks the plan against a machine and node count.
+func (p *Plan) Validate(m sim.Machine, nodes int) error {
+	if p == nil {
+		return nil
+	}
+	check := func(pl Placement) error {
+		if _, err := deviceFor(m, pl); err != nil {
+			return err
+		}
+		if pl.Device != "" && pl.Device != m.Default.Name {
+			if pl.Node < 0 || pl.Node >= nodes {
+				return fmt.Errorf("workflow: placement node %d outside cluster of %d nodes", pl.Node, nodes)
+			}
+		}
+		return nil
+	}
+	for file, pl := range p.Placements {
+		if err := check(pl); err != nil {
+			return fmt.Errorf("%w (file %s)", err, file)
+		}
+	}
+	if p.DefaultPlacement != nil {
+		if err := check(*p.DefaultPlacement); err != nil {
+			return err
+		}
+	}
+	for task, node := range p.NodeOf {
+		if node < 0 || node >= nodes {
+			return fmt.Errorf("workflow: task %q scheduled on node %d of %d", task, node, nodes)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package workflow
+
+import (
+	"fmt"
+	"sync"
+
+	"dayu/internal/sim"
+	"dayu/internal/vfd"
+)
+
+// fileStore holds the persistent contents of one simulated file. Tasks
+// open sessions against it; closing a session leaves the contents in
+// place for downstream tasks (unlike vfd.MemDriver, whose Close is
+// terminal).
+type fileStore struct {
+	name string
+	mu   sync.RWMutex // tasks of a parallel stage may share a file
+	data []byte
+}
+
+// Size returns the stored file size.
+func (s *fileStore) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.data))
+}
+
+// storeDriver is one open session on a fileStore, implementing
+// vfd.Driver.
+type storeDriver struct {
+	store  *fileStore
+	closed bool
+}
+
+func (d *storeDriver) ReadAt(p []byte, off int64, _ sim.OpClass) error {
+	if d.closed {
+		return vfd.ErrClosed
+	}
+	d.store.mu.RLock()
+	defer d.store.mu.RUnlock()
+	if off < 0 || off+int64(len(p)) > int64(len(d.store.data)) {
+		return fmt.Errorf("workflow: read [%d,%d) beyond EOF %d of %s",
+			off, off+int64(len(p)), len(d.store.data), d.store.name)
+	}
+	copy(p, d.store.data[off:])
+	return nil
+}
+
+func (d *storeDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
+	if d.closed {
+		return vfd.ErrClosed
+	}
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if off < 0 {
+		return fmt.Errorf("workflow: negative write offset %d in %s", off, d.store.name)
+	}
+	end := off + int64(len(p))
+	for int64(len(d.store.data)) < end {
+		d.store.data = append(d.store.data, make([]byte, end-int64(len(d.store.data)))...)
+	}
+	copy(d.store.data[off:end], p)
+	return nil
+}
+
+func (d *storeDriver) EOF() int64 { return d.store.Size() }
+
+func (d *storeDriver) Truncate(size int64) error {
+	if d.closed {
+		return vfd.ErrClosed
+	}
+	d.store.mu.Lock()
+	defer d.store.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("workflow: negative truncate of %s", d.store.name)
+	}
+	if size <= int64(len(d.store.data)) {
+		d.store.data = d.store.data[:size]
+		return nil
+	}
+	d.store.data = append(d.store.data, make([]byte, size-int64(len(d.store.data)))...)
+	return nil
+}
+
+func (d *storeDriver) Close() error {
+	d.closed = true
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package workflow executes distributed scientific workflows over the
+// simulated cluster substrate. Tasks perform real byte-level I/O through
+// the traced HDF5-like format library against in-memory files; the
+// engine replays the recorded operation streams against the machine's
+// device models (internal/sim) to produce deterministic virtual
+// execution times, honoring placement, co-scheduling, prefetch and
+// stage-in/out decisions from an optimization plan.
+package workflow
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spec describes a workflow: ordered stages of parallel tasks.
+type Spec struct {
+	Name   string
+	Stages []Stage
+}
+
+// Stage is a logical grouping of tasks that may execute in parallel
+// (paper §VI-A: "stages represent logical groupings of tasks").
+type Stage struct {
+	Name  string
+	Tasks []Task
+}
+
+// Task is one schedulable unit.
+type Task struct {
+	Name string
+	// Fn performs the task's I/O through the TaskContext.
+	Fn func(tc *TaskContext) error
+	// Compute is synthetic non-I/O execution time added to the task.
+	Compute time.Duration
+	// ComputePerByte adds data-proportional compute time: the task's
+	// raw-data I/O volume times this many nanoseconds per byte. It
+	// models the processing work between I/O phases, which bounds how
+	// much storage optimization can speed a task up.
+	ComputePerByte float64
+}
+
+// Validate checks the spec for structural errors.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workflow: spec has no name")
+	}
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("workflow: spec %q has no stages", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, st := range s.Stages {
+		if st.Name == "" {
+			return fmt.Errorf("workflow: unnamed stage in %q", s.Name)
+		}
+		if len(st.Tasks) == 0 {
+			return fmt.Errorf("workflow: stage %q has no tasks", st.Name)
+		}
+		for _, t := range st.Tasks {
+			if t.Name == "" {
+				return fmt.Errorf("workflow: unnamed task in stage %q", st.Name)
+			}
+			if seen[t.Name] {
+				return fmt.Errorf("workflow: duplicate task name %q", t.Name)
+			}
+			seen[t.Name] = true
+			if t.Fn == nil {
+				return fmt.Errorf("workflow: task %q has no body", t.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// TaskNames lists all task names in execution order.
+func (s Spec) TaskNames() []string {
+	var names []string
+	for _, st := range s.Stages {
+		for _, t := range st.Tasks {
+			names = append(names, t.Name)
+		}
+	}
+	return names
+}

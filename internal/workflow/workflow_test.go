@@ -1,0 +1,340 @@
+package workflow
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+)
+
+// twoStageSpec: a producer writes data.h5, a consumer reads it back and
+// verifies contents, proving cross-task persistence.
+func twoStageSpec(t *testing.T, payload []byte) Spec {
+	return Spec{
+		Name: "two-stage",
+		Stages: []Stage{
+			{Name: "produce", Tasks: []Task{{
+				Name: "producer",
+				Fn: func(tc *TaskContext) error {
+					f, err := tc.Create("data.h5")
+					if err != nil {
+						return err
+					}
+					ds, err := f.Root().CreateDataset("payload", hdf5.Uint8, []int64{int64(len(payload))}, nil)
+					if err != nil {
+						return err
+					}
+					if err := ds.WriteAll(payload); err != nil {
+						return err
+					}
+					return f.Close()
+				},
+			}}},
+			{Name: "consume", Tasks: []Task{{
+				Name: "consumer",
+				Fn: func(tc *TaskContext) error {
+					f, err := tc.Open("data.h5")
+					if err != nil {
+						return err
+					}
+					ds, err := f.OpenDatasetPath("/payload")
+					if err != nil {
+						return err
+					}
+					got, err := ds.ReadAll()
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, payload) {
+						t.Error("payload corrupted across tasks")
+					}
+					return f.Close()
+				},
+			}}},
+		},
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Name: "x"},
+		{Name: "x", Stages: []Stage{{Name: "", Tasks: []Task{{Name: "t", Fn: func(*TaskContext) error { return nil }}}}}},
+		{Name: "x", Stages: []Stage{{Name: "s"}}},
+		{Name: "x", Stages: []Stage{{Name: "s", Tasks: []Task{{Name: "", Fn: func(*TaskContext) error { return nil }}}}}},
+		{Name: "x", Stages: []Stage{{Name: "s", Tasks: []Task{{Name: "t"}}}}},
+		{Name: "x", Stages: []Stage{{Name: "s", Tasks: []Task{
+			{Name: "t", Fn: func(*TaskContext) error { return nil }},
+			{Name: "t", Fn: func(*TaskContext) error { return nil }},
+		}}}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestRunTwoStageWorkflow(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x42}, 64<<10)
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 2}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(twoStageSpec(t, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	if res.Total() <= 0 {
+		t.Error("zero total time")
+	}
+	for _, s := range res.Stages {
+		if s.Time <= 0 {
+			t.Errorf("stage %s has zero time", s.Name)
+		}
+	}
+	// Traces were captured per task.
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	if res.Traces[0].Task != "producer" || res.Traces[1].Task != "consumer" {
+		t.Errorf("trace tasks = %s %s", res.Traces[0].Task, res.Traces[1].Task)
+	}
+	if len(res.Traces[1].Files) != 1 || res.Traces[1].Files[0].BytesRead < int64(len(payload)) {
+		t.Error("consumer trace missing read volume")
+	}
+	// Manifest mirrors the spec.
+	if res.Manifest.Workflow != "two-stage" || len(res.Manifest.TaskOrder) != 2 {
+		t.Errorf("manifest = %+v", res.Manifest)
+	}
+	// Op logs captured.
+	if len(res.OpsByTask["producer"]["data.h5"]) == 0 {
+		t.Error("producer op log empty")
+	}
+	// The engine retains the file.
+	if eng.FileSize("data.h5") == 0 {
+		t.Error("file store empty")
+	}
+	if names := eng.FileNames(); len(names) != 1 || names[0] != "data.h5" {
+		t.Errorf("file names = %v", names)
+	}
+}
+
+func TestPlacementSpeedsUpIO(t *testing.T) {
+	payload := bytes.Repeat([]byte{7}, 256<<10)
+	run := func(plan *Plan) time.Duration {
+		eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, plan, tracer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(twoStageSpec(t, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StageTime("consume")
+	}
+	baseline := run(nil) // NFS default
+	nvme := run(&Plan{Placements: map[string]Placement{"data.h5": {Device: "nvme", Node: 0}}})
+	if nvme >= baseline {
+		t.Errorf("nvme placement (%v) not faster than NFS baseline (%v)", nvme, baseline)
+	}
+}
+
+func TestRemoteLocalAccessPaysNetwork(t *testing.T) {
+	payload := bytes.Repeat([]byte{7}, 64<<10)
+	run := func(node int) time.Duration {
+		plan := &Plan{
+			Placements: map[string]Placement{"data.h5": {Device: "nvme", Node: node}},
+			NodeOf:     map[string]int{"producer": 0, "consumer": 0},
+		}
+		eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 2}, plan, tracer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(twoStageSpec(t, payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StageTime("consume")
+	}
+	local := run(0)
+	remote := run(1)
+	if remote <= local {
+		t.Errorf("remote access (%v) not slower than local (%v)", remote, local)
+	}
+}
+
+func TestStageInOutPseudoStages(t *testing.T) {
+	payload := bytes.Repeat([]byte{7}, 128<<10)
+	plan := &Plan{
+		Placements: map[string]Placement{"data.h5": {Device: "nvme", Node: 0}},
+		StageIn:    map[string][]string{"consume": {"data.h5"}},
+		StageOut:   map[string][]string{"consume": {"data.h5"}},
+	}
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, plan, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(twoStageSpec(t, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StageTime("stage-in:consume") <= 0 {
+		t.Error("stage-in pseudo stage missing")
+	}
+	if res.StageTime("stage-out:consume") <= 0 {
+		t.Error("stage-out pseudo stage missing")
+	}
+	// Async stage-out leaves the critical path.
+	plan.AsyncStageOut = true
+	eng2, _ := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, plan, tracer.Config{})
+	res2, err := eng2.Run(twoStageSpec(t, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Total() >= res.Total() {
+		t.Errorf("async stage-out (%v) not cheaper than sync (%v)", res2.Total(), res.Total())
+	}
+}
+
+func TestContentionSlowsSharedStage(t *testing.T) {
+	// N parallel tasks all writing to shared NFS contend; the same work
+	// over node-local NVMe contends far less.
+	mkSpec := func(n int) Spec {
+		var tasks []Task
+		for i := 0; i < n; i++ {
+			name := "w" + string(rune('a'+i))
+			tasks = append(tasks, Task{Name: name, Fn: func(tc *TaskContext) error {
+				f, err := tc.Create("out-" + tc.Task() + ".h5")
+				if err != nil {
+					return err
+				}
+				ds, err := f.Root().CreateDataset("d", hdf5.Uint8, []int64{32 << 10}, nil)
+				if err != nil {
+					return err
+				}
+				return ds.WriteAll(make([]byte, 32<<10))
+			}})
+		}
+		return Spec{Name: "fan", Stages: []Stage{{Name: "write", Tasks: tasks}}}
+	}
+	run := func(n int, plan *Plan) time.Duration {
+		eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, plan, tracer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run(mkSpec(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StageTime("write")
+	}
+	one := run(1, nil)
+	eight := run(8, nil)
+	if eight <= one {
+		t.Errorf("8-way contention (%v) not slower than 1-way (%v)", eight, one)
+	}
+	local := run(8, &Plan{DefaultPlacement: &Placement{Device: "nvme", Node: 0}})
+	if local >= eight {
+		t.Errorf("local nvme (%v) not faster than contended NFS (%v)", local, eight)
+	}
+}
+
+func TestTaskErrorsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	spec := Spec{Name: "fail", Stages: []Stage{{Name: "s", Tasks: []Task{{
+		Name: "bad", Fn: func(tc *TaskContext) error { return boom },
+	}}}}}
+	eng, _ := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, nil, tracer.Config{})
+	if _, err := eng.Run(spec); !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	// Opening a missing file errors cleanly.
+	spec2 := Spec{Name: "missing", Stages: []Stage{{Name: "s", Tasks: []Task{{
+		Name: "opener", Fn: func(tc *TaskContext) error {
+			_, err := tc.Open("nope.h5")
+			return err
+		},
+	}}}}}
+	if _, err := eng.Run(spec2); err == nil {
+		t.Error("missing file open succeeded")
+	}
+}
+
+func TestComputeTimeCounted(t *testing.T) {
+	spec := Spec{Name: "c", Stages: []Stage{{Name: "s", Tasks: []Task{{
+		Name: "t", Compute: time.Second,
+		Fn: func(tc *TaskContext) error {
+			tc.Compute(2 * time.Second)
+			tc.Compute(-time.Hour) // ignored
+			return nil
+		},
+	}}}}}
+	eng, _ := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, nil, tracer.Config{})
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.StageTime("s"); got != 3*time.Second {
+		t.Errorf("stage time = %v, want 3s", got)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	m := sim.MachineCPU
+	bad := []*Plan{
+		{Placements: map[string]Placement{"f": {Device: "warp-drive"}}},
+		{Placements: map[string]Placement{"f": {Device: "nvme", Node: 5}}},
+		{NodeOf: map[string]int{"t": 9}},
+		{DefaultPlacement: &Placement{Device: "bogus"}},
+	}
+	for i, p := range bad {
+		if p.Validate(m, 2) == nil {
+			t.Errorf("bad plan %d validated", i)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Validate(m, 2) != nil {
+		t.Error("nil plan rejected")
+	}
+	if _, err := NewEngine(Cluster{Machine: m, Nodes: 0}, nil, tracer.Config{}); err == nil {
+		t.Error("zero-node cluster accepted")
+	}
+}
+
+func TestWavesForOversubscribedStage(t *testing.T) {
+	// More tasks than cores must take more waves (longer stage time).
+	machine := sim.MachineCPU
+	machine.CoresPerNode = 2
+	mk := func(n int) Spec {
+		var tasks []Task
+		for i := 0; i < n; i++ {
+			tasks = append(tasks, Task{
+				Name: "t" + string(rune('a'+i)), Compute: time.Second,
+				Fn: func(tc *TaskContext) error { return nil },
+			})
+		}
+		return Spec{Name: "w", Stages: []Stage{{Name: "s", Tasks: tasks}}}
+	}
+	run := func(n int) time.Duration {
+		eng, _ := NewEngine(Cluster{Machine: machine, Nodes: 1}, nil, tracer.Config{})
+		res, err := eng.Run(mk(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.StageTime("s")
+	}
+	if run(2) != time.Second {
+		t.Error("single wave wrong")
+	}
+	if run(4) != 2*time.Second {
+		t.Error("two waves wrong")
+	}
+}

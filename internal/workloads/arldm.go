@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/workflow"
+)
+
+// ARLDMConfig scales the image-synthesis replica (paper §VI-C). The
+// data-preparation task arldm_saveh5 writes one HDF5 file holding five
+// image datasets (image0..image4) and one text dataset, all 1-D
+// variable-length arrays (>90% of the volume is VL data); training
+// reads the image datasets; inference reads and generates output.
+type ARLDMConfig struct {
+	// Stories is the element count of each VL dataset.
+	Stories int
+	// ImageBytes is the mean VL image element size.
+	ImageBytes int64
+	// TextBytes is the mean VL text element size.
+	TextBytes int64
+	// Layout selects the VL dataset layout: the paper's baseline is
+	// contiguous; its optimization is chunked.
+	Layout hdf5.Layout
+	// ChunkElems sizes chunks (in elements) for chunked layout.
+	ChunkElems int64
+	// Seed makes synthetic data deterministic.
+	Seed uint64
+}
+
+func (c ARLDMConfig) withDefaults() ARLDMConfig {
+	if c.Stories == 0 {
+		c.Stories = 64
+	}
+	if c.ImageBytes == 0 {
+		c.ImageBytes = 24 << 10
+	}
+	if c.TextBytes == 0 {
+		c.TextBytes = 512
+	}
+	if c.Layout == 0 {
+		c.Layout = hdf5.Contiguous
+	}
+	if c.ChunkElems == 0 {
+		c.ChunkElems = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 3
+	}
+	return c
+}
+
+// ARLDM file names.
+const (
+	ARLDMOutFile       = "flintstones_out.h5"
+	ARLDMGeneratedFile = "generated.h5"
+)
+
+// ARLDMDatasets lists the six VL datasets of the prepared file.
+func ARLDMDatasets() []string {
+	names := make([]string, 0, 6)
+	for i := 0; i < 5; i++ {
+		names = append(names, fmt.Sprintf("image%d", i))
+	}
+	return append(names, "text")
+}
+
+func arldmOpts(cfg ARLDMConfig) *hdf5.DatasetOpts {
+	if cfg.Layout == hdf5.Chunked {
+		return &hdf5.DatasetOpts{Layout: hdf5.Chunked, ChunkDims: []int64{cfg.ChunkElems}}
+	}
+	return &hdf5.DatasetOpts{Layout: cfg.Layout}
+}
+
+// ARLDM builds the three-stage image-synthesis workflow replica.
+func ARLDM(cfg ARLDMConfig) (workflow.Spec, func(*workflow.Engine) error) {
+	cfg = cfg.withDefaults()
+	stages := []workflow.Stage{
+		// Stage 1: data preparation writes all VL datasets.
+		{Name: "stage1_saveh5", Tasks: []workflow.Task{{
+			Name: "arldm_saveh5",
+			Fn: func(tc *workflow.TaskContext) error {
+				// Size heap collections to hold a handful of VL elements,
+				// as HDF5's global heap does for large objects; chunked
+				// layouts can then coalesce payload writes per collection.
+				heapColl := int(cfg.ImageBytes) * 4
+				if heapColl < 64<<10 {
+					heapColl = 64 << 10
+				}
+				f, err := tc.CreateWith(ARLDMOutFile, hdf5.Config{HeapCollectionSize: heapColl})
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed)
+				for _, name := range ARLDMDatasets() {
+					mean := cfg.ImageBytes
+					if name == "text" {
+						mean = cfg.TextBytes
+					}
+					ds, err := f.Root().CreateDataset(name, hdf5.VLen,
+						[]int64{int64(cfg.Stories)}, arldmOpts(cfg))
+					if err != nil {
+						return err
+					}
+					// Stories are appended in batches of 5, the
+					// story-length granularity of the application.
+					const batch = 5
+					for start := 0; start < cfg.Stories; start += batch {
+						n := batch
+						if start+n > cfg.Stories {
+							n = cfg.Stories - start
+						}
+						values := make([][]byte, n)
+						for i := range values {
+							values[i] = rng.bytes(rng.varLen(mean))
+						}
+						if err := ds.WriteVL(int64(start), values); err != nil {
+							return err
+						}
+					}
+					if err := ds.Close(); err != nil {
+						return err
+					}
+				}
+				return f.Close()
+			},
+		}}},
+		// Stage 2: training reads the image datasets.
+		{Name: "stage2_training", Tasks: []workflow.Task{{
+			Name: "arldm_training",
+			Fn: func(tc *workflow.TaskContext) error {
+				f, err := tc.Open(ARLDMOutFile)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < 5; i++ {
+					ds, err := f.Root().OpenDataset(fmt.Sprintf("image%d", i))
+					if err != nil {
+						return err
+					}
+					if _, err := ds.ReadVL(0, int64(cfg.Stories)); err != nil {
+						return err
+					}
+					if err := ds.Close(); err != nil {
+						return err
+					}
+				}
+				return f.Close()
+			},
+		}}},
+		// Stage 3: inference reads text + images and writes generations.
+		{Name: "stage3_inference", Tasks: []workflow.Task{{
+			Name: "arldm_inference",
+			Fn: func(tc *workflow.TaskContext) error {
+				f, err := tc.Open(ARLDMOutFile)
+				if err != nil {
+					return err
+				}
+				for _, name := range []string{"text", "image0"} {
+					ds, err := f.Root().OpenDataset(name)
+					if err != nil {
+						return err
+					}
+					if _, err := ds.ReadVL(0, int64(cfg.Stories)); err != nil {
+						return err
+					}
+					if err := ds.Close(); err != nil {
+						return err
+					}
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				out, err := tc.Create(ARLDMGeneratedFile)
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed + 77)
+				ds, err := out.Root().CreateDataset("generated", hdf5.VLen,
+					[]int64{int64(cfg.Stories)}, arldmOpts(cfg))
+				if err != nil {
+					return err
+				}
+				for i := 0; i < cfg.Stories; i++ {
+					if err := ds.WriteVL(int64(i), [][]byte{rng.bytes(rng.varLen(cfg.ImageBytes))}); err != nil {
+						return err
+					}
+				}
+				return out.Close()
+			},
+		}}},
+	}
+	return workflow.Spec{Name: "arldm", Stages: stages}, func(*workflow.Engine) error { return nil }
+}

@@ -1,0 +1,394 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/workflow"
+)
+
+// DDMDConfig scales the DeepDriveMD replica (paper §VI-B): iterations
+// of a 4-stage pipeline - OpenMM simulation (parallel tasks writing
+// contact_map, point_cloud, fnc and rmsd datasets, all chunked),
+// aggregation (sequentially reads everything, consolidates into one
+// file), training (reads the aggregated data except contact_map, whose
+// metadata only is touched; writes and re-reads embedding files) and
+// inference (reads all simulated data, writes a virtual file).
+type DDMDConfig struct {
+	// SimTasks is the OpenMM task count per iteration (paper: 12).
+	SimTasks int
+	// Iterations is the pipeline iteration count.
+	Iterations int
+	// ContactMapBytes sizes the largest dataset.
+	ContactMapBytes int64
+	// SmallBytes sizes point_cloud, fnc and rmsd.
+	SmallBytes int64
+	// Epochs is the training epoch count (one embedding file each,
+	// paper: 10, re-reading epochs 5 and 10).
+	Epochs int
+	// Layout selects the simulation dataset layout (paper baseline:
+	// chunked; the Figure 13b optimization: contiguous).
+	Layout hdf5.Layout
+	// ChunkBytes sizes chunks for chunked layout.
+	ChunkBytes int64
+	// SkipUnusedDataset applies the "eliminate unused data access"
+	// optimization (§VII-C1): aggregation no longer consolidates
+	// contact_map, which training never reads.
+	SkipUnusedDataset bool
+	// ParallelTrainInfer applies the "pipeline training and inference"
+	// optimization: with a pre-trained model from the previous
+	// iteration, the two data-independent tasks run in one stage.
+	ParallelTrainInfer bool
+	// Per-stage compute times. Molecular-dynamics simulation and model
+	// training dominate DDMD's runtime; storage optimization touches
+	// only the I/O share, which is what bounds the paper's 1.15x-1.2x
+	// speedups.
+	SimCompute   time.Duration
+	AggCompute   time.Duration
+	TrainCompute time.Duration
+	InferCompute time.Duration
+	// Seed makes synthetic data deterministic.
+	Seed uint64
+}
+
+func (c DDMDConfig) withDefaults() DDMDConfig {
+	if c.SimTasks == 0 {
+		c.SimTasks = 12
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 1
+	}
+	if c.ContactMapBytes == 0 {
+		c.ContactMapBytes = 256 << 10
+	}
+	if c.SmallBytes == 0 {
+		c.SmallBytes = 16 << 10
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.Layout == 0 {
+		c.Layout = hdf5.Chunked
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 8 << 10
+	}
+	if c.SimCompute == 0 {
+		c.SimCompute = 12 * time.Second
+	}
+	if c.AggCompute == 0 {
+		c.AggCompute = 2 * time.Second
+	}
+	if c.TrainCompute == 0 {
+		c.TrainCompute = 3 * time.Second
+	}
+	if c.InferCompute == 0 {
+		c.InferCompute = 1500 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 2
+	}
+	return c
+}
+
+// DDMD dataset names (paper §VI-B).
+var DDMDDatasets = []string{"contact_map", "point_cloud", "fnc", "rmsd"}
+
+// DDMD file names.
+func DDMDSimFile(iter, task int) string {
+	return fmt.Sprintf("stage%04d_task%04d.h5", iter*3, task)
+}
+
+// DDMDAggFile names the aggregated file of an iteration.
+func DDMDAggFile(iter int) string { return fmt.Sprintf("aggregated_%04d.h5", iter) }
+
+// DDMDEmbeddingFile names a training embedding file.
+func DDMDEmbeddingFile(iter, epoch int) string {
+	return fmt.Sprintf("embeddings-epoch-%d-iter%04d.h5", epoch, iter)
+}
+
+// DDMDVirtualFile names the inference output of an iteration.
+func DDMDVirtualFile(iter int) string {
+	return fmt.Sprintf("virtual_stage%04d_task0000.h5", iter*3+2)
+}
+
+// ddmdDatasetOpts returns creation options per the configured layout.
+func ddmdDatasetOpts(cfg DDMDConfig, elems int64) *hdf5.DatasetOpts {
+	if cfg.Layout != hdf5.Chunked {
+		return &hdf5.DatasetOpts{Layout: cfg.Layout}
+	}
+	chunkElems := cfg.ChunkBytes / 4
+	if chunkElems < 1 {
+		chunkElems = 1
+	}
+	if chunkElems > elems {
+		chunkElems = elems
+	}
+	return &hdf5.DatasetOpts{Layout: hdf5.Chunked, ChunkDims: []int64{chunkElems}}
+}
+
+// DDMD builds the DeepDriveMD workflow replica.
+func DDMD(cfg DDMDConfig) (workflow.Spec, func(*workflow.Engine) error) {
+	cfg = cfg.withDefaults()
+	var stages []workflow.Stage
+
+	datasetBytes := func(name string) int64 {
+		if name == "contact_map" {
+			return cfg.ContactMapBytes
+		}
+		return cfg.SmallBytes
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iter := iter
+
+		// Stage: OpenMM simulation - SimTasks parallel writers.
+		var sims []workflow.Task
+		for task := 0; task < cfg.SimTasks; task++ {
+			task := task
+			sims = append(sims, workflow.Task{
+				Name:    fmt.Sprintf("openmm_%04d_%04d", iter, task),
+				Compute: cfg.SimCompute,
+				Fn: func(tc *workflow.TaskContext) error {
+					f, err := tc.Create(DDMDSimFile(iter, task))
+					if err != nil {
+						return err
+					}
+					rng := newPRNG(cfg.Seed + uint64(iter*1000+task))
+					for _, name := range DDMDDatasets {
+						elems := datasetBytes(name) / 4
+						ds, err := f.Root().CreateDataset(name, hdf5.Float32,
+							[]int64{elems}, ddmdDatasetOpts(cfg, elems))
+						if err != nil {
+							return err
+						}
+						if err := ds.WriteAll(rng.bytes(elems * 4)); err != nil {
+							return err
+						}
+						if err := ds.Close(); err != nil {
+							return err
+						}
+					}
+					return f.Close()
+				},
+			})
+		}
+		stages = append(stages, workflow.Stage{
+			Name: fmt.Sprintf("simulation_%04d", iter), Tasks: sims,
+		})
+
+		// Stage: aggregation - sequentially reads every simulated file
+		// and consolidates all four datasets (content unmodified).
+		stages = append(stages, workflow.Stage{
+			Name: fmt.Sprintf("aggregate_%04d", iter),
+			Tasks: []workflow.Task{{
+				Name:    fmt.Sprintf("aggregate_%04d", iter),
+				Compute: cfg.AggCompute,
+				Fn: func(tc *workflow.TaskContext) error {
+					aggNames := DDMDDatasets
+					if cfg.SkipUnusedDataset {
+						aggNames = []string{"point_cloud", "fnc", "rmsd"}
+					}
+					out, err := tc.Create(DDMDAggFile(iter))
+					if err != nil {
+						return err
+					}
+					for _, name := range aggNames {
+						elems := datasetBytes(name) / 4 * int64(cfg.SimTasks)
+						ds, err := out.Root().CreateDataset(name, hdf5.Float32,
+							[]int64{elems}, ddmdDatasetOpts(cfg, elems))
+						if err != nil {
+							return err
+						}
+						if err := ds.Close(); err != nil {
+							return err
+						}
+					}
+					for task := 0; task < cfg.SimTasks; task++ {
+						in, err := tc.Open(DDMDSimFile(iter, task))
+						if err != nil {
+							return err
+						}
+						for _, name := range aggNames {
+							src, err := in.Root().OpenDataset(name)
+							if err != nil {
+								return err
+							}
+							data, err := src.ReadAll()
+							if err != nil {
+								return err
+							}
+							if err := src.Close(); err != nil {
+								return err
+							}
+							dst, err := out.Root().OpenDataset(name)
+							if err != nil {
+								return err
+							}
+							elems := datasetBytes(name) / 4
+							sel := hdf5.Slab1D(int64(task)*elems, elems)
+							if err := dst.Write(sel, data); err != nil {
+								return err
+							}
+							if err := dst.Close(); err != nil {
+								return err
+							}
+						}
+						if err := in.Close(); err != nil {
+							return err
+						}
+					}
+					return out.Close()
+				},
+			}},
+		})
+
+		// Stage: training - reads the aggregated file's point_cloud, fnc
+		// and rmsd; touches only contact_map's metadata (Figure 7); reads
+		// the contact_map content from one simulated file instead; writes
+		// one embedding file per epoch and re-reads epochs 5 and 10.
+		trainingTask := workflow.Task{
+			Name:    fmt.Sprintf("training_%04d", iter),
+			Compute: cfg.TrainCompute,
+			Fn: func(tc *workflow.TaskContext) error {
+				agg, err := tc.Open(DDMDAggFile(iter))
+				if err != nil {
+					return err
+				}
+				for _, name := range []string{"point_cloud", "fnc", "rmsd"} {
+					ds, err := agg.Root().OpenDataset(name)
+					if err != nil {
+						return err
+					}
+					if _, err := ds.ReadAll(); err != nil {
+						return err
+					}
+					if err := ds.Close(); err != nil {
+						return err
+					}
+				}
+				// Metadata-only touch of contact_map: open and close
+				// without reading content. The optimized configuration
+				// drops even this (the dataset is no longer aggregated).
+				if !cfg.SkipUnusedDataset {
+					cm, err := agg.Root().OpenDataset("contact_map")
+					if err != nil {
+						return err
+					}
+					if err := cm.Close(); err != nil {
+						return err
+					}
+				}
+				if err := agg.Close(); err != nil {
+					return err
+				}
+				// contact_map content comes from one simulated file.
+				sim0, err := tc.Open(DDMDSimFile(iter, 0))
+				if err != nil {
+					return err
+				}
+				ds, err := sim0.Root().OpenDataset("contact_map")
+				if err != nil {
+					return err
+				}
+				if _, err := ds.ReadAll(); err != nil {
+					return err
+				}
+				if err := sim0.Close(); err != nil {
+					return err
+				}
+				// Embedding files, one per epoch.
+				rng := newPRNG(cfg.Seed + uint64(9000+iter))
+				embElems := cfg.SmallBytes / 4
+				for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+					ef, err := tc.Create(DDMDEmbeddingFile(iter, epoch))
+					if err != nil {
+						return err
+					}
+					eds, err := ef.Root().CreateDataset("embedding", hdf5.Float32,
+						[]int64{embElems}, nil)
+					if err != nil {
+						return err
+					}
+					if err := eds.WriteAll(rng.bytes(embElems * 4)); err != nil {
+						return err
+					}
+					if err := ef.Close(); err != nil {
+						return err
+					}
+				}
+				// Read-after-write on specific embeddings (Figure 6
+				// circle 2: epochs 5 and 10).
+				for _, epoch := range []int{5, 10} {
+					if epoch > cfg.Epochs {
+						continue
+					}
+					ef, err := tc.Open(DDMDEmbeddingFile(iter, epoch))
+					if err != nil {
+						return err
+					}
+					if err := readWholeFile(ef); err != nil {
+						return err
+					}
+					if err := ef.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+
+		// Stage: inference - reads all simulated files (not training
+		// outputs: no HDF5 data dependency on training) and writes the
+		// virtual file.
+		inferenceTask := workflow.Task{
+			Name:    fmt.Sprintf("inference_%04d", iter),
+			Compute: cfg.InferCompute,
+			Fn: func(tc *workflow.TaskContext) error {
+				for task := 0; task < cfg.SimTasks; task++ {
+					in, err := tc.Open(DDMDSimFile(iter, task))
+					if err != nil {
+						return err
+					}
+					if err := readWholeFile(in); err != nil {
+						return err
+					}
+					if err := in.Close(); err != nil {
+						return err
+					}
+				}
+				out, err := tc.Create(DDMDVirtualFile(iter))
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed + uint64(5000+iter))
+				elems := cfg.SmallBytes / 4
+				ds, err := out.Root().CreateDataset("selection", hdf5.Float32,
+					[]int64{elems}, nil)
+				if err != nil {
+					return err
+				}
+				if err := ds.WriteAll(rng.bytes(elems * 4)); err != nil {
+					return err
+				}
+				return out.Close()
+			},
+		}
+
+		if cfg.ParallelTrainInfer {
+			stages = append(stages, workflow.Stage{
+				Name:  fmt.Sprintf("train_infer_%04d", iter),
+				Tasks: []workflow.Task{trainingTask, inferenceTask},
+			})
+		} else {
+			stages = append(stages, workflow.Stage{
+				Name: fmt.Sprintf("training_%04d", iter), Tasks: []workflow.Task{trainingTask},
+			})
+			stages = append(stages, workflow.Stage{
+				Name: fmt.Sprintf("inference_%04d", iter), Tasks: []workflow.Task{inferenceTask},
+			})
+		}
+	}
+	return workflow.Spec{Name: "ddmd", Stages: stages}, func(*workflow.Engine) error { return nil }
+}

@@ -1,0 +1,496 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/workflow"
+)
+
+// PyFlextrkrConfig scales the storm-tracking replica. Zero values take
+// defaults matching the paper's observations: 9 sequential stages,
+// parallel feature tasks, heavy reuse of stage-1 outputs, inputs first
+// needed at stage 6, and a stage-9 statistics file holding many small
+// (<500 B) datasets.
+type PyFlextrkrConfig struct {
+	// InputFiles is the number of preloaded sensor input files.
+	InputFiles int
+	// ParallelTasks is the task count of the parallel stages (1, 2, 3, 8).
+	ParallelTasks int
+	// FeatureBytes is the per-file feature data volume.
+	FeatureBytes int64
+	// LateInputFiles are inputs first required by stage 6.
+	LateInputFiles int
+	// Stage9Datasets is the number of small datasets in the stage-9
+	// statistics file (paper: 32).
+	Stage9Datasets int
+	// Stage9DatasetBytes is each small dataset's size (paper: <500 B).
+	Stage9DatasetBytes int64
+	// Stage9Accesses is how many times each stage-9 dataset is accessed
+	// (paper: 23).
+	Stage9Accesses int
+	// ComputeNsPerByte is the feature-analysis compute cost per byte of
+	// raw data moved (default 40 ns/B ~= 25 MB/s of Python analytics);
+	// it bounds the achievable I/O speedup as in the real application.
+	ComputeNsPerByte float64
+	// Seed makes synthetic data deterministic.
+	Seed uint64
+}
+
+func (c PyFlextrkrConfig) withDefaults() PyFlextrkrConfig {
+	if c.InputFiles == 0 {
+		c.InputFiles = 4
+	}
+	if c.ParallelTasks == 0 {
+		c.ParallelTasks = 4
+	}
+	if c.FeatureBytes == 0 {
+		c.FeatureBytes = 64 << 10
+	}
+	if c.LateInputFiles == 0 {
+		c.LateInputFiles = 2
+	}
+	if c.Stage9Datasets == 0 {
+		c.Stage9Datasets = 32
+	}
+	if c.Stage9DatasetBytes == 0 {
+		c.Stage9DatasetBytes = 400
+	}
+	if c.Stage9Accesses == 0 {
+		c.Stage9Accesses = 23
+	}
+	if c.ComputeNsPerByte == 0 {
+		c.ComputeNsPerByte = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// PyFlextrkr file names.
+func pftInput(i int) string     { return fmt.Sprintf("input_%02d.h5", i) }
+func pftLateInput(i int) string { return fmt.Sprintf("late_input_%02d.h5", i) }
+func pftCloudid(i int) string   { return fmt.Sprintf("cloudid_%02d.h5", i) }
+func pftTrack(i int) string     { return fmt.Sprintf("track_%02d.h5", i) }
+func pftMap(i int) string       { return fmt.Sprintf("map_%02d.h5", i) }
+
+// Fixed PyFLEXTRKR file names.
+const (
+	PftTrackNumbers = "tracknumbers.h5"
+	PftTrackStats   = "trackstats.h5"
+	PftMCS          = "mcs.h5"
+	PftPFStats      = "pfstats.h5"
+	PftRobust       = "robust.h5"
+	PftSpeedStats   = "speed_stats.h5"
+)
+
+// PyFlextrkrStage9Dataset names the i-th small statistics dataset.
+func PyFlextrkrStage9Dataset(i int) string { return fmt.Sprintf("stat_%03d", i) }
+
+// writeFeatureFile creates a file with a single float32 feature dataset.
+func writeFeatureFile(f *hdf5.File, dataset string, bytes int64, rng *prng) error {
+	elems := bytes / 4
+	if elems < 1 {
+		elems = 1
+	}
+	ds, err := f.Root().CreateDataset(dataset, hdf5.Float32, []int64{elems}, nil)
+	if err != nil {
+		return err
+	}
+	return ds.WriteAll(rng.bytes(elems * 4))
+}
+
+// readWholeFile reads every dataset of the file's root group.
+func readWholeFile(f *hdf5.File) error {
+	kids, err := f.Root().Children()
+	if err != nil {
+		return err
+	}
+	for _, k := range kids {
+		ds, err := f.Root().OpenDataset(k)
+		if err != nil {
+			return err
+		}
+		if ds.Datatype().IsVLen() {
+			if _, err := ds.ReadVL(0, ds.Dims()[0]); err != nil {
+				return err
+			}
+		} else if _, err := ds.ReadAll(); err != nil {
+			return err
+		}
+		if err := ds.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PyFlextrkr builds the nine-stage storm-tracking workflow replica.
+func PyFlextrkr(cfg PyFlextrkrConfig) (workflow.Spec, func(*workflow.Engine) error) {
+	cfg = cfg.withDefaults()
+
+	setup := func(eng *workflow.Engine) error {
+		rng := newPRNG(cfg.Seed)
+		for i := 0; i < cfg.InputFiles; i++ {
+			if err := eng.Preload(pftInput(i), hdf5.Config{}, func(f *hdf5.File) error {
+				return writeFeatureFile(f, "cloud", cfg.FeatureBytes, rng)
+			}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < cfg.LateInputFiles; i++ {
+			if err := eng.Preload(pftLateInput(i), hdf5.Config{}, func(f *hdf5.File) error {
+				return writeFeatureFile(f, "pf_data", cfg.FeatureBytes/2, rng)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var stages []workflow.Stage
+
+	// Stage 1: run_idfeature - parallel feature identification; each task
+	// reads an input file and writes a cloudid file.
+	var s1 []workflow.Task
+	for i := 0; i < cfg.ParallelTasks; i++ {
+		i := i
+		s1 = append(s1, workflow.Task{
+			Name: fmt.Sprintf("run_idfeature_%02d", i),
+			Fn: func(tc *workflow.TaskContext) error {
+				in, err := tc.Open(pftInput(i % cfg.InputFiles))
+				if err != nil {
+					return err
+				}
+				if err := readWholeFile(in); err != nil {
+					return err
+				}
+				out, err := tc.Create(pftCloudid(i))
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed + uint64(i) + 100)
+				return writeFeatureFile(out, "features", cfg.FeatureBytes, rng)
+			},
+		})
+	}
+	stages = append(stages, workflow.Stage{Name: "stage1_idfeature", Tasks: s1})
+
+	// Stage 2: run_tracksingle - per-file tracking.
+	var s2 []workflow.Task
+	for i := 0; i < cfg.ParallelTasks; i++ {
+		i := i
+		s2 = append(s2, workflow.Task{
+			Name: fmt.Sprintf("run_tracksingle_%02d", i),
+			Fn: func(tc *workflow.TaskContext) error {
+				in, err := tc.Open(pftCloudid(i))
+				if err != nil {
+					return err
+				}
+				if err := readWholeFile(in); err != nil {
+					return err
+				}
+				out, err := tc.Create(pftTrack(i))
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed + uint64(i) + 200)
+				return writeFeatureFile(out, "track", cfg.FeatureBytes/2, rng)
+			},
+		})
+	}
+	stages = append(stages, workflow.Stage{Name: "stage2_tracksingle", Tasks: s2})
+
+	// Stage 3: run_gettracks - all-to-all: every task reads every track
+	// and cloudid file; task 0 writes the track-numbers file and updates
+	// cloudid_00 (the write-after-read of Figure 4 circle 1).
+	var s3 []workflow.Task
+	for i := 0; i < cfg.ParallelTasks; i++ {
+		i := i
+		s3 = append(s3, workflow.Task{
+			Name: fmt.Sprintf("run_gettracks_%02d", i),
+			Fn: func(tc *workflow.TaskContext) error {
+				for j := 0; j < cfg.ParallelTasks; j++ {
+					for _, name := range []string{pftTrack(j), pftCloudid(j)} {
+						in, err := tc.Open(name)
+						if err != nil {
+							return err
+						}
+						if err := readWholeFile(in); err != nil {
+							return err
+						}
+						if err := in.Close(); err != nil {
+							return err
+						}
+					}
+				}
+				if i != 0 {
+					return nil
+				}
+				// Write-after-read: renumber the features of the cloudid
+				// file just read and write them back (Figure 4 circle 1).
+				cid, err := tc.Open(pftCloudid(0))
+				if err != nil {
+					return err
+				}
+				ds, err := cid.Root().OpenDataset("features")
+				if err != nil {
+					return err
+				}
+				feat, err := ds.ReadAll()
+				if err != nil {
+					return err
+				}
+				for b := range feat {
+					feat[b] ^= 0x5a
+				}
+				if err := ds.WriteAll(feat); err != nil {
+					return err
+				}
+				if err := ds.SetAttrString("tracknumbers", "assigned"); err != nil {
+					return err
+				}
+				if err := cid.Close(); err != nil {
+					return err
+				}
+				out, err := tc.Create(PftTrackNumbers)
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed + 300)
+				return writeFeatureFile(out, "tracknumbers", cfg.FeatureBytes/4, rng)
+			},
+		})
+	}
+	stages = append(stages, workflow.Stage{Name: "stage3_gettracks", Tasks: s3})
+
+	// Stage 4: run_trackstats - fan-in: one task reads all track files
+	// plus the stage-3 output.
+	stages = append(stages, workflow.Stage{Name: "stage4_trackstats", Tasks: []workflow.Task{{
+		Name: "run_trackstats",
+		Fn: func(tc *workflow.TaskContext) error {
+			for j := 0; j < cfg.ParallelTasks; j++ {
+				in, err := tc.Open(pftTrack(j))
+				if err != nil {
+					return err
+				}
+				if err := readWholeFile(in); err != nil {
+					return err
+				}
+				if err := in.Close(); err != nil {
+					return err
+				}
+			}
+			tn, err := tc.Open(PftTrackNumbers)
+			if err != nil {
+				return err
+			}
+			if err := readWholeFile(tn); err != nil {
+				return err
+			}
+			out, err := tc.Create(PftTrackStats)
+			if err != nil {
+				return err
+			}
+			rng := newPRNG(cfg.Seed + 400)
+			return writeFeatureFile(out, "trackstats", cfg.FeatureBytes/2, rng)
+		},
+	}}})
+
+	// Stage 5: run_identifymcs - one-to-one on the stage-4 output.
+	stages = append(stages, workflow.Stage{Name: "stage5_identifymcs", Tasks: []workflow.Task{{
+		Name: "run_identifymcs",
+		Fn: func(tc *workflow.TaskContext) error {
+			in, err := tc.Open(PftTrackStats)
+			if err != nil {
+				return err
+			}
+			if err := readWholeFile(in); err != nil {
+				return err
+			}
+			out, err := tc.Create(PftMCS)
+			if err != nil {
+				return err
+			}
+			rng := newPRNG(cfg.Seed + 500)
+			return writeFeatureFile(out, "mcs", cfg.FeatureBytes/4, rng)
+		},
+	}}})
+
+	// Stage 6: run_matchpf - consumes the time-dependent late inputs
+	// (Figure 4 circle 2) plus stage-5 output and a stage-1 output.
+	stages = append(stages, workflow.Stage{Name: "stage6_matchpf", Tasks: []workflow.Task{{
+		Name: "run_matchpf",
+		Fn: func(tc *workflow.TaskContext) error {
+			for _, name := range append([]string{PftMCS, pftCloudid(0)}, lateInputs(cfg)...) {
+				in, err := tc.Open(name)
+				if err != nil {
+					return err
+				}
+				if err := readWholeFile(in); err != nil {
+					return err
+				}
+				if err := in.Close(); err != nil {
+					return err
+				}
+			}
+			out, err := tc.Create(PftPFStats)
+			if err != nil {
+				return err
+			}
+			rng := newPRNG(cfg.Seed + 600)
+			return writeFeatureFile(out, "pfstats", cfg.FeatureBytes/4, rng)
+		},
+	}}})
+
+	// Stage 7: run_robustmcs.
+	stages = append(stages, workflow.Stage{Name: "stage7_robustmcs", Tasks: []workflow.Task{{
+		Name: "run_robustmcs",
+		Fn: func(tc *workflow.TaskContext) error {
+			in, err := tc.Open(PftPFStats)
+			if err != nil {
+				return err
+			}
+			if err := readWholeFile(in); err != nil {
+				return err
+			}
+			out, err := tc.Create(PftRobust)
+			if err != nil {
+				return err
+			}
+			rng := newPRNG(cfg.Seed + 700)
+			return writeFeatureFile(out, "robust", cfg.FeatureBytes/4, rng)
+		},
+	}}})
+
+	// Stage 8: run_mapfeature - parallel, re-reading stage-1 outputs.
+	var s8 []workflow.Task
+	for i := 0; i < cfg.ParallelTasks; i++ {
+		i := i
+		s8 = append(s8, workflow.Task{
+			Name: fmt.Sprintf("run_mapfeature_%02d", i),
+			Fn: func(tc *workflow.TaskContext) error {
+				for _, name := range []string{pftCloudid(i), PftRobust} {
+					in, err := tc.Open(name)
+					if err != nil {
+						return err
+					}
+					if err := readWholeFile(in); err != nil {
+						return err
+					}
+					if err := in.Close(); err != nil {
+						return err
+					}
+				}
+				out, err := tc.Create(pftMap(i))
+				if err != nil {
+					return err
+				}
+				rng := newPRNG(cfg.Seed + 800 + uint64(i))
+				return writeFeatureFile(out, "map", cfg.FeatureBytes/2, rng)
+			},
+		})
+	}
+	stages = append(stages, workflow.Stage{Name: "stage8_mapfeature", Tasks: s8})
+
+	// Stage 9: run_speed - writes the statistics file with many small
+	// datasets and accesses each repeatedly (Figure 5's scattering).
+	stages = append(stages, workflow.Stage{Name: "stage9_speed", Tasks: []workflow.Task{{
+		Name: "run_speed",
+		Fn: func(tc *workflow.TaskContext) error {
+			for j := 0; j < cfg.ParallelTasks; j++ {
+				in, err := tc.Open(pftMap(j))
+				if err != nil {
+					return err
+				}
+				if err := readWholeFile(in); err != nil {
+					return err
+				}
+				if err := in.Close(); err != nil {
+					return err
+				}
+			}
+			out, err := tc.Create(PftSpeedStats)
+			if err != nil {
+				return err
+			}
+			rng := newPRNG(cfg.Seed + 900)
+			elems := cfg.Stage9DatasetBytes / 4
+			if elems < 1 {
+				elems = 1
+			}
+			for d := 0; d < cfg.Stage9Datasets; d++ {
+				ds, err := out.Root().CreateDataset(PyFlextrkrStage9Dataset(d), hdf5.Float32, []int64{elems}, nil)
+				if err != nil {
+					return err
+				}
+				if err := ds.WriteAll(rng.bytes(elems * 4)); err != nil {
+					return err
+				}
+				if err := ds.Close(); err != nil {
+					return err
+				}
+			}
+			// Repeated accesses: each dataset re-opened and re-read so it
+			// reaches Stage9Accesses total accesses (1 write + N-1 reads).
+			for a := 1; a < cfg.Stage9Accesses; a++ {
+				for k := 0; k < cfg.Stage9Datasets; k++ {
+					ds, err := out.Root().OpenDataset(PyFlextrkrStage9Dataset(k))
+					if err != nil {
+						return err
+					}
+					if _, err := ds.ReadAll(); err != nil {
+						return err
+					}
+					if err := ds.Close(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}}})
+
+	// Every task pays data-proportional analysis compute.
+	for si := range stages {
+		for ti := range stages[si].Tasks {
+			stages[si].Tasks[ti].ComputePerByte = cfg.ComputeNsPerByte
+		}
+	}
+	return workflow.Spec{Name: "pyflextrkr", Stages: stages}, setup
+}
+
+// PyFlextrkrStages3to5 builds the stage 3-5 sub-workflow evaluated in
+// the paper's Figure 11 (gettracks -> trackstats -> identifymcs), with
+// the outputs of stages 1-2 preloaded as inputs on shared storage.
+func PyFlextrkrStages3to5(cfg PyFlextrkrConfig) (workflow.Spec, func(*workflow.Engine) error) {
+	cfg = cfg.withDefaults()
+	full, _ := PyFlextrkr(cfg)
+	spec := workflow.Spec{Name: "pyflextrkr-s3to5", Stages: full.Stages[2:5]}
+	setup := func(eng *workflow.Engine) error {
+		rng := newPRNG(cfg.Seed + 42)
+		for i := 0; i < cfg.ParallelTasks; i++ {
+			if err := eng.Preload(pftCloudid(i), hdf5.Config{}, func(f *hdf5.File) error {
+				return writeFeatureFile(f, "features", cfg.FeatureBytes, rng)
+			}); err != nil {
+				return err
+			}
+			if err := eng.Preload(pftTrack(i), hdf5.Config{}, func(f *hdf5.File) error {
+				return writeFeatureFile(f, "track", cfg.FeatureBytes/2, rng)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return spec, setup
+}
+
+func lateInputs(cfg PyFlextrkrConfig) []string {
+	var names []string
+	for i := 0; i < cfg.LateInputFiles; i++ {
+		names = append(names, pftLateInput(i))
+	}
+	return names
+}

@@ -1,0 +1,68 @@
+// Package workloads provides the workload replicas the paper evaluates
+// DaYu on: the PyFLEXTRKR storm-tracking pipeline (§VI-A), the
+// DeepDriveMD simulation/ML pipeline (§VI-B), the ARLDM image-synthesis
+// pipeline (§VI-C), an h5bench-like parallel I/O kernel, and the
+// corner-case many-datasets benchmark used for worst-case overhead
+// (§VII-B). Each replica reproduces its application's published
+// task/stage structure, file fan-in/out, dataset names and layouts, so
+// DaYu's graphs and diagnostics see the same dataflow the paper's
+// figures show.
+package workloads
+
+import "encoding/binary"
+
+// prng is a small deterministic xorshift generator for reproducible
+// synthetic data.
+type prng struct{ state uint64 }
+
+func newPRNG(seed uint64) *prng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &prng{state: seed}
+}
+
+func (p *prng) next() uint64 {
+	x := p.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.state = x
+	return x
+}
+
+// intn returns a value in [0, n).
+func (p *prng) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(p.next() % uint64(n))
+}
+
+// bytes fills a deterministic pseudo-random buffer of length n.
+func (p *prng) bytes(n int64) []byte {
+	buf := make([]byte, n)
+	var i int64
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], p.next())
+	}
+	if i < n {
+		var tail [8]byte
+		binary.LittleEndian.PutUint64(tail[:], p.next())
+		copy(buf[i:], tail[:n-i])
+	}
+	return buf
+}
+
+// varLen returns a variable length around mean with roughly +/-50%
+// spread (never below 16 bytes) - the size variability of VL data.
+func (p *prng) varLen(mean int64) int64 {
+	if mean < 32 {
+		mean = 32
+	}
+	v := mean/2 + p.intn(mean)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}

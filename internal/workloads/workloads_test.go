@@ -1,0 +1,355 @@
+package workloads
+
+import (
+	"testing"
+
+	"dayu/internal/diagnose"
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/trace"
+	"dayu/internal/tracer"
+	"dayu/internal/workflow"
+)
+
+func runWorkload(t *testing.T, spec workflow.Spec, setup func(*workflow.Engine) error) *workflow.Result {
+	t.Helper()
+	eng, err := workflow.NewEngine(workflow.Cluster{Machine: sim.MachineCPU, Nodes: 2}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setup(eng); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := newPRNG(42), newPRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("prng not deterministic")
+		}
+	}
+	if newPRNG(0).next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+	p := newPRNG(7)
+	if got := p.bytes(13); len(got) != 13 {
+		t.Errorf("bytes(13) = %d bytes", len(got))
+	}
+	for i := 0; i < 100; i++ {
+		v := p.varLen(1000)
+		if v < 16 || v > 1500 {
+			t.Fatalf("varLen out of range: %d", v)
+		}
+		if p.intn(0) != 0 || p.intn(-3) != 0 {
+			t.Fatal("intn on non-positive bound")
+		}
+	}
+}
+
+func TestPyFlextrkrRunsAndMatchesPaperObservations(t *testing.T) {
+	cfg := PyFlextrkrConfig{ParallelTasks: 3, InputFiles: 3, FeatureBytes: 8 << 10,
+		Stage9Datasets: 20, Stage9Accesses: 5}
+	spec, setup := PyFlextrkr(cfg)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Stages) != 9 {
+		t.Fatalf("stages = %d, want 9", len(spec.Stages))
+	}
+	res := runWorkload(t, spec, setup)
+	findings := diagnose.Analyze(res.Traces, res.Manifest, diagnose.Thresholds{
+		ScatterMinDatasets: 10,
+	})
+
+	// Observation 1 (Figure 4): data reuse - cloudid files read by
+	// multiple downstream tasks.
+	var reuseCloudid bool
+	for _, f := range diagnose.ByKind(findings, diagnose.DataReuse) {
+		if f.File == "cloudid_00.h5" {
+			reuseCloudid = true
+		}
+	}
+	if !reuseCloudid {
+		t.Error("cloudid reuse not detected")
+	}
+	// Circle 1: write-after-read by the stage-3 task.
+	war := diagnose.ByKind(findings, diagnose.WriteAfterRead)
+	var gettracksWAR bool
+	for _, f := range war {
+		if f.Task == "run_gettracks_00" && f.File == "cloudid_00.h5" {
+			gettracksWAR = true
+		}
+	}
+	if !gettracksWAR {
+		t.Errorf("stage-3 write-after-read not detected: %+v", war)
+	}
+	// Observation 2: time-dependent inputs (late_input files).
+	tdi := diagnose.ByKind(findings, diagnose.TimeDependentInput)
+	var late bool
+	for _, f := range tdi {
+		if f.File == "late_input_00.h5" && f.Task == "run_matchpf" {
+			late = true
+		}
+	}
+	if !late {
+		t.Errorf("time-dependent input not detected: %+v", tdi)
+	}
+	// Observation 3: disposable data - initial inputs.
+	disp := diagnose.ByKind(findings, diagnose.DisposableData)
+	if len(disp) == 0 {
+		t.Error("no disposable data found")
+	}
+	// Observation 4 (Figure 5): data scattering in the stage-9 file.
+	sc := diagnose.ByKind(findings, diagnose.DataScattering)
+	var stage9 bool
+	for _, f := range sc {
+		if f.File == PftSpeedStats {
+			stage9 = true
+		}
+	}
+	if !stage9 {
+		t.Errorf("stage-9 scattering not detected: %+v", sc)
+	}
+	// Stage-3 all-to-all and stage-4 fan-in patterns.
+	if len(diagnose.ByKind(findings, diagnose.AllToAllPattern)) == 0 {
+		t.Error("all-to-all pattern not detected")
+	}
+	var fanIn bool
+	for _, f := range diagnose.ByKind(findings, diagnose.FanInPattern) {
+		if f.Task == "run_trackstats" {
+			fanIn = true
+		}
+	}
+	if !fanIn {
+		t.Error("stage-4 fan-in not detected")
+	}
+}
+
+func TestDDMDRunsAndMatchesPaperObservations(t *testing.T) {
+	cfg := DDMDConfig{SimTasks: 4, ContactMapBytes: 64 << 10, SmallBytes: 4 << 10, Epochs: 10}
+	spec, setup := DDMD(cfg)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Stages) != 4 {
+		t.Fatalf("stages = %d, want 4 per iteration", len(spec.Stages))
+	}
+	res := runWorkload(t, spec, setup)
+	findings := diagnose.Analyze(res.Traces, res.Manifest, diagnose.Thresholds{})
+
+	// Figure 7: training touches only contact_map's metadata in the
+	// aggregated file.
+	var cmMetaOnly bool
+	for _, f := range diagnose.ByKind(findings, diagnose.MetadataOnlyAccess) {
+		if f.Task == "training_0000" && f.Object == "/contact_map" && f.File == DDMDAggFile(0) {
+			cmMetaOnly = true
+		}
+	}
+	if !cmMetaOnly {
+		t.Error("contact_map metadata-only access not detected")
+	}
+	// Observation: read-after-write on embedding files 5 and 10.
+	raw := diagnose.ByKind(findings, diagnose.ReadAfterWrite)
+	found := map[string]bool{}
+	for _, f := range raw {
+		found[f.File] = true
+	}
+	if !found[DDMDEmbeddingFile(0, 5)] || !found[DDMDEmbeddingFile(0, 10)] {
+		t.Errorf("embedding read-after-write not detected: %+v", raw)
+	}
+	// Observation: training and inference have no data dependency.
+	var indep bool
+	for _, f := range diagnose.ByKind(findings, diagnose.NoDataDependency) {
+		if f.Task == "inference_0000" {
+			indep = true
+		}
+	}
+	if !indep {
+		t.Error("training/inference independence not detected")
+	}
+	// Observation: aggregate streams the simulated files sequentially.
+	var aggSeq bool
+	for _, f := range diagnose.ByKind(findings, diagnose.ReadOnlySequential) {
+		if f.Task == "aggregate_0000" {
+			aggSeq = true
+		}
+	}
+	if !aggSeq {
+		t.Error("aggregate sequential read not detected")
+	}
+	// Observation: chunked layout on small datasets flagged.
+	if len(diagnose.ByKind(findings, diagnose.ChunkedSmallData)) == 0 {
+		t.Error("chunked-small-data not detected for DDMD datasets")
+	}
+	// The simulated files hold the four canonical datasets.
+	for _, tr := range res.Traces {
+		if tr.Task != "openmm_0000_0000" {
+			continue
+		}
+		names := map[string]bool{}
+		for _, o := range tr.Objects {
+			names[o.Object] = true
+		}
+		for _, want := range DDMDDatasets {
+			if !names["/"+want] {
+				t.Errorf("dataset %s missing from openmm trace", want)
+			}
+		}
+	}
+}
+
+func TestDDMDIterations(t *testing.T) {
+	spec, setup := DDMD(DDMDConfig{SimTasks: 2, Iterations: 2,
+		ContactMapBytes: 8 << 10, SmallBytes: 2 << 10, Epochs: 2})
+	if len(spec.Stages) != 8 {
+		t.Fatalf("stages = %d, want 8 for two iterations", len(spec.Stages))
+	}
+	res := runWorkload(t, spec, setup)
+	if res.Total() <= 0 {
+		t.Error("no simulated time")
+	}
+}
+
+func TestARLDMRunsContiguousVsChunked(t *testing.T) {
+	run := func(layout hdf5.Layout) *workflow.Result {
+		spec, setup := ARLDM(ARLDMConfig{Stories: 20, ImageBytes: 8 << 10, Layout: layout})
+		return runWorkload(t, spec, setup)
+	}
+	contig := run(hdf5.Contiguous)
+	chunked := run(hdf5.Chunked)
+
+	writesOf := func(res *workflow.Result) int64 {
+		var writes int64
+		for _, tr := range res.Traces {
+			if tr.Task != "arldm_saveh5" {
+				continue
+			}
+			for _, fr := range tr.Files {
+				writes += fr.Writes
+			}
+		}
+		return writes
+	}
+	cw, kw := writesOf(contig), writesOf(chunked)
+	if kw >= cw {
+		t.Errorf("chunked VL writes (%d) not fewer than contiguous (%d)", kw, cw)
+	}
+	// Paper §VI-C: roughly half the write operations with chunking.
+	ratio := float64(cw) / float64(kw)
+	if ratio < 1.3 || ratio > 4 {
+		t.Errorf("contiguous/chunked write ratio = %.2f, want roughly 2x", ratio)
+	}
+	// VL-contiguous layout mismatch finding fires on the baseline.
+	findings := diagnose.Analyze(contig.Traces, contig.Manifest,
+		diagnose.Thresholds{VLenLargeBytes: 64 << 10})
+	var vlen bool
+	for _, f := range diagnose.ByKind(findings, diagnose.VLenContiguous) {
+		if f.File == ARLDMOutFile {
+			vlen = true
+		}
+	}
+	if !vlen {
+		t.Error("vlen-contiguous mismatch not detected")
+	}
+}
+
+func TestH5bench(t *testing.T) {
+	cfg := H5benchConfig{Procs: 2, BytesPerProc: 256 << 10, IOSize: 64 << 10}
+	// Untraced run.
+	d0, traces, err := RunH5bench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 <= 0 || traces != nil {
+		t.Errorf("untraced run: %v, %d traces", d0, len(traces))
+	}
+	// Traced run produces one trace per process.
+	tr := tracer.New(tracer.Config{})
+	d1, traces, err := RunH5bench(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 || len(traces) != 2 {
+		t.Fatalf("traced run: %v, %d traces", d1, len(traces))
+	}
+	for _, tt := range traces {
+		if err := tt.Validate(); err != nil {
+			t.Error(err)
+		}
+		if len(tt.Files) != 1 {
+			t.Errorf("trace files = %d", len(tt.Files))
+		}
+		if tt.Files[0].DataBytes < 2*cfg.BytesPerProc {
+			t.Errorf("traced volume = %d", tt.Files[0].DataBytes)
+		}
+	}
+}
+
+func TestCornerCase(t *testing.T) {
+	cfg := CornerCaseConfig{Datasets: 50, DatasetBytes: 1 << 10, ReadOps: 200}
+	d0, tt, err := RunCornerCase(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 <= 0 || tt != nil {
+		t.Error("untraced corner case wrong")
+	}
+	tr := tracer.New(tracer.Config{IOTrace: true})
+	d1, tt, err := RunCornerCase(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= 0 || tt == nil {
+		t.Fatal("traced corner case wrong")
+	}
+	// All datasets appear as objects; read counts match.
+	if len(tt.Objects) < cfg.Datasets {
+		t.Errorf("objects = %d", len(tt.Objects))
+	}
+	var reads int64
+	for _, o := range tt.Objects {
+		reads += o.Reads
+	}
+	if reads != int64(cfg.ReadOps) {
+		t.Errorf("object reads = %d, want %d", reads, cfg.ReadOps)
+	}
+	// I/O trace was recorded and dominates storage (Figure 9d).
+	if len(tt.IOTrace) == 0 {
+		t.Error("I/O trace empty")
+	}
+	sz, err := tt.EncodedSize()
+	if err != nil || sz <= 0 {
+		t.Errorf("encoded size = %d, %v", sz, err)
+	}
+}
+
+func TestWorkloadTracesSaveLoad(t *testing.T) {
+	spec, setup := ARLDM(ARLDMConfig{Stories: 10, ImageBytes: 4 << 10})
+	res := runWorkload(t, spec, setup)
+	dir := t.TempDir()
+	for _, tt := range res.Traces {
+		if _, err := tt.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := trace.SaveManifest(dir, res.Manifest); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Traces) {
+		t.Errorf("loaded %d traces, want %d", len(back), len(res.Traces))
+	}
+	m, err := trace.LoadManifest(dir)
+	if err != nil || m == nil || m.Workflow != "arldm" {
+		t.Errorf("manifest round trip failed: %+v, %v", m, err)
+	}
+}
