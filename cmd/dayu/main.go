@@ -22,6 +22,13 @@
 //	dayu report -traces dir [-o report.md] [-tier nvme] [-nodes n]
 //	    Render a Markdown optimization report: summary, per-task I/O,
 //	    dependence chains, findings by guideline, derived plan.
+//
+//	dayu faults -workflow <name> [-seed n] [-read-rate p] [-write-rate p]
+//	            [-meta-rate p] [-torn p] [-corrupt p] [-fail-after n]
+//	            [-fault-latency d] [-retries n] [-backoff d] [-reschedule]
+//	    Execute a workload under deterministic fault injection and report
+//	    per-task attempts, failures and the virtual-time cost of
+//	    self-healing.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"dayu/internal/trace"
 	"dayu/internal/tracer"
 	"dayu/internal/units"
+	"dayu/internal/vfd"
 	"dayu/internal/workflow"
 	"dayu/internal/workloads"
 )
@@ -62,6 +70,8 @@ func main() {
 		err = cmdPlan(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "faults":
+		err = cmdFaults(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -76,12 +86,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults> [flags]
   run       execute a workload replica with tracing on the simulated cluster
   analyze   build FTG/SDG graphs from saved traces
   diagnose  detect I/O observations and print optimization guidelines
   plan      derive a data-locality optimization plan from traces
-  report    render a Markdown optimization report from traces`)
+  report    render a Markdown optimization report from traces
+  faults    execute a workload under deterministic fault injection with retry`)
 }
 
 func loadWorkload(name string) (workflow.Spec, func(*workflow.Engine) error, error) {
@@ -305,6 +316,88 @@ func cmdReport(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func cmdFaults(args []string) error {
+	fs := flag.NewFlagSet("faults", flag.ExitOnError)
+	name := fs.String("workflow", "pyflextrkr-s3to5", "workload replica to run")
+	machine := fs.String("machine", "cpu-cluster", "simulated machine (cpu-cluster, gpu-cluster)")
+	nodes := fs.Int("nodes", 2, "cluster node count")
+	parallel := fs.Bool("parallel", false, "execute stage tasks on goroutines")
+	seed := fs.Int64("seed", 1, "base fault seed (same seed => same faults, same virtual time)")
+	readRate := fs.Float64("read-rate", 0.02, "transient read-error probability per data operation")
+	writeRate := fs.Float64("write-rate", 0.02, "transient write-error probability per data operation")
+	metaRate := fs.Float64("meta-rate", -1, "metadata-op fault probability (default: same as data rates)")
+	torn := fs.Float64("torn", 0.005, "torn-write probability (partial write lands, op fails)")
+	corrupt := fs.Float64("corrupt", 0, "silent read-corruption probability (bit flips)")
+	failAfter := fs.Int64("fail-after", 0, "fail-stop each file session after N operations (0 = off)")
+	faultLatency := fs.Duration("fault-latency", time.Millisecond, "virtual latency billed per injected fault")
+	retries := fs.Int("retries", 5, "max attempts per task (1 = fail-fast)")
+	backoff := fs.Duration("backoff", 10*time.Millisecond, "virtual backoff before the first retry (doubles per attempt)")
+	reschedule := fs.Bool("reschedule", true, "move retried tasks to a different node")
+	fs.Parse(args)
+
+	m, err := sim.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	spec, setup, err := loadWorkload(*name)
+	if err != nil {
+		return err
+	}
+	eng, err := workflow.NewEngine(workflow.Cluster{Machine: m, Nodes: *nodes, Parallel: *parallel}, nil, tracer.Config{})
+	if err != nil {
+		return err
+	}
+	if err := setup(eng); err != nil {
+		return err
+	}
+	rr, wr := vfd.Uniform(*readRate), vfd.Uniform(*writeRate)
+	if *metaRate >= 0 {
+		rr.Meta, wr.Meta = *metaRate, *metaRate
+	}
+	eng.SetFaults(&vfd.FaultPlan{
+		Seed: *seed, ReadError: rr, WriteError: wr,
+		TornWrite: *torn, CorruptRead: *corrupt,
+		FailStopAfter: *failAfter, Latency: *faultLatency,
+	})
+	if *retries > 1 {
+		eng.SetRetry(&workflow.RetryPolicy{
+			MaxAttempts: *retries, Backoff: *backoff, Reschedule: *reschedule,
+		})
+	}
+
+	res, runErr := eng.Run(spec)
+	if res == nil {
+		return runErr
+	}
+	fmt.Printf("workflow %s under faults (seed %d): simulated time %s\n",
+		spec.Name, *seed, units.Duration(res.Total()))
+	var retried, failed int
+	for _, s := range res.Stages {
+		if len(s.Tasks) == 0 {
+			continue
+		}
+		fmt.Printf("  stage %s (%s)\n", s.Name, units.Duration(s.Time))
+		for _, tr := range s.Tasks {
+			status := "ok"
+			if tr.Failed {
+				status = "FAILED"
+				failed++
+			}
+			if tr.Attempts > 1 {
+				retried++
+			}
+			fmt.Printf("    %-20s node %d  attempts %d  io %-12s backoff %-12s %s\n",
+				tr.Name, tr.Node, tr.Attempts, units.Duration(tr.IO),
+				units.Duration(tr.Backoff), status)
+		}
+	}
+	fmt.Printf("tasks: %d traced, %d retried, %d failed\n", len(res.Traces), retried, failed)
+	if runErr != nil {
+		return fmt.Errorf("workflow completed partially: %w", runErr)
+	}
 	return nil
 }
 

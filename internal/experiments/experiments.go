@@ -178,6 +178,7 @@ func Registry() []struct {
 		{"fig13a", Fig13a},
 		{"fig13b", Fig13b},
 		{"fig13c", Fig13c},
+		{"resilience", Resilience},
 	}
 }
 

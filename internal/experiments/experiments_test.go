@@ -23,7 +23,8 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	for _, want := range []string{"table1", "table2", "table3", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9d",
-		"fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b", "fig13c"} {
+		"fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
+		"resilience"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from registry", want)
 		}
@@ -280,6 +281,37 @@ func TestFig13cChunkedVLWins(t *testing.T) {
 		if sp := parseSpeedup(t, row[4]); sp <= 1.0 {
 			t.Errorf("chunked VL lost at %v: %.2f", row[:2], sp)
 		}
+	}
+}
+
+func TestResilienceShape(t *testing.T) {
+	tab, err := Resilience(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "DETERMINISM VIOLATION") {
+			t.Errorf("resilience: %s", n)
+		}
+	}
+	// At zero fault rate both policies succeed every run; at the top rate
+	// retry must out-survive fail-fast.
+	success := map[[2]string]string{}
+	for _, row := range tab.Rows {
+		success[[2]string{row[0], row[1]}] = row[2]
+	}
+	runs := strings.SplitN(success[[2]string{"0.00", "fail-fast"}], "/", 2)[1]
+	all := runs + "/" + runs
+	if success[[2]string{"0.00", "fail-fast"}] != all || success[[2]string{"0.00", "retry"}] != all {
+		t.Errorf("clean runs failed: %v", success)
+	}
+	top := tab.Rows[len(tab.Rows)-1]
+	if top[1] != "retry" {
+		t.Fatalf("unexpected row order: %v", tab.Rows)
+	}
+	ff := success[[2]string{top[0], "fail-fast"}]
+	if ff >= top[2] { // "0/2" < "2/2" lexically matches numerically here
+		t.Errorf("retry (%s) did not out-survive fail-fast (%s) at rate %s", top[2], ff, top[0])
 	}
 }
 

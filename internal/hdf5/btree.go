@@ -75,10 +75,10 @@ func (f *File) openBTree(descAddr int64) (*btree, error) {
 	f.btrees = append(f.btrees, bt)
 	buf := make([]byte, btDescSize)
 	if err := f.drv.ReadAt(buf, descAddr, sim.Metadata); err != nil {
-		return nil, fmt.Errorf("hdf5: read chunk-index descriptor: %w", err)
+		return nil, wrapRead(err, "hdf5: read chunk-index descriptor")
 	}
 	if string(buf[:4]) != btDescMagic {
-		return nil, fmt.Errorf("hdf5: bad chunk-index descriptor magic at %d", descAddr)
+		return nil, corruptf("hdf5: bad chunk-index descriptor magic at %d", descAddr)
 	}
 	bt.desc.depth = int32(binary.LittleEndian.Uint32(buf[4:]))
 	bt.desc.rootAddr = int64(binary.LittleEndian.Uint64(buf[8:]))
@@ -137,10 +137,10 @@ func (b *btree) readNode(addr int64) (*btNode, error) {
 	}
 	buf := make([]byte, b.f.cfg.BTreeNodeSize)
 	if err := b.f.drv.ReadAt(buf, addr, sim.Metadata); err != nil {
-		return nil, fmt.Errorf("hdf5: read chunk-index node at %d: %w", addr, err)
+		return nil, wrapRead(err, "hdf5: read chunk-index node at %d", addr)
 	}
 	if string(buf[:4]) != btNodeMagic {
-		return nil, fmt.Errorf("hdf5: bad chunk-index node magic at %d", addr)
+		return nil, corruptf("hdf5: bad chunk-index node magic at %d", addr)
 	}
 	n := &btNode{leaf: buf[4] == 1}
 	cnt := int(binary.LittleEndian.Uint32(buf[8:]))
@@ -151,7 +151,7 @@ func (b *btree) readNode(addr int64) (*btNode, error) {
 	// Split operations briefly hold one extra entry in memory, never on
 	// disk; anything above the capacity is corruption.
 	if cnt < 0 || cnt > maxCnt {
-		return nil, fmt.Errorf("hdf5: implausible chunk-index entry count %d at %d", cnt, addr)
+		return nil, corruptf("hdf5: implausible chunk-index entry count %d at %d", cnt, addr)
 	}
 	off := btNodeHdr
 	for i := 0; i < cnt; i++ {
@@ -197,7 +197,7 @@ func (b *btree) get(key int64) (addr, size int64, found bool, err error) {
 		}
 		nodeAddr = child
 		if depth < 0 {
-			return 0, 0, false, fmt.Errorf("hdf5: chunk-index depth underflow")
+			return 0, 0, false, corruptf("hdf5: chunk-index depth underflow")
 		}
 	}
 }

@@ -38,7 +38,7 @@ type bufReader struct {
 
 func (r *bufReader) fail(what string) {
 	if r.err == nil {
-		r.err = fmt.Errorf("hdf5: truncated header payload reading %s at offset %d", what, r.off)
+		r.err = corruptf("hdf5: truncated header payload reading %s at offset %d", what, r.off)
 	}
 }
 

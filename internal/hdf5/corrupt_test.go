@@ -8,8 +8,9 @@ import (
 )
 
 // buildCorruptionTarget produces the bytes of a healthy file with
-// groups, all three layouts, attributes and VL data.
-func buildCorruptionTarget(t *testing.T) []byte {
+// groups, all three layouts, attributes and VL data. It takes testing.TB
+// so the fuzz target shares the corpus.
+func buildCorruptionTarget(t testing.TB) []byte {
 	t.Helper()
 	drv := vfd.NewMemDriver()
 	f, err := Create(drv, "victim.h5", Config{})

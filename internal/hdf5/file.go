@@ -32,7 +32,31 @@ var (
 	ErrExists = errors.New("hdf5: object already exists")
 	// ErrClosed is returned by operations on a closed file or object.
 	ErrClosed = errors.New("hdf5: file is closed")
+	// ErrCorrupt is returned when on-disk structures fail validation:
+	// bad magic, implausible geometry, references outside the file. It
+	// wraps vfd.ErrCorrupt so callers can classify corruption uniformly
+	// across format layers with errors.Is.
+	ErrCorrupt = fmt.Errorf("hdf5: corrupt file: %w", vfd.ErrCorrupt)
 )
+
+// corruptf reports a malformed on-disk structure, typed as ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
+// wrapRead classifies a failed driver read during parsing: an
+// out-of-bounds access means the structure that supplied the address or
+// length is corrupt, so the error carries both ErrCorrupt and the
+// driver's cause; other driver errors (transient faults, closed
+// sessions) pass through untyped so retry classification still sees
+// them.
+func wrapRead(err error, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if errors.Is(err, vfd.ErrOutOfBounds) {
+		return fmt.Errorf("%s: %w: %w", msg, ErrCorrupt, err)
+	}
+	return fmt.Errorf("%s: %w", msg, err)
+}
 
 const (
 	superMagic   = "DYH5"
@@ -133,7 +157,7 @@ func Open(drv vfd.Driver, name string, cfg Config) (*File, error) {
 		return nil, fmt.Errorf("hdf5: open %s root group: %w", name, err)
 	}
 	if hdr.typ != objGroup {
-		return nil, fmt.Errorf("hdf5: open %s: root object is not a group", name)
+		return nil, corruptf("hdf5: open %s: root object is not a group", name)
 	}
 	f.root = &Group{file: f, name: "/", addr: f.rootAddr}
 	return f, nil
@@ -217,13 +241,13 @@ func (f *File) writeSuperblock() error {
 func (f *File) readSuperblock() error {
 	buf := make([]byte, superSize)
 	if err := f.drv.ReadAt(buf, 0, sim.Metadata); err != nil {
-		return fmt.Errorf("hdf5: read superblock: %w", err)
+		return wrapRead(err, "hdf5: read superblock")
 	}
 	if string(buf[:4]) != superMagic {
-		return fmt.Errorf("hdf5: bad superblock magic %q", buf[:4])
+		return corruptf("hdf5: bad superblock magic %q", buf[:4])
 	}
 	if v := binary.LittleEndian.Uint16(buf[4:]); v != formatVer {
-		return fmt.Errorf("hdf5: unsupported format version %d", v)
+		return corruptf("hdf5: unsupported format version %d", v)
 	}
 	f.rootAddr = int64(binary.LittleEndian.Uint64(buf[rootAddrSlot:]))
 	f.eof = int64(binary.LittleEndian.Uint64(buf[16:]))

@@ -1,0 +1,41 @@
+package hdf5
+
+import (
+	"errors"
+	"testing"
+
+	"dayu/internal/vfd"
+)
+
+// FuzzOpen feeds arbitrary bytes to Open and the full file walk. Two
+// properties must hold on every input: the parser never panics, and
+// when Open rejects a file the error is typed ErrCorrupt (never an
+// untyped string or an index panic escaping as a crash).
+func FuzzOpen(f *testing.F) {
+	pristine := buildCorruptionTarget(f)
+	f.Add(append([]byte(nil), pristine...))
+	// Seed the mutation space the corruption test explores: byte flips,
+	// truncations, and degenerate prefixes.
+	for _, i := range []int{0, 4, rootAddrSlot, len(pristine) / 2, len(pristine) - 1} {
+		data := append([]byte(nil), pristine...)
+		data[i] ^= 0xff
+		f.Add(data)
+	}
+	f.Add(append([]byte(nil), pristine[:superSize]...))
+	f.Add(append([]byte(nil), pristine[:len(pristine)/3]...))
+	f.Add([]byte{})
+	f.Add([]byte(superMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Open(vfd.NewMemDriverFrom(data), "fuzz.h5", Config{})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open rejected input with untyped error: %v", err)
+			}
+			return
+		}
+		_ = file.Close()
+		// A file that opens may still be damaged deeper in; the walk must
+		// fail cleanly, never panic.
+		exerciseFile(data)
+	})
+}

@@ -185,11 +185,11 @@ func parseHeaderPayload(typ objType, payload []byte) (*objectHeader, error) {
 			h.layout.compact = r.bytes32("compact data")
 		default:
 			if r.err == nil {
-				return nil, fmt.Errorf("hdf5: unknown layout kind %d", h.layout.kind)
+				return nil, corruptf("hdf5: unknown layout kind %d", h.layout.kind)
 			}
 		}
 	default:
-		return nil, fmt.Errorf("hdf5: unknown object type %d", typ)
+		return nil, corruptf("hdf5: unknown object type %d", typ)
 	}
 	if r.err != nil {
 		return nil, r.err
@@ -216,17 +216,17 @@ func (h *objectHeader) sanityCheck() error {
 		return nil
 	}
 	if !h.dtype.Valid() || h.dtype.Size > maxElemSize {
-		return fmt.Errorf("hdf5: implausible datatype in header of %q", h.name)
+		return corruptf("hdf5: implausible datatype in header of %q", h.name)
 	}
 	checkDims := func(dims []int64, what string) (int64, error) {
 		total := int64(1)
 		for _, d := range dims {
 			if d <= 0 || d > maxDimExtent {
-				return 0, fmt.Errorf("hdf5: implausible %s extent %d in %q", what, d, h.name)
+				return 0, corruptf("hdf5: implausible %s extent %d in %q", what, d, h.name)
 			}
 			total *= d
 			if total > maxTotalBytes/h.dtype.Size {
-				return 0, fmt.Errorf("hdf5: implausible %s volume in %q", what, h.name)
+				return 0, corruptf("hdf5: implausible %s volume in %q", what, h.name)
 			}
 		}
 		return total, nil
@@ -242,15 +242,15 @@ func (h *objectHeader) sanityCheck() error {
 			return err
 		}
 		if chunkElems*h.dtype.Size > maxChunkBytes {
-			return fmt.Errorf("hdf5: implausible chunk size in %q", h.name)
+			return corruptf("hdf5: implausible chunk size in %q", h.name)
 		}
 	case layoutCompact:
 		if int64(len(h.layout.compact)) != total*h.dtype.Size {
-			return fmt.Errorf("hdf5: compact payload size mismatch in %q", h.name)
+			return corruptf("hdf5: compact payload size mismatch in %q", h.name)
 		}
 	case layoutContiguous:
 		if h.layout.dataSize != total*h.dtype.Size || h.layout.dataAddr < 0 {
-			return fmt.Errorf("hdf5: contiguous layout mismatch in %q", h.name)
+			return corruptf("hdf5: contiguous layout mismatch in %q", h.name)
 		}
 	}
 	return nil
@@ -322,10 +322,10 @@ func (f *File) writeHeaderAt(addr int64, h *objectHeader) error {
 func (f *File) readHeader(addr int64) (*objectHeader, error) {
 	block := make([]byte, f.cfg.HeaderSize)
 	if err := f.drv.ReadAt(block, addr, sim.Metadata); err != nil {
-		return nil, fmt.Errorf("hdf5: read object header at %d: %w", addr, err)
+		return nil, wrapRead(err, "hdf5: read object header at %d", addr)
 	}
 	if string(block[:4]) != headerMagic {
-		return nil, fmt.Errorf("hdf5: bad object header magic at %d", addr)
+		return nil, corruptf("hdf5: bad object header magic at %d", addr)
 	}
 	typ := objType(block[4])
 	getU32 := func(off int) uint32 {
@@ -343,7 +343,7 @@ func (f *File) readHeader(addr int64) (*objectHeader, error) {
 	contAddr := int64(getU64(12))
 	contCap := int64(getU32(20))
 	if payloadLen < 0 || payloadLen > 16<<20 {
-		return nil, fmt.Errorf("hdf5: implausible header payload length %d at %d", payloadLen, addr)
+		return nil, corruptf("hdf5: implausible header payload length %d at %d", payloadLen, addr)
 	}
 
 	inlineCap := f.cfg.HeaderSize - headerPrefixSize
@@ -354,7 +354,7 @@ func (f *File) readHeader(addr int64) (*objectHeader, error) {
 		copy(payload, block[headerPrefixSize:headerPrefixSize+inlineCap])
 		over := payload[inlineCap:]
 		if err := f.drv.ReadAt(over, contAddr, sim.Metadata); err != nil {
-			return nil, fmt.Errorf("hdf5: read header continuation at %d: %w", contAddr, err)
+			return nil, wrapRead(err, "hdf5: read header continuation at %d", contAddr)
 		}
 	}
 	h, err := parseHeaderPayload(typ, payload)

@@ -161,22 +161,22 @@ func (h *heapManager) read(ref heapRef) ([]byte, error) {
 	// A corrupted reference must not drive a huge allocation or a read
 	// past the end of file.
 	if ref.coll <= 0 || int64(ref.offset)+int64(ref.length) > h.f.drv.EOF()-ref.coll {
-		return nil, fmt.Errorf("hdf5: implausible heap reference (coll %d, off %d, len %d)",
+		return nil, corruptf("hdf5: implausible heap reference (coll %d, off %d, len %d)",
 			ref.coll, ref.offset, ref.length)
 	}
 	if !h.validated[ref.coll] {
 		hdr := make([]byte, heapHdrSize)
 		if err := h.f.drv.ReadAt(hdr, ref.coll, sim.Metadata); err != nil {
-			return nil, fmt.Errorf("hdf5: read heap collection header: %w", err)
+			return nil, wrapRead(err, "hdf5: read heap collection header")
 		}
 		if string(hdr[:4]) != heapMagic {
-			return nil, fmt.Errorf("hdf5: bad heap collection magic at %d", ref.coll)
+			return nil, corruptf("hdf5: bad heap collection magic at %d", ref.coll)
 		}
 		h.validated[ref.coll] = true
 	}
 	data := make([]byte, ref.length)
 	if err := h.f.drv.ReadAt(data, ref.coll+int64(ref.offset), sim.RawData); err != nil {
-		return nil, fmt.Errorf("hdf5: read heap object: %w", err)
+		return nil, wrapRead(err, "hdf5: read heap object")
 	}
 	return data, nil
 }

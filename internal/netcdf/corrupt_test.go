@@ -7,7 +7,7 @@ import (
 	"dayu/internal/vfd"
 )
 
-func buildCorruptionTarget(t *testing.T) []byte {
+func buildCorruptionTarget(t testing.TB) []byte {
 	t.Helper()
 	drv := vfd.NewMemDriver()
 	f, err := Create(drv, "victim.nc", Config{})

@@ -1,0 +1,36 @@
+package netcdf
+
+import (
+	"errors"
+	"testing"
+
+	"dayu/internal/vfd"
+)
+
+// FuzzOpen feeds arbitrary bytes to Open and the variable walk. The
+// parser must never panic, and every Open rejection must be typed
+// ErrCorrupt so tooling can distinguish damaged files from I/O faults.
+func FuzzOpen(f *testing.F) {
+	pristine := buildCorruptionTarget(f)
+	f.Add(append([]byte(nil), pristine...))
+	for _, i := range []int{0, 4, 8, len(pristine) / 2, len(pristine) - 1} {
+		data := append([]byte(nil), pristine...)
+		data[i] ^= 0xff
+		f.Add(data)
+	}
+	f.Add(append([]byte(nil), pristine[:headerPrefix]...))
+	f.Add(append([]byte(nil), pristine[:len(pristine)/3]...))
+	f.Add([]byte{})
+	f.Add([]byte(ncMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Open(vfd.NewMemDriverFrom(data), "fuzz.nc", Config{})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open rejected input with untyped error: %v", err)
+			}
+			return
+		}
+		_ = file.Close()
+		exerciseFile(data)
+	})
+}

@@ -126,10 +126,10 @@ func Open(drv vfd.Driver, name string, cfg Config) (*File, error) {
 
 	prefix := make([]byte, headerPrefix)
 	if err := drv.ReadAt(prefix, 0, sim.Metadata); err != nil {
-		return nil, fmt.Errorf("netcdf: read header: %w", err)
+		return nil, wrapRead(err, "netcdf: read header")
 	}
 	if string(prefix[:4]) != ncMagic {
-		return nil, fmt.Errorf("netcdf: bad magic %q", prefix[:4])
+		return nil, corruptf("netcdf: bad magic %q", prefix[:4])
 	}
 	plen := int64(binary.LittleEndian.Uint64(prefix[8:]))
 	f.headerCap = int64(binary.LittleEndian.Uint64(prefix[16:]))
@@ -138,11 +138,11 @@ func Open(drv vfd.Driver, name string, cfg Config) (*File, error) {
 	f.recStart = int64(binary.LittleEndian.Uint64(prefix[40:]))
 	if plen < 0 || plen > 16<<20 || f.headerCap < headerPrefix || f.headerCap > 32<<20 ||
 		f.numRecs < 0 || f.numRecs > 1<<24 || f.dataStart < 0 || f.recStart < 0 {
-		return nil, fmt.Errorf("netcdf: implausible header geometry")
+		return nil, corruptf("netcdf: implausible header geometry")
 	}
 	payload := make([]byte, plen)
 	if err := drv.ReadAt(payload, headerPrefix, sim.Metadata); err != nil {
-		return nil, fmt.Errorf("netcdf: read header payload: %w", err)
+		return nil, wrapRead(err, "netcdf: read header payload")
 	}
 	if err := f.parseHeader(payload); err != nil {
 		return nil, err
@@ -159,7 +159,7 @@ func Open(drv vfd.Driver, name string, cfg Config) (*File, error) {
 func (f *File) parseHeader(b []byte) error {
 	off := 0
 	fail := func(what string) error {
-		return fmt.Errorf("netcdf: truncated header at %s (offset %d)", what, off)
+		return corruptf("netcdf: truncated header at %s (offset %d)", what, off)
 	}
 	u16 := func() (uint16, bool) {
 		if off+2 > len(b) {
@@ -292,26 +292,26 @@ func (f *File) sanityCheck() error {
 	const maxVarBytes = int64(1) << 31
 	for _, d := range f.dims {
 		if d.length < 0 || d.length > maxExtent {
-			return fmt.Errorf("netcdf: implausible dimension %q length %d", d.name, d.length)
+			return corruptf("netcdf: implausible dimension %q length %d", d.name, d.length)
 		}
 	}
 	for _, v := range f.vars {
 		if v.typ.Size() == 0 {
-			return fmt.Errorf("netcdf: variable %q has unknown type", v.name)
+			return corruptf("netcdf: variable %q has unknown type", v.name)
 		}
 		for i, id := range v.dimIDs {
 			if int(id) < 0 || int(id) >= len(f.dims) {
-				return fmt.Errorf("netcdf: variable %q references unknown dimension", v.name)
+				return corruptf("netcdf: variable %q references unknown dimension", v.name)
 			}
 			if f.dims[id].length == UnlimitedDim && i != 0 {
-				return fmt.Errorf("netcdf: variable %q has a non-leading unlimited dimension", v.name)
+				return corruptf("netcdf: variable %q has a non-leading unlimited dimension", v.name)
 			}
 		}
 		if v.begin < 0 || v.vsize < 0 || v.vsize > maxVarBytes || v.recOffset < 0 {
-			return fmt.Errorf("netcdf: implausible layout for variable %q", v.name)
+			return corruptf("netcdf: implausible layout for variable %q", v.name)
 		}
 		if v.vsize != v.fixedElems()*v.typ.Size() {
-			return fmt.Errorf("netcdf: layout size mismatch for variable %q", v.name)
+			return corruptf("netcdf: layout size mismatch for variable %q", v.name)
 		}
 	}
 	return nil

@@ -32,7 +32,28 @@ var (
 	ErrClosed = errors.New("netcdf: file is closed")
 	// ErrNotFound is returned for unknown names.
 	ErrNotFound = errors.New("netcdf: not found")
+	// ErrCorrupt is returned when the on-disk header fails validation.
+	// It wraps vfd.ErrCorrupt so corruption classifies uniformly across
+	// format layers with errors.Is.
+	ErrCorrupt = fmt.Errorf("netcdf: corrupt file: %w", vfd.ErrCorrupt)
 )
+
+// corruptf reports a malformed on-disk structure, typed as ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
+// wrapRead classifies a failed driver read during parsing: out-of-bounds
+// access driven by parsed geometry means the header is corrupt; other
+// driver errors (transient faults, closed sessions) pass through so
+// retry classification still sees them.
+func wrapRead(err error, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if errors.Is(err, vfd.ErrOutOfBounds) {
+		return fmt.Errorf("%s: %w: %w", msg, ErrCorrupt, err)
+	}
+	return fmt.Errorf("%s: %w", msg, err)
+}
 
 const (
 	ncMagic = "CDF1"

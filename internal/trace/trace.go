@@ -171,6 +171,13 @@ type TaskTrace struct {
 	Mapped []MappedStat `json:"mapped"`
 	// IOTrace holds raw operations when I/O tracing is on.
 	IOTrace []IORecord `json:"io_trace,omitempty"`
+	// Attempts is how many times the engine executed the task (2+ after
+	// retries under fault injection); 0 on traces not produced by the
+	// workflow engine.
+	Attempts int `json:"attempts,omitempty"`
+	// Failed marks the trace of a task whose final attempt errored; its
+	// observations cover the I/O the task performed before failing.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // Validate performs basic consistency checks on the trace.

@@ -14,8 +14,36 @@ import (
 	"dayu/internal/sim"
 )
 
-// ErrClosed is returned by operations on a closed driver.
-var ErrClosed = errors.New("vfd: driver is closed")
+// Error taxonomy. Every driver failure wraps one of these sentinels so
+// higher layers (the workflow retry classifier, the format libraries'
+// corruption detection) can branch on error kind with errors.Is instead
+// of string matching.
+var (
+	// ErrClosed is returned by operations on a closed driver.
+	ErrClosed = errors.New("vfd: driver is closed")
+	// ErrOutOfBounds is returned for accesses outside the file's valid
+	// address range (reads beyond EOF, negative offsets). During format
+	// parsing it usually means the file structure points outside the
+	// file, i.e. truncation or corruption.
+	ErrOutOfBounds = errors.New("vfd: access outside file bounds")
+	// ErrTransient marks a fault that may not recur: a retried operation
+	// (or a retried task attempt) can succeed.
+	ErrTransient = errors.New("vfd: transient I/O fault")
+	// ErrFailStop marks a device or node that has stopped serving I/O
+	// entirely; retrying on the same instance is futile, but rescheduling
+	// the work elsewhere can succeed.
+	ErrFailStop = errors.New("vfd: device failed (fail-stop)")
+	// ErrCorrupt marks data that is structurally invalid: torn writes,
+	// bit flips, or files whose metadata cannot be parsed.
+	ErrCorrupt = errors.New("vfd: corrupt data")
+)
+
+// IsRetryable reports whether the failure class can be cured by running
+// the operation again, possibly on a different node: transient faults
+// and fail-stop instances qualify, corruption and usage errors do not.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrFailStop)
+}
 
 // Driver is the low-level file access interface. Offsets are absolute
 // byte addresses within the file; Class tags each operation as metadata

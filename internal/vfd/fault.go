@@ -1,0 +1,208 @@
+package vfd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"dayu/internal/sim"
+)
+
+// Rate is a per-op-class fault probability: raw-data and metadata
+// operations can fault at different rates (metadata-server hiccups and
+// data-path errors are distinct failure modes on real parallel
+// filesystems).
+type Rate struct {
+	Data float64
+	Meta float64
+}
+
+// Uniform returns a Rate applying p to both op classes.
+func Uniform(p float64) Rate { return Rate{Data: p, Meta: p} }
+
+func (r Rate) of(class sim.OpClass) float64 {
+	if class == sim.Metadata {
+		return r.Meta
+	}
+	return r.Data
+}
+
+// FaultPlan configures deterministic fault injection at the VFD seam -
+// the same interposition point as the profiling decorator, so failure
+// paths are exercised exactly where DaYu observes I/O. All randomness
+// derives from seeds, so a given (seed, op stream) pair always injects
+// the same faults: workflow runs under fault injection are replayable.
+type FaultPlan struct {
+	// Seed is the base seed; per-session seeds are derived from it (see
+	// DeriveSeed) so fault placement is independent of goroutine
+	// interleaving under parallel stage execution.
+	Seed int64
+	// ReadError and WriteError are per-operation probabilities of a
+	// transient failure (the op does not touch the file and returns an
+	// error wrapping ErrTransient), split by op class.
+	ReadError  Rate
+	WriteError Rate
+	// TornWrite is the probability that a write is torn: a strict prefix
+	// of the buffer reaches the file before the operation fails with
+	// ErrTransient. The partial write goes through the inner driver, so
+	// when the fault layer wraps the profiler the failure-path I/O is
+	// traced like any other operation.
+	TornWrite float64
+	// CorruptRead is the probability that a read completes "successfully"
+	// but returns silently bit-flipped data; format-level magic and
+	// sanity checks surface it later as ErrCorrupt.
+	CorruptRead float64
+	// FailStopAfter, when positive, makes every operation after the Nth
+	// on a session fail with ErrFailStop: the device (or node) died and
+	// stays dead for that session. A retry on a fresh session models
+	// rescheduling onto a recovered or different instance.
+	FailStopAfter int64
+	// Latency is extra virtual time billed per injected fault, modeling
+	// timeout-and-error paths that are slower than clean completions. The
+	// driver only accumulates it (Stats().InjectedLatency); the workflow
+	// engine bills it into the task's simulated I/O time.
+	Latency time.Duration
+}
+
+// Enabled reports whether the plan injects any faults at all.
+func (p FaultPlan) Enabled() bool {
+	return p.ReadError != (Rate{}) || p.WriteError != (Rate{}) ||
+		p.TornWrite > 0 || p.CorruptRead > 0 || p.FailStopAfter > 0
+}
+
+// FaultStats counts what a FaultDriver injected.
+type FaultStats struct {
+	// Ops is the number of read/write operations that reached the driver.
+	Ops int64
+	// Injected fault counts by kind.
+	TransientReads  int64
+	TransientWrites int64
+	TornWrites      int64
+	CorruptReads    int64
+	FailStops       int64
+	// InjectedLatency is the accumulated virtual latency of all injected
+	// faults (Plan.Latency per fault).
+	InjectedLatency time.Duration
+}
+
+// Faults is the total number of injected fault events.
+func (s FaultStats) Faults() int64 {
+	return s.TransientReads + s.TransientWrites + s.TornWrites + s.CorruptReads + s.FailStops
+}
+
+// FaultDriver decorates a Driver with seeded, deterministic fault
+// injection. It composes with the profiling decorator: wrapping a
+// ProfiledDriver traces the I/O that torn writes and corrupt reads do
+// issue, while suppressed operations (transient errors, fail-stop)
+// correctly leave no trace - they never reached the device.
+//
+// Like the drivers it wraps, a FaultDriver is a single-session object
+// and is not safe for concurrent use.
+type FaultDriver struct {
+	inner Driver
+	plan  FaultPlan
+	rng   *rand.Rand
+	stats FaultStats
+}
+
+// NewFaultDriver wraps inner with the plan's faults, seeded by seed
+// (derive it with DeriveSeed for per-session determinism).
+func NewFaultDriver(inner Driver, plan FaultPlan, seed int64) *FaultDriver {
+	return &FaultDriver{inner: inner, plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Stats returns the faults injected so far.
+func (d *FaultDriver) Stats() FaultStats { return d.stats }
+
+func (d *FaultDriver) bill() { d.stats.InjectedLatency += d.plan.Latency }
+
+// failStop reports whether the session has passed its fail-stop horizon.
+func (d *FaultDriver) failStop() bool {
+	if d.plan.FailStopAfter > 0 && d.stats.Ops > d.plan.FailStopAfter {
+		d.stats.FailStops++
+		d.bill()
+		return true
+	}
+	return false
+}
+
+// ReadAt implements Driver.
+func (d *FaultDriver) ReadAt(p []byte, off int64, class sim.OpClass) error {
+	d.stats.Ops++
+	if d.failStop() {
+		return fmt.Errorf("vfd: fault: read [%d,%d): %w", off, off+int64(len(p)), ErrFailStop)
+	}
+	if d.rng.Float64() < d.plan.ReadError.of(class) {
+		d.stats.TransientReads++
+		d.bill()
+		return fmt.Errorf("vfd: fault: %s read [%d,%d): %w", class, off, off+int64(len(p)), ErrTransient)
+	}
+	if err := d.inner.ReadAt(p, off, class); err != nil {
+		return err
+	}
+	if len(p) > 0 && d.rng.Float64() < d.plan.CorruptRead {
+		d.stats.CorruptReads++
+		d.bill()
+		p[d.rng.Intn(len(p))] ^= byte(1 + d.rng.Intn(255))
+	}
+	return nil
+}
+
+// WriteAt implements Driver.
+func (d *FaultDriver) WriteAt(p []byte, off int64, class sim.OpClass) error {
+	d.stats.Ops++
+	if d.failStop() {
+		return fmt.Errorf("vfd: fault: write [%d,%d): %w", off, off+int64(len(p)), ErrFailStop)
+	}
+	if len(p) > 1 && d.rng.Float64() < d.plan.TornWrite {
+		d.stats.TornWrites++
+		d.bill()
+		n := 1 + d.rng.Intn(len(p)-1)
+		// The prefix lands (and is traced by an inner profiler); the
+		// caller sees a failed write over torn file state.
+		if err := d.inner.WriteAt(p[:n], off, class); err != nil {
+			return err
+		}
+		return fmt.Errorf("vfd: fault: torn %s write [%d,%d) stopped at %d: %w",
+			class, off, off+int64(len(p)), off+int64(n), ErrTransient)
+	}
+	if d.rng.Float64() < d.plan.WriteError.of(class) {
+		d.stats.TransientWrites++
+		d.bill()
+		return fmt.Errorf("vfd: fault: %s write [%d,%d): %w", class, off, off+int64(len(p)), ErrTransient)
+	}
+	return d.inner.WriteAt(p, off, class)
+}
+
+// EOF implements Driver.
+func (d *FaultDriver) EOF() int64 { return d.inner.EOF() }
+
+// Truncate implements Driver. Truncation is metadata bookkeeping in this
+// substrate and is not a fault target.
+func (d *FaultDriver) Truncate(size int64) error { return d.inner.Truncate(size) }
+
+// Close implements Driver.
+func (d *FaultDriver) Close() error { return d.inner.Close() }
+
+// DeriveSeed mixes a base seed with a session identity (task, file,
+// attempt number, session index) into a per-session RNG seed. Sessions
+// get independent but reproducible fault streams regardless of the order
+// goroutines open files in, which keeps parallel fault-injected runs
+// deterministic.
+func DeriveSeed(base int64, task, file string, attempt, session int) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(task))
+	h.Write([]byte{0})
+	h.Write([]byte(file))
+	h.Write([]byte{0})
+	binary.LittleEndian.PutUint64(b[:], uint64(attempt))
+	h.Write(b[:])
+	binary.LittleEndian.PutUint64(b[:], uint64(session))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}

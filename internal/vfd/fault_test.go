@@ -1,0 +1,234 @@
+package vfd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"dayu/internal/sim"
+)
+
+// driveOps runs a fixed op sequence against a fault driver over a fresh
+// MemDriver, returning the per-op outcomes and final stats.
+func driveOps(plan FaultPlan, seed int64, ops int) ([]error, FaultStats, []byte) {
+	mem := NewMemDriver()
+	fd := NewFaultDriver(mem, plan, seed)
+	buf := make([]byte, 64)
+	var errs []error
+	for i := 0; i < ops; i++ {
+		var err error
+		if i%2 == 0 {
+			err = fd.WriteAt(buf, int64(i)*64, sim.RawData)
+		} else {
+			err = fd.ReadAt(buf, int64(i-1)*64, sim.RawData)
+		}
+		errs = append(errs, err)
+	}
+	return errs, fd.Stats(), mem.Bytes()
+}
+
+func TestFaultDriverDeterministic(t *testing.T) {
+	plan := FaultPlan{
+		ReadError:   Uniform(0.2),
+		WriteError:  Uniform(0.2),
+		TornWrite:   0.1,
+		CorruptRead: 0.1,
+		Latency:     time.Millisecond,
+	}
+	errs1, stats1, bytes1 := driveOps(plan, 7, 200)
+	errs2, stats2, bytes2 := driveOps(plan, 7, 200)
+	if stats1 != stats2 {
+		t.Fatalf("same seed diverged: %+v vs %+v", stats1, stats2)
+	}
+	if !bytes.Equal(bytes1, bytes2) {
+		t.Fatal("same seed produced different file contents")
+	}
+	for i := range errs1 {
+		if (errs1[i] == nil) != (errs2[i] == nil) {
+			t.Fatalf("op %d outcome diverged: %v vs %v", i, errs1[i], errs2[i])
+		}
+	}
+	if stats1.Faults() == 0 {
+		t.Fatal("no faults injected at 20% rates over 200 ops")
+	}
+	if stats1.InjectedLatency != time.Duration(stats1.Faults())*time.Millisecond {
+		t.Errorf("latency %v for %d faults", stats1.InjectedLatency, stats1.Faults())
+	}
+	// A different seed should move the faults.
+	_, stats3, _ := driveOps(plan, 8, 200)
+	if stats1 == stats3 {
+		t.Error("different seeds produced identical fault stats")
+	}
+}
+
+func TestFaultDriverTransientTyped(t *testing.T) {
+	plan := FaultPlan{ReadError: Uniform(1), WriteError: Uniform(1)}
+	fd := NewFaultDriver(NewMemDriver(), plan, 1)
+	if err := fd.WriteAt(make([]byte, 8), 0, sim.Metadata); !errors.Is(err, ErrTransient) {
+		t.Errorf("write fault not transient: %v", err)
+	}
+	if err := fd.ReadAt(make([]byte, 8), 0, sim.RawData); !errors.Is(err, ErrTransient) {
+		t.Errorf("read fault not transient: %v", err)
+	}
+	if !IsRetryable(fd.ReadAt(make([]byte, 8), 0, sim.RawData)) {
+		t.Error("transient fault not retryable")
+	}
+	// Class selectivity: metadata-only rates leave raw data alone.
+	sel := NewFaultDriver(NewMemDriver(), FaultPlan{WriteError: Rate{Meta: 1}}, 1)
+	if err := sel.WriteAt(make([]byte, 8), 0, sim.RawData); err != nil {
+		t.Errorf("raw-data write faulted under meta-only rate: %v", err)
+	}
+	if err := sel.WriteAt(make([]byte, 8), 8, sim.Metadata); !errors.Is(err, ErrTransient) {
+		t.Errorf("metadata write not faulted: %v", err)
+	}
+}
+
+func TestFaultDriverFailStop(t *testing.T) {
+	plan := FaultPlan{FailStopAfter: 3}
+	mem := NewMemDriver()
+	fd := NewFaultDriver(mem, plan, 1)
+	buf := make([]byte, 4)
+	for i := 0; i < 3; i++ {
+		if err := fd.WriteAt(buf, int64(i)*4, sim.RawData); err != nil {
+			t.Fatalf("op %d before horizon failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		err := fd.ReadAt(buf, 0, sim.RawData)
+		if !errors.Is(err, ErrFailStop) {
+			t.Fatalf("op after horizon not fail-stop: %v", err)
+		}
+		if !IsRetryable(err) {
+			t.Fatal("fail-stop not retryable (reschedule)")
+		}
+	}
+	if fd.Stats().FailStops != 5 {
+		t.Errorf("fail-stops = %d", fd.Stats().FailStops)
+	}
+}
+
+func TestFaultDriverTornWrite(t *testing.T) {
+	plan := FaultPlan{TornWrite: 1}
+	mem := NewMemDriver()
+	fd := NewFaultDriver(mem, plan, 42)
+	payload := bytes.Repeat([]byte{0xab}, 256)
+	err := fd.WriteAt(payload, 0, sim.RawData)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("torn write error: %v", err)
+	}
+	got := mem.Bytes()
+	if len(got) == 0 || len(got) >= len(payload) {
+		t.Fatalf("torn write landed %d of %d bytes; want a strict non-empty prefix", len(got), len(payload))
+	}
+	for _, b := range got {
+		if b != 0xab {
+			t.Fatal("torn prefix holds wrong bytes")
+		}
+	}
+	if fd.Stats().TornWrites != 1 {
+		t.Errorf("torn writes = %d", fd.Stats().TornWrites)
+	}
+}
+
+func TestFaultDriverCorruptRead(t *testing.T) {
+	mem := NewMemDriverFrom(bytes.Repeat([]byte{0x55}, 128))
+	fd := NewFaultDriver(mem, FaultPlan{CorruptRead: 1}, 3)
+	buf := make([]byte, 128)
+	if err := fd.ReadAt(buf, 0, sim.RawData); err != nil {
+		t.Fatalf("corrupt read errored: %v", err)
+	}
+	flipped := 0
+	for _, b := range buf {
+		if b != 0x55 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("flipped bytes = %d, want 1", flipped)
+	}
+	// The file itself stays pristine: corruption is on the read path.
+	for _, b := range mem.Bytes() {
+		if b != 0x55 {
+			t.Fatal("corrupt read damaged the backing store")
+		}
+	}
+}
+
+// TestFaultComposesWithProfiler wraps the fault layer around a profiled
+// driver: torn-write partial I/O must appear in the op log (failure-path
+// tracing), while fully suppressed ops must not.
+func TestFaultComposesWithProfiler(t *testing.T) {
+	log := &OpLog{}
+	prof := NewProfiledDriver(NewMemDriver(), "f.h5", nil, log)
+	fd := NewFaultDriver(prof, FaultPlan{TornWrite: 1}, 9)
+	if err := fd.WriteAt(make([]byte, 100), 0, sim.RawData); !errors.Is(err, ErrTransient) {
+		t.Fatalf("torn write: %v", err)
+	}
+	if len(log.Ops) != 1 {
+		t.Fatalf("traced ops = %d, want the torn prefix", len(log.Ops))
+	}
+	if op := log.Ops[0]; !op.Write || op.Length <= 0 || op.Length >= 100 {
+		t.Errorf("torn prefix op = %+v", op)
+	}
+	// A transient (suppressed) fault leaves no trace.
+	fd2 := NewFaultDriver(NewProfiledDriver(NewMemDriver(), "g.h5", nil, log), FaultPlan{WriteError: Uniform(1)}, 9)
+	before := len(log.Ops)
+	if err := fd2.WriteAt(make([]byte, 10), 0, sim.RawData); !errors.Is(err, ErrTransient) {
+		t.Fatalf("transient write: %v", err)
+	}
+	if len(log.Ops) != before {
+		t.Error("suppressed op was traced")
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for attempt := 1; attempt <= 3; attempt++ {
+		for session := 1; session <= 3; session++ {
+			for _, task := range []string{"a", "b"} {
+				s := DeriveSeed(1, task, "f.h5", attempt, session)
+				if seen[s] {
+					t.Fatalf("seed collision at %s/%d/%d", task, attempt, session)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if DeriveSeed(1, "a", "f", 1, 1) != DeriveSeed(1, "a", "f", 1, 1) {
+		t.Error("DeriveSeed not stable")
+	}
+	if DeriveSeed(1, "a", "f", 1, 1) == DeriveSeed(2, "a", "f", 1, 1) {
+		t.Error("base seed ignored")
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (FaultPlan{}).Enabled() {
+		t.Error("zero plan enabled")
+	}
+	for _, p := range []FaultPlan{
+		{ReadError: Uniform(0.1)},
+		{WriteError: Rate{Meta: 0.1}},
+		{TornWrite: 0.1},
+		{CorruptRead: 0.1},
+		{FailStopAfter: 5},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v reported disabled", p)
+		}
+	}
+}
+
+func TestMemDriverTypedBounds(t *testing.T) {
+	d := NewMemDriverFrom(make([]byte, 16))
+	if err := d.ReadAt(make([]byte, 8), 12, sim.RawData); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("read past EOF: %v", err)
+	}
+	if err := d.ReadAt(make([]byte, 8), -1, sim.RawData); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("negative read: %v", err)
+	}
+	if err := d.WriteAt(make([]byte, 8), -1, sim.RawData); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("negative write: %v", err)
+	}
+}

@@ -33,11 +33,11 @@ func (d *MemDriver) ReadAt(p []byte, off int64, _ sim.OpClass) error {
 		return ErrClosed
 	}
 	if off < 0 {
-		return fmt.Errorf("vfd: negative read offset %d", off)
+		return fmt.Errorf("vfd: negative read offset %d: %w", off, ErrOutOfBounds)
 	}
 	end := off + int64(len(p))
 	if end > int64(len(d.buf)) {
-		return fmt.Errorf("vfd: read [%d,%d) beyond EOF %d", off, end, len(d.buf))
+		return fmt.Errorf("vfd: read [%d,%d) beyond EOF %d: %w", off, end, len(d.buf), ErrOutOfBounds)
 	}
 	copy(p, d.buf[off:end])
 	return nil
@@ -49,7 +49,7 @@ func (d *MemDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
 		return ErrClosed
 	}
 	if off < 0 {
-		return fmt.Errorf("vfd: negative write offset %d", off)
+		return fmt.Errorf("vfd: negative write offset %d: %w", off, ErrOutOfBounds)
 	}
 	end := off + int64(len(p))
 	if end > int64(len(d.buf)) {

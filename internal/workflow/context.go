@@ -19,11 +19,28 @@ type TaskContext struct {
 	tracer      *tracer.Tracer
 	task        string
 	node        int
+	attempt     int
 	opLog       *vfd.OpLog
 	computeTime time.Duration
 	open        []*hdf5.File
 	openNC      []*netcdf.File
 	openBP      []*adios.File
+	// faultDrivers are this attempt's fault-injection sessions; their
+	// injected latency is billed into the task's virtual I/O time.
+	faultDrivers  []*vfd.FaultDriver
+	faultSessions int
+	// snapshots captures the first-touch state of every file this attempt
+	// opened or created, so a failed attempt rolls the store back to
+	// clean pre-attempt state before a retry (or before partial-failure
+	// aggregation). Only populated on resilient engines.
+	snapshots map[string]*fileSnapshot
+}
+
+// fileSnapshot is pre-attempt file state: the store that was registered
+// (nil if the file did not exist) and a copy of its contents.
+type fileSnapshot struct {
+	store *fileStore
+	data  []byte
 }
 
 // Task returns the executing task's name.
@@ -32,11 +49,115 @@ func (tc *TaskContext) Task() string { return tc.task }
 // Node returns the node the task is scheduled on.
 func (tc *TaskContext) Node() int { return tc.node }
 
+// Attempt returns the 1-based execution attempt (2+ after retries).
+func (tc *TaskContext) Attempt() int {
+	if tc.attempt < 1 {
+		return 1
+	}
+	return tc.attempt
+}
+
 // Compute adds d of synthetic non-I/O work to the task's virtual time.
 func (tc *TaskContext) Compute(d time.Duration) {
 	if d > 0 {
 		tc.computeTime += d
 	}
+}
+
+// noteSnapshot records pre-attempt state for a file at first touch.
+// Caller holds engine.mu.
+func (tc *TaskContext) noteSnapshot(name string, store *fileStore) {
+	if !tc.engine.resilient() {
+		return
+	}
+	if _, ok := tc.snapshots[name]; ok {
+		return
+	}
+	if tc.snapshots == nil {
+		tc.snapshots = map[string]*fileSnapshot{}
+	}
+	snap := &fileSnapshot{store: store}
+	if store != nil {
+		snap.data = store.copyData()
+	}
+	tc.snapshots[name] = snap
+}
+
+// rollback rewinds every file this attempt touched to its pre-attempt
+// snapshot: created files disappear, modified files regain their old
+// contents. Retries therefore start from clean state even after torn
+// writes.
+func (tc *TaskContext) rollback() {
+	if len(tc.snapshots) == 0 {
+		tc.snapshots = nil
+		return
+	}
+	e := tc.engine
+	e.mu.Lock()
+	for name, snap := range tc.snapshots {
+		if snap.store == nil {
+			delete(e.files, name)
+			continue
+		}
+		e.files[name] = snap.store
+		snap.store.restore(snap.data)
+	}
+	e.mu.Unlock()
+	tc.snapshots = nil
+}
+
+// commit discards the attempt's snapshots after success.
+func (tc *TaskContext) commit() { tc.snapshots = nil }
+
+// faultLatency totals the virtual latency injected by this attempt's
+// fault sessions.
+func (tc *TaskContext) faultLatency() time.Duration {
+	var total time.Duration
+	for _, fd := range tc.faultDrivers {
+		total += fd.Stats().InjectedLatency
+	}
+	return total
+}
+
+// newStore registers a fresh store for name, snapshotting whatever it
+// replaces.
+func (tc *TaskContext) newStore(name string) *fileStore {
+	store := &fileStore{name: name}
+	e := tc.engine
+	e.mu.Lock()
+	tc.noteSnapshot(name, e.files[name])
+	e.files[name] = store
+	e.mu.Unlock()
+	return store
+}
+
+// lookupStore resolves an existing store, snapshotting it at first touch.
+func (tc *TaskContext) lookupStore(name string) (*fileStore, error) {
+	e := tc.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	store, ok := e.files[name]
+	if !ok {
+		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	}
+	tc.noteSnapshot(name, store)
+	return store, nil
+}
+
+// wrapDriver builds the task's driver stack for one session on store:
+// a store session, the Data Semantic Mapper's profiling decorator, and
+// (when the engine injects faults) the fault decorator outermost - so
+// the partial I/O of torn writes is traced like any other operation.
+func (tc *TaskContext) wrapDriver(store *fileStore) vfd.Driver {
+	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, store.name, tc.opLog)
+	if fp := tc.engine.faults; fp != nil {
+		tc.faultSessions++
+		seed := vfd.DeriveSeed(fp.Seed, tc.task, store.name, tc.Attempt(), tc.faultSessions)
+		fd := vfd.NewFaultDriver(drv, *fp, seed)
+		tc.faultDrivers = append(tc.faultDrivers, fd)
+		return fd
+	}
+	return drv
 }
 
 // Create creates (or truncates) a file with default format parameters.
@@ -47,26 +168,20 @@ func (tc *TaskContext) Create(name string) (*hdf5.File, error) {
 // CreateWith creates a file with custom format parameters; tracing
 // fields of cfg are overridden by the engine's tracer.
 func (tc *TaskContext) CreateWith(name string, cfg hdf5.Config) (*hdf5.File, error) {
-	store := &fileStore{name: name}
-	tc.engine.mu.Lock()
-	tc.engine.files[name] = store
-	tc.engine.mu.Unlock()
-	return tc.openStore(store, cfg, true)
+	return tc.openStore(tc.newStore(name), cfg, true)
 }
 
 // Open opens an existing file.
 func (tc *TaskContext) Open(name string) (*hdf5.File, error) {
-	tc.engine.mu.Lock()
-	store, ok := tc.engine.files[name]
-	tc.engine.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	store, err := tc.lookupStore(name)
+	if err != nil {
+		return nil, err
 	}
 	return tc.openStore(store, hdf5.Config{}, false)
 }
 
 func (tc *TaskContext) openStore(store *fileStore, cfg hdf5.Config, create bool) (*hdf5.File, error) {
-	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, store.name, tc.opLog)
+	drv := tc.wrapDriver(store)
 	cfg.Mailbox = tc.tracer.Mailbox()
 	cfg.Observer = tc.tracer.VOLObserver()
 	cfg.Task = tc.task
@@ -86,19 +201,19 @@ func (tc *TaskContext) openStore(store *fileStore, cfg hdf5.Config, create bool)
 	return f, nil
 }
 
-// CreateNC creates (or truncates) a netCDF-like file in define mode,
-// traced by the same profilers as the HDF5-like layer.
-func (tc *TaskContext) CreateNC(name string) (*netcdf.File, error) {
-	store := &fileStore{name: name}
-	tc.engine.mu.Lock()
-	tc.engine.files[name] = store
-	tc.engine.mu.Unlock()
-	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
-	f, err := netcdf.Create(drv, name, netcdf.Config{
+func (tc *TaskContext) ncConfig() netcdf.Config {
+	return netcdf.Config{
 		Mailbox:  tc.tracer.Mailbox(),
 		Observer: tc.tracer.VOLObserver(),
 		Task:     tc.task,
-	})
+	}
+}
+
+// CreateNC creates (or truncates) a netCDF-like file in define mode,
+// traced by the same profilers as the HDF5-like layer.
+func (tc *TaskContext) CreateNC(name string) (*netcdf.File, error) {
+	store := tc.newStore(name)
+	f, err := netcdf.Create(tc.wrapDriver(store), name, tc.ncConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -108,18 +223,11 @@ func (tc *TaskContext) CreateNC(name string) (*netcdf.File, error) {
 
 // OpenNC opens an existing netCDF-like file in data mode.
 func (tc *TaskContext) OpenNC(name string) (*netcdf.File, error) {
-	tc.engine.mu.Lock()
-	store, ok := tc.engine.files[name]
-	tc.engine.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	store, err := tc.lookupStore(name)
+	if err != nil {
+		return nil, err
 	}
-	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
-	f, err := netcdf.Open(drv, name, netcdf.Config{
-		Mailbox:  tc.tracer.Mailbox(),
-		Observer: tc.tracer.VOLObserver(),
-		Task:     tc.task,
-	})
+	f, err := netcdf.Open(tc.wrapDriver(store), name, tc.ncConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -127,18 +235,18 @@ func (tc *TaskContext) OpenNC(name string) (*netcdf.File, error) {
 	return f, nil
 }
 
-// CreateBP creates (or truncates) an ADIOS-BP-like log-structured file.
-func (tc *TaskContext) CreateBP(name string) (*adios.File, error) {
-	store := &fileStore{name: name}
-	tc.engine.mu.Lock()
-	tc.engine.files[name] = store
-	tc.engine.mu.Unlock()
-	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
-	f, err := adios.Create(drv, name, adios.Config{
+func (tc *TaskContext) bpConfig() adios.Config {
+	return adios.Config{
 		Mailbox:  tc.tracer.Mailbox(),
 		Observer: tc.tracer.VOLObserver(),
 		Task:     tc.task,
-	})
+	}
+}
+
+// CreateBP creates (or truncates) an ADIOS-BP-like log-structured file.
+func (tc *TaskContext) CreateBP(name string) (*adios.File, error) {
+	store := tc.newStore(name)
+	f, err := adios.Create(tc.wrapDriver(store), name, tc.bpConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -148,18 +256,11 @@ func (tc *TaskContext) CreateBP(name string) (*adios.File, error) {
 
 // OpenBP opens an existing BP-like file for reading.
 func (tc *TaskContext) OpenBP(name string) (*adios.File, error) {
-	tc.engine.mu.Lock()
-	store, ok := tc.engine.files[name]
-	tc.engine.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("workflow: task %q opened missing file %q", tc.task, name)
+	store, err := tc.lookupStore(name)
+	if err != nil {
+		return nil, err
 	}
-	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, name, tc.opLog)
-	f, err := adios.Open(drv, name, adios.Config{
-		Mailbox:  tc.tracer.Mailbox(),
-		Observer: tc.tracer.VOLObserver(),
-		Task:     tc.task,
-	})
+	f, err := adios.Open(tc.wrapDriver(store), name, tc.bpConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -200,4 +301,22 @@ func (tc *TaskContext) closeAll() error {
 	}
 	tc.openBP = nil
 	return nil
+}
+
+// abort closes whatever the failed attempt left open, ignoring errors:
+// the close-path I/O still runs (and is traced), but the attempt's
+// outcome is already decided and its writes are about to roll back.
+func (tc *TaskContext) abort() {
+	for _, f := range tc.open {
+		_ = f.Close()
+	}
+	tc.open = nil
+	for _, f := range tc.openNC {
+		_ = f.Close()
+	}
+	tc.openNC = nil
+	for _, f := range tc.openBP {
+		_ = f.Close()
+	}
+	tc.openBP = nil
 }

@@ -1,6 +1,7 @@
 package workflow
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,11 +32,18 @@ type TaskResult struct {
 	Node    int
 	IO      time.Duration
 	Compute time.Duration
-	Ops     sim.Summary
+	// Backoff is virtual wait accumulated between retry attempts.
+	Backoff time.Duration
+	// Attempts is how many times the task executed (1 without faults).
+	Attempts int
+	// Failed marks a task whose final attempt errored; IO and Ops cover
+	// the work it performed (and was billed for) before giving up.
+	Failed bool
+	Ops    sim.Summary
 }
 
 // Time is the task's total virtual time.
-func (t TaskResult) Time() time.Duration { return t.IO + t.Compute }
+func (t TaskResult) Time() time.Duration { return t.IO + t.Compute + t.Backoff }
 
 // StageResult aggregates one stage (or staging pseudo-stage).
 type StageResult struct {
@@ -94,6 +102,12 @@ type Engine struct {
 	// timing accumulates Data Semantic Mapper component times across
 	// all task tracers of a run.
 	timing tracer.ComponentTimes
+	// faults, when non-nil, wraps every task file session in a seeded
+	// vfd.FaultDriver (SetFaults).
+	faults *vfd.FaultPlan
+	// retry, when non-nil, re-executes failed tasks from a rolled-back
+	// snapshot (SetRetry).
+	retry *RetryPolicy
 }
 
 // NewEngine builds an engine. plan may be nil (baseline execution:
@@ -131,14 +145,19 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 			res.Stages = append(res.Stages, e.transferStage("stage-in:"+stage.Name, files, false))
 		}
 		sr, drain, err := e.runStage(stage, res)
-		if err != nil {
-			return nil, err
-		}
 		res.Stages = append(res.Stages, sr)
 		if drain > 0 {
 			res.Stages = append(res.Stages, StageResult{
 				Name: "async-drain:" + stage.Name, Time: drain, Async: true,
 			})
+		}
+		if err != nil {
+			// Partial failure: downstream stages cannot trust this stage's
+			// outputs, so execution stops here - but the result still
+			// carries every trace, op log and task timing recorded so far,
+			// including the failed tasks' own observations.
+			res.TracerTimes = e.timing
+			return res, fmt.Errorf("workflow: stage %q: %w", stage.Name, err)
 		}
 		if files := stageFiles(e.plan, stage.Name, false); len(files) > 0 {
 			async := e.plan != nil && e.plan.AsyncStageOut
@@ -166,8 +185,11 @@ func (e *Engine) transferStage(name string, files []string, async bool) StageRes
 	perNode := map[int]time.Duration{}
 	for _, f := range files {
 		pl := e.plan.placementOf(f)
+		e.mu.Lock()
+		st, ok := e.files[f]
+		e.mu.Unlock()
 		var size int64
-		if st, ok := e.files[f]; ok {
+		if ok {
 			size = st.Size()
 		}
 		perNode[pl.Node] += net.TransferCost(size)
@@ -194,46 +216,87 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 		trace   *trace.TaskTrace
 		timing  tracer.ComponentTimes
 		err     error
+		// Resilience bookkeeping.
+		attempts     int
+		backoff      time.Duration
+		faultLatency time.Duration
 	}
 	runs := make([]taskRun, len(stage.Tasks))
 
+	// exec runs one task to success or final failure. Each attempt gets a
+	// fresh tracer and TaskContext; a failed attempt closes its files
+	// (traced failure-path I/O), rolls the store back to the pre-attempt
+	// snapshot, and - if the error is retryable and attempts remain -
+	// re-executes after a virtual backoff, optionally on a different node.
+	// All I/O the task actually issued, including failed attempts', is
+	// kept for billing: retries are not free.
 	exec := func(i int) {
 		task := stage.Tasks[i]
-		node := i % e.cluster.Nodes
+		base := i % e.cluster.Nodes
 		if e.plan != nil {
 			if n, ok := e.plan.NodeOf[task.Name]; ok {
-				node = n
+				base = n
 			}
 		}
-		tr := tracer.New(e.tcfg)
-		tr.BeginTask(task.Name)
-		tc := &TaskContext{engine: e, tracer: tr, task: task.Name, node: node, opLog: &vfd.OpLog{}}
-		if err := task.Fn(tc); err != nil {
-			runs[i] = taskRun{err: fmt.Errorf("workflow: task %q: %w", task.Name, err)}
-			return
-		}
-		if err := tc.closeAll(); err != nil {
-			runs[i] = taskRun{err: fmt.Errorf("workflow: task %q: %w", task.Name, err)}
-			return
-		}
-		byFile := map[string][]sim.Op{}
-		for _, op := range tc.opLog.Ops {
-			byFile[op.File] = append(byFile[op.File], op.SimOp())
-		}
-		compute := task.Compute + tc.computeTime
-		if task.ComputePerByte > 0 {
-			var dataBytes int64
-			for _, ops := range byFile {
-				for _, op := range ops {
-					if op.Class == sim.RawData {
-						dataBytes += op.Bytes
+		maxAttempts := e.retry.attempts()
+		excluded := map[int]bool{}
+		node := base
+		allOps := map[string][]sim.Op{}
+		var backoff, faultLat time.Duration
+		for attempt := 1; ; attempt++ {
+			tr := tracer.New(e.tcfg)
+			tr.BeginTask(task.Name)
+			tc := &TaskContext{engine: e, tracer: tr, task: task.Name,
+				node: node, attempt: attempt, opLog: &vfd.OpLog{}}
+			err := task.Fn(tc)
+			if err == nil {
+				err = tc.closeAll()
+			}
+			if err != nil {
+				tc.abort()
+			}
+			byFile := map[string][]sim.Op{}
+			for _, op := range tc.opLog.Ops {
+				byFile[op.File] = append(byFile[op.File], op.SimOp())
+			}
+			for f, ops := range byFile {
+				allOps[f] = append(allOps[f], ops...)
+			}
+			faultLat += tc.faultLatency()
+			if err != nil {
+				tc.rollback()
+				excluded[node] = true
+				if attempt < maxAttempts && e.retry.retryable(err) {
+					backoff += e.retry.backoffFor(attempt)
+					if e.retry.Reschedule {
+						node = rescheduleNode(base, excluded, e.cluster.Nodes)
+					}
+					continue
+				}
+				runs[i] = taskRun{task: task, node: node, ops: allOps,
+					compute: tc.computeTime, trace: tr.EndTask(), timing: tr.Timing(),
+					attempts: attempt, backoff: backoff, faultLatency: faultLat,
+					err: fmt.Errorf("workflow: task %q: %w", task.Name, err)}
+				return
+			}
+			tc.commit()
+			compute := task.Compute + tc.computeTime
+			if task.ComputePerByte > 0 {
+				var dataBytes int64
+				for _, ops := range byFile {
+					for _, op := range ops {
+						if op.Class == sim.RawData {
+							dataBytes += op.Bytes
+						}
 					}
 				}
+				compute += time.Duration(task.ComputePerByte * float64(dataBytes))
 			}
-			compute += time.Duration(task.ComputePerByte * float64(dataBytes))
+			runs[i] = taskRun{task: task, node: node, ops: allOps, compute: compute,
+				trace: tr.EndTask(), timing: tr.Timing(),
+				attempts: attempt, backoff: backoff, faultLatency: faultLat}
+			return
 		}
-		runs[i] = taskRun{task: task, node: node, ops: byFile, compute: compute,
-			trace: tr.EndTask(), timing: tr.Timing()}
 	}
 	if e.cluster.Parallel {
 		var wg sync.WaitGroup
@@ -250,15 +313,24 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 			exec(i)
 		}
 	}
+	// Partial-failure aggregation: every task that ran - failed or not -
+	// contributes its trace, op log and component timing; task errors are
+	// joined into one stage error instead of discarding the stage.
+	var errs []error
 	for i := range runs {
-		if runs[i].err != nil {
-			return StageResult{}, 0, runs[i].err
+		r := &runs[i]
+		if r.trace != nil {
+			r.trace.Attempts = r.attempts
+			r.trace.Failed = r.err != nil
+			res.Traces = append(res.Traces, r.trace)
 		}
-		res.Traces = append(res.Traces, runs[i].trace)
-		res.OpsByTask[runs[i].task.Name] = runs[i].ops
-		e.timing.InputParser += runs[i].timing.InputParser
-		e.timing.AccessTracker += runs[i].timing.AccessTracker
-		e.timing.CharacteristicMapper += runs[i].timing.CharacteristicMapper
+		res.OpsByTask[r.task.Name] = r.ops
+		e.timing.InputParser += r.timing.InputParser
+		e.timing.AccessTracker += r.timing.AccessTracker
+		e.timing.CharacteristicMapper += r.timing.CharacteristicMapper
+		if r.err != nil {
+			errs = append(errs, r.err)
+		}
 	}
 
 	// Device contention: count stage tasks touching each device instance.
@@ -290,7 +362,7 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 			all = append(all, ops...)
 			cost, drain, err := e.ioCost(file, r.node, ops, accessors)
 			if err != nil {
-				return StageResult{}, 0, err
+				return sr, 0, err
 			}
 			io += cost
 			taskDrain += drain
@@ -300,7 +372,8 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 		}
 		tres := TaskResult{
 			Name: r.task.Name, Stage: stage.Name, Node: r.node,
-			IO: io, Compute: r.compute, Ops: sim.Summarize(all),
+			IO: io + r.faultLatency, Compute: r.compute, Backoff: r.backoff,
+			Attempts: r.attempts, Failed: r.err != nil, Ops: sim.Summarize(all),
 		}
 		sr.Tasks = append(sr.Tasks, tres)
 		if tres.Time() > maxTime {
@@ -314,7 +387,9 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 		waves = 1
 	}
 	sr.Time = maxTime * time.Duration(waves)
-	// Accesses this stage warm the memory buffer for cached files.
+	// Accesses this stage warm the memory buffer for cached files (under
+	// e.mu: warm is engine state shared with ioCost).
+	e.mu.Lock()
 	for _, r := range runs {
 		for file := range r.ops {
 			if e.plan.cached(file) {
@@ -322,7 +397,8 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 			}
 		}
 	}
-	return sr, maxDrain, nil
+	e.mu.Unlock()
+	return sr, maxDrain, errors.Join(errs...)
 }
 
 // instanceKey identifies the contended device instance a file access
@@ -365,8 +441,11 @@ func (e *Engine) ioCost(file string, taskNode int, ops []sim.Op, accessors map[s
 		drain = sim.Replay(async, dev, accessors[key])
 	}
 
+	e.mu.Lock()
+	warm := e.warm[file]
+	e.mu.Unlock()
 	devOps := critical
-	if e.plan.cached(file) && e.warm[file] {
+	if e.plan.cached(file) && warm {
 		devOps = devOps[:0:0]
 		var cachedReads []sim.Op
 		for _, op := range critical {
@@ -417,7 +496,9 @@ func (e *Engine) Preload(name string, cfg hdf5.Config, build func(*hdf5.File) er
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("workflow: preload %s: %w", name, err)
 	}
+	e.mu.Lock()
 	e.files[name] = store
+	e.mu.Unlock()
 	return nil
 }
 

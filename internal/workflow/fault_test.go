@@ -1,0 +1,340 @@
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+	"dayu/internal/vfd"
+)
+
+func newTestEngine(t *testing.T, nodes int, parallel bool) *Engine {
+	t.Helper()
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: nodes, Parallel: parallel}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// writerTask writes payload bytes into file as one dataset.
+func writerTask(name, file string, payload int) Task {
+	return Task{Name: name, Fn: func(tc *TaskContext) error {
+		f, err := tc.Create(file)
+		if err != nil {
+			return err
+		}
+		ds, err := f.Root().CreateDataset("d", hdf5.Uint8, []int64{int64(payload)}, nil)
+		if err != nil {
+			return err
+		}
+		if err := ds.WriteAll(make([]byte, payload)); err != nil {
+			return err
+		}
+		return f.Close()
+	}}
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	eng := newTestEngine(t, 1, false)
+	eng.SetRetry(&RetryPolicy{MaxAttempts: 5, Backoff: 100 * time.Millisecond})
+	spec := Spec{Name: "flaky", Stages: []Stage{{Name: "s", Tasks: []Task{{
+		Name: "flaky",
+		Fn: func(tc *TaskContext) error {
+			if tc.Attempt() < 3 {
+				return fmt.Errorf("spurious storage error: %w", vfd.ErrTransient)
+			}
+			f, err := tc.Create("out.h5")
+			if err != nil {
+				return err
+			}
+			return f.Close()
+		},
+	}}}}}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	tr := res.Stages[0].Tasks[0]
+	if tr.Attempts != 3 || tr.Failed {
+		t.Errorf("task result attempts=%d failed=%v, want 3 attempts, not failed", tr.Attempts, tr.Failed)
+	}
+	// Exponential backoff billed into virtual time: 100ms + 200ms.
+	if want := 300 * time.Millisecond; tr.Backoff != want {
+		t.Errorf("backoff = %v, want %v", tr.Backoff, want)
+	}
+	if tr.Time() < tr.Backoff {
+		t.Error("backoff not billed into task time")
+	}
+	if len(res.Traces) != 1 || res.Traces[0].Attempts != 3 || res.Traces[0].Failed {
+		t.Errorf("trace attempts/failed not recorded: %+v", res.Traces[0])
+	}
+	if eng.FileSize("out.h5") == 0 {
+		t.Error("recovered task left no output")
+	}
+}
+
+// TestPartialFailureJoinsErrors: with faults but no retry policy, a
+// doomed task fails while an I/O-free task completes; the run reports a
+// joined error that still carries traces and results for every task.
+func TestPartialFailureJoinsErrors(t *testing.T) {
+	eng := newTestEngine(t, 1, false)
+	eng.SetFaults(&vfd.FaultPlan{Seed: 1, WriteError: vfd.Uniform(1)}) // every write fails
+	computeRan := false
+	spec := Spec{Name: "partial", Stages: []Stage{
+		{Name: "mixed", Tasks: []Task{
+			writerTask("doomed", "never.h5", 256),
+			{Name: "survivor", Fn: func(tc *TaskContext) error {
+				computeRan = true
+				tc.Compute(time.Second)
+				return nil
+			}},
+		}},
+		{Name: "downstream", Tasks: []Task{{Name: "never-runs", Fn: func(tc *TaskContext) error {
+			t.Error("downstream stage ran after failed stage")
+			return nil
+		}}}},
+	}}
+	res, err := eng.Run(spec)
+	if err == nil {
+		t.Fatal("run succeeded despite certain write faults")
+	}
+	if !errors.Is(err, vfd.ErrTransient) {
+		t.Errorf("joined error lost the fault type: %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial failure returned no result")
+	}
+	if !computeRan {
+		t.Error("surviving task did not run")
+	}
+	st := res.Stages[0]
+	if len(st.Tasks) != 2 {
+		t.Fatalf("failed stage carries %d task results, want 2", len(st.Tasks))
+	}
+	byName := map[string]TaskResult{}
+	for _, tr := range st.Tasks {
+		byName[tr.Name] = tr
+	}
+	if !byName["doomed"].Failed || byName["survivor"].Failed {
+		t.Errorf("failure flags wrong: %+v", byName)
+	}
+	if byName["survivor"].Compute != time.Second {
+		t.Errorf("survivor compute = %v", byName["survivor"].Compute)
+	}
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d, want both tasks", len(res.Traces))
+	}
+	foundFailed := false
+	for _, tr := range res.Traces {
+		if tr.Failed {
+			foundFailed = true
+		}
+	}
+	if !foundFailed {
+		t.Error("no trace marked failed")
+	}
+	// The doomed task never completed a file, and downstream never ran.
+	if eng.FileSize("never.h5") != 0 {
+		t.Error("failed task's file survived rollback")
+	}
+	if got := res.StageTime("downstream"); got != 0 {
+		t.Errorf("downstream stage has time %v", got)
+	}
+}
+
+// TestRollbackRestoresPriorContents: a failed attempt that overwrote an
+// existing file must restore the pre-attempt bytes, and a file the
+// attempt created must disappear.
+func TestRollbackRestoresPriorContents(t *testing.T) {
+	eng := newTestEngine(t, 1, false)
+	eng.SetRetry(&RetryPolicy{MaxAttempts: 1}) // resilient, but no retries
+	if _, err := eng.Run(Spec{Name: "seed", Stages: []Stage{{Name: "s1", Tasks: []Task{
+		writerTask("producer", "keep.h5", 512),
+	}}}}); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := eng.FileSize("keep.h5")
+	boom := errors.New("logic bug")
+	_, err := eng.Run(Spec{Name: "clobber", Stages: []Stage{{Name: "s2", Tasks: []Task{{
+		Name: "clobberer",
+		Fn: func(tc *TaskContext) error {
+			// Recreate truncates keep.h5 and creates a new scratch file,
+			// then the task dies: both must roll back.
+			f, err := tc.Create("keep.h5")
+			if err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			g, err := tc.Create("scratch.h5")
+			if err != nil {
+				return err
+			}
+			if err := g.Close(); err != nil {
+				return err
+			}
+			return boom
+		},
+	}}}}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := eng.FileSize("keep.h5"); got != sizeBefore {
+		t.Errorf("keep.h5 = %d bytes after rollback, want %d", got, sizeBefore)
+	}
+	if eng.FileSize("scratch.h5") != 0 {
+		t.Error("scratch.h5 survived rollback")
+	}
+	names := eng.FileNames()
+	if len(names) != 1 || names[0] != "keep.h5" {
+		t.Errorf("files after rollback: %v", names)
+	}
+}
+
+func TestRescheduleMovesRetryToAnotherNode(t *testing.T) {
+	eng := newTestEngine(t, 3, false)
+	eng.SetRetry(&RetryPolicy{MaxAttempts: 3, Reschedule: true})
+	var nodes []int
+	spec := Spec{Name: "move", Stages: []Stage{{Name: "s", Tasks: []Task{{
+		Name: "mover",
+		Fn: func(tc *TaskContext) error {
+			nodes = append(nodes, tc.Node())
+			if tc.Attempt() == 1 {
+				return fmt.Errorf("node is sick: %w", vfd.ErrFailStop)
+			}
+			return nil
+		},
+	}}}}}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(nodes))
+	}
+	if nodes[0] == nodes[1] {
+		t.Errorf("retry stayed on failed node %d", nodes[0])
+	}
+	if got := res.Stages[0].Tasks[0].Node; got != nodes[1] {
+		t.Errorf("result node = %d, want final node %d", got, nodes[1])
+	}
+}
+
+// TestNonRetryableErrorFailsFast: the classifier gates retries, so a
+// plain logic error consumes exactly one attempt.
+func TestNonRetryableErrorFailsFast(t *testing.T) {
+	eng := newTestEngine(t, 1, false)
+	eng.SetRetry(&RetryPolicy{MaxAttempts: 5})
+	attempts := 0
+	boom := errors.New("deterministic bug")
+	_, err := eng.Run(Spec{Name: "bug", Stages: []Stage{{Name: "s", Tasks: []Task{{
+		Name: "buggy",
+		Fn: func(tc *TaskContext) error {
+			attempts++
+			return boom
+		},
+	}}}}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error lost: %v", err)
+	}
+	if attempts != 1 {
+		t.Errorf("non-retryable error retried %d times", attempts)
+	}
+}
+
+// faultedSpec is a three-task parallel stage with real file I/O for the
+// determinism and race tests.
+func faultedSpec() Spec {
+	return Spec{Name: "faulted", Stages: []Stage{
+		{Name: "write", Tasks: []Task{
+			writerTask("w0", "f0.h5", 1024),
+			writerTask("w1", "f1.h5", 2048),
+			writerTask("w2", "f2.h5", 4096),
+		}},
+		{Name: "read", Tasks: []Task{{
+			Name: "reader",
+			Fn: func(tc *TaskContext) error {
+				for _, name := range []string{"f0.h5", "f1.h5", "f2.h5"} {
+					f, err := tc.Open(name)
+					if err != nil {
+						return err
+					}
+					ds, err := f.OpenDatasetPath("/d")
+					if err != nil {
+						return err
+					}
+					if _, err := ds.ReadAll(); err != nil {
+						return err
+					}
+					if err := f.Close(); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}}},
+	}}
+}
+
+func resilientRun(t *testing.T, parallel bool) *Result {
+	t.Helper()
+	eng := newTestEngine(t, 2, parallel)
+	eng.SetFaults(&vfd.FaultPlan{
+		Seed:       11,
+		ReadError:  vfd.Uniform(0.05),
+		WriteError: vfd.Uniform(0.05),
+		TornWrite:  0.02,
+		Latency:    time.Millisecond,
+	})
+	eng.SetRetry(&RetryPolicy{MaxAttempts: 10, Backoff: 10 * time.Millisecond, Reschedule: true})
+	res, err := eng.Run(faultedSpec())
+	if err != nil {
+		t.Fatalf("fault-injected run failed despite retries: %v", err)
+	}
+	return res
+}
+
+// TestFaultInjectionDeterministic: same seed, same workflow - identical
+// virtual time and identical per-task attempt counts, run after run.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	a := resilientRun(t, false)
+	b := resilientRun(t, false)
+	if a.Total() != b.Total() {
+		t.Errorf("totals diverged: %v vs %v", a.Total(), b.Total())
+	}
+	attempts := func(r *Result) map[string]int {
+		m := map[string]int{}
+		for _, tr := range r.Traces {
+			m[tr.Task] = tr.Attempts
+		}
+		return m
+	}
+	am, bm := attempts(a), attempts(b)
+	total := 0
+	for task, n := range am {
+		if bm[task] != n {
+			t.Errorf("task %q attempts diverged: %d vs %d", task, n, bm[task])
+		}
+		total += n
+	}
+	if total <= len(am) {
+		t.Errorf("no retries happened (total attempts %d over %d tasks); fault plan too weak for the test", total, len(am))
+	}
+}
+
+// TestParallelFaultInjection exercises concurrent retries, rollbacks and
+// store access under -race, and checks parallel execution preserves the
+// sequential run's virtual timing.
+func TestParallelFaultInjection(t *testing.T) {
+	seq := resilientRun(t, false)
+	par := resilientRun(t, true)
+	if seq.Total() != par.Total() {
+		t.Errorf("parallel total %v != sequential %v", par.Total(), seq.Total())
+	}
+}

@@ -1,0 +1,103 @@
+package workflow
+
+// This file holds the self-healing execution surface: fault injection
+// hooks and the retry / rescheduling policy the engine applies per task
+// attempt. Real distributed workflow deployments see transient storage
+// errors, slow or dead nodes and torn writes; instead of dying on the
+// first error (and discarding every completed task's trace), the engine
+// can retry failed tasks from a clean snapshot, move them to another
+// node, and aggregate whatever still fails into a joined partial-failure
+// error that preserves all traces and results.
+
+import (
+	"math"
+	"time"
+
+	"dayu/internal/vfd"
+)
+
+// RetryPolicy controls per-task retry behavior. The zero value (or a
+// nil policy) means fail-fast: one attempt, no backoff.
+type RetryPolicy struct {
+	// MaxAttempts bounds total executions of a task (first try included).
+	// Values below 1 mean 1.
+	MaxAttempts int
+	// Backoff is the virtual-time wait before the second attempt; attempt
+	// n waits Backoff * Multiplier^(n-2). Backoff is billed into the
+	// task's simulated time, not slept on the host.
+	Backoff time.Duration
+	// Multiplier is the exponential backoff base (default 2).
+	Multiplier float64
+	// Reschedule moves retried tasks to a different node, excluding nodes
+	// the task already failed on, modeling fail-over away from a sick
+	// host. With every node excluded the task returns to its first node.
+	Reschedule bool
+	// Retryable classifies errors worth retrying; nil uses vfd.IsRetryable
+	// (transient faults and fail-stop devices retry; corruption and
+	// logic errors fail immediately).
+	Retryable func(error) bool
+}
+
+// attempts returns the effective attempt budget.
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// retryable applies the policy's classifier.
+func (p *RetryPolicy) retryable(err error) bool {
+	if p == nil {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return vfd.IsRetryable(err)
+}
+
+// backoffFor returns the virtual wait charged before retrying after the
+// given failed attempt (1-based).
+func (p *RetryPolicy) backoffFor(attempt int) time.Duration {
+	if p == nil || p.Backoff <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	return time.Duration(float64(p.Backoff) * math.Pow(mult, float64(attempt-1)))
+}
+
+// rescheduleNode picks the retry node: the nearest node after base not
+// yet excluded, or base when every node has failed the task.
+func rescheduleNode(base int, excluded map[int]bool, nodes int) int {
+	for d := 1; d <= nodes; d++ {
+		n := (base + d) % nodes
+		if !excluded[n] {
+			return n
+		}
+	}
+	return base
+}
+
+// SetRetry installs the per-task retry policy for subsequent Runs. A nil
+// policy restores fail-fast execution.
+func (e *Engine) SetRetry(p *RetryPolicy) { e.retry = p }
+
+// SetFaults installs a deterministic fault-injection plan: every file
+// session a task opens is wrapped in a vfd.FaultDriver seeded from the
+// plan's base seed and the session identity (task, file, attempt,
+// session index), so runs are reproducible even with parallel stages. A
+// nil plan (or one with no fault knobs set) disables injection.
+func (e *Engine) SetFaults(p *vfd.FaultPlan) {
+	if p != nil && !p.Enabled() {
+		p = nil
+	}
+	e.faults = p
+}
+
+// resilient reports whether attempts need snapshot/rollback protection:
+// any engine that may retry or fault must be able to rewind file state.
+func (e *Engine) resilient() bool { return e.retry != nil || e.faults != nil }

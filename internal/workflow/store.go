@@ -3,6 +3,7 @@ package workflow
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dayu/internal/sim"
 	"dayu/internal/vfd"
@@ -25,35 +26,52 @@ func (s *fileStore) Size() int64 {
 	return int64(len(s.data))
 }
 
+// copyData snapshots the current contents.
+func (s *fileStore) copyData() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]byte(nil), s.data...)
+}
+
+// restore replaces the contents, taking ownership of data. Retry
+// rollback uses it to rewind a store to its pre-attempt snapshot.
+func (s *fileStore) restore(data []byte) {
+	s.mu.Lock()
+	s.data = data
+	s.mu.Unlock()
+}
+
 // storeDriver is one open session on a fileStore, implementing
-// vfd.Driver.
+// vfd.Driver. closed is atomic: a parallel stage may close one session
+// while another goroutine's session touches the same store.
 type storeDriver struct {
 	store  *fileStore
-	closed bool
+	closed atomic.Bool
 }
 
 func (d *storeDriver) ReadAt(p []byte, off int64, _ sim.OpClass) error {
-	if d.closed {
+	if d.closed.Load() {
 		return vfd.ErrClosed
 	}
 	d.store.mu.RLock()
 	defer d.store.mu.RUnlock()
 	if off < 0 || off+int64(len(p)) > int64(len(d.store.data)) {
-		return fmt.Errorf("workflow: read [%d,%d) beyond EOF %d of %s",
-			off, off+int64(len(p)), len(d.store.data), d.store.name)
+		return fmt.Errorf("workflow: read [%d,%d) beyond EOF %d of %s: %w",
+			off, off+int64(len(p)), len(d.store.data), d.store.name, vfd.ErrOutOfBounds)
 	}
 	copy(p, d.store.data[off:])
 	return nil
 }
 
 func (d *storeDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
-	if d.closed {
+	if d.closed.Load() {
 		return vfd.ErrClosed
 	}
 	d.store.mu.Lock()
 	defer d.store.mu.Unlock()
 	if off < 0 {
-		return fmt.Errorf("workflow: negative write offset %d in %s", off, d.store.name)
+		return fmt.Errorf("workflow: negative write offset %d in %s: %w",
+			off, d.store.name, vfd.ErrOutOfBounds)
 	}
 	end := off + int64(len(p))
 	for int64(len(d.store.data)) < end {
@@ -66,13 +84,13 @@ func (d *storeDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
 func (d *storeDriver) EOF() int64 { return d.store.Size() }
 
 func (d *storeDriver) Truncate(size int64) error {
-	if d.closed {
+	if d.closed.Load() {
 		return vfd.ErrClosed
 	}
 	d.store.mu.Lock()
 	defer d.store.mu.Unlock()
 	if size < 0 {
-		return fmt.Errorf("workflow: negative truncate of %s", d.store.name)
+		return fmt.Errorf("workflow: negative truncate of %s: %w", d.store.name, vfd.ErrOutOfBounds)
 	}
 	if size <= int64(len(d.store.data)) {
 		d.store.data = d.store.data[:size]
@@ -83,6 +101,6 @@ func (d *storeDriver) Truncate(size int64) error {
 }
 
 func (d *storeDriver) Close() error {
-	d.closed = true
+	d.closed.Store(true)
 	return nil
 }
