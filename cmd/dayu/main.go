@@ -29,6 +29,19 @@
 //	    Execute a workload under deterministic fault injection and report
 //	    per-task attempts, failures and the virtual-time cost of
 //	    self-healing.
+//
+//	dayu bench [-quick] [-reps n] [-json] [-o BENCH_1.json]
+//	           [-validate file]
+//	    Run the overhead bench suite (h5bench + corner-case kernels,
+//	    tracer on/off; PyFLEXTRKR/DDMD/ARLDM end to end) and print a
+//	    summary or write the machine-readable BENCH_*.json record.
+//	    -validate checks an existing record against the schema instead.
+//
+//	dayu metrics -workflow <name> [-machine m] [-nodes n] [-json]
+//	    Execute a workload replica with the observability layer attached
+//	    and emit the metrics registry in Prometheus text format (default)
+//	    or JSON (-json): engine stage/task spans on the virtual-time
+//	    axis, retry/rollback counters, per-driver VFD op histograms.
 package main
 
 import (
@@ -42,6 +55,7 @@ import (
 	"dayu/internal/analyzer"
 	"dayu/internal/diagnose"
 	"dayu/internal/graph"
+	"dayu/internal/obs"
 	"dayu/internal/optimizer"
 	"dayu/internal/report"
 	"dayu/internal/sim"
@@ -72,6 +86,10 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "faults":
 		err = cmdFaults(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -86,13 +104,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics> [flags]
   run       execute a workload replica with tracing on the simulated cluster
   analyze   build FTG/SDG graphs from saved traces
   diagnose  detect I/O observations and print optimization guidelines
   plan      derive a data-locality optimization plan from traces
   report    render a Markdown optimization report from traces
-  faults    execute a workload under deterministic fault injection with retry`)
+  faults    execute a workload under deterministic fault injection with retry
+  bench     run the overhead bench suite; -json writes BENCH_*.json
+  metrics   run a workload with the obs layer on and dump its metrics`)
 }
 
 func loadWorkload(name string) (workflow.Spec, func(*workflow.Engine) error, error) {
@@ -206,10 +226,14 @@ func cmdAnalyze(args []string) error {
 		g = analyzer.BuildFTG(traces, m)
 	}
 	if *byStage {
-		g = analyzer.AggregateByStage(g, m)
+		if g, err = analyzer.AggregateByStage(g, m); err != nil {
+			return err
+		}
 	}
 	if *collapse > 0 {
-		g = analyzer.CollapseDatasets(g, *collapse)
+		if g, err = analyzer.CollapseDatasets(g, *collapse); err != nil {
+			return err
+		}
 	}
 	buildTime := time.Since(start)
 
@@ -398,6 +422,93 @@ func cmdFaults(args []string) error {
 	if runErr != nil {
 		return fmt.Errorf("workflow completed partially: %w", runErr)
 	}
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "shrink volumes for a CI smoke run")
+	reps := fs.Int("reps", 3, "repetitions per timed kernel (fastest wins)")
+	asJSON := fs.Bool("json", false, "write the machine-readable BENCH record")
+	out := fs.String("o", "BENCH_1.json", "output path for -json")
+	validate := fs.String("validate", "", "validate an existing BENCH_*.json and exit")
+	fs.Parse(args)
+
+	if *validate != "" {
+		if _, err := workloads.LoadBenchJSON(*validate); err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s record\n", *validate, workloads.BenchSchema)
+		return nil
+	}
+
+	res, err := workloads.RunBenchSuite(workloads.BenchSuiteConfig{Quick: *quick, Reps: *reps})
+	if err != nil {
+		return err
+	}
+	for _, k := range res.Kernels {
+		fmt.Printf("kernel %-12s untraced %-12s traced %-12s tracer %.2f%%  obs-disabled %.2f%%  obs-on %.2f%%\n",
+			k.Name,
+			units.Duration(time.Duration(k.UntracedNS)),
+			units.Duration(time.Duration(k.TracedNS)),
+			k.TracerOverheadPct, k.DisabledObsOverheadPct, k.InstrumentationOverheadPct)
+	}
+	for _, w := range res.Workflows {
+		fmt.Printf("workflow %-12s %d stages, %d tasks  virtual %-12s wall %-12s tracer %.2f%%\n",
+			w.Name, w.Stages, w.Tasks,
+			units.Duration(time.Duration(w.VirtualNS)),
+			units.Duration(time.Duration(w.WallTracedNS)), w.TracerOverheadPct)
+	}
+	if *asJSON {
+		if err := res.Validate(); err != nil {
+			return err
+		}
+		if err := res.WriteJSON(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	name := fs.String("workflow", "pyflextrkr", "workload replica to run")
+	machine := fs.String("machine", "cpu-cluster", "simulated machine (cpu-cluster, gpu-cluster)")
+	nodes := fs.Int("nodes", 2, "cluster node count")
+	parallel := fs.Bool("parallel", false, "execute stage tasks on goroutines")
+	asJSON := fs.Bool("json", false, "emit the registry as JSON instead of Prometheus text")
+	fs.Parse(args)
+
+	m, err := sim.MachineByName(*machine)
+	if err != nil {
+		return err
+	}
+	spec, setup, err := loadWorkload(*name)
+	if err != nil {
+		return err
+	}
+	eng, err := workflow.NewEngine(workflow.Cluster{Machine: m, Nodes: *nodes, Parallel: *parallel}, nil, tracer.Config{})
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	eng.SetMetrics(reg)
+	if err := setup(eng); err != nil {
+		return err
+	}
+	if _, err := eng.Run(spec); err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := reg.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Print(reg.PrometheusText())
 	return nil
 }
 

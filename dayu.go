@@ -215,19 +215,19 @@ func MergeTraces(task string, parts []*TaskTrace) *TaskTrace {
 
 // AggregateByStage merges task nodes into stage nodes (resolution
 // adjustment).
-func AggregateByStage(g *Graph, m *Manifest) *Graph {
+func AggregateByStage(g *Graph, m *Manifest) (*Graph, error) {
 	return analyzer.AggregateByStage(g, m)
 }
 
 // CollapseDatasets merges the datasets of files holding more than
 // maxPerFile into one aggregated node per file.
-func CollapseDatasets(g *Graph, maxPerFile int) *Graph {
+func CollapseDatasets(g *Graph, maxPerFile int) (*Graph, error) {
 	return analyzer.CollapseDatasets(g, maxPerFile)
 }
 
 // AggregateByTime merges task nodes whose activity starts within the
 // same window (resolution adjustment along the time dimension).
-func AggregateByTime(g *Graph, windowNS int64) *Graph {
+func AggregateByTime(g *Graph, windowNS int64) (*Graph, error) {
 	return analyzer.AggregateByTime(g, windowNS)
 }
 

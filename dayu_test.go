@@ -94,8 +94,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if !strings.Contains(sdg.HTML(), "field") {
 		t.Error("SDG HTML missing dataset")
 	}
-	if AggregateByStage(ftg, m2) == nil || CollapseDatasets(sdg, 100) == nil {
-		t.Error("aggregation helpers failed")
+	if agg, err := AggregateByStage(ftg, m2); err != nil || agg == nil {
+		t.Errorf("AggregateByStage failed: %v", err)
+	}
+	if col, err := CollapseDatasets(sdg, 100); err != nil || col == nil {
+		t.Errorf("CollapseDatasets failed: %v", err)
 	}
 
 	// Diagnostics + plan.

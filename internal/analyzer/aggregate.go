@@ -13,9 +13,10 @@ import (
 
 // AggregateByStage merges every task node belonging to a manifest stage
 // into one stage node, re-targeting edges and summing their statistics.
-func AggregateByStage(g *graph.Graph, m *trace.Manifest) *graph.Graph {
+// The input graph is returned unchanged when there is nothing to do.
+func AggregateByStage(g *graph.Graph, m *trace.Manifest) (*graph.Graph, error) {
 	if m == nil || len(m.Stages) == 0 {
-		return g
+		return g, nil
 	}
 	taskStage := map[string]string{}
 	for stage, tasks := range m.Stages {
@@ -70,17 +71,18 @@ func AggregateByStage(g *graph.Graph, m *trace.Manifest) *graph.Graph {
 	}
 	for _, k := range order {
 		if _, err := out.AddEdge(*merged[k]); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("analyzer: aggregate by stage: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CollapseDatasets replaces the dataset nodes of any file having more
 // than maxPerFile with a single aggregated node per file, preserving
 // total statistics. This is the space-dimension grouping for files with
 // very many small datasets (like PyFLEXTRKR stage 9).
-func CollapseDatasets(g *graph.Graph, maxPerFile int) *graph.Graph {
+// The input graph is returned unchanged when no file crosses the limit.
+func CollapseDatasets(g *graph.Graph, maxPerFile int) (*graph.Graph, error) {
 	// Count dataset nodes per file via their map edges.
 	fileOf := map[string]string{}
 	perFile := map[string][]string{}
@@ -110,7 +112,7 @@ func CollapseDatasets(g *graph.Graph, maxPerFile int) *graph.Graph {
 		}
 	}
 	if len(collapse) == 0 {
-		return g
+		return g, nil
 	}
 
 	counts := map[string]int{}
@@ -158,19 +160,20 @@ func CollapseDatasets(g *graph.Graph, maxPerFile int) *graph.Graph {
 	}
 	for _, k := range order {
 		if _, err := out.AddEdge(*merged[k]); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("analyzer: collapse datasets: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // AggregateByTime merges task nodes whose activity starts within the
 // same window (the paper's time-dimension grouping): tasks launched in
-// the same window collapse into one "window" node. Non-task nodes are
-// untouched.
-func AggregateByTime(g *graph.Graph, windowNS int64) *graph.Graph {
+// the same window collapse into one "window" node. Non-task nodes -
+// including stage nodes from a prior AggregateByStage pass - are
+// untouched. The input graph is returned unchanged for windowNS <= 0.
+func AggregateByTime(g *graph.Graph, windowNS int64) (*graph.Graph, error) {
 	if windowNS <= 0 {
-		return g
+		return g, nil
 	}
 	var minStart int64
 	for _, n := range g.NodesOfKind(graph.KindTask) {
@@ -197,9 +200,14 @@ func AggregateByTime(g *graph.Graph, windowNS int64) *graph.Graph {
 		}
 		out.AddNode(*n)
 	}
-	// Window labels show final task counts.
-	for _, n := range out.NodesOfKind(graph.KindStage) {
-		n.Label = fmt.Sprintf("t+%s: %d tasks", n.ID[len("window:"):], counts[n.ID])
+	// Window labels show final task counts. Only nodes this pass created
+	// are rewritten: pre-existing stage nodes (e.g. from AggregateByStage)
+	// share KindStage but are not windows - slicing their IDs would mangle
+	// labels or panic on IDs shorter than the "window:" prefix.
+	for id, n := range counts {
+		if w := out.Node(id); w != nil {
+			w.Label = fmt.Sprintf("t+%s: %d tasks", id[len("window:"):], n)
+		}
 	}
 	type edgeKey struct {
 		from, to string
@@ -230,10 +238,10 @@ func AggregateByTime(g *graph.Graph, windowNS int64) *graph.Graph {
 	}
 	for _, k := range order {
 		if _, err := out.AddEdge(*merged[k]); err != nil {
-			panic(err)
+			return nil, fmt.Errorf("analyzer: aggregate by time: %w", err)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Stats summarizes a graph for reports.

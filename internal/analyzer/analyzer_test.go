@@ -225,7 +225,10 @@ func TestBuildSDGWithRegions(t *testing.T) {
 
 func TestAggregateByStage(t *testing.T) {
 	g := BuildFTG(fixtureTraces(), fixtureManifest())
-	agg := AggregateByStage(g, fixtureManifest())
+	agg, err := AggregateByStage(g, fixtureManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
 	stages := agg.NodesOfKind(graph.KindStage)
 	if len(stages) != 2 {
 		t.Fatalf("stages = %d", len(stages))
@@ -250,8 +253,8 @@ func TestAggregateByStage(t *testing.T) {
 		t.Errorf("merged volume = %d", consumeRead.Volume)
 	}
 	// Nil manifest: pass-through.
-	if AggregateByStage(g, nil) != g {
-		t.Error("nil manifest should pass through")
+	if same, err := AggregateByStage(g, nil); err != nil || same != g {
+		t.Errorf("nil manifest should pass through (err=%v)", err)
 	}
 }
 
@@ -271,7 +274,10 @@ func TestCollapseDatasets(t *testing.T) {
 	traces = append(traces, many)
 	g := BuildSDG(traces, nil, Options{})
 	before := len(g.NodesOfKind(graph.KindDataset))
-	collapsed := CollapseDatasets(g, 10)
+	collapsed, err := CollapseDatasets(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	after := len(collapsed.NodesOfKind(graph.KindDataset))
 	if after >= before {
 		t.Fatalf("collapse had no effect: %d -> %d", before, after)
@@ -291,8 +297,8 @@ func TestCollapseDatasets(t *testing.T) {
 	}
 	// Graph below threshold passes through unchanged.
 	small := BuildSDG(fixtureTraces(), nil, Options{})
-	if CollapseDatasets(small, 10) != small {
-		t.Error("small graph should pass through")
+	if same, err := CollapseDatasets(small, 10); err != nil || same != small {
+		t.Errorf("small graph should pass through (err=%v)", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"dayu/internal/graph"
 	"dayu/internal/trace"
 )
 
@@ -101,7 +102,10 @@ func TestTimelineHTML(t *testing.T) {
 func TestAggregateByTime(t *testing.T) {
 	g := BuildFTG(timelineTraces(), nil)
 	// Window of 5000ns: both tasks (starts 1000 and 2000) share window 0.
-	agg := AggregateByTime(g, 5000)
+	agg, err := AggregateByTime(g, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n := len(agg.NodesOfKind("stage")); n != 1 {
 		t.Fatalf("windows = %d", n)
 	}
@@ -109,7 +113,10 @@ func TestAggregateByTime(t *testing.T) {
 		t.Error("task nodes survived time aggregation")
 	}
 	// Window of 500ns separates them.
-	agg2 := AggregateByTime(g, 500)
+	agg2, err := AggregateByTime(g, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n := len(agg2.NodesOfKind("stage")); n != 2 {
 		t.Fatalf("separated windows = %d", n)
 	}
@@ -118,7 +125,39 @@ func TestAggregateByTime(t *testing.T) {
 		t.Error("volume lost in aggregation")
 	}
 	// Non-positive window passes through.
-	if AggregateByTime(g, 0) != g {
-		t.Error("zero window should pass through")
+	if same, err := AggregateByTime(g, 0); err != nil || same != g {
+		t.Errorf("zero window should pass through (err=%v)", err)
+	}
+}
+
+func TestAggregateByTimePreservesStageNodes(t *testing.T) {
+	// A graph that already went through AggregateByStage carries stage
+	// nodes whose IDs lack the "window:" prefix. The label fix-up used to
+	// rewrite every KindStage node, mangling those labels (or panicking on
+	// IDs shorter than the prefix, like this one-character stage ID).
+	g := graph.New("mixed")
+	g.AddNode(graph.Node{ID: "s", Kind: graph.KindStage, Label: "setup"})
+	g.AddNode(graph.Node{ID: "stage:consume", Kind: graph.KindStage, Label: "consume"})
+	g.AddNode(graph.Node{ID: "task:late", Kind: graph.KindTask, Label: "late", StartNS: 9000, EndNS: 9500})
+	g.AddNode(graph.Node{ID: "file:a.h5", Kind: graph.KindFile, Label: "a.h5"})
+	if _, err := g.AddEdge(graph.Edge{From: "task:late", To: "file:a.h5", Op: graph.OpWrite, Volume: 64}); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, err := AggregateByTime(g, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := agg.Node("s"); n == nil || n.Label != "setup" {
+		t.Errorf("pre-existing stage node mangled: %+v", n)
+	}
+	if n := agg.Node("stage:consume"); n == nil || n.Label != "consume" {
+		t.Errorf("pre-existing stage node mangled: %+v", n)
+	}
+	if n := agg.Node("window:0"); n == nil || !strings.Contains(n.Label, "1 tasks") {
+		t.Errorf("window node label wrong: %+v", n)
+	}
+	if agg.Node("task:late") != nil {
+		t.Error("task node survived time aggregation")
 	}
 }

@@ -298,7 +298,10 @@ func Fig5(opts Options) (*Table, error) {
 		t.AddNote("WARNING: scattering not detected")
 	}
 	// Collapsed view: the analyzer's resolution adjustment.
-	collapsed := analyzer.CollapseDatasets(g, 8)
+	collapsed, err := analyzer.CollapseDatasets(g, 8)
+	if err != nil {
+		return nil, err
+	}
 	t.AddNote("resolution adjustment: %d dataset nodes collapse to %d",
 		s.Datasets, analyzer.Summarize(collapsed).Datasets)
 	if err := graphArtifacts(t, g, "fig5_sdg"); err != nil {

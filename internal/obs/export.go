@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// splitName separates a metric name from its embedded label block:
+// `x{a="b"}` -> ("x", `a="b"`); plain names return ("x", "").
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// suffixed rebuilds a metric name with a suffix on the base and
+// optional extra labels: suffixed(`x{a="b"}`, "_bucket", `le="5"`)
+// returns `x_bucket{a="b",le="5"}`.
+func suffixed(name, suffix, extra string) string {
+	base, labels := splitName(name)
+	switch {
+	case labels == "" && extra == "":
+		return base + suffix
+	case labels == "":
+		return base + suffix + "{" + extra + "}"
+	case extra == "":
+		return base + suffix + "{" + labels + "}"
+	default:
+		return base + suffix + "{" + labels + "," + extra + "}"
+	}
+}
+
+// PrometheusText renders every metric in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series), with
+// names sorted for deterministic output.
+func (r *Registry) PrometheusText() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	counterNames := r.counterNames()
+	gaugeNames := r.gaugeNames()
+	histNames := r.histNames()
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	seenType := map[string]bool{}
+	typeLine := func(name, typ string) {
+		base, _ := splitName(name)
+		if !seenType[base] {
+			seenType[base] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+		}
+	}
+	for _, name := range counterNames {
+		typeLine(name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range gaugeNames {
+		typeLine(name, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", name, gauges[name].Value())
+	}
+	for _, name := range histNames {
+		h := hists[name]
+		base, _ := splitName(name)
+		if !seenType[base] {
+			seenType[base] = true
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+		}
+		bounds, cum := h.Buckets()
+		for i, bound := range bounds {
+			le := "+Inf"
+			if bound != math.MaxInt64 {
+				le = fmt.Sprint(bound)
+			}
+			fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_bucket", `le="`+le+`"`), cum[i])
+		}
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_sum", ""), h.Sum())
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_count", ""), h.Count())
+	}
+	return b.String()
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanRecord                 `json:"spans,omitempty"`
+	// DroppedSpans counts spans evicted from the bounded span log.
+	DroppedSpans int64 `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	s.Counters = make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	s.Gauges = make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			Mean: h.Mean(), P50: h.P50(), P95: h.P95(), P99: h.P99(),
+		}
+	}
+	s.Spans = append([]SpanRecord(nil), r.spans...)
+	s.DroppedSpans = r.dropped
+	r.mu.RUnlock()
+	return s
+}
+
+// JSON renders the registry snapshot as indented JSON.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution: cumulative-style buckets
+// with precomputed upper bounds, plus count/sum/min/max. Observations
+// are lock-free (binary search over the bounds, then atomic adds), so
+// it is safe on the VFD hot path. Percentiles are estimated by linear
+// interpolation within the owning bucket, the same scheme Prometheus'
+// histogram_quantile uses.
+type Histogram struct {
+	bounds  []int64        // sorted upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Int64 // len(bounds)+1 counts
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	h := &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket holding the target rank. Values in
+// the overflow bucket report the observed maximum; the first bucket
+// interpolates from the observed minimum. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		// Target rank falls in bucket i: interpolate.
+		if i == len(h.bounds) {
+			return h.Max()
+		}
+		lower := h.Min()
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if upper > h.Max() {
+			upper = h.Max()
+		}
+		if upper < lower {
+			upper = lower
+		}
+		frac := (rank - cum) / n
+		return lower + int64(frac*float64(upper-lower))
+	}
+	return h.Max()
+}
+
+// P50, P95, P99 are convenience quantiles.
+func (h *Histogram) P50() int64 { return h.Quantile(0.50) }
+func (h *Histogram) P95() int64 { return h.Quantile(0.95) }
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Buckets returns (upper bound, cumulative count) pairs, ending with
+// the +Inf bucket (bound = math.MaxInt64).
+func (h *Histogram) Buckets() ([]int64, []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds := make([]int64, len(h.buckets))
+	counts := make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		if i < len(h.bounds) {
+			bounds[i] = h.bounds[i]
+		} else {
+			bounds[i] = math.MaxInt64
+		}
+		cum += h.buckets[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
+// LatencyBuckets covers 250ns..~4s exponentially: fine enough to
+// resolve in-memory driver ops (hundreds of ns) and wide enough for
+// simulated multi-second transfers.
+func LatencyBuckets() []int64 {
+	out := make([]int64, 0, 25)
+	for v := int64(250); v <= 4_000_000_000 && len(out) < 25; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SizeBuckets covers 64B..1GiB exponentially (I/O sizes).
+func SizeBuckets() []int64 {
+	out := make([]int64, 0, 25)
+	for v := int64(64); v <= 1<<30 && len(out) < 25; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}

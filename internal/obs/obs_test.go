@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dayu_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("dayu_test_total") != c {
+		t.Error("counter not cached by name")
+	}
+	g := r.Gauge("dayu_test_gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilRegistryInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x", LatencyBuckets()).Observe(1)
+	r.AddSpan("x", 0, 1, nil)
+	if r.PrometheusText() != "" || r.Spans() != nil {
+		t.Error("nil registry should be empty")
+	}
+	if _, err := r.JSON(); err != nil {
+		t.Errorf("nil JSON: %v", err)
+	}
+}
+
+// TestHistogramPercentiles checks the interpolation math on a known
+// distribution: 100 values 1..100 against decade bounds.
+func TestHistogramPercentiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min=%d max=%d", h.Min(), h.Max())
+	}
+	// Each bucket holds exactly 10 values, so interpolation is tight:
+	// the q-quantile of U{1..100} must land within one bucket width.
+	checks := []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 95}, {0.99, 99}, {0.10, 10}, {1.0, 100}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want-10 || got > c.want+10 {
+			t.Errorf("q%.2f = %d, want ~%d", c.q, got, c.want)
+		}
+	}
+	if h.P50() > h.P95() || h.P95() > h.P99() {
+		t.Errorf("percentiles not monotone: p50=%d p95=%d p99=%d", h.P50(), h.P95(), h.P99())
+	}
+	// Exact interpolation check: rank 50 falls at the end of the
+	// (40,50] bucket, so p50 = 40 + (50-40)*(50-40)/10 = 50.
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %d, want exactly 50", got)
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	h.Observe(5)
+	h.Observe(1000) // overflow bucket
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("overflow quantile = %d, want observed max 1000", got)
+	}
+	if h.Count() != 2 || h.Max() != 1000 || h.Min() != 5 {
+		t.Errorf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", LatencyBuckets())
+	c := r.Counter("c")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 {
+		t.Errorf("count=%d counter=%d, want 8000", h.Count(), c.Value())
+	}
+}
+
+func TestSpans(t *testing.T) {
+	r := NewRegistry()
+	r.AddSpan("stage", 0, 1000, map[string]string{"stage": "s1"})
+	r.AddSpan("stage", 1000, 1500, nil)
+	r.AddSpan("task", 200, 100, nil) // end < start clamps to zero length
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].DurationNS() != 1000 || spans[0].Attrs["stage"] != "s1" {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[2].DurationNS() != 0 {
+		t.Errorf("clamped span duration = %d", spans[2].DurationNS())
+	}
+	h := r.Histogram(Name("dayu_span_ns", "span", "stage"), LatencyBuckets())
+	if h.Count() != 2 {
+		t.Errorf("span histogram count = %d", h.Count())
+	}
+}
+
+func TestSpanRingBound(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < maxSpans+100; i++ {
+		r.AddSpan("s", int64(i), int64(i+1), nil)
+	}
+	if n := len(r.Spans()); n > maxSpans {
+		t.Errorf("span log grew to %d (bound %d)", n, maxSpans)
+	}
+	if r.DroppedSpans() == 0 {
+		t.Error("expected dropped spans")
+	}
+	// The newest span must survive eviction.
+	spans := r.Spans()
+	if spans[len(spans)-1].StartNS != int64(maxSpans+99) {
+		t.Error("newest span evicted")
+	}
+}
+
+func TestNameCanonical(t *testing.T) {
+	got := Name("x_total", "op", "read", "class", "data")
+	want := `x_total{class="data",op="read"}`
+	if got != want {
+		t.Errorf("Name = %s, want %s", got, want)
+	}
+	if Name("plain") != "plain" {
+		t.Error("plain name changed")
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("dayu_ops_total", "op", "read")).Add(3)
+	r.Counter(Name("dayu_ops_total", "op", "write")).Add(2)
+	r.Gauge("dayu_live").Set(1)
+	h := r.Histogram(Name("dayu_lat_ns", "op", "read"), []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	text := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE dayu_ops_total counter",
+		`dayu_ops_total{op="read"} 3`,
+		`dayu_ops_total{op="write"} 2`,
+		"# TYPE dayu_live gauge",
+		"dayu_live 1",
+		"# TYPE dayu_lat_ns histogram",
+		`dayu_lat_ns_bucket{op="read",le="10"} 1`,
+		`dayu_lat_ns_bucket{op="read",le="100"} 2`,
+		`dayu_lat_ns_bucket{op="read",le="+Inf"} 3`,
+		`dayu_lat_ns_sum{op="read"} 5055`,
+		`dayu_lat_ns_count{op="read"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// TYPE lines appear once per base name even with multiple label sets.
+	if strings.Count(text, "# TYPE dayu_ops_total counter") != 1 {
+		t.Error("duplicate TYPE line")
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Histogram("h", []int64{10}).Observe(4)
+	r.AddSpan("stage", 0, 5, nil)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["c"] != 2 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+	if snap.Histograms["h"].Count != 1 || snap.Histograms["h"].Max != 4 {
+		t.Errorf("histograms = %+v", snap.Histograms)
+	}
+	if len(snap.Spans) != 1 {
+		t.Errorf("spans = %+v", snap.Spans)
+	}
+}

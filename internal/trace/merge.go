@@ -35,7 +35,10 @@ func Merge(task string, parts []*TaskTrace) *TaskTrace {
 				objects[k] = &cp
 				continue
 			}
-			if o.AcquiredNS < agg.AcquiredNS {
+			// Unset (zero) timestamps must not clobber a recorded minimum:
+			// a rank that never timed the acquire would otherwise reset the
+			// merged min to 0 (same guard as out.StartNS above).
+			if agg.AcquiredNS == 0 || (o.AcquiredNS != 0 && o.AcquiredNS < agg.AcquiredNS) {
 				agg.AcquiredNS = o.AcquiredNS
 			}
 			if o.ReleasedNS > agg.ReleasedNS {
@@ -55,7 +58,7 @@ func Merge(task string, parts []*TaskTrace) *TaskTrace {
 				files[fr.File] = &cp
 				continue
 			}
-			if fr.OpenNS < agg.OpenNS {
+			if agg.OpenNS == 0 || (fr.OpenNS != 0 && fr.OpenNS < agg.OpenNS) {
 				agg.OpenNS = fr.OpenNS
 			}
 			if fr.CloseNS > agg.CloseNS {
@@ -91,7 +94,7 @@ func Merge(task string, parts []*TaskTrace) *TaskTrace {
 			agg.DataBytes += ms.DataBytes
 			agg.Reads += ms.Reads
 			agg.Writes += ms.Writes
-			if ms.FirstNS < agg.FirstNS {
+			if agg.FirstNS == 0 || (ms.FirstNS != 0 && ms.FirstNS < agg.FirstNS) {
 				agg.FirstNS = ms.FirstNS
 			}
 			if ms.LastNS > agg.LastNS {

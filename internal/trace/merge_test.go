@@ -82,6 +82,49 @@ func TestMergeRanks(t *testing.T) {
 	}
 }
 
+func TestMergeUnsetTimestamps(t *testing.T) {
+	// A rank that never timed an event records 0. Zeros must not clobber
+	// another rank's recorded minimum, in either merge order: the unset
+	// rank arriving second used to reset the min to 0, and arriving first
+	// it used to pin it there (0 compares below every real timestamp).
+	timed := rankTrace(0, 500)
+	unset := rankTrace(1, 0)
+	unset.StartNS = 0
+	unset.Objects[0].AcquiredNS = 0
+	unset.Files[0].OpenNS = 0
+	unset.Mapped[0].FirstNS = 0
+
+	for name, parts := range map[string][]*TaskTrace{
+		"unset-second": {timed, unset},
+		"unset-first":  {unset, timed},
+	} {
+		merged := Merge("sim", parts)
+		if merged.StartNS != 500 {
+			t.Errorf("%s: StartNS = %d, want 500", name, merged.StartNS)
+		}
+		if got := merged.Objects[0].AcquiredNS; got != 501 {
+			t.Errorf("%s: AcquiredNS = %d, want 501", name, got)
+		}
+		if got := merged.Files[0].OpenNS; got != 500 {
+			t.Errorf("%s: OpenNS = %d, want 500", name, got)
+		}
+		if got := merged.Mapped[0].FirstNS; got != 501 {
+			t.Errorf("%s: FirstNS = %d, want 501", name, got)
+		}
+	}
+
+	// All ranks unset: the merged value stays 0 rather than inventing one.
+	u2 := rankTrace(2, 0)
+	u2.StartNS = 0
+	u2.Objects[0].AcquiredNS = 0
+	u2.Files[0].OpenNS = 0
+	u2.Mapped[0].FirstNS = 0
+	merged := Merge("sim", []*TaskTrace{unset, u2})
+	if merged.Objects[0].AcquiredNS != 0 || merged.Files[0].OpenNS != 0 {
+		t.Errorf("all-unset merge invented timestamps: %+v", merged.Files[0])
+	}
+}
+
 func TestMergeDisjointFiles(t *testing.T) {
 	a := rankTrace(0, 0)
 	b := rankTrace(1, 10)

@@ -1,0 +1,91 @@
+package vfd
+
+import (
+	"testing"
+
+	"dayu/internal/obs"
+	"dayu/internal/sim"
+)
+
+func TestInstrumentNilRegistryPassThrough(t *testing.T) {
+	inner := NewMemDriver()
+	if got := Instrument(inner, "mem", nil); got != Driver(inner) {
+		t.Error("nil registry should return the inner driver unchanged")
+	}
+}
+
+func TestInstrumentedDriverMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	d := Instrument(NewMemDriver(), "mem", reg)
+	buf := make([]byte, 128)
+	if err := d.WriteAt(buf, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(buf[:16], 128, sim.Metadata); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(buf, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "open"):   1,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "write"):  2,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "read"):   1,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "close"):  1,
+		obs.Name("dayu_vfd_bytes_total", "driver", "mem", "op", "write"): 144,
+		obs.Name("dayu_vfd_bytes_total", "driver", "mem", "op", "read"):  128,
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if g := snap.Gauges[obs.Name("dayu_vfd_open_sessions", "driver", "mem")]; g != 0 {
+		t.Errorf("open sessions after close = %d", g)
+	}
+	latName := obs.Name("dayu_vfd_op_ns", "driver", "mem", "op", "write", "class", "data")
+	if snap.Histograms[latName].Count != 1 {
+		t.Errorf("write data latency count = %d", snap.Histograms[latName].Count)
+	}
+	metaName := obs.Name("dayu_vfd_op_ns", "driver", "mem", "op", "write", "class", "meta")
+	if snap.Histograms[metaName].Count != 1 {
+		t.Errorf("write meta latency count = %d", snap.Histograms[metaName].Count)
+	}
+}
+
+// TestInstrumentComposesWithFaultDriver wraps the instrumentation
+// outside a fault driver and checks injected faults land in the
+// classified error counters.
+func TestInstrumentComposesWithFaultDriver(t *testing.T) {
+	reg := obs.NewRegistry()
+	fd := NewFaultDriver(NewMemDriver(), FaultPlan{WriteError: Uniform(1)}, 42)
+	d := Instrument(fd, "mem", reg)
+	err := d.WriteAt(make([]byte, 64), 0, sim.RawData)
+	if err == nil {
+		t.Fatal("expected injected write fault")
+	}
+	name := obs.Name("dayu_vfd_errors_total", "driver", "mem", "op", "write", "kind", "transient")
+	if got := reg.Counter(name).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", name, got)
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	cases := map[error]string{
+		ErrTransient:   "transient",
+		ErrFailStop:    "failstop",
+		ErrCorrupt:     "corrupt",
+		ErrOutOfBounds: "out_of_bounds",
+		ErrClosed:      "closed",
+	}
+	for err, want := range cases {
+		if got := classify(err); got != want {
+			t.Errorf("classify(%v) = %q, want %q", err, got, want)
+		}
+	}
+}

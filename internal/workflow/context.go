@@ -145,9 +145,12 @@ func (tc *TaskContext) lookupStore(name string) (*fileStore, error) {
 }
 
 // wrapDriver builds the task's driver stack for one session on store:
-// a store session, the Data Semantic Mapper's profiling decorator, and
-// (when the engine injects faults) the fault decorator outermost - so
-// the partial I/O of torn writes is traced like any other operation.
+// a store session, the Data Semantic Mapper's profiling decorator,
+// (when the engine injects faults) the fault decorator, and (when the
+// engine carries a metrics registry) the obs instrumentation outermost
+// - so per-op metrics time the whole stack and injected faults are
+// counted in the error taxonomy. With a nil registry Instrument is a
+// pass-through and the stack is byte-for-byte the uninstrumented one.
 func (tc *TaskContext) wrapDriver(store *fileStore) vfd.Driver {
 	drv := tc.tracer.WrapDriver(&storeDriver{store: store}, store.name, tc.opLog)
 	if fp := tc.engine.faults; fp != nil {
@@ -155,9 +158,9 @@ func (tc *TaskContext) wrapDriver(store *fileStore) vfd.Driver {
 		seed := vfd.DeriveSeed(fp.Seed, tc.task, store.name, tc.Attempt(), tc.faultSessions)
 		fd := vfd.NewFaultDriver(drv, *fp, seed)
 		tc.faultDrivers = append(tc.faultDrivers, fd)
-		return fd
+		drv = fd
 	}
-	return drv
+	return vfd.Instrument(drv, "store", tc.engine.metrics)
 }
 
 // Create creates (or truncates) a file with default format parameters.

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"dayu/internal/hdf5"
+	"dayu/internal/obs"
 	"dayu/internal/sim"
 	"dayu/internal/trace"
 	"dayu/internal/tracer"
@@ -108,7 +110,17 @@ type Engine struct {
 	// retry, when non-nil, re-executes failed tasks from a rolled-back
 	// snapshot (SetRetry).
 	retry *RetryPolicy
+	// metrics, when non-nil, receives engine counters, histograms and
+	// virtual-time spans plus per-session VFD op metrics (SetMetrics).
+	metrics *obs.Registry
 }
+
+// SetMetrics attaches an observability registry. The engine emits
+// stage/task spans billed on the virtual-time axis, retry/rollback/
+// failure counters, and instruments every task file session's driver
+// stack. A nil registry (the default) disables all of it: no decorator
+// is installed and the run path does zero metrics work.
+func (e *Engine) SetMetrics(r *obs.Registry) { e.metrics = r }
 
 // NewEngine builds an engine. plan may be nil (baseline execution:
 // everything on the machine's default shared storage, round-robin
@@ -157,6 +169,7 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 			// carries every trace, op log and task timing recorded so far,
 			// including the failed tasks' own observations.
 			res.TracerTimes = e.timing
+			e.emitMetrics(res)
 			return res, fmt.Errorf("workflow: stage %q: %w", stage.Name, err)
 		}
 		if files := stageFiles(e.plan, stage.Name, false); len(files) > 0 {
@@ -165,7 +178,70 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 		}
 	}
 	res.TracerTimes = e.timing
+	e.emitMetrics(res)
 	return res, nil
+}
+
+// emitMetrics bills the completed (or partially completed) run into the
+// metrics registry. Spans are stamped with virtual-time nanoseconds
+// derived from the deterministic stage/task durations - the same run
+// always yields the same span timeline - and every task attempt beyond
+// the first counts as one retry plus one snapshot rollback (a failed
+// final attempt rolls back too, without a retry).
+func (e *Engine) emitMetrics(res *Result) {
+	if e.metrics == nil {
+		return
+	}
+	reg := e.metrics
+	stages := reg.Counter("dayu_engine_stages_total")
+	tasks := reg.Counter("dayu_engine_tasks_total")
+	retries := reg.Counter("dayu_engine_task_retries_total")
+	rollbacks := reg.Counter("dayu_engine_rollbacks_total")
+	failures := reg.Counter("dayu_engine_task_failures_total")
+	stageNS := reg.Histogram("dayu_engine_stage_virtual_ns", obs.LatencyBuckets())
+	ioNS := reg.Histogram(obs.Name("dayu_engine_task_virtual_ns", "phase", "io"), obs.LatencyBuckets())
+	computeNS := reg.Histogram(obs.Name("dayu_engine_task_virtual_ns", "phase", "compute"), obs.LatencyBuckets())
+	backoffNS := reg.Histogram(obs.Name("dayu_engine_task_virtual_ns", "phase", "backoff"), obs.LatencyBuckets())
+
+	var cursor time.Duration
+	for _, s := range res.Stages {
+		start := cursor.Nanoseconds()
+		attrs := map[string]string{"stage": s.Name, "workflow": res.Workflow}
+		if s.Async {
+			attrs["async"] = "true"
+		}
+		reg.AddSpan("stage", start, start+s.Time.Nanoseconds(), attrs)
+		stages.Inc()
+		stageNS.Observe(s.Time.Nanoseconds())
+		for _, t := range s.Tasks {
+			tattrs := map[string]string{
+				"task": t.Name, "stage": s.Name,
+				"node": strconv.Itoa(t.Node), "attempts": strconv.Itoa(t.Attempts),
+			}
+			if t.Failed {
+				tattrs["failed"] = "true"
+			}
+			reg.AddSpan("task", start, start+t.Time().Nanoseconds(), tattrs)
+			tasks.Inc()
+			ioNS.Observe(t.IO.Nanoseconds())
+			computeNS.Observe(t.Compute.Nanoseconds())
+			if t.Backoff > 0 {
+				backoffNS.Observe(t.Backoff.Nanoseconds())
+			}
+			if t.Attempts > 1 {
+				retries.Add(int64(t.Attempts - 1))
+				rollbacks.Add(int64(t.Attempts - 1))
+			}
+			if t.Failed {
+				failures.Inc()
+				rollbacks.Inc()
+			}
+		}
+		if !s.Async {
+			cursor += s.Time
+		}
+	}
+	reg.Gauge("dayu_engine_virtual_total_ns").Set(res.Total().Nanoseconds())
 }
 
 func stageFiles(p *Plan, stage string, in bool) []string {

@@ -1,0 +1,134 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+
+	"dayu/internal/obs"
+	"dayu/internal/sim"
+	"dayu/internal/tracer"
+	"dayu/internal/vfd"
+)
+
+// TestEngineMetrics runs a two-stage workflow with a registry attached
+// and checks counters, histograms and virtual-time spans.
+func TestEngineMetrics(t *testing.T) {
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng.SetMetrics(reg)
+	res, err := eng.Run(twoStageSpec(t, []byte("observable payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["dayu_engine_tasks_total"]; got != 2 {
+		t.Errorf("tasks_total = %d, want 2", got)
+	}
+	if got := snap.Counters["dayu_engine_stages_total"]; got != 2 {
+		t.Errorf("stages_total = %d, want 2", got)
+	}
+	if got := snap.Counters["dayu_engine_task_failures_total"]; got != 0 {
+		t.Errorf("failures_total = %d, want 0", got)
+	}
+	if snap.Gauges["dayu_engine_virtual_total_ns"] != res.Total().Nanoseconds() {
+		t.Error("virtual total gauge does not match Result.Total()")
+	}
+	// Per-driver VFD op metrics from the instrumented session stack.
+	reads := snap.Counters[obs.Name("dayu_vfd_ops_total", "driver", "store", "op", "read")]
+	writes := snap.Counters[obs.Name("dayu_vfd_ops_total", "driver", "store", "op", "write")]
+	if reads == 0 || writes == 0 {
+		t.Errorf("vfd op counters: reads=%d writes=%d, want both > 0", reads, writes)
+	}
+
+	// Spans: one per stage plus one per task, billed on the virtual
+	// clock - consecutive stage spans must tile [0, Total()].
+	var stageSpans, taskSpans []obs.SpanRecord
+	for _, s := range reg.Spans() {
+		switch s.Name {
+		case "stage":
+			stageSpans = append(stageSpans, s)
+		case "task":
+			taskSpans = append(taskSpans, s)
+		}
+	}
+	if len(stageSpans) != 2 || len(taskSpans) != 2 {
+		t.Fatalf("spans: %d stage, %d task", len(stageSpans), len(taskSpans))
+	}
+	if stageSpans[0].StartNS != 0 {
+		t.Error("first stage span does not start at virtual zero")
+	}
+	if stageSpans[1].StartNS != stageSpans[0].EndNS {
+		t.Error("stage spans do not tile the virtual timeline")
+	}
+	if stageSpans[1].EndNS != res.Total().Nanoseconds() {
+		t.Errorf("last stage span ends at %d, want %d", stageSpans[1].EndNS, res.Total().Nanoseconds())
+	}
+	if taskSpans[0].Attrs["task"] != "producer" || taskSpans[0].Attrs["attempts"] != "1" {
+		t.Errorf("task span attrs = %+v", taskSpans[0].Attrs)
+	}
+}
+
+// TestEngineMetricsDeterministic: the same run yields the same virtual
+// span timeline (spans are billed from the simulated clock, not host
+// time).
+func TestEngineMetricsDeterministic(t *testing.T) {
+	run := func() []obs.SpanRecord {
+		eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 1}, nil, tracer.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		eng.SetMetrics(reg)
+		if _, err := eng.Run(twoStageSpec(t, []byte("deterministic"))); err != nil {
+			t.Fatal(err)
+		}
+		return reg.Spans()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].StartNS != b[i].StartNS || a[i].EndNS != b[i].EndNS {
+			t.Errorf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEngineMetricsRetries checks retry/rollback/failure accounting
+// under injected faults.
+func TestEngineMetricsRetries(t *testing.T) {
+	eng, err := NewEngine(Cluster{Machine: sim.MachineCPU, Nodes: 2}, nil, tracer.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	eng.SetMetrics(reg)
+	eng.SetFaults(&vfd.FaultPlan{Seed: 7, WriteError: vfd.Uniform(0.3), Latency: time.Millisecond})
+	eng.SetRetry(&RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond})
+	_, runErr := eng.Run(twoStageSpec(t, make([]byte, 1<<14)))
+
+	snap := reg.Snapshot()
+	retries := snap.Counters["dayu_engine_task_retries_total"]
+	rollbacks := snap.Counters["dayu_engine_rollbacks_total"]
+	failures := snap.Counters["dayu_engine_task_failures_total"]
+	if retries == 0 {
+		t.Skip("fault seed injected no retryable faults") // extremely unlikely at 30%
+	}
+	if rollbacks < retries {
+		t.Errorf("rollbacks (%d) < retries (%d)", rollbacks, retries)
+	}
+	if runErr != nil && failures == 0 {
+		t.Error("run failed but failure counter is zero")
+	}
+	// Transient write faults must show up in the per-driver error
+	// taxonomy counter (instrumentation wraps the fault decorator).
+	name := obs.Name("dayu_vfd_errors_total", "driver", "store", "op", "write", "kind", "transient")
+	if got := snap.Counters[name]; got == 0 {
+		t.Errorf("%s = %d, want > 0", name, got)
+	}
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dayu/internal/obs"
+)
+
+func TestRunBenchSuiteQuick(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunBenchSuite(BenchSuiteConfig{Quick: true, Reps: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 2 || res.Kernels[0].Name != "h5bench" || res.Kernels[1].Name != "corner_case" {
+		t.Errorf("kernels = %+v", res.Kernels)
+	}
+	names := make([]string, len(res.Workflows))
+	for i, w := range res.Workflows {
+		names[i] = w.Name
+	}
+	if strings.Join(names, ",") != "pyflextrkr,ddmd,arldm" {
+		t.Errorf("workflows = %v", names)
+	}
+	// The instrumented kernel runs fed the supplied registry.
+	if reg.Counter(obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "write")).Value() == 0 {
+		t.Error("instrumented kernel runs recorded no metrics")
+	}
+
+	// JSON round trip through the validating loader.
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema || len(got.Workflows) != 3 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+func TestBenchValidateRejectsBadRecords(t *testing.T) {
+	good := &BenchResult{
+		Schema: BenchSchema, GoVersion: "go", GOOS: "linux", GOARCH: "amd64",
+		Kernels: []KernelBench{
+			{Name: "a", UntracedNS: 1, TracedNS: 1, DisabledObsNS: 1, InstrumentedNS: 1},
+			{Name: "b", UntracedNS: 1, TracedNS: 1, DisabledObsNS: 1, InstrumentedNS: 1},
+		},
+		Workflows: []WorkflowBench{
+			{Name: "x", Stages: 1, Tasks: 1, VirtualNS: 1, WallTracedNS: 1, WallUntracedNS: 1},
+			{Name: "y", Stages: 1, Tasks: 1, VirtualNS: 1, WallTracedNS: 1, WallUntracedNS: 1},
+			{Name: "z", Stages: 1, Tasks: 1, VirtualNS: 1, WallTracedNS: 1, WallUntracedNS: 1},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good record rejected: %v", err)
+	}
+	bad := *good
+	bad.Schema = "wrong"
+	if bad.Validate() == nil {
+		t.Error("wrong schema accepted")
+	}
+	bad = *good
+	bad.Workflows = bad.Workflows[:1]
+	if bad.Validate() == nil {
+		t.Error("missing workflows accepted")
+	}
+	bad = *good
+	kernels := append([]KernelBench(nil), good.Kernels...)
+	kernels[0].UntracedNS = 0
+	bad.Kernels = kernels
+	if bad.Validate() == nil {
+		t.Error("zero timing accepted")
+	}
+}
