@@ -453,6 +453,16 @@ func cmdBench(args []string) error {
 			units.Duration(time.Duration(k.TracedNS)),
 			k.TracerOverheadPct, k.DisabledObsOverheadPct, k.InstrumentationOverheadPct)
 	}
+	if a := res.Analyzer; a != nil {
+		match := "outputs identical"
+		if !a.OutputsIdentical {
+			match = "OUTPUTS DIFFER"
+		}
+		fmt.Printf("kernel %-12s %d tasks on %d cores (parallelism %d)  serial %-12s parallel %-12s speedup %.2fx  %s\n",
+			a.Name, a.Tasks, a.Cores, a.Parallelism,
+			units.Duration(time.Duration(a.SerialNS)),
+			units.Duration(time.Duration(a.ParallelNS)), a.Speedup, match)
+	}
 	for _, w := range res.Workflows {
 		fmt.Printf("workflow %-12s %d stages, %d tasks  virtual %-12s wall %-12s tracer %.2f%%\n",
 			w.Name, w.Stages, w.Tasks,

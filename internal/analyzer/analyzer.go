@@ -3,11 +3,19 @@
 // Dataflow Graphs (SDGs), decorates them with access statistics, and
 // offers resolution adjustment (aggregation by stage or dataset count)
 // for complex workflows.
+//
+// Graph construction is parallel: the per-task node/edge contributions
+// are computed concurrently on a bounded worker pool (Options.
+// Parallelism) and merged into the graph sequentially in task order, so
+// the result — node IDs, edge order, every rendered byte — is identical
+// to a serial build.
 package analyzer
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"dayu/internal/graph"
 	"dayu/internal/trace"
@@ -23,11 +31,18 @@ type Options struct {
 	// IncludeFileMetadata adds the File-Metadata pseudo-dataset node for
 	// unattributed metadata traffic (Figure 8b's Box 2).
 	IncludeFileMetadata bool
+	// Parallelism bounds the worker pool computing per-task graph
+	// contributions: <= 0 means GOMAXPROCS, 1 forces the serial path.
+	// Every setting produces byte-identical output.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
 	if o.PageSize == 0 {
 		o.PageSize = 4096
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -72,56 +87,127 @@ func orderTasks(traces []*trace.TaskTrace, m *trace.Manifest) []*trace.TaskTrace
 	return out
 }
 
-// bandwidth computes bytes/sec over a nanosecond window, guarding
-// degenerate windows.
+// bandwidth computes bytes/sec over a nanosecond window. Degenerate
+// windows (a single-op instant, or inverted timestamps) return 0, which
+// renderers and diagnostics treat as "unknown" — dividing by a clamped
+// 1 ns would report a roughly billion-fold inflated bandwidth.
 func bandwidth(bytes int64, firstNS, lastNS int64) float64 {
 	dt := lastNS - firstNS
 	if dt <= 0 {
-		dt = 1
+		return 0
 	}
 	return float64(bytes) / (float64(dt) / 1e9)
+}
+
+// contribution is one task's share of a graph: the nodes and edges the
+// serial build would have added while visiting that task, in the exact
+// order it would have added them. Contributions are computed in
+// parallel (they are pure functions of one trace) and merged serially.
+type contribution struct {
+	nodes []graph.Node
+	edges []graph.Edge
+}
+
+func (c *contribution) addNode(n graph.Node) { c.nodes = append(c.nodes, n) }
+func (c *contribution) addEdge(e graph.Edge) { c.edges = append(c.edges, e) }
+
+// buildContributions computes per-task contributions for the ordered
+// traces on a bounded worker pool and returns them in task order.
+func buildContributions(ordered []*trace.TaskTrace, parallelism int, build func(*trace.TaskTrace) contribution) []contribution {
+	out := make([]contribution, len(ordered))
+	if parallelism > len(ordered) {
+		parallelism = len(ordered)
+	}
+	if parallelism <= 1 {
+		for i, t := range ordered {
+			out[i] = build(t)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = build(ordered[i])
+			}
+		}()
+	}
+	for i := range ordered {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// merge folds contributions into the graph in task order — the same
+// sequence of AddNode/AddEdge calls the serial build performs, so node
+// identity, statistics merging and edge order are preserved exactly.
+func merge(g *graph.Graph, contribs []contribution) {
+	for i := range contribs {
+		for _, n := range contribs[i].nodes {
+			g.AddNode(n)
+		}
+		for _, e := range contribs[i].edges {
+			mustAdd(g, e)
+		}
+	}
 }
 
 // BuildFTG constructs the File-Task Graph: tasks and files as nodes,
 // directed read/write edges decorated with access statistics, and
 // data-reuse marking for files consumed by multiple tasks.
 func BuildFTG(traces []*trace.TaskTrace, m *trace.Manifest) *graph.Graph {
+	return BuildFTGOpts(traces, m, Options{})
+}
+
+// BuildFTGOpts is BuildFTG with explicit construction options (only
+// Parallelism applies to FTGs).
+func BuildFTGOpts(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph.Graph {
+	opts = opts.withDefaults()
 	g := graph.New("File-Task Graph")
 	ordered := orderTasks(traces, m)
-
-	for _, t := range ordered {
-		g.AddNode(graph.Node{
-			ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
-			StartNS: t.StartNS, EndNS: t.EndNS,
-		})
-		for _, fr := range t.Files {
-			g.AddNode(graph.Node{
-				ID: fileNodeID(fr.File), Kind: graph.KindFile, Label: fr.File,
-				StartNS: fr.OpenNS, EndNS: fr.CloseNS,
-				Volume: fr.BytesRead + fr.BytesWritten,
-			})
-			if fr.BytesRead > 0 || (fr.Reads > 0 && fr.Writes == 0) {
-				mustAdd(g, graph.Edge{
-					From: fileNodeID(fr.File), To: taskNodeID(t.Task), Op: graph.OpRead,
-					Volume:    fr.BytesRead,
-					Bandwidth: bandwidth(fr.BytesRead, fr.OpenNS, fr.CloseNS),
-					Ops:       fr.Reads, MetaOps: fr.MetaOps, DataOps: fr.DataOps,
-					AvgSize: avg(fr.BytesRead, fr.Reads),
-				})
-			}
-			if fr.BytesWritten > 0 || (fr.Writes > 0 && fr.Reads == 0) {
-				mustAdd(g, graph.Edge{
-					From: taskNodeID(t.Task), To: fileNodeID(fr.File), Op: graph.OpWrite,
-					Volume:    fr.BytesWritten,
-					Bandwidth: bandwidth(fr.BytesWritten, fr.OpenNS, fr.CloseNS),
-					Ops:       fr.Writes, MetaOps: fr.MetaOps, DataOps: fr.DataOps,
-					AvgSize: avg(fr.BytesWritten, fr.Writes),
-				})
-			}
-		}
-	}
+	merge(g, buildContributions(ordered, opts.Parallelism, ftgContribution))
 	markReuse(g)
 	return g
+}
+
+// ftgContribution computes one task's FTG nodes and edges.
+func ftgContribution(t *trace.TaskTrace) contribution {
+	var c contribution
+	c.addNode(graph.Node{
+		ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
+		StartNS: t.StartNS, EndNS: t.EndNS,
+	})
+	for _, fr := range t.Files {
+		c.addNode(graph.Node{
+			ID: fileNodeID(fr.File), Kind: graph.KindFile, Label: fr.File,
+			StartNS: fr.OpenNS, EndNS: fr.CloseNS,
+			Volume: fr.BytesRead + fr.BytesWritten,
+		})
+		if fr.BytesRead > 0 || (fr.Reads > 0 && fr.Writes == 0) {
+			c.addEdge(graph.Edge{
+				From: fileNodeID(fr.File), To: taskNodeID(t.Task), Op: graph.OpRead,
+				Volume:    fr.BytesRead,
+				Bandwidth: bandwidth(fr.BytesRead, fr.OpenNS, fr.CloseNS),
+				Ops:       fr.Reads, MetaOps: fr.MetaOps, DataOps: fr.DataOps,
+				AvgSize: avg(fr.BytesRead, fr.Reads),
+			})
+		}
+		if fr.BytesWritten > 0 || (fr.Writes > 0 && fr.Reads == 0) {
+			c.addEdge(graph.Edge{
+				From: taskNodeID(t.Task), To: fileNodeID(fr.File), Op: graph.OpWrite,
+				Volume:    fr.BytesWritten,
+				Bandwidth: bandwidth(fr.BytesWritten, fr.OpenNS, fr.CloseNS),
+				Ops:       fr.Writes, MetaOps: fr.MetaOps, DataOps: fr.DataOps,
+				AvgSize: avg(fr.BytesWritten, fr.Writes),
+			})
+		}
+	}
+	return c
 }
 
 func avg(bytes, ops int64) int64 {
@@ -158,6 +244,9 @@ func markReuse(g *graph.Graph) {
 	}
 }
 
+// objDescKey indexes object descriptions for SDG decoration.
+type objDescKey struct{ file, object string }
+
 // BuildSDG constructs the Semantic Dataflow Graph: the FTG plus a
 // dataset layer between tasks and files, optionally refined with file
 // address-region nodes and the File-Metadata pseudo-dataset.
@@ -167,7 +256,6 @@ func BuildSDG(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph
 	ordered := orderTasks(traces, m)
 
 	// Object descriptions indexed for decoration.
-	type objDescKey struct{ file, object string }
 	descs := map[objDescKey]trace.ObjectRecord{}
 	for _, t := range ordered {
 		for _, o := range t.Objects {
@@ -175,70 +263,78 @@ func BuildSDG(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph
 		}
 	}
 
-	for _, t := range ordered {
-		g.AddNode(graph.Node{
-			ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
-			StartNS: t.StartNS, EndNS: t.EndNS,
-		})
-		for _, fr := range t.Files {
-			g.AddNode(graph.Node{
-				ID: fileNodeID(fr.File), Kind: graph.KindFile, Label: fr.File,
-				StartNS: fr.OpenNS, EndNS: fr.CloseNS,
-				Volume: fr.BytesRead + fr.BytesWritten,
-			})
-		}
-		for _, ms := range t.Mapped {
-			if ms.Object == "" {
-				if opts.IncludeFileMetadata && ms.MetaOps > 0 {
-					addMetaNode(g, t, ms)
-				}
-				continue
-			}
-			nodeID := datasetNodeID(ms.File, ms.Object)
-			attrs := map[string]string{}
-			if d, ok := descs[objDescKey{ms.File, ms.Object}]; ok {
-				attrs["datatype"] = d.Datatype
-				attrs["layout"] = d.Layout
-				attrs["shape"] = fmt.Sprint(d.Shape)
-			}
-			g.AddNode(graph.Node{
-				ID: nodeID, Kind: graph.KindDataset, Label: ms.Object,
-				StartNS: ms.FirstNS, EndNS: ms.LastNS,
-				Volume: ms.Bytes(), Attrs: attrs,
-			})
-			// Access edges between task and dataset.
-			op := operationLabel(ms)
-			if ms.Writes > 0 {
-				mustAdd(g, graph.Edge{
-					From: taskNodeID(t.Task), To: nodeID, Op: graph.OpWrite,
-					Volume:    ms.Bytes(),
-					Bandwidth: bandwidth(ms.Bytes(), ms.FirstNS, ms.LastNS),
-					Ops:       ms.Ops(), MetaOps: ms.MetaOps, DataOps: ms.DataOps,
-					AvgSize: avg(ms.Bytes(), ms.Ops()),
-					Attrs:   map[string]string{"operation": op},
-				})
-			}
-			if ms.Reads > 0 {
-				mustAdd(g, graph.Edge{
-					From: nodeID, To: taskNodeID(t.Task), Op: graph.OpRead,
-					Volume:    ms.Bytes(),
-					Bandwidth: bandwidth(ms.Bytes(), ms.FirstNS, ms.LastNS),
-					Ops:       ms.Ops(), MetaOps: ms.MetaOps, DataOps: ms.DataOps,
-					AvgSize: avg(ms.Bytes(), ms.Ops()),
-					Attrs:   map[string]string{"operation": op},
-				})
-			}
-			// Structural edges to regions/file.
-			if opts.IncludeRegions {
-				addRegionEdges(g, ms, opts.PageSize, nodeID)
-			} else {
-				mustAdd(g, graph.Edge{From: nodeID, To: fileNodeID(ms.File), Op: graph.OpMap})
-			}
-		}
-	}
+	merge(g, buildContributions(ordered, opts.Parallelism, func(t *trace.TaskTrace) contribution {
+		return sdgContribution(t, descs, opts)
+	}))
 	markReuse(g)
 	markDatasetReuse(g)
 	return g
+}
+
+// sdgContribution computes one task's SDG nodes and edges. descs is
+// read-only shared state (safe for concurrent readers).
+func sdgContribution(t *trace.TaskTrace, descs map[objDescKey]trace.ObjectRecord, opts Options) contribution {
+	var c contribution
+	c.addNode(graph.Node{
+		ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
+		StartNS: t.StartNS, EndNS: t.EndNS,
+	})
+	for _, fr := range t.Files {
+		c.addNode(graph.Node{
+			ID: fileNodeID(fr.File), Kind: graph.KindFile, Label: fr.File,
+			StartNS: fr.OpenNS, EndNS: fr.CloseNS,
+			Volume: fr.BytesRead + fr.BytesWritten,
+		})
+	}
+	for _, ms := range t.Mapped {
+		if ms.Object == "" {
+			if opts.IncludeFileMetadata && ms.MetaOps > 0 {
+				addMetaNode(&c, t, ms)
+			}
+			continue
+		}
+		nodeID := datasetNodeID(ms.File, ms.Object)
+		attrs := map[string]string{}
+		if d, ok := descs[objDescKey{ms.File, ms.Object}]; ok {
+			attrs["datatype"] = d.Datatype
+			attrs["layout"] = d.Layout
+			attrs["shape"] = fmt.Sprint(d.Shape)
+		}
+		c.addNode(graph.Node{
+			ID: nodeID, Kind: graph.KindDataset, Label: ms.Object,
+			StartNS: ms.FirstNS, EndNS: ms.LastNS,
+			Volume: ms.Bytes(), Attrs: attrs,
+		})
+		// Access edges between task and dataset.
+		op := operationLabel(ms)
+		if ms.Writes > 0 {
+			c.addEdge(graph.Edge{
+				From: taskNodeID(t.Task), To: nodeID, Op: graph.OpWrite,
+				Volume:    ms.Bytes(),
+				Bandwidth: bandwidth(ms.Bytes(), ms.FirstNS, ms.LastNS),
+				Ops:       ms.Ops(), MetaOps: ms.MetaOps, DataOps: ms.DataOps,
+				AvgSize: avg(ms.Bytes(), ms.Ops()),
+				Attrs:   map[string]string{"operation": op},
+			})
+		}
+		if ms.Reads > 0 {
+			c.addEdge(graph.Edge{
+				From: nodeID, To: taskNodeID(t.Task), Op: graph.OpRead,
+				Volume:    ms.Bytes(),
+				Bandwidth: bandwidth(ms.Bytes(), ms.FirstNS, ms.LastNS),
+				Ops:       ms.Ops(), MetaOps: ms.MetaOps, DataOps: ms.DataOps,
+				AvgSize: avg(ms.Bytes(), ms.Ops()),
+				Attrs:   map[string]string{"operation": op},
+			})
+		}
+		// Structural edges to regions/file.
+		if opts.IncludeRegions {
+			addRegionEdges(&c, ms, opts.PageSize, nodeID)
+		} else {
+			c.addEdge(graph.Edge{From: nodeID, To: fileNodeID(ms.File), Op: graph.OpMap})
+		}
+	}
+	return c
 }
 
 // operationLabel summarizes the access mode (Figure 7 shows
@@ -255,32 +351,32 @@ func operationLabel(ms trace.MappedStat) string {
 	return "none"
 }
 
-func addMetaNode(g *graph.Graph, t *trace.TaskTrace, ms trace.MappedStat) {
+func addMetaNode(c *contribution, t *trace.TaskTrace, ms trace.MappedStat) {
 	nodeID := metaNodeID(ms.File)
-	g.AddNode(graph.Node{
+	c.addNode(graph.Node{
 		ID: nodeID, Kind: graph.KindMeta, Label: "File-Metadata",
 		StartNS: ms.FirstNS, EndNS: ms.LastNS, Volume: ms.MetaBytes,
 	})
 	if ms.Writes > 0 {
-		mustAdd(g, graph.Edge{
+		c.addEdge(graph.Edge{
 			From: taskNodeID(t.Task), To: nodeID, Op: graph.OpWrite,
 			Volume: ms.MetaBytes, Ops: ms.Ops(), MetaOps: ms.MetaOps,
 			Bandwidth: bandwidth(ms.MetaBytes, ms.FirstNS, ms.LastNS),
 		})
 	}
 	if ms.Reads > 0 {
-		mustAdd(g, graph.Edge{
+		c.addEdge(graph.Edge{
 			From: nodeID, To: taskNodeID(t.Task), Op: graph.OpRead,
 			Volume: ms.MetaBytes, Ops: ms.Ops(), MetaOps: ms.MetaOps,
 			Bandwidth: bandwidth(ms.MetaBytes, ms.FirstNS, ms.LastNS),
 		})
 	}
-	mustAdd(g, graph.Edge{From: nodeID, To: fileNodeID(ms.File), Op: graph.OpMap})
+	c.addEdge(graph.Edge{From: nodeID, To: fileNodeID(ms.File), Op: graph.OpMap})
 }
 
 // addRegionEdges converts the object's merged extents into page-range
 // region nodes: dataset -> region -> file (Figure 3's addr nodes).
-func addRegionEdges(g *graph.Graph, ms trace.MappedStat, pageSize int64, datasetID string) {
+func addRegionEdges(c *contribution, ms trace.MappedStat, pageSize int64, datasetID string) {
 	for _, ext := range ms.Regions {
 		p1 := ext.Start / pageSize
 		p2 := (ext.End + pageSize - 1) / pageSize
@@ -288,13 +384,13 @@ func addRegionEdges(g *graph.Graph, ms trace.MappedStat, pageSize int64, dataset
 			p2 = p1 + 1
 		}
 		rid := regionNodeID(ms.File, p1, p2)
-		g.AddNode(graph.Node{
+		c.addNode(graph.Node{
 			ID: rid, Kind: graph.KindRegion,
 			Label:  fmt.Sprintf("[%d-%d)", p1, p2),
 			Volume: ext.Len(),
 		})
-		mustAdd(g, graph.Edge{From: datasetID, To: rid, Op: graph.OpMap, Volume: ext.Len()})
-		mustAdd(g, graph.Edge{From: rid, To: fileNodeID(ms.File), Op: graph.OpMap})
+		c.addEdge(graph.Edge{From: datasetID, To: rid, Op: graph.OpMap, Volume: ext.Len()})
+		c.addEdge(graph.Edge{From: rid, To: fileNodeID(ms.File), Op: graph.OpMap})
 	}
 }
 

@@ -1,0 +1,159 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dayu/internal/graph"
+	"dayu/internal/trace"
+)
+
+func TestBandwidthDegenerateWindow(t *testing.T) {
+	if bw := bandwidth(1024, 500, 500); bw != 0 {
+		t.Errorf("zero-width window bandwidth = %v, want 0", bw)
+	}
+	if bw := bandwidth(1024, 500, 400); bw != 0 {
+		t.Errorf("inverted window bandwidth = %v, want 0", bw)
+	}
+	if bw := bandwidth(1000, 0, 1e9); bw != 1000 {
+		t.Errorf("1s window bandwidth = %v, want 1000 B/s", bw)
+	}
+}
+
+// TestSingleTimestampTraceBandwidth is the regression test for the
+// degenerate-window inflation: a trace whose whole I/O happens at one
+// instant used to report bytes / 1e-9 s — a billion-fold inflated
+// bandwidth that dominated edge coloring. It must now be 0 ("unknown").
+func TestSingleTimestampTraceBandwidth(t *testing.T) {
+	tt := &trace.TaskTrace{
+		Task: "instant", StartNS: 100, EndNS: 100,
+		Files: []trace.FileRecord{{
+			Task: "instant", File: "flash.h5", OpenNS: 100, CloseNS: 100,
+			Ops: 2, Writes: 2, BytesWritten: 4096, DataOps: 2, DataBytes: 4096,
+		}},
+		Mapped: []trace.MappedStat{{
+			Task: "instant", File: "flash.h5", Object: "/d",
+			DataOps: 2, DataBytes: 4096, Writes: 2,
+			FirstNS: 100, LastNS: 100,
+		}},
+	}
+	for name, g := range map[string]*graph.Graph{
+		"ftg": BuildFTG([]*trace.TaskTrace{tt}, nil),
+		"sdg": BuildSDG([]*trace.TaskTrace{tt}, nil, Options{}),
+	} {
+		for _, e := range g.Edges() {
+			if e.Bandwidth != 0 {
+				t.Errorf("%s: edge %s->%s bandwidth = %v, want 0 for degenerate window",
+					name, e.From, e.To, e.Bandwidth)
+			}
+		}
+		if html := g.HTML(); !strings.Contains(html, "unknown") {
+			t.Errorf("%s: HTML does not label unknown bandwidth", name)
+		}
+		if html := g.HTML(); strings.Contains(html, "0.00 KB/s") {
+			t.Errorf("%s: HTML still renders 0.00 KB/s for unmeasurable bandwidth", name)
+		}
+	}
+}
+
+// syntheticTraces builds a deterministic workflow with many tasks,
+// shared files (reuse), datasets, regions, and unattributed metadata,
+// exercising every branch of both builders.
+func syntheticTraces(tasks int) ([]*trace.TaskTrace, *trace.Manifest) {
+	var out []*trace.TaskTrace
+	m := &trace.Manifest{Workflow: "synthetic"}
+	for i := 0; i < tasks; i++ {
+		name := fmt.Sprintf("task_%04d", i)
+		m.TaskOrder = append(m.TaskOrder, name)
+		base := int64(i) * 1000
+		shared := fmt.Sprintf("shared_%02d.h5", i%7)
+		own := fmt.Sprintf("out_%04d.h5", i)
+		tt := &trace.TaskTrace{
+			Task: name, StartNS: base, EndNS: base + 900,
+			Files: []trace.FileRecord{
+				{Task: name, File: shared, OpenNS: base + 10, CloseNS: base + 400,
+					Ops: 8, Reads: 8, BytesRead: 1 << 16, MetaOps: 2, DataOps: 6,
+					MetaBytes: 96, DataBytes: 1<<16 - 96},
+				{Task: name, File: own, OpenNS: base + 400, CloseNS: base + 800,
+					Ops: 6, Writes: 6, BytesWritten: 1 << 15, MetaOps: 1, DataOps: 5,
+					MetaBytes: 64, DataBytes: 1<<15 - 64},
+			},
+			Objects: []trace.ObjectRecord{
+				{Task: name, File: shared, Object: "/in", Type: "dataset",
+					Datatype: "float64", Layout: "contiguous", Shape: []int64{1024},
+					AcquiredNS: base + 11, ReleasedNS: base + 390, Reads: 8, BytesRead: 1 << 16},
+				{Task: name, File: own, Object: "/res", Type: "dataset",
+					Datatype: "float32", Layout: "chunked", Shape: []int64{512},
+					AcquiredNS: base + 401, ReleasedNS: base + 790, Writes: 6, BytesWritten: 1 << 15},
+			},
+			Mapped: []trace.MappedStat{
+				{Task: name, File: shared, Object: "/in", DataOps: 6, DataBytes: 1<<16 - 96,
+					Reads: 6, Regions: []trace.Extent{{Start: 4096, End: 4096 + 1<<16}},
+					FirstNS: base + 20, LastNS: base + 380},
+				{Task: name, File: own, Object: "/res", DataOps: 5, DataBytes: 1<<15 - 64,
+					Writes: 5, Regions: []trace.Extent{
+						{Start: 0, End: 8192}, {Start: 16384, End: 16384 + 1<<14}},
+					FirstNS: base + 410, LastNS: base + 780},
+				{Task: name, File: own, Object: "", MetaOps: 1, MetaBytes: 64,
+					Writes: 1, FirstNS: base + 405, LastNS: base + 405},
+			},
+		}
+		out = append(out, tt)
+	}
+	return out, m
+}
+
+// renderAll captures every output format whose bytes must match
+// between serial and parallel builds.
+func renderAll(t *testing.T, g *graph.Graph) map[string]string {
+	t.Helper()
+	js, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]string{
+		"dot": g.DOT(), "json": string(js), "html": g.HTML(), "svg": g.SVG(),
+	}
+}
+
+func TestSerialParallelEquivalence(t *testing.T) {
+	traces, m := syntheticTraces(120)
+	for _, builder := range []struct {
+		name  string
+		build func(par int) *graph.Graph
+	}{
+		{"ftg", func(par int) *graph.Graph {
+			return BuildFTGOpts(traces, m, Options{Parallelism: par})
+		}},
+		{"sdg", func(par int) *graph.Graph {
+			return BuildSDG(traces, m, Options{Parallelism: par,
+				IncludeRegions: true, IncludeFileMetadata: true})
+		}},
+	} {
+		serial := renderAll(t, builder.build(1))
+		for _, par := range []int{2, 4, 8, 0} {
+			parallel := renderAll(t, builder.build(par))
+			for format, want := range serial {
+				if parallel[format] != want {
+					t.Errorf("%s: parallelism %d: %s output differs from serial build",
+						builder.name, par, format)
+				}
+			}
+		}
+	}
+}
+
+// TestSerialParallelEquivalenceWithoutManifest covers the
+// timestamp-ordering fallback path.
+func TestSerialParallelEquivalenceWithoutManifest(t *testing.T) {
+	traces, _ := syntheticTraces(40)
+	serial := renderAll(t, BuildFTGOpts(traces, nil, Options{Parallelism: 1}))
+	parallel := renderAll(t, BuildFTGOpts(traces, nil, Options{Parallelism: 8}))
+	for format, want := range serial {
+		if parallel[format] != want {
+			t.Errorf("no-manifest: %s output differs from serial build", format)
+		}
+	}
+}

@@ -69,17 +69,28 @@ type Edge struct {
 	Attrs  map[string]string
 }
 
-// Graph is a directed multigraph with stable insertion order.
+// Graph is a directed multigraph with stable insertion order. Forward
+// and reverse adjacency indexes are maintained on every AddEdge, so
+// per-node edge queries cost O(deg) instead of scanning all edges;
+// Edges() still reports global insertion order, and the per-node index
+// slices preserve that order among a node's own edges.
 type Graph struct {
 	Name  string
 	nodes map[string]*Node
 	order []string
 	edges []*Edge
+	out   map[string][]*Edge
+	in    map[string][]*Edge
 }
 
 // New returns an empty graph.
 func New(name string) *Graph {
-	return &Graph{Name: name, nodes: make(map[string]*Node)}
+	return &Graph{
+		Name:  name,
+		nodes: make(map[string]*Node),
+		out:   make(map[string][]*Edge),
+		in:    make(map[string][]*Edge),
+	}
 }
 
 // AddNode inserts or updates a node. Updating merges volume and widens
@@ -140,41 +151,29 @@ func (g *Graph) AddEdge(e Edge) (*Edge, error) {
 	}
 	cp := e
 	g.edges = append(g.edges, &cp)
+	g.out[cp.From] = append(g.out[cp.From], &cp)
+	g.in[cp.To] = append(g.in[cp.To], &cp)
 	return &cp, nil
 }
 
 // Edges returns all edges in insertion order.
 func (g *Graph) Edges() []*Edge { return g.edges }
 
-// OutEdges returns edges leaving the node.
-func (g *Graph) OutEdges(id string) []*Edge {
-	var out []*Edge
-	for _, e := range g.edges {
-		if e.From == id {
-			out = append(out, e)
-		}
-	}
-	return out
-}
+// OutEdges returns edges leaving the node in insertion order. The
+// returned slice is the graph's index; callers must not append to or
+// reorder it.
+func (g *Graph) OutEdges(id string) []*Edge { return g.out[id] }
 
-// InEdges returns edges entering the node.
-func (g *Graph) InEdges(id string) []*Edge {
-	var out []*Edge
-	for _, e := range g.edges {
-		if e.To == id {
-			out = append(out, e)
-		}
-	}
-	return out
-}
+// InEdges returns edges entering the node in insertion order. The
+// returned slice is the graph's index; callers must not append to or
+// reorder it.
+func (g *Graph) InEdges(id string) []*Edge { return g.in[id] }
 
 // OutDegree counts distinct successors of the node.
 func (g *Graph) OutDegree(id string) int {
 	seen := map[string]bool{}
-	for _, e := range g.edges {
-		if e.From == id {
-			seen[e.To] = true
-		}
+	for _, e := range g.out[id] {
+		seen[e.To] = true
 	}
 	return len(seen)
 }
@@ -191,13 +190,11 @@ func (g *Graph) Ranks() map[string]int {
 	ranks := make(map[string]int, len(g.order))
 	// Kahn-style longest path; fall back gracefully on cycles.
 	indeg := map[string]int{}
-	adj := map[string][]string{}
 	for _, e := range g.edges {
 		if e.From == e.To {
 			continue
 		}
 		indeg[e.To]++
-		adj[e.From] = append(adj[e.From], e.To)
 	}
 	var queue []string
 	for _, id := range g.order {
@@ -210,7 +207,11 @@ func (g *Graph) Ranks() map[string]int {
 		id := queue[0]
 		queue = queue[1:]
 		processed++
-		for _, next := range adj[id] {
+		for _, e := range g.out[id] {
+			if e.From == e.To {
+				continue
+			}
+			next := e.To
 			if r := ranks[id] + 1; r > ranks[next] {
 				ranks[next] = r
 			}
@@ -266,21 +267,18 @@ func (g *Graph) Neighborhood(name, center string, hops int) *Graph {
 	frontier := []string{center}
 	for d := 0; d < hops; d++ {
 		var next []string
+		visit := func(other string) {
+			if _, seen := dist[other]; !seen {
+				dist[other] = d + 1
+				next = append(next, other)
+			}
+		}
 		for _, id := range frontier {
-			for _, e := range g.edges {
-				var other string
-				switch id {
-				case e.From:
-					other = e.To
-				case e.To:
-					other = e.From
-				default:
-					continue
-				}
-				if _, seen := dist[other]; !seen {
-					dist[other] = d + 1
-					next = append(next, other)
-				}
+			for _, e := range g.out[id] {
+				visit(e.To)
+			}
+			for _, e := range g.in[id] {
+				visit(e.From)
 			}
 		}
 		frontier = next

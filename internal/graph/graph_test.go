@@ -2,6 +2,8 @@ package graph
 
 import (
 	"encoding/json"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -231,4 +233,81 @@ func TestNeighborhood(t *testing.T) {
 	if n2.NumNodes() != 4 || n2.NumEdges() != 3 {
 		t.Fatalf("2-hop: %d/%d", n2.NumNodes(), n2.NumEdges())
 	}
+}
+
+// scanOut and scanIn are the pre-index O(E) reference implementations
+// the adjacency indexes must agree with, edge for edge and in order.
+func scanOut(g *Graph, id string) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges() {
+		if e.From == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func scanIn(g *Graph, id string) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges() {
+		if e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestAdjacencyIndexMatchesScan(t *testing.T) {
+	g := New("indexed")
+	const n = 40
+	for i := 0; i < n; i++ {
+		g.AddNode(Node{ID: fmt.Sprintf("n%02d", i)})
+	}
+	// Deterministic pseudo-random multigraph with self loops and
+	// parallel edges.
+	seed := uint64(42)
+	next := func(mod int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % mod
+	}
+	for i := 0; i < 400; i++ {
+		from := fmt.Sprintf("n%02d", next(n))
+		to := fmt.Sprintf("n%02d", next(n))
+		mustEdge(g, Edge{From: from, To: to, Op: OpRead, Volume: int64(i)})
+	}
+	check := func(g *Graph) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("n%02d", i)
+			if got, want := g.OutEdges(id), scanOut(g, id); !reflect.DeepEqual(got, want) {
+				t.Fatalf("OutEdges(%s): index disagrees with scan (%d vs %d edges)", id, len(got), len(want))
+			}
+			if got, want := g.InEdges(id), scanIn(g, id); !reflect.DeepEqual(got, want) {
+				t.Fatalf("InEdges(%s): index disagrees with scan (%d vs %d edges)", id, len(got), len(want))
+			}
+			seen := map[string]bool{}
+			for _, e := range scanOut(g, id) {
+				seen[e.To] = true
+			}
+			if g.OutDegree(id) != len(seen) {
+				t.Fatalf("OutDegree(%s) = %d, want %d", id, g.OutDegree(id), len(seen))
+			}
+		}
+	}
+	check(g)
+
+	// The index must survive a JSON round trip (UnmarshalJSON rebuilds).
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	check(&back)
+
+	// And a Filter pass (subgraphs are built through AddEdge too).
+	sub := g.Filter("half", func(n *Node) bool { return n.ID < "n20" })
+	check(sub)
 }

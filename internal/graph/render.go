@@ -32,12 +32,13 @@ func nodeStyle(k Kind) (shape, fill string) {
 }
 
 // edgeColor shades by bandwidth: darker means higher bandwidth, as in
-// the paper's figures.
+// the paper's figures. A zero bandwidth means "unknown" (degenerate
+// measurement window), not "slow", and renders in the neutral gray.
 func edgeColor(bw, maxBW float64, reused bool) string {
 	if reused {
 		return "#ff7f0e" // orange: data-reuse edges
 	}
-	if maxBW <= 0 {
+	if maxBW <= 0 || bw <= 0 {
 		return "#888888"
 	}
 	frac := bw / maxBW
@@ -201,8 +202,17 @@ func edgeTooltip(e *Edge) string {
 	parts = append(parts, fmt.Sprintf("HDF5 Data Access Count: %d", e.DataOps))
 	parts = append(parts, fmt.Sprintf("HDF5 Metadata Access Count: %d", e.MetaOps))
 	parts = append(parts, "Operation: "+string(e.Op))
-	parts = append(parts, fmt.Sprintf("Bandwidth: %.2f KB/s", e.Bandwidth/1e3))
+	parts = append(parts, "Bandwidth: "+bandwidthLabel(e.Bandwidth))
 	return strings.Join(parts, "\n")
+}
+
+// bandwidthLabel formats a bandwidth for display; 0 means the window
+// was too short to measure, so report "unknown" rather than 0.00 KB/s.
+func bandwidthLabel(bw float64) string {
+	if bw <= 0 {
+		return "unknown"
+	}
+	return fmt.Sprintf("%.2f KB/s", bw/1e3)
 }
 
 // HTML renders a standalone interactive page: the SVG plus an edge
@@ -222,9 +232,9 @@ tr:hover { background: #fff3d6; }
 	b.WriteString(g.SVG())
 	b.WriteString("<h2>Edge statistics</h2>\n<table><tr><th>From</th><th>To</th><th>Op</th><th>Volume</th><th>Ops</th><th>Data ops</th><th>Meta ops</th><th>Bandwidth</th><th>Reused</th></tr>\n")
 	for _, e := range g.Edges() {
-		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.2f KB/s</td><td>%v</td></tr>\n",
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%v</td></tr>\n",
 			html.EscapeString(e.From), html.EscapeString(e.To), e.Op,
-			units.Bytes(e.Volume), e.Ops, e.DataOps, e.MetaOps, e.Bandwidth/1e3, e.Reused)
+			units.Bytes(e.Volume), e.Ops, e.DataOps, e.MetaOps, bandwidthLabel(e.Bandwidth), e.Reused)
 	}
 	b.WriteString("</table></body></html>\n")
 	return b.String()
@@ -252,6 +262,8 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	g.nodes = make(map[string]*Node)
 	g.order = nil
 	g.edges = nil
+	g.out = make(map[string][]*Edge)
+	g.in = make(map[string][]*Edge)
 	for _, n := range jg.Nodes {
 		g.AddNode(*n)
 	}

@@ -7,8 +7,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // traceSuffix names on-disk task traces.
@@ -83,24 +85,70 @@ func Load(path string) (*TaskTrace, error) {
 	return Decode(f)
 }
 
-// LoadDir reads every task trace in dir, sorted by task name.
+// LoadDir reads every task trace in dir, sorted by task name. Files
+// are decoded concurrently on a bounded worker pool; the result is
+// deterministic regardless of scheduling: traces come back in the same
+// order a serial load would produce them, and when several files fail
+// to decode, the error reported is the one from the first file in
+// directory order (first-error wins).
 func LoadDir(dir string) ([]*TaskTrace, error) {
+	return loadDirParallel(dir, runtime.GOMAXPROCS(0))
+}
+
+// loadDirParallel is LoadDir with an explicit worker bound (tests pin
+// it to 1 to cross-check determinism against the concurrent path).
+func loadDirParallel(dir string, workers int) ([]*TaskTrace, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load dir: %w", err)
 	}
-	var traces []*TaskTrace
+	var names []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), traceSuffix) {
 			continue
 		}
-		t, err := Load(filepath.Join(dir, e.Name()))
+		names = append(names, e.Name())
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+
+	traces := make([]*TaskTrace, len(names))
+	errs := make([]error, len(names))
+	if workers <= 1 {
+		for i, name := range names {
+			traces[i], errs[i] = Load(filepath.Join(dir, name))
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					traces[i], errs[i] = Load(filepath.Join(dir, names[i]))
+				}
+			}()
+		}
+		for i := range names {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		traces = append(traces, t)
 	}
-	sort.Slice(traces, func(i, j int) bool { return traces[i].Task < traces[j].Task })
+	if len(traces) == 0 {
+		return nil, nil
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Task < traces[j].Task })
 	return traces, nil
 }
 

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeTraceDir writes n minimal valid traces with file names in the
+// opposite lexicographic order of their task names, so LoadDir's final
+// sort by task genuinely reorders the directory listing.
+func writeTraceDir(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		tr := &TaskTrace{
+			Task:    fmt.Sprintf("task_%02d", n-1-i),
+			StartNS: int64(i), EndNS: int64(i) + 100,
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("f_%02d%s", i, traceSuffix)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadDirDeterministicAcrossWorkerCounts(t *testing.T) {
+	dir := writeTraceDir(t, 20)
+	serial, err := loadDirParallel(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 20 {
+		t.Fatalf("serial load = %d traces", len(serial))
+	}
+	for i := 1; i < len(serial); i++ {
+		if serial[i-1].Task > serial[i].Task {
+			t.Fatalf("serial result not sorted by task: %q after %q", serial[i].Task, serial[i-1].Task)
+		}
+	}
+	for _, workers := range []int{2, 4, 8, 64} {
+		for rep := 0; rep < 5; rep++ {
+			got, err := loadDirParallel(dir, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, serial) {
+				t.Fatalf("workers=%d rep=%d: parallel load differs from serial", workers, rep)
+			}
+		}
+	}
+	// The exported entry point agrees too.
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, serial) {
+		t.Fatal("LoadDir differs from serial load")
+	}
+}
+
+func TestLoadDirFirstErrorWins(t *testing.T) {
+	dir := writeTraceDir(t, 12)
+	// Corrupt two files; the error surfaced must be the one from the
+	// file that comes first in directory order, on every run and at
+	// every worker count.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), traceSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 10 {
+		t.Fatalf("only %d trace files", len(names))
+	}
+	first, later := names[2], names[9]
+	if err := os.WriteFile(filepath.Join(dir, first), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, later), []byte("also broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := func() string {
+		_, err := loadDirParallel(dir, 1)
+		if err == nil {
+			t.Fatal("serial load of corrupt dir succeeded")
+		}
+		return err.Error()
+	}()
+	for _, workers := range []int{2, 4, 8} {
+		for rep := 0; rep < 5; rep++ {
+			_, err := loadDirParallel(dir, workers)
+			if err == nil {
+				t.Fatalf("workers=%d: load of corrupt dir succeeded", workers)
+			}
+			if err.Error() != want {
+				t.Fatalf("workers=%d: error %q, want first-in-dir-order error %q", workers, err.Error(), want)
+			}
+		}
+	}
+}

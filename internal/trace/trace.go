@@ -20,8 +20,16 @@ type Extent struct {
 // Len returns the extent length.
 func (e Extent) Len() int64 { return e.End - e.Start }
 
-// Overlaps reports whether two extents overlap or touch.
-func (e Extent) Overlaps(o Extent) bool { return e.Start <= o.End && o.Start <= e.End }
+// Overlaps reports whether two half-open extents share at least one
+// byte. Adjacent extents like [0,10) and [10,20) touch but do not
+// overlap (MergeExtents still coalesces them), and empty extents
+// overlap nothing.
+func (e Extent) Overlaps(o Extent) bool {
+	if e.Len() <= 0 || o.Len() <= 0 {
+		return false
+	}
+	return e.Start < o.End && o.Start < e.End
+}
 
 // MergeExtents coalesces overlapping/touching extents, returning them
 // sorted by start address.

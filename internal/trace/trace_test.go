@@ -73,11 +73,59 @@ func TestExtentBasics(t *testing.T) {
 	if e.Len() != 20 {
 		t.Error("Len wrong")
 	}
-	if !e.Overlaps(Extent{25, 40}) || e.Overlaps(Extent{31, 40}) == true && false {
+	if !e.Overlaps(Extent{25, 40}) {
 		t.Error("Overlaps wrong")
 	}
 	if e.Overlaps(Extent{40, 50}) {
 		t.Error("disjoint extents overlap")
+	}
+	// Half-open semantics: [10,30) and [30,40) are adjacent, sharing no
+	// byte — they merge (see MergeExtents) but must not overlap. The old
+	// inclusive-End comparison falsely reported overlap here.
+	if e.Overlaps(Extent{30, 40}) || (Extent{0, 10}).Overlaps(e) {
+		t.Error("adjacent extents reported as overlapping")
+	}
+	if !e.Overlaps(Extent{29, 31}) || !e.Overlaps(Extent{0, 11}) {
+		t.Error("one-byte overlap missed")
+	}
+	if e.Overlaps(Extent{15, 15}) {
+		t.Error("empty extent overlaps")
+	}
+}
+
+// TestOverlapsAgainstMergeExtents pins Overlaps to MergeExtents'
+// half-open coalescing: two non-empty extents merge into one extent
+// exactly when they overlap or touch, and "touch" is precisely the
+// adjacent, non-overlapping case.
+func TestOverlapsAgainstMergeExtents(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16) bool {
+		mk := func(x, y uint16) Extent {
+			s, e := int64(x), int64(y)
+			if s > e {
+				s, e = e, s
+			}
+			return Extent{s, e + 1} // non-empty half-open extent
+		}
+		a, b := mk(a1, a2), mk(b1, b2)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		merged := MergeExtents([]Extent{a, b})
+		touching := a.End == b.Start || b.End == a.Start
+		switch {
+		case a.Overlaps(b):
+			// Overlapping extents share a byte, so they cannot be merely
+			// adjacent, and they must coalesce.
+			return !touching && len(merged) == 1
+		case touching:
+			// Adjacent extents merge but do not overlap.
+			return len(merged) == 1
+		default:
+			return len(merged) == 2
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -53,6 +53,7 @@ func (d *MemDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
 	}
 	end := off + int64(len(p))
 	if end > int64(len(d.buf)) {
+		oldLen := int64(len(d.buf))
 		if end > int64(cap(d.buf)) {
 			grown := make([]byte, end, growCap(end, int64(cap(d.buf))))
 			copy(grown, d.buf)
@@ -60,9 +61,22 @@ func (d *MemDriver) WriteAt(p []byte, off int64, _ sim.OpClass) error {
 		} else {
 			d.buf = d.buf[:end]
 		}
+		// A write past EOF leaves a hole [oldLen, off) that must read as
+		// zeros. The reslice path re-exposes whatever bytes were left in
+		// cap(d.buf) by an earlier Truncate shrink, so zero the hole
+		// explicitly (a no-op on the freshly-allocated grow path).
+		if off > oldLen {
+			zero(d.buf[oldLen:off])
+		}
 	}
 	copy(d.buf[off:end], p)
 	return nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }
 
 func growCap(need, have int64) int64 {
@@ -90,9 +104,18 @@ func (d *MemDriver) Truncate(size int64) error {
 		d.buf = d.buf[:size]
 		return nil
 	}
-	for int64(len(d.buf)) < size {
-		d.buf = append(d.buf, 0)
+	// Grow in one step. The resliced region may hold bytes from before
+	// an earlier shrink, so it is zeroed; the allocation path gets a
+	// zeroed buffer from make.
+	oldLen := int64(len(d.buf))
+	if size <= int64(cap(d.buf)) {
+		d.buf = d.buf[:size]
+		zero(d.buf[oldLen:])
+		return nil
 	}
+	grown := make([]byte, size, growCap(size, int64(cap(d.buf))))
+	copy(grown, d.buf)
+	d.buf = grown
 	return nil
 }
 

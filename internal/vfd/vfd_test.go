@@ -88,6 +88,70 @@ func TestMemDriverTruncate(t *testing.T) {
 	}
 }
 
+// TestMemDriverTruncateWriteHoleZeroed is the regression test for the
+// stale-data hole: after Truncate shrinks the buffer, a WriteAt past
+// EOF that still fits in cap(d.buf) used to reslice over the
+// pre-truncate bytes, exposing old data in the hole [oldLen, off)
+// instead of zeros.
+func TestMemDriverTruncateWriteHoleZeroed(t *testing.T) {
+	d := NewMemDriver()
+	marker := bytes.Repeat([]byte{0xAB}, 64)
+	if err := d.WriteAt(marker, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	// Write a few bytes at an offset well past EOF but inside the old
+	// capacity: the hole [0, 32) must read back as zeros, not 0xAB.
+	if err := d.WriteAt([]byte{1, 2, 3}, 32, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 35)
+	if err := d.ReadAt(got, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	want := append(make([]byte, 32), 1, 2, 3)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("hole not zeroed after truncate+write: %v", got)
+	}
+
+	// Same hole via Truncate growth instead of WriteAt.
+	if err := d.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate(48); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 48)
+	if err := d.ReadAt(got, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 48)) {
+		t.Fatalf("regrown region not zeroed: %v", got)
+	}
+
+	// A partial shrink keeps surviving bytes and zeroes only the hole.
+	if err := d.WriteAt(marker, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte{9}, 16, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 17)
+	if err := d.ReadAt(got, 0, sim.RawData); err != nil {
+		t.Fatal(err)
+	}
+	want = append(bytes.Repeat([]byte{0xAB}, 8), make([]byte, 8)...)
+	want = append(want, 9)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("partial shrink contents wrong: %v", got)
+	}
+}
+
 func TestMemDriverPropertyRoundTrip(t *testing.T) {
 	// Writing arbitrary data at an arbitrary (bounded) offset then reading
 	// it back yields the same bytes.

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"time"
 
+	"dayu/internal/analyzer"
+	"dayu/internal/graph"
 	"dayu/internal/obs"
 	"dayu/internal/sim"
 	"dayu/internal/tracer"
@@ -80,6 +82,31 @@ type WorkflowBench struct {
 	TracerOverheadPct float64 `json:"tracer_overhead_pct"`
 }
 
+// AnalyzerBench is the analyzer kernel's measurement: FTG + SDG
+// construction over a large synthetic trace set, serial (Parallelism
+// 1) versus parallel (Parallelism = GOMAXPROCS), plus the byte-level
+// equality check between the two builds' outputs — the determinism
+// contract the parallel analyzer promises.
+type AnalyzerBench struct {
+	Name string `json:"name"`
+	// Tasks is the synthetic trace count the kernel analyzed.
+	Tasks int `json:"tasks"`
+	// Cores and Parallelism describe the hardware and the worker bound
+	// the parallel build ran with (speedup is hardware-dependent; a
+	// single-core runner reports ~1x by construction).
+	Cores       int `json:"cores"`
+	Parallelism int `json:"parallelism"`
+	// SerialNS and ParallelNS are the fastest wall times per mode.
+	SerialNS   int64 `json:"serial_ns"`
+	ParallelNS int64 `json:"parallel_ns"`
+	// Speedup is SerialNS/ParallelNS.
+	Speedup float64 `json:"speedup"`
+	// OutputsIdentical records that serial and parallel builds emitted
+	// byte-identical DOT and JSON for both graphs. CI fails the record
+	// when false.
+	OutputsIdentical bool `json:"outputs_identical"`
+}
+
 // BenchResult is the root of a BENCH_*.json document.
 type BenchResult struct {
 	Schema    string          `json:"schema"`
@@ -90,6 +117,9 @@ type BenchResult struct {
 	GOARCH    string          `json:"goarch"`
 	Kernels   []KernelBench   `json:"kernels"`
 	Workflows []WorkflowBench `json:"workflows"`
+	// Analyzer is the parallel-analyzer kernel record (absent in
+	// records produced before the kernel existed).
+	Analyzer *AnalyzerBench `json:"analyzer,omitempty"`
 }
 
 // overheadPct mirrors the experiments package's clamped overhead.
@@ -157,6 +187,12 @@ func RunBenchSuite(cfg BenchSuiteConfig) (*BenchResult, error) {
 		return nil, err
 	}
 	out.Kernels = append(out.Kernels, cc)
+
+	ab, err := benchAnalyzer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Analyzer = ab
 
 	for _, wf := range []struct {
 		name string
@@ -232,6 +268,77 @@ func benchKernel(name string, cfg BenchSuiteConfig, run func(*tracer.Tracer, *ob
 	kb.DisabledObsOverheadPct = overheadPct(kb.UntracedNS, kb.DisabledObsNS)
 	kb.InstrumentationOverheadPct = overheadPct(kb.UntracedNS, kb.InstrumentedNS)
 	return kb, nil
+}
+
+// benchAnalyzer times the Workflow Analyzer's graph builders over the
+// synthetic trace set, serial versus parallel, and byte-compares the
+// two builds' DOT and JSON output.
+func benchAnalyzer(cfg BenchSuiteConfig) (*AnalyzerBench, error) {
+	scfg := SyntheticTraceConfig{}
+	if cfg.Quick {
+		scfg = SyntheticTraceConfig{Tasks: 400, Stages: 5, FilesPerStage: 8, DatasetsPerTask: 3}
+	}
+	traces, m := GenerateSyntheticTraces(scfg)
+	par := runtime.GOMAXPROCS(0)
+	ab := &AnalyzerBench{
+		Name: "analyzer", Tasks: len(traces),
+		Cores: runtime.NumCPU(), Parallelism: par,
+	}
+	build := func(p int) (*graph.Graph, *graph.Graph) {
+		ftg := analyzer.BuildFTGOpts(traces, m, analyzer.Options{Parallelism: p})
+		sdg := analyzer.BuildSDG(traces, m, analyzer.Options{
+			Parallelism: p, IncludeRegions: true, IncludeFileMetadata: true,
+		})
+		return ftg, sdg
+	}
+	var err error
+	if ab.SerialNS, err = fastest(cfg.Reps, func() (time.Duration, error) {
+		t0 := time.Now()
+		build(1)
+		return time.Since(t0), nil
+	}); err != nil {
+		return nil, err
+	}
+	if ab.ParallelNS, err = fastest(cfg.Reps, func() (time.Duration, error) {
+		t0 := time.Now()
+		build(par)
+		return time.Since(t0), nil
+	}); err != nil {
+		return nil, err
+	}
+	if ab.ParallelNS > 0 {
+		ab.Speedup = float64(ab.SerialNS) / float64(ab.ParallelNS)
+	}
+	sftg, ssdg := build(1)
+	pftg, psdg := build(par)
+	identical, err := graphsRenderIdentically(sftg, pftg)
+	if err != nil {
+		return nil, err
+	}
+	if identical {
+		if identical, err = graphsRenderIdentically(ssdg, psdg); err != nil {
+			return nil, err
+		}
+	}
+	ab.OutputsIdentical = identical
+	return ab, nil
+}
+
+// graphsRenderIdentically byte-compares the DOT and JSON renderings of
+// two graphs.
+func graphsRenderIdentically(a, b *graph.Graph) (bool, error) {
+	if a.DOT() != b.DOT() {
+		return false, nil
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		return false, err
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		return false, err
+	}
+	return string(aj) == string(bj), nil
 }
 
 // benchWorkflow runs one workflow replica end to end, tracers on and
@@ -322,6 +429,30 @@ func (r *BenchResult) Validate() error {
 		}
 		if w.VirtualNS <= 0 || w.WallTracedNS <= 0 || w.WallUntracedNS <= 0 {
 			return fmt.Errorf("bench: workflow %s has non-positive timings", w.Name)
+		}
+	}
+	// The analyzer record is optional (absent in pre-kernel records), but
+	// when present it must be internally sound — in particular the
+	// serial/parallel byte-equality gate, which CI's bench-smoke -validate
+	// step enforces.
+	if a := r.Analyzer; a != nil {
+		if a.Name != "analyzer" {
+			return fmt.Errorf("bench: analyzer record named %q, want \"analyzer\"", a.Name)
+		}
+		if a.Tasks <= 0 {
+			return fmt.Errorf("bench: analyzer: tasks = %d, want > 0", a.Tasks)
+		}
+		if a.Cores <= 0 || a.Parallelism <= 0 {
+			return fmt.Errorf("bench: analyzer: cores=%d parallelism=%d, want > 0", a.Cores, a.Parallelism)
+		}
+		if a.SerialNS <= 0 || a.ParallelNS <= 0 {
+			return fmt.Errorf("bench: analyzer has non-positive timings")
+		}
+		if a.Speedup <= 0 || math.IsNaN(a.Speedup) || math.IsInf(a.Speedup, 0) {
+			return fmt.Errorf("bench: analyzer: speedup = %v invalid", a.Speedup)
+		}
+		if !a.OutputsIdentical {
+			return fmt.Errorf("bench: analyzer: parallel build output differs from serial build")
 		}
 	}
 	return nil

@@ -20,6 +20,15 @@ func TestRunBenchSuiteQuick(t *testing.T) {
 	if len(res.Kernels) != 2 || res.Kernels[0].Name != "h5bench" || res.Kernels[1].Name != "corner_case" {
 		t.Errorf("kernels = %+v", res.Kernels)
 	}
+	if res.Analyzer == nil {
+		t.Fatal("quick suite missing analyzer record")
+	}
+	if !res.Analyzer.OutputsIdentical {
+		t.Error("analyzer kernel: parallel output differs from serial")
+	}
+	if res.Analyzer.Tasks != 400 {
+		t.Errorf("analyzer quick tasks = %d, want 400", res.Analyzer.Tasks)
+	}
 	names := make([]string, len(res.Workflows))
 	for i, w := range res.Workflows {
 		names[i] = w.Name
@@ -78,5 +87,32 @@ func TestBenchValidateRejectsBadRecords(t *testing.T) {
 	bad.Kernels = kernels
 	if bad.Validate() == nil {
 		t.Error("zero timing accepted")
+	}
+
+	// Analyzer record: optional, but when present it must be sound.
+	goodAnalyzer := &AnalyzerBench{
+		Name: "analyzer", Tasks: 10, Cores: 1, Parallelism: 1,
+		SerialNS: 1, ParallelNS: 1, Speedup: 1, OutputsIdentical: true,
+	}
+	bad = *good
+	bad.Analyzer = goodAnalyzer
+	if err := bad.Validate(); err != nil {
+		t.Errorf("good analyzer record rejected: %v", err)
+	}
+	mutations := map[string]func(*AnalyzerBench){
+		"outputs differ":   func(a *AnalyzerBench) { a.OutputsIdentical = false },
+		"zero serial time": func(a *AnalyzerBench) { a.SerialNS = 0 },
+		"zero parallelism": func(a *AnalyzerBench) { a.Parallelism = 0 },
+		"zero tasks":       func(a *AnalyzerBench) { a.Tasks = 0 },
+		"negative speedup": func(a *AnalyzerBench) { a.Speedup = -1 },
+	}
+	for label, mutate := range mutations {
+		a := *goodAnalyzer
+		mutate(&a)
+		bad = *good
+		bad.Analyzer = &a
+		if bad.Validate() == nil {
+			t.Errorf("analyzer record with %s accepted", label)
+		}
 	}
 }
