@@ -42,12 +42,21 @@
 //	    and emit the metrics registry in Prometheus text format (default)
 //	    or JSON (-json): engine stage/task spans on the virtual-time
 //	    axis, retry/rollback counters, per-driver VFD op histograms.
+//
+//	dayu serve -dir traces [-addr :8080] [-poll 2s] [-tier nvme] [-nodes n]
+//	    Run the incremental analysis service: watch a trace directory
+//	    and serve FTG/SDG renderings, diagnostics and locality plans
+//	    over HTTP from a content-addressed result cache. See
+//	    /healthz, /metrics and the /v1/{ftg,sdg,diagnose,plan,tasks}
+//	    endpoints.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -58,6 +67,7 @@ import (
 	"dayu/internal/obs"
 	"dayu/internal/optimizer"
 	"dayu/internal/report"
+	"dayu/internal/serve"
 	"dayu/internal/sim"
 	"dayu/internal/trace"
 	"dayu/internal/tracer"
@@ -90,6 +100,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -104,7 +116,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics|serve> [flags]
   run       execute a workload replica with tracing on the simulated cluster
   analyze   build FTG/SDG graphs from saved traces
   diagnose  detect I/O observations and print optimization guidelines
@@ -112,7 +124,8 @@ func usage() {
   report    render a Markdown optimization report from traces
   faults    execute a workload under deterministic fault injection with retry
   bench     run the overhead bench suite; -json writes BENCH_*.json
-  metrics   run a workload with the obs layer on and dump its metrics`)
+  metrics   run a workload with the obs layer on and dump its metrics
+  serve     watch a trace directory and serve cached analyses over HTTP`)
 }
 
 func loadWorkload(name string) (workflow.Spec, func(*workflow.Engine) error, error) {
@@ -281,27 +294,12 @@ func cmdDiagnose(args []string) error {
 	}
 	findings := diagnose.Analyze(traces, m, diagnose.Thresholds{})
 	if *asJSON {
-		type jsonFinding struct {
-			Kind      diagnose.Kind      `json:"kind"`
-			Severity  string             `json:"severity"`
-			Guideline diagnose.Guideline `json:"guideline"`
-			Task      string             `json:"task,omitempty"`
-			File      string             `json:"file,omitempty"`
-			Object    string             `json:"object,omitempty"`
-			Detail    string             `json:"detail"`
-			Metrics   map[string]float64 `json:"metrics,omitempty"`
+		data, err := diagnose.EncodeJSON(findings)
+		if err != nil {
+			return err
 		}
-		out := make([]jsonFinding, 0, len(findings))
-		for _, f := range findings {
-			out = append(out, jsonFinding{
-				Kind: f.Kind, Severity: f.Severity.String(), Guideline: f.Guideline,
-				Task: f.Task, File: f.File, Object: f.Object,
-				Detail: f.Detail, Metrics: f.Metrics,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(out)
+		_, err = os.Stdout.Write(data)
+		return err
 	}
 	if len(findings) == 0 {
 		fmt.Println("no findings")
@@ -520,6 +518,36 @@ func cmdMetrics(args []string) error {
 	}
 	fmt.Print(reg.PrometheusText())
 	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "traces", "trace directory to watch and serve")
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	poll := fs.Duration("poll", 2*time.Second, "directory poll interval (0 = rescan only on request)")
+	tier := fs.String("tier", "nvme", "fast tier for /v1/plan defaults")
+	nodes := fs.Int("nodes", 2, "cluster node count for /v1/plan defaults")
+	page := fs.Int64("page", 4096, "SDG address-region page size")
+	fs.Parse(args)
+
+	s := serve.NewServer(serve.Config{
+		Dir:        *dir,
+		Registry:   obs.NewRegistry(),
+		SDGOptions: analyzer.Options{PageSize: *page},
+		PlanOptions: optimizer.LocalityOptions{
+			FastTier: *tier, Nodes: *nodes, StageOutDisposable: true,
+		},
+		Poll: *poll,
+	})
+	s.Start()
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dayu serve: watching %s, listening on %s (poll %s)\n", *dir, ln.Addr(), *poll)
+	return http.Serve(ln, s)
 }
 
 func cmdPlan(args []string) error {

@@ -58,9 +58,11 @@ func regionNodeID(file string, p1, p2 int64) string {
 }
 func metaNodeID(file string) string { return "meta:" + file + "::File-Metadata" }
 
-// orderTasks returns traces ordered by manifest task order when given,
-// otherwise by start timestamp.
-func orderTasks(traces []*trace.TaskTrace, m *trace.Manifest) []*trace.TaskTrace {
+// OrderTasks returns traces ordered by manifest task order when given,
+// otherwise by start timestamp. This is the canonical merge order: both
+// the batch builders and the incremental serve path feed contributions
+// through it, which is what keeps their outputs byte-identical.
+func OrderTasks(traces []*trace.TaskTrace, m *trace.Manifest) []*trace.TaskTrace {
 	out := append([]*trace.TaskTrace(nil), traces...)
 	if m != nil && len(m.TaskOrder) > 0 {
 		rank := make(map[string]int, len(m.TaskOrder))
@@ -99,22 +101,22 @@ func bandwidth(bytes int64, firstNS, lastNS int64) float64 {
 	return float64(bytes) / (float64(dt) / 1e9)
 }
 
-// contribution is one task's share of a graph: the nodes and edges the
+// Contribution is one task's share of a graph: the nodes and edges the
 // serial build would have added while visiting that task, in the exact
 // order it would have added them. Contributions are computed in
 // parallel (they are pure functions of one trace) and merged serially.
-type contribution struct {
+type Contribution struct {
 	nodes []graph.Node
 	edges []graph.Edge
 }
 
-func (c *contribution) addNode(n graph.Node) { c.nodes = append(c.nodes, n) }
-func (c *contribution) addEdge(e graph.Edge) { c.edges = append(c.edges, e) }
+func (c *Contribution) addNode(n graph.Node) { c.nodes = append(c.nodes, n) }
+func (c *Contribution) addEdge(e graph.Edge) { c.edges = append(c.edges, e) }
 
 // buildContributions computes per-task contributions for the ordered
 // traces on a bounded worker pool and returns them in task order.
-func buildContributions(ordered []*trace.TaskTrace, parallelism int, build func(*trace.TaskTrace) contribution) []contribution {
-	out := make([]contribution, len(ordered))
+func buildContributions(ordered []*trace.TaskTrace, parallelism int, build func(*trace.TaskTrace) Contribution) []Contribution {
+	out := make([]Contribution, len(ordered))
 	if parallelism > len(ordered) {
 		parallelism = len(ordered)
 	}
@@ -146,7 +148,7 @@ func buildContributions(ordered []*trace.TaskTrace, parallelism int, build func(
 // merge folds contributions into the graph in task order — the same
 // sequence of AddNode/AddEdge calls the serial build performs, so node
 // identity, statistics merging and edge order are preserved exactly.
-func merge(g *graph.Graph, contribs []contribution) {
+func merge(g *graph.Graph, contribs []Contribution) {
 	for i := range contribs {
 		for _, n := range contribs[i].nodes {
 			g.AddNode(n)
@@ -168,16 +170,13 @@ func BuildFTG(traces []*trace.TaskTrace, m *trace.Manifest) *graph.Graph {
 // Parallelism applies to FTGs).
 func BuildFTGOpts(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph.Graph {
 	opts = opts.withDefaults()
-	g := graph.New("File-Task Graph")
-	ordered := orderTasks(traces, m)
-	merge(g, buildContributions(ordered, opts.Parallelism, ftgContribution))
-	markReuse(g)
-	return g
+	ordered := OrderTasks(traces, m)
+	return BuildFTGFromContributions(buildContributions(ordered, opts.Parallelism, FTGContribution))
 }
 
-// ftgContribution computes one task's FTG nodes and edges.
-func ftgContribution(t *trace.TaskTrace) contribution {
-	var c contribution
+// FTGContribution computes one task's FTG nodes and edges.
+func FTGContribution(t *trace.TaskTrace) Contribution {
+	var c Contribution
 	c.addNode(graph.Node{
 		ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
 		StartNS: t.StartNS, EndNS: t.EndNS,
@@ -244,37 +243,41 @@ func markReuse(g *graph.Graph) {
 	}
 }
 
-// objDescKey indexes object descriptions for SDG decoration.
-type objDescKey struct{ file, object string }
+// ObjectKey identifies a data object for SDG decoration lookups.
+type ObjectKey struct{ File, Object string }
+
+// ObjectDescs indexes object descriptions (Table I records) by file
+// and object name; SDG dataset nodes are decorated from it.
+type ObjectDescs map[ObjectKey]trace.ObjectRecord
+
+// BuildObjectDescs collects object descriptions from the ordered
+// traces; later tasks' descriptions win, matching the serial build.
+func BuildObjectDescs(ordered []*trace.TaskTrace) ObjectDescs {
+	descs := ObjectDescs{}
+	for _, t := range ordered {
+		for _, o := range t.Objects {
+			descs[ObjectKey{o.File, o.Object}] = o
+		}
+	}
+	return descs
+}
 
 // BuildSDG constructs the Semantic Dataflow Graph: the FTG plus a
 // dataset layer between tasks and files, optionally refined with file
 // address-region nodes and the File-Metadata pseudo-dataset.
 func BuildSDG(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph.Graph {
 	opts = opts.withDefaults()
-	g := graph.New("Semantic Dataflow Graph")
-	ordered := orderTasks(traces, m)
-
-	// Object descriptions indexed for decoration.
-	descs := map[objDescKey]trace.ObjectRecord{}
-	for _, t := range ordered {
-		for _, o := range t.Objects {
-			descs[objDescKey{o.File, o.Object}] = o
-		}
-	}
-
-	merge(g, buildContributions(ordered, opts.Parallelism, func(t *trace.TaskTrace) contribution {
-		return sdgContribution(t, descs, opts)
+	ordered := OrderTasks(traces, m)
+	descs := BuildObjectDescs(ordered)
+	return BuildSDGFromContributions(buildContributions(ordered, opts.Parallelism, func(t *trace.TaskTrace) Contribution {
+		return sdgContribute(t, descs, opts)
 	}))
-	markReuse(g)
-	markDatasetReuse(g)
-	return g
 }
 
-// sdgContribution computes one task's SDG nodes and edges. descs is
+// sdgContribute computes one task's SDG nodes and edges. descs is
 // read-only shared state (safe for concurrent readers).
-func sdgContribution(t *trace.TaskTrace, descs map[objDescKey]trace.ObjectRecord, opts Options) contribution {
-	var c contribution
+func sdgContribute(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contribution {
+	var c Contribution
 	c.addNode(graph.Node{
 		ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
 		StartNS: t.StartNS, EndNS: t.EndNS,
@@ -295,7 +298,7 @@ func sdgContribution(t *trace.TaskTrace, descs map[objDescKey]trace.ObjectRecord
 		}
 		nodeID := datasetNodeID(ms.File, ms.Object)
 		attrs := map[string]string{}
-		if d, ok := descs[objDescKey{ms.File, ms.Object}]; ok {
+		if d, ok := descs[ObjectKey{ms.File, ms.Object}]; ok {
 			attrs["datatype"] = d.Datatype
 			attrs["layout"] = d.Layout
 			attrs["shape"] = fmt.Sprint(d.Shape)
@@ -351,7 +354,7 @@ func operationLabel(ms trace.MappedStat) string {
 	return "none"
 }
 
-func addMetaNode(c *contribution, t *trace.TaskTrace, ms trace.MappedStat) {
+func addMetaNode(c *Contribution, t *trace.TaskTrace, ms trace.MappedStat) {
 	nodeID := metaNodeID(ms.File)
 	c.addNode(graph.Node{
 		ID: nodeID, Kind: graph.KindMeta, Label: "File-Metadata",
@@ -376,7 +379,7 @@ func addMetaNode(c *contribution, t *trace.TaskTrace, ms trace.MappedStat) {
 
 // addRegionEdges converts the object's merged extents into page-range
 // region nodes: dataset -> region -> file (Figure 3's addr nodes).
-func addRegionEdges(c *contribution, ms trace.MappedStat, pageSize int64, datasetID string) {
+func addRegionEdges(c *Contribution, ms trace.MappedStat, pageSize int64, datasetID string) {
 	for _, ext := range ms.Regions {
 		p1 := ext.Start / pageSize
 		p2 := (ext.End + pageSize - 1) / pageSize

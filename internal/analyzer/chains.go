@@ -49,7 +49,7 @@ func (c Chain) Len() int { return len(c.Hops) }
 // data-producing predecessor hop and are extended greedily; cycles
 // (write-after-read updates) terminate a chain rather than looping.
 func DependencyChains(traces []*trace.TaskTrace, m *trace.Manifest) []Chain {
-	ordered := orderTasks(traces, m)
+	ordered := OrderTasks(traces, m)
 	taskIdx := map[string]int{}
 	for i, t := range ordered {
 		taskIdx[t.Task] = i

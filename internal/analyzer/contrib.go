@@ -1,0 +1,90 @@
+package analyzer
+
+import (
+	"encoding/json"
+	"sort"
+
+	"dayu/internal/graph"
+	"dayu/internal/trace"
+)
+
+// This file is the analyzer's incremental-build surface: exported hooks
+// that let a caller (the serve package) compute one task's graph
+// contribution at a time, cache it under the task trace's content hash,
+// and later merge cached contributions into a full graph. The hooks are
+// the exact functions the batch builders use internally, so a merge of
+// cached contributions in task order is byte-identical to
+// BuildFTG/BuildSDG on a fresh load.
+
+// SDGContribution computes one task's SDG contribution. The descs
+// index must come from BuildObjectDescs over the full ordered trace
+// set; the contribution is a pure function of (trace, relevant descs,
+// options), which is what makes it cacheable — see
+// ObjectDescs.Fingerprint for the cache-key component covering descs.
+func SDGContribution(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contribution {
+	return sdgContribute(t, descs, opts.withDefaults())
+}
+
+// Fingerprint returns a stable content hash of the description entries
+// the task's mapped objects reference (present or absent alike). A
+// cached SDG contribution keyed by (trace hash, fingerprint) stays
+// valid until either the trace bytes or one of the descriptions it
+// actually consumes changes — edits to unrelated tasks never
+// invalidate it.
+func (d ObjectDescs) Fingerprint(t *trace.TaskTrace) string {
+	keys := make([]ObjectKey, 0, len(t.Mapped))
+	seen := map[ObjectKey]bool{}
+	for _, ms := range t.Mapped {
+		k := ObjectKey{ms.File, ms.Object}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].File != keys[j].File {
+			return keys[i].File < keys[j].File
+		}
+		return keys[i].Object < keys[j].Object
+	})
+	type entry struct {
+		Key     ObjectKey          `json:"key"`
+		Present bool               `json:"present"`
+		Desc    trace.ObjectRecord `json:"desc,omitempty"`
+	}
+	entries := make([]entry, 0, len(keys))
+	for _, k := range keys {
+		e := entry{Key: k}
+		if desc, ok := d[k]; ok {
+			e.Present, e.Desc = true, desc
+		}
+		entries = append(entries, e)
+	}
+	data, err := json.Marshal(entries)
+	if err != nil {
+		// ObjectRecord marshals without error by construction.
+		panic(err)
+	}
+	return trace.HashBytes(data)
+}
+
+// BuildFTGFromContributions assembles the File-Task Graph from
+// per-task contributions already in task order (see OrderTasks) and
+// applies the whole-graph decoration passes. Contributions are not
+// mutated and may be reused across calls.
+func BuildFTGFromContributions(contribs []Contribution) *graph.Graph {
+	g := graph.New("File-Task Graph")
+	merge(g, contribs)
+	markReuse(g)
+	return g
+}
+
+// BuildSDGFromContributions is the SDG counterpart of
+// BuildFTGFromContributions.
+func BuildSDGFromContributions(contribs []Contribution) *graph.Graph {
+	g := graph.New("Semantic Dataflow Graph")
+	merge(g, contribs)
+	markReuse(g)
+	markDatasetReuse(g)
+	return g
+}

@@ -36,7 +36,7 @@ type TimelineSpan struct {
 
 // BuildTimeline derives the time-ordered view from task traces.
 func BuildTimeline(traces []*trace.TaskTrace, m *trace.Manifest) *Timeline {
-	ordered := orderTasks(traces, m)
+	ordered := OrderTasks(traces, m)
 	tl := &Timeline{}
 	for _, t := range ordered {
 		tt := TimelineTask{Name: t.Task, Start: t.StartNS, End: t.EndNS}

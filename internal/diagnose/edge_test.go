@@ -1,0 +1,159 @@
+package diagnose
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dayu/internal/trace"
+)
+
+// TestAnalyzeEdgeCases drives Analyze through degenerate inputs that
+// the rule implementations must tolerate without panicking or emitting
+// spurious findings: no traces at all, a trace with no I/O, a single
+// task, and a written file that no task ever reads back.
+func TestAnalyzeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		traces []*trace.TaskTrace
+		m      *trace.Manifest
+		check  func(t *testing.T, fs []Finding)
+	}{
+		{
+			name:   "nil traces",
+			traces: nil,
+			check: func(t *testing.T, fs []Finding) {
+				if len(fs) != 0 {
+					t.Errorf("findings from nothing: %+v", fs)
+				}
+			},
+		},
+		{
+			name:   "empty trace no io",
+			traces: []*trace.TaskTrace{{Task: "idle", StartNS: 0, EndNS: 100}},
+			check: func(t *testing.T, fs []Finding) {
+				if len(fs) != 0 {
+					t.Errorf("findings from an I/O-free trace: %+v", fs)
+				}
+			},
+		},
+		{
+			name: "single task",
+			traces: []*trace.TaskTrace{
+				mkTrace("solo", 0,
+					trace.FileRecord{File: "in.h5", Reads: 2, BytesRead: 100, DataOps: 2},
+					trace.FileRecord{File: "out.h5", Writes: 2, BytesWritten: 100, DataOps: 2}),
+			},
+			check: func(t *testing.T, fs []Finding) {
+				// One task cannot reuse, order-depend, or parallelize.
+				for _, k := range []Kind{DataReuse, TimeDependentInput, NoDataDependency,
+					WriteAfterRead, FanInPattern, AllToAllPattern} {
+					if got := ByKind(fs, k); len(got) != 0 {
+						t.Errorf("single task produced %s: %+v", k, got)
+					}
+				}
+				// Its unread output is disposable.
+				disp := ByKind(fs, DisposableData)
+				var out bool
+				for _, f := range disp {
+					if f.File == "out.h5" {
+						out = true
+					}
+				}
+				if !out {
+					t.Errorf("solo output not disposable: %+v", disp)
+				}
+			},
+		},
+		{
+			name: "writer without reader",
+			traces: []*trace.TaskTrace{
+				mkTrace("producer", 0, trace.FileRecord{File: "orphan.h5",
+					Writes: 4, BytesWritten: 1 << 10, DataOps: 4}),
+				mkTrace("bystander", 100, trace.FileRecord{File: "other.h5",
+					Reads: 1, BytesRead: 10, DataOps: 1}),
+			},
+			check: func(t *testing.T, fs []Finding) {
+				disp := ByKind(fs, DisposableData)
+				var orphan bool
+				for _, f := range disp {
+					if f.File == "orphan.h5" {
+						orphan = true
+						if f.Guideline != GuidelineStageOut {
+							t.Errorf("orphan guideline = %s, want %s", f.Guideline, GuidelineStageOut)
+						}
+					}
+				}
+				if !orphan {
+					t.Errorf("never-read output not flagged disposable: %+v", disp)
+				}
+				// The write must not be misread as reuse or a read-order issue.
+				if got := ByKind(fs, DataReuse); len(got) != 0 {
+					t.Errorf("unread file counted as reuse: %+v", got)
+				}
+				if got := ByKind(fs, ReadAfterWrite); len(got) != 0 {
+					t.Errorf("pure writer flagged read-after-write: %+v", got)
+				}
+			},
+		},
+		{
+			name: "manifest naming absent tasks",
+			traces: []*trace.TaskTrace{
+				mkTrace("real", 0, trace.FileRecord{File: "a.h5", Reads: 1, BytesRead: 10, DataOps: 1}),
+			},
+			m: &trace.Manifest{Workflow: "w", TaskOrder: []string{"ghost", "real"},
+				Stages: map[string][]string{"s": {"ghost", "real"}}, StageOrder: []string{"s"}},
+			check: func(t *testing.T, fs []Finding) {
+				// Must not panic or invent findings for the missing task.
+				for _, f := range fs {
+					if f.Task == "ghost" {
+						t.Errorf("finding for task with no trace: %+v", f)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.check(t, Analyze(tc.traces, tc.m, Thresholds{}))
+		})
+	}
+}
+
+func TestEncodeJSON(t *testing.T) {
+	empty, err := EncodeJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "[]\n" {
+		t.Errorf("empty encoding = %q, want %q", empty, "[]\n")
+	}
+
+	fs := []Finding{{
+		Kind: DataReuse, Severity: Warning, Guideline: GuidelineCaching,
+		File: "shared.h5", Detail: "2 readers", Metrics: map[string]float64{"readers": 2},
+	}}
+	b, err := EncodeJSON(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("invalid JSON %q: %v", b, err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded[0]["severity"] != "warning" {
+		t.Errorf("severity = %v, want string name", decoded[0]["severity"])
+	}
+	if decoded[0]["kind"] != string(DataReuse) {
+		t.Errorf("kind = %v", decoded[0]["kind"])
+	}
+	if _, ok := decoded[0]["task"]; ok {
+		t.Error("empty task field not omitted")
+	}
+	if !strings.HasSuffix(string(b), "\n") {
+		t.Error("encoding lacks trailing newline")
+	}
+}

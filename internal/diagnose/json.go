@@ -1,0 +1,41 @@
+package diagnose
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// jsonFinding is the wire form of a Finding: identical fields, with
+// the numeric severity rendered as its string name.
+type jsonFinding struct {
+	Kind      Kind               `json:"kind"`
+	Severity  string             `json:"severity"`
+	Guideline Guideline          `json:"guideline"`
+	Task      string             `json:"task,omitempty"`
+	File      string             `json:"file,omitempty"`
+	Object    string             `json:"object,omitempty"`
+	Detail    string             `json:"detail"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+}
+
+// EncodeJSON renders findings as an indented JSON array (an empty
+// slice encodes as [], never null) terminated by a newline. The CLI
+// `dayu diagnose -json` and the serve /v1/diagnose endpoint share this
+// encoding, so their outputs are byte-identical for the same traces.
+func EncodeJSON(findings []Finding) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Kind: f.Kind, Severity: f.Severity.String(), Guideline: f.Guideline,
+			Task: f.Task, File: f.File, Object: f.Object,
+			Detail: f.Detail, Metrics: f.Metrics,
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -246,6 +246,12 @@ func detectDisposable(c *analysisContext) []Finding {
 				File:   file,
 				Detail: "output with a single outgoing consumer; offload to slower storage after use",
 			})
+		case len(writers) > 0 && len(readers) == 0:
+			out = append(out, Finding{
+				Kind: DisposableData, Severity: Info, Guideline: GuidelineStageOut,
+				File:   file,
+				Detail: "output never read back within the workflow; drain it to capacity storage",
+			})
 		}
 	}
 	return out

@@ -113,6 +113,15 @@ func (g *Graph) AddNode(n Node) *Node {
 		return existing
 	}
 	cp := n
+	// Clone the attribute map so the graph never aliases caller-owned
+	// state: contributions cached across incremental rebuilds must not
+	// be mutated when a later AddNode merges attrs into this node.
+	if n.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
 	g.nodes[n.ID] = &cp
 	g.order = append(g.order, n.ID)
 	return &cp
@@ -150,6 +159,12 @@ func (g *Graph) AddEdge(e Edge) (*Edge, error) {
 		return nil, fmt.Errorf("graph: edge to unknown node %q", e.To)
 	}
 	cp := e
+	if e.Attrs != nil {
+		cp.Attrs = make(map[string]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
 	g.edges = append(g.edges, &cp)
 	g.out[cp.From] = append(g.out[cp.From], &cp)
 	g.in[cp.To] = append(g.in[cp.To], &cp)

@@ -1,0 +1,28 @@
+package obs
+
+import "net/http"
+
+// Handler returns an http.Handler exposing the registry: Prometheus
+// text exposition format by default, the JSON snapshot with
+// ?format=json. A nil registry serves an empty exposition, so wiring
+// the handler is safe even when observability is disabled.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			data, err := r.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.PrometheusText()))
+	})
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerPrometheusAndJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Name("dayu_serve_cache_hits_total", "cache", "snapshot")).Add(3)
+	reg.Gauge("dayu_serve_inflight_requests").Set(1)
+	reg.Histogram("dayu_serve_ingest_ns", LatencyBuckets()).Observe(1500)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, `dayu_serve_cache_hits_total{cache="snapshot"} 3`) {
+		t.Errorf("prometheus body missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "dayu_serve_inflight_requests 1") {
+		t.Errorf("prometheus body missing gauge:\n%s", body)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("content type = %q", resp.Header.Get("Content-Type"))
+	}
+
+	resp2, err := http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[Name("dayu_serve_cache_hits_total", "cache", "snapshot")] != 3 {
+		t.Errorf("json snapshot counters = %v", snap.Counters)
+	}
+
+	resp3, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp3.StatusCode)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil registry status = %d", rec.Code)
+	}
+}

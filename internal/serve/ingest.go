@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"dayu/internal/analyzer"
+	"dayu/internal/trace"
+)
+
+// fileState identifies one on-disk trace file revision. Size and
+// modification time short-circuit the scan (an untouched file is not
+// even re-read); the content hash is the authoritative identity — a
+// rewritten file with identical bytes maps to the same cached work.
+type fileState struct {
+	size    int64
+	modTime time.Time
+	hash    string
+}
+
+// taskEntry is the parsed-trace cache, keyed by file path in the
+// server's scan state. The decoded trace is reused as long as the
+// content hash matches, so touching a file (mtime change, same bytes)
+// re-hashes but never re-parses.
+type taskEntry struct {
+	fileState
+	trace *trace.TaskTrace
+}
+
+// TaskInfo is one row of the /v1/tasks listing.
+type TaskInfo struct {
+	Task    string    `json:"task"`
+	File    string    `json:"file"`
+	Size    int64     `json:"size"`
+	Hash    string    `json:"hash"`
+	ModTime time.Time `json:"mod_time"`
+	StartNS int64     `json:"start_ns"`
+	EndNS   int64     `json:"end_ns"`
+	Failed  bool      `json:"failed,omitempty"`
+}
+
+// refresh rescans the trace directory and, when its content changed,
+// builds and atomically publishes a new snapshot. It is the single
+// writer: callers must hold s.ingestMu. Returns the current snapshot
+// (possibly the unchanged one) or the scan/build error.
+func (s *Server) refresh() (*snapshot, error) {
+	start := time.Now()
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		s.ingestErrors.Inc()
+		return nil, fmt.Errorf("serve: scan %s: %w", s.cfg.Dir, err)
+	}
+
+	seen := make(map[string]bool, len(entries))
+	changed := false
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace.json") {
+			continue
+		}
+		path := filepath.Join(s.cfg.Dir, e.Name())
+		seen[path] = true
+		info, err := e.Info()
+		if err != nil {
+			s.ingestErrors.Inc()
+			return nil, fmt.Errorf("serve: stat %s: %w", path, err)
+		}
+		prev, ok := s.files[path]
+		if ok && prev.size == info.Size() && prev.modTime.Equal(info.ModTime()) {
+			continue // untouched: not even re-read
+		}
+		// Stat changed (or new file): re-read and re-hash; only a
+		// content change forces a re-parse.
+		if ok {
+			hash, err := trace.HashFile(path)
+			if err != nil {
+				s.ingestErrors.Inc()
+				return nil, err
+			}
+			if hash == prev.hash {
+				prev.size, prev.modTime = info.Size(), info.ModTime()
+				continue
+			}
+		}
+		tt, hash, err := trace.LoadHashed(path)
+		if err != nil {
+			s.ingestErrors.Inc()
+			return nil, err
+		}
+		s.traceParses.Inc()
+		s.files[path] = &taskEntry{
+			fileState: fileState{size: info.Size(), modTime: info.ModTime(), hash: hash},
+			trace:     tt,
+		}
+		changed = true
+	}
+	for path := range s.files {
+		if !seen[path] {
+			delete(s.files, path)
+			changed = true
+		}
+	}
+	if err := s.refreshManifest(&changed); err != nil {
+		s.ingestErrors.Inc()
+		return nil, err
+	}
+
+	cur := s.snap.Load()
+	if cur != nil && !changed {
+		s.snapshotHits.Inc()
+		return cur, nil
+	}
+	s.snapshotMisses.Inc()
+
+	next := s.buildSnapshot()
+	s.snap.Store(next)
+	s.ingests.Inc()
+	s.ingestNS.Observe(time.Since(start).Nanoseconds())
+	s.snapshotTasks.Set(int64(len(next.traces)))
+	return next, nil
+}
+
+// refreshManifest reloads dir/manifest.json when its bytes changed.
+func (s *Server) refreshManifest(changed *bool) error {
+	path := filepath.Join(s.cfg.Dir, "manifest.json")
+	info, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		if s.manifest != nil || s.manifestState.hash != "" {
+			s.manifest, s.manifestState = nil, fileState{}
+			*changed = true
+		}
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: stat %s: %w", path, err)
+	}
+	if s.manifestState.hash != "" && s.manifestState.size == info.Size() &&
+		s.manifestState.modTime.Equal(info.ModTime()) {
+		return nil
+	}
+	hash, err := trace.HashFile(path)
+	if err != nil {
+		return err
+	}
+	if hash == s.manifestState.hash {
+		s.manifestState.size, s.manifestState.modTime = info.Size(), info.ModTime()
+		return nil
+	}
+	m, err := trace.LoadManifest(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	s.manifest = m
+	s.manifestState = fileState{size: info.Size(), modTime: info.ModTime(), hash: hash}
+	*changed = true
+	return nil
+}
+
+// buildSnapshot assembles a read-only snapshot from the current scan
+// state: traces sorted exactly as trace.LoadDir sorts them, per-task
+// contributions pulled from the content-addressed caches (computing
+// and caching only the missing ones), and both graphs merged in the
+// deterministic task order the batch builders use.
+func (s *Server) buildSnapshot() *snapshot {
+	paths := make([]string, 0, len(s.files))
+	for path := range s.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths) // directory order, as os.ReadDir yields it
+
+	traces := make([]*trace.TaskTrace, 0, len(paths))
+	hashByTrace := make(map[*trace.TaskTrace]string, len(paths))
+	infoByTrace := make(map[*trace.TaskTrace]TaskInfo, len(paths))
+	for _, path := range paths {
+		ent := s.files[path]
+		traces = append(traces, ent.trace)
+		hashByTrace[ent.trace] = ent.hash
+		infoByTrace[ent.trace] = TaskInfo{
+			Task: ent.trace.Task, File: path, Size: ent.size, Hash: ent.hash,
+			ModTime: ent.modTime, StartNS: ent.trace.StartNS, EndNS: ent.trace.EndNS,
+			Failed: ent.trace.Failed,
+		}
+	}
+	// LoadDir's final ordering: stable sort by task name over the
+	// directory-ordered slice.
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Task < traces[j].Task })
+
+	ordered := analyzer.OrderTasks(traces, s.manifest)
+	descs := analyzer.BuildObjectDescs(ordered)
+
+	ftgContribs := make([]analyzer.Contribution, len(ordered))
+	sdgContribs := make([]analyzer.Contribution, len(ordered))
+	usedFTG := make(map[string]bool, len(ordered))
+	usedSDG := make(map[string]bool, len(ordered))
+	for i, tt := range ordered {
+		hash := hashByTrace[tt]
+		usedFTG[hash] = true
+		if c, ok := s.ftgCache[hash]; ok {
+			s.contribHits.Inc()
+			ftgContribs[i] = c
+		} else {
+			s.contribMisses.Inc()
+			c = analyzer.FTGContribution(tt)
+			s.ftgCache[hash] = c
+			ftgContribs[i] = c
+		}
+		sdgKey := hash + ":" + descs.Fingerprint(tt)
+		usedSDG[sdgKey] = true
+		if c, ok := s.sdgCache[sdgKey]; ok {
+			s.contribHits.Inc()
+			sdgContribs[i] = c
+		} else {
+			s.contribMisses.Inc()
+			c = analyzer.SDGContribution(tt, descs, s.cfg.SDGOptions)
+			s.sdgCache[sdgKey] = c
+			sdgContribs[i] = c
+		}
+	}
+	// Keep exactly the contributions this snapshot used: earlier
+	// revisions of changed traces and stale description-fingerprint
+	// variants are unreachable once the snapshot swaps.
+	for hash := range s.ftgCache {
+		if !usedFTG[hash] {
+			delete(s.ftgCache, hash)
+		}
+	}
+	for key := range s.sdgCache {
+		if !usedSDG[key] {
+			delete(s.sdgCache, key)
+		}
+	}
+
+	infos := make([]TaskInfo, 0, len(traces))
+	for _, tt := range traces {
+		infos = append(infos, infoByTrace[tt])
+	}
+
+	snap := &snapshot{
+		id:       s.snapshotID(paths),
+		traces:   traces,
+		manifest: s.manifest,
+		tasks:    infos,
+		ftg:      analyzer.BuildFTGFromContributions(ftgContribs),
+		sdg:      analyzer.BuildSDGFromContributions(sdgContribs),
+		rendered: map[string][]byte{},
+	}
+	return snap
+}
+
+// snapshotID is the content address of the whole directory state: the
+// manifest hash plus every trace file's name and content hash.
+func (s *Server) snapshotID(paths []string) string {
+	var b strings.Builder
+	b.WriteString("manifest:")
+	b.WriteString(s.manifestState.hash)
+	for _, path := range paths {
+		b.WriteString("\n")
+		b.WriteString(filepath.Base(path))
+		b.WriteString("=")
+		b.WriteString(s.files[path].hash)
+	}
+	return trace.HashBytes([]byte(b.String()))
+}

@@ -1,0 +1,467 @@
+// Package serve is DaYu's incremental analysis service: a long-running
+// HTTP server that watches a trace directory, ingests new, changed and
+// deleted per-task trace files incrementally, and answers FTG/SDG,
+// diagnostics and optimizer-plan requests from a content-addressed
+// cache. Chimbuko-style online analysis (PAPERS.md) applied to the
+// paper's per-task trace files, which are naturally incremental units.
+//
+// Caching has three layers, all content-addressed from the trace
+// bytes:
+//
+//  1. Parsed traces, keyed by file content hash: a touched-but-equal
+//     file is re-hashed, never re-parsed; an untouched file (same
+//     size and mtime) is not even re-read.
+//  2. Per-task graph contributions (the analyzer's parallel-build
+//     unit), keyed by trace hash — plus, for SDGs, a fingerprint of
+//     the object descriptions the task references. One changed task
+//     recomputes one contribution; the rest merge from cache.
+//  3. Rendered responses, keyed per snapshot and format: repeat
+//     requests against an unchanged directory are pure cache reads.
+//
+// Concurrency follows a single-writer snapshot-swap model: one
+// goroutine at a time may ingest (guarded by ingestMu; request-path
+// refreshes use TryLock and fall back to the current snapshot), and
+// the published *snapshot is immutable except for its lazily filled
+// render cache, which its own mutex guards. Readers load the snapshot
+// pointer atomically and never observe a half-built graph.
+//
+// Responses are byte-identical to the batch CLI path — BuildFTG /
+// BuildSDG / diagnose.Analyze / PlanDataLocality over a fresh
+// trace.LoadDir — which the equivalence tests pin across add, modify
+// and delete of task traces.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dayu/internal/analyzer"
+	"dayu/internal/diagnose"
+	"dayu/internal/graph"
+	"dayu/internal/obs"
+	"dayu/internal/optimizer"
+	"dayu/internal/trace"
+)
+
+// Config configures the service.
+type Config struct {
+	// Dir is the watched trace directory.
+	Dir string
+	// Registry receives the serve metrics; nil disables them (every
+	// metric handle is nil-safe).
+	Registry *obs.Registry
+	// SDGOptions controls /v1/sdg construction (Parallelism is unused:
+	// contributions are computed one task at a time on ingest).
+	SDGOptions analyzer.Options
+	// PlanOptions are the defaults for /v1/plan; tier and nodes can be
+	// overridden per request with ?tier= and ?nodes=.
+	PlanOptions optimizer.LocalityOptions
+	// Poll is the background rescan interval; 0 means requests trigger
+	// the rescan themselves (still incremental, still cached).
+	Poll time.Duration
+}
+
+// snapshot is an immutable view of one ingested directory state. The
+// graphs are fully built at publish time; rendered holds lazily
+// cached response bodies keyed by endpoint and format.
+type snapshot struct {
+	id       string
+	traces   []*trace.TaskTrace
+	manifest *trace.Manifest
+	tasks    []TaskInfo
+	ftg      *graph.Graph
+	sdg      *graph.Graph
+
+	mu       sync.Mutex
+	rendered map[string][]byte
+	findings []diagnose.Finding
+	diagDone bool
+}
+
+// Server is the incremental analysis service. It implements
+// http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// ingestMu serializes directory scans and snapshot builds: the
+	// single-writer half of the snapshot-swap model.
+	ingestMu      sync.Mutex
+	files         map[string]*taskEntry
+	manifest      *trace.Manifest
+	manifestState fileState
+
+	// Content-addressed contribution caches (writer-owned).
+	ftgCache map[string]analyzer.Contribution
+	sdgCache map[string]analyzer.Contribution
+
+	snap    atomic.Pointer[snapshot]
+	lastErr atomic.Pointer[ingestError]
+
+	// Metric handles (nil-safe when cfg.Registry is nil).
+	requests       func(path string) *obs.Counter
+	requestNS      func(path string) *obs.Histogram
+	inflight       *obs.Gauge
+	ingests        *obs.Counter
+	ingestNS       *obs.Histogram
+	ingestErrors   *obs.Counter
+	traceParses    *obs.Counter
+	snapshotHits   *obs.Counter
+	snapshotMisses *obs.Counter
+	contribHits    *obs.Counter
+	contribMisses  *obs.Counter
+	responseHits   *obs.Counter
+	responseMisses *obs.Counter
+	snapshotTasks  *obs.Gauge
+
+	stop     chan struct{}
+	done     chan struct{}
+	watching bool // set by Start before the watcher goroutine exists
+}
+
+type ingestError struct {
+	err  error
+	when time.Time
+}
+
+// NewServer builds the service and performs the initial ingest; a
+// missing or unreadable directory is reported by the first request
+// (and /healthz) rather than failing construction.
+func NewServer(cfg Config) *Server {
+	reg := cfg.Registry
+	s := &Server{
+		cfg:      cfg,
+		files:    map[string]*taskEntry{},
+		ftgCache: map[string]analyzer.Contribution{},
+		sdgCache: map[string]analyzer.Contribution{},
+
+		requests: func(path string) *obs.Counter {
+			return reg.Counter(obs.Name("dayu_serve_requests_total", "path", path))
+		},
+		requestNS: func(path string) *obs.Histogram {
+			return reg.Histogram(obs.Name("dayu_serve_request_ns", "path", path), obs.LatencyBuckets())
+		},
+		inflight:       reg.Gauge("dayu_serve_inflight_requests"),
+		ingests:        reg.Counter("dayu_serve_ingests_total"),
+		ingestNS:       reg.Histogram("dayu_serve_ingest_ns", obs.LatencyBuckets()),
+		ingestErrors:   reg.Counter("dayu_serve_ingest_errors_total"),
+		traceParses:    reg.Counter("dayu_serve_trace_parses_total"),
+		snapshotHits:   reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "snapshot")),
+		snapshotMisses: reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "snapshot")),
+		contribHits:    reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "contribution")),
+		contribMisses:  reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "contribution")),
+		responseHits:   reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "response")),
+		responseMisses: reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "response")),
+		snapshotTasks:  reg.Gauge("dayu_serve_snapshot_tasks"),
+
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/tasks", s.instrument("/v1/tasks", s.handleTasks))
+	mux.HandleFunc("/v1/ftg", s.instrument("/v1/ftg", s.graphHandler("ftg")))
+	mux.HandleFunc("/v1/sdg", s.instrument("/v1/sdg", s.graphHandler("sdg")))
+	mux.HandleFunc("/v1/diagnose", s.instrument("/v1/diagnose", s.handleDiagnose))
+	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", s.handlePlan))
+	mux.Handle("/metrics", obs.Handler(reg))
+	s.mux = mux
+
+	s.Ingest() // initial scan; errors surface via healthz/requests
+	return s
+}
+
+// Start launches the background watcher when cfg.Poll > 0. Close stops
+// it. Start must be called at most once.
+func (s *Server) Start() {
+	if s.cfg.Poll <= 0 {
+		return
+	}
+	s.watching = true
+	go func() {
+		defer close(s.done)
+		ticker := time.NewTicker(s.cfg.Poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+				s.Ingest()
+			}
+		}
+	}()
+}
+
+// Close stops the background watcher (a no-op when none is running).
+func (s *Server) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	if s.watching {
+		<-s.done
+	}
+}
+
+// Ingest synchronously rescans the directory (blocking on the writer
+// lock) and returns the resulting snapshot or the scan error.
+func (s *Server) Ingest() (*snapshot, error) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	snap, err := s.refresh()
+	if err != nil {
+		s.lastErr.Store(&ingestError{err: err, when: time.Now()})
+		return s.snap.Load(), err
+	}
+	s.lastErr.Store(nil)
+	return snap, nil
+}
+
+// current returns the freshest snapshot a request should serve: it
+// opportunistically refreshes (TryLock — if an ingest is already
+// running the request serves the published snapshot instead of
+// queueing behind the writer).
+func (s *Server) current() (*snapshot, error) {
+	if s.ingestMu.TryLock() {
+		snap, err := s.refresh()
+		if err != nil {
+			s.lastErr.Store(&ingestError{err: err, when: time.Now()})
+		} else {
+			s.lastErr.Store(nil)
+		}
+		s.ingestMu.Unlock()
+		if err == nil {
+			return snap, nil
+		}
+		if fallback := s.snap.Load(); fallback != nil {
+			return fallback, nil // stale but consistent
+		}
+		return nil, err
+	}
+	if snap := s.snap.Load(); snap != nil {
+		return snap, nil
+	}
+	// No snapshot published yet and the writer is busy: report rather
+	// than block the request path.
+	return nil, fmt.Errorf("serve: first ingest still in progress")
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// instrument wraps a handler with the request metrics.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		s.requests(path).Inc()
+		h(w, r)
+		s.requestNS(path).Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// render returns the cached response body for key, computing and
+// caching it on first use. The compute function runs under the
+// snapshot's render lock: at most once per (snapshot, key).
+func (s *Server) render(snap *snapshot, key string, compute func() ([]byte, error)) ([]byte, error) {
+	snap.mu.Lock()
+	defer snap.mu.Unlock()
+	if body, ok := snap.rendered[key]; ok {
+		s.responseHits.Inc()
+		return body, nil
+	}
+	s.responseMisses.Inc()
+	body, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	snap.rendered[key] = body
+	return body, nil
+}
+
+// graphHandler serves /v1/ftg and /v1/sdg in json (default), dot,
+// html or svg form.
+func (s *Server) graphHandler(which string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, err := s.current()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		g := snap.ftg
+		if which == "sdg" {
+			g = snap.sdg
+		}
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			format = "json"
+		}
+		var contentType string
+		switch format {
+		case "json":
+			contentType = "application/json"
+		case "dot":
+			contentType = "text/vnd.graphviz; charset=utf-8"
+		case "html":
+			contentType = "text/html; charset=utf-8"
+		case "svg":
+			contentType = "image/svg+xml"
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (json, dot, html, svg)", format), http.StatusBadRequest)
+			return
+		}
+		body, err := s.render(snap, which+"."+format, func() ([]byte, error) {
+			switch format {
+			case "json":
+				// Matches the batch CLI's analyze output encoding.
+				return json.MarshalIndent(g, "", " ")
+			case "dot":
+				return []byte(g.DOT()), nil
+			case "html":
+				return []byte(g.HTML()), nil
+			default:
+				return []byte(g.SVG()), nil
+			}
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Header().Set("X-Dayu-Snapshot", snap.id)
+		_, _ = w.Write(body)
+	}
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.current()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	body, err := s.render(snap, "diagnose", func() ([]byte, error) {
+		return diagnose.EncodeJSON(snap.diagnoseLocked())
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dayu-Snapshot", snap.id)
+	_, _ = w.Write(body)
+}
+
+// diagnoseLocked computes the findings once per snapshot; callers must
+// hold snap.mu (render does).
+func (snap *snapshot) diagnoseLocked() []diagnose.Finding {
+	if !snap.diagDone {
+		snap.findings = diagnose.Analyze(snap.traces, snap.manifest, diagnose.Thresholds{})
+		snap.diagDone = true
+	}
+	return snap.findings
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.current()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	opts := s.cfg.PlanOptions
+	q := r.URL.Query()
+	if tier := q.Get("tier"); tier != "" {
+		opts.FastTier = tier
+	}
+	if nodes := q.Get("nodes"); nodes != "" {
+		n := 0
+		if _, err := fmt.Sscanf(nodes, "%d", &n); err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad nodes %q", nodes), http.StatusBadRequest)
+			return
+		}
+		opts.Nodes = n
+	}
+	key := fmt.Sprintf("plan:%s:%d", opts.FastTier, opts.Nodes)
+	body, err := s.render(snap, key, func() ([]byte, error) {
+		plan := optimizer.PlanDataLocality(snap.traces, snap.manifest, opts)
+		return json.MarshalIndent(plan, "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dayu-Snapshot", snap.id)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.current()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	body, err := s.render(snap, "tasks", func() ([]byte, error) {
+		return json.MarshalIndent(struct {
+			Snapshot string     `json:"snapshot"`
+			Tasks    []TaskInfo `json:"tasks"`
+		}{Snapshot: snap.id, Tasks: snap.tasks}, "", "  ")
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dayu-Snapshot", snap.id)
+	_, _ = w.Write(body)
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status          string    `json:"status"`
+	Snapshot        string    `json:"snapshot,omitempty"`
+	Tasks           int       `json:"tasks"`
+	LastIngestError string    `json:"last_ingest_error,omitempty"`
+	LastErrorAt     time.Time `json:"last_error_at,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Health reflects but never triggers ingestion: load whatever is
+	// published and report the last ingest error, if any.
+	snap := s.snap.Load()
+	h := Health{Status: "ok"}
+	if snap != nil {
+		h.Snapshot = snap.id
+		h.Tasks = len(snap.tasks)
+	}
+	status := http.StatusOK
+	if ie := s.lastErr.Load(); ie != nil {
+		h.Status = "degraded"
+		h.LastIngestError = ie.err.Error()
+		h.LastErrorAt = ie.when
+		if snap == nil {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	body, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+)
+
+// HashBytes returns the hex SHA-256 digest of b: the content address
+// used by the incremental analysis service to key cached per-task
+// results. Two trace files with identical bytes always map to the same
+// cache entry regardless of path or timestamps.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// LoadHashed reads one trace file and returns the decoded trace
+// together with the content hash of its raw bytes. The file is read
+// exactly once; decode and validation errors carry the file path.
+func LoadHashed(path string) (*TaskTrace, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("trace: load: %w", err)
+	}
+	t, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, "", fmt.Errorf("trace: load %s: %w", path, err)
+	}
+	return t, HashBytes(data), nil
+}
+
+// HashFile returns the content hash of the file at path without
+// decoding it.
+func HashFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", fmt.Errorf("trace: hash: %w", err)
+	}
+	return HashBytes(data), nil
+}

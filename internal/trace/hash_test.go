@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, dir, task string) string {
+	t.Helper()
+	tr := &TaskTrace{Task: task, StartNS: 1, EndNS: 2}
+	path, err := tr.Save(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadHashedStableAndContentAddressed(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, "alpha")
+
+	tr1, h1, err := LoadHashed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Task != "alpha" {
+		t.Fatalf("task = %q", tr1.Task)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash %q is not a hex sha256", h1)
+	}
+	_, h2, err := LoadHashed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("same bytes hashed differently: %s vs %s", h1, h2)
+	}
+	hf, err := HashFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hf != h1 {
+		t.Fatalf("HashFile = %s, LoadHashed = %s", hf, h1)
+	}
+
+	// A different trace in another directory with identical bytes maps
+	// to the same content address.
+	other := t.TempDir()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := filepath.Join(other, "copy.trace.json")
+	if err := os.WriteFile(copyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, h3, err := LoadHashed(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 != h1 {
+		t.Fatalf("identical bytes at different paths hashed differently")
+	}
+
+	// Changing the bytes changes the address.
+	tr1.EndNS = 99
+	if _, err := tr1.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, h4, err := LoadHashed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h4 == h1 {
+		t.Fatalf("mutated trace kept the same content hash")
+	}
+}
+
+// Regression: single-file load errors must name the offending file so
+// serve's ingest loop (and LoadDir callers) can report which task trace
+// is corrupt. Before the fix, decode and validation failures surfaced
+// as bare "trace: decode: ..." errors with no path.
+func TestLoadErrorsCarryFilePath(t *testing.T) {
+	dir := t.TempDir()
+
+	corrupt := filepath.Join(dir, "corrupt"+traceSuffix)
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalid := filepath.Join(dir, "invalid"+traceSuffix)
+	// Valid JSON, fails Validate (end before start).
+	if err := os.WriteFile(invalid, []byte(`{"task":"x","start_ns":10,"end_ns":5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{corrupt, invalid} {
+		if _, err := Load(path); err == nil {
+			t.Fatalf("Load(%s) succeeded on bad input", path)
+		} else if !strings.Contains(err.Error(), path) {
+			t.Errorf("Load(%s) error %q does not carry the file path", path, err)
+		}
+		if _, _, err := LoadHashed(path); err == nil {
+			t.Fatalf("LoadHashed(%s) succeeded on bad input", path)
+		} else if !strings.Contains(err.Error(), path) {
+			t.Errorf("LoadHashed(%s) error %q does not carry the file path", path, err)
+		}
+	}
+
+	// LoadDir propagates the first bad file's path (directory order).
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("LoadDir succeeded on a directory with corrupt traces")
+	} else if !strings.Contains(err.Error(), corrupt) {
+		t.Errorf("LoadDir error %q does not name the corrupt file", err)
+	}
+}
+
+func TestHashBytesDiffers(t *testing.T) {
+	if HashBytes([]byte("a")) == HashBytes([]byte("b")) {
+		t.Fatal("distinct bytes share a hash")
+	}
+	if !bytes.Equal([]byte(HashBytes(nil)), []byte(HashBytes([]byte{}))) {
+		t.Fatal("nil and empty slices should hash identically")
+	}
+}

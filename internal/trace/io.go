@@ -75,14 +75,21 @@ func (t *TaskTrace) Save(dir string) (string, error) {
 	return path, nil
 }
 
-// Load reads one trace file.
+// Load reads one trace file. Every error path — open, decode, and
+// validation failures alike — carries the file path (via %w wrapping
+// where the underlying error does not already embed it), so callers
+// looping over a directory can report which task trace is corrupt.
 func Load(path string) (*TaskTrace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load: %w", err)
 	}
 	defer f.Close()
-	return Decode(f)
+	t, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load %s: %w", path, err)
+	}
+	return t, nil
 }
 
 // LoadDir reads every task trace in dir, sorted by task name. Files

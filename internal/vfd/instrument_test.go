@@ -33,10 +33,10 @@ func TestInstrumentedDriverMetrics(t *testing.T) {
 
 	snap := reg.Snapshot()
 	checks := map[string]int64{
-		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "open"):   1,
-		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "write"):  2,
-		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "read"):   1,
-		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "close"):  1,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "open"):    1,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "write"):   2,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "read"):    1,
+		obs.Name("dayu_vfd_ops_total", "driver", "mem", "op", "close"):   1,
 		obs.Name("dayu_vfd_bytes_total", "driver", "mem", "op", "write"): 144,
 		obs.Name("dayu_vfd_bytes_total", "driver", "mem", "op", "read"):  128,
 	}
