@@ -49,6 +49,12 @@
 //	    over HTTP from a content-addressed result cache. See
 //	    /healthz, /metrics and the /v1/{ftg,sdg,diagnose,plan,tasks}
 //	    endpoints.
+//
+//	dayu convert -traces dir -o dir [-format dtb|json]
+//	    Rewrite a trace directory in the requested serialization
+//	    (dtb/v2 binary by default), carrying the manifest along.
+//	    Analyses over the converted directory are byte-identical to
+//	    the original.
 package main
 
 import (
@@ -102,6 +108,8 @@ func main() {
 		err = cmdMetrics(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -125,7 +133,8 @@ func usage() {
   faults    execute a workload under deterministic fault injection with retry
   bench     run the overhead bench suite; -json writes BENCH_*.json
   metrics   run a workload with the obs layer on and dump its metrics
-  serve     watch a trace directory and serve cached analyses over HTTP`)
+  serve     watch a trace directory and serve cached analyses over HTTP
+  convert   rewrite a trace directory between JSON and dtb/v2 binary`)
 }
 
 func loadWorkload(name string) (workflow.Spec, func(*workflow.Engine) error, error) {
@@ -152,10 +161,15 @@ func cmdRun(args []string) error {
 	machine := fs.String("machine", "cpu-cluster", "simulated machine (cpu-cluster, gpu-cluster)")
 	nodes := fs.Int("nodes", 2, "cluster node count")
 	tracesDir := fs.String("traces", "traces", "trace output directory")
+	format := fs.String("format", "json", "trace serialization (json, dtb)")
 	ioTrace := fs.Bool("io-trace", false, "record time-sensitive raw I/O traces")
 	parallel := fs.Bool("parallel", false, "execute stage tasks on goroutines (per-task profilers)")
 	fs.Parse(args)
 
+	tf, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
 	m, err := sim.MachineByName(*machine)
 	if err != nil {
 		return err
@@ -176,15 +190,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*tracesDir, 0o755); err != nil {
-		return err
-	}
-	for _, tt := range res.Traces {
-		if _, err := tt.Save(*tracesDir); err != nil {
-			return err
-		}
-	}
-	if err := trace.SaveManifest(*tracesDir, res.Manifest); err != nil {
+	if err := res.SaveTraces(*tracesDir, tf); err != nil {
 		return err
 	}
 	fmt.Printf("workflow %s: %d tasks, simulated time %s\n",
@@ -461,6 +467,17 @@ func cmdBench(args []string) error {
 			units.Duration(time.Duration(a.SerialNS)),
 			units.Duration(time.Duration(a.ParallelNS)), a.Speedup, match)
 	}
+	if c := res.Codec; c != nil {
+		match := "graphs identical"
+		if !c.BinaryEquivalent {
+			match = "GRAPHS DIFFER"
+		}
+		fmt.Printf("kernel %-12s %d traces  decode json %-12s dtb %-12s (%.2fx)  size json %-10s dtb %-10s (%.1f%%)  %s\n",
+			c.Name, c.Tasks,
+			units.Duration(time.Duration(c.JSONDecodeNS)),
+			units.Duration(time.Duration(c.BinaryDecodeNS)), c.DecodeSpeedup,
+			units.Bytes(c.JSONBytes), units.Bytes(c.BinaryBytes), 100*c.SizeRatio, match)
+	}
 	for _, w := range res.Workflows {
 		fmt.Printf("workflow %-12s %d stages, %d tasks  virtual %-12s wall %-12s tracer %.2f%%\n",
 			w.Name, w.Stages, w.Tasks,
@@ -548,6 +565,55 @@ func cmdServe(args []string) error {
 	}
 	fmt.Printf("dayu serve: watching %s, listening on %s (poll %s)\n", *dir, ln.Addr(), *poll)
 	return http.Serve(ln, s)
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	tracesDir := fs.String("traces", "traces", "trace input directory")
+	out := fs.String("o", "", "output directory (required, distinct from -traces)")
+	format := fs.String("format", "dtb", "target serialization (json, dtb)")
+	fs.Parse(args)
+
+	tf, err := trace.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("convert: -o output directory required")
+	}
+	traces, m, err := loadTraceDir(*tracesDir)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	var inBytes, outBytes int64
+	for _, tt := range traces {
+		path, err := tt.SaveFormat(*out, tf)
+		if err != nil {
+			return err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		outBytes += info.Size()
+		n, err := tt.EncodedSizeIn(trace.FormatJSON)
+		if err != nil {
+			return err
+		}
+		inBytes += n
+	}
+	if m != nil {
+		if err := trace.SaveManifest(*out, m); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("converted %d traces to %s (%s) — %s as JSON, %s on disk (%.1f%%)\n",
+		len(traces), *out, tf, units.Bytes(inBytes), units.Bytes(outBytes),
+		100*float64(outBytes)/float64(inBytes))
+	return nil
 }
 
 func cmdPlan(args []string) error {

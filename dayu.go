@@ -107,6 +107,8 @@ type (
 	MappedStat = trace.MappedStat
 	// Manifest carries workflow-level task ordering for the analyzer.
 	Manifest = trace.Manifest
+	// TraceFormat selects a trace serialization (JSON or dtb/v2).
+	TraceFormat = trace.Format
 	// Mailbox is the VOL-to-VFD current-object channel.
 	Mailbox = semantics.Mailbox
 )
@@ -364,8 +366,22 @@ func GenerateReport(traces []*TaskTrace, m *Manifest, opts ReportOptions) string
 	return report.Generate(traces, m, opts)
 }
 
-// LoadTraces reads every task trace in a directory.
+// Trace serializations: JSON (v1) and the dtb/v2 binary wire format.
+// LoadTraces sniffs the format per file; SaveTraceFormat picks one.
+const (
+	TraceFormatJSON   = trace.FormatJSON
+	TraceFormatBinary = trace.FormatBinary
+)
+
+// LoadTraces reads every task trace in a directory — JSON and dtb/v2
+// binary files alike.
 func LoadTraces(dir string) ([]*TaskTrace, error) { return trace.LoadDir(dir) }
+
+// SaveTraceFormat writes one task trace into dir in the given format,
+// returning the file path.
+func SaveTraceFormat(t *TaskTrace, dir string, f TraceFormat) (string, error) {
+	return t.SaveFormat(dir, f)
+}
 
 // LoadManifest reads a workflow manifest (nil when absent).
 func LoadManifest(dir string) (*Manifest, error) { return trace.LoadManifest(dir) }

@@ -58,7 +58,7 @@ func (s *Server) refresh() (*snapshot, error) {
 	seen := make(map[string]bool, len(entries))
 	changed := false
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".trace.json") {
+		if e.IsDir() || !trace.IsTraceFile(e.Name()) {
 			continue
 		}
 		path := filepath.Join(s.cfg.Dir, e.Name())

@@ -220,3 +220,46 @@ func TestServeEmptyDirectory(t *testing.T) {
 		t.Errorf("empty-dir FTG body: %s", body)
 	}
 }
+
+// TestServeBinaryTraceDirEquivalent converts the fixture directory to
+// dtb/v2 binary traces and asserts the server ingests it and answers
+// every analysis endpoint with bytes identical to the JSON-backed
+// server: the wire format must be invisible to downstream consumers.
+func TestServeBinaryTraceDirEquivalent(t *testing.T) {
+	jsonDir := writeFixtureDir(t)
+	traces, err := trace.LoadDir(jsonDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.LoadManifest(jsonDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binDir := t.TempDir()
+	for _, tt := range traces {
+		if _, err := tt.SaveFormat(binDir, trace.FormatBinary); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := trace.SaveManifest(binDir, m); err != nil {
+		t.Fatal(err)
+	}
+	bumpMtimes(t, binDir, 0)
+
+	js := NewServer(Config{Dir: jsonDir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
+	defer js.Close()
+	bs := NewServer(Config{Dir: binDir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
+	defer bs.Close()
+	jsrv := httptest.NewServer(js)
+	defer jsrv.Close()
+	bsrv := httptest.NewServer(bs)
+	defer bsrv.Close()
+
+	for _, path := range []string{"/v1/ftg", "/v1/sdg", "/v1/diagnose", "/v1/plan"} {
+		want := get(t, jsrv, path)
+		got := get(t, bsrv, path)
+		if string(got) != string(want) {
+			t.Errorf("%s over binary traces differs from JSON traces", path)
+		}
+	}
+}

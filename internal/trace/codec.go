@@ -1,0 +1,703 @@
+package trace
+
+// The dtb/v2 binary trace wire format.
+//
+// JSON traces repeat every field name and every task/file/object name
+// per record; on the 3000-task synthetic workflow that decode cost
+// dominates analysis wall time. dtb/v2 collapses it with a per-file
+// string-intern table and varint integers:
+//
+//	header   magic "\x89DTB\r\n" + uvarint version (2) + uvarint flags
+//	strings  uvarint count, then per string: uvarint len + raw bytes
+//	task     uvarint task-ref, varint start/end, uvarint attempts,
+//	         1-byte failed
+//	sections objects, files, mapped, io-trace, in that order; each is
+//	         a nil-preserving uvarint count (0 = nil slice, n+1 = n
+//	         records) followed by the records
+//	trailer  exactly EOF; trailing bytes are rejected
+//
+// All integers are varints (signed fields zigzag-encoded), strings are
+// uvarint indexes into the intern table, and slices use the same
+// nil-preserving count scheme as sections so a JSON→dtb→JSON round
+// trip is deeply equal, not just semantically equal. When flag bit 0
+// is set (the default) every record is additionally framed with a
+// uvarint byte length, so a streaming decoder can verify record
+// boundaries and skip damaged or unknown records without buffering the
+// whole file.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// binaryMagic opens every dtb file. The PNG-style first byte keeps the
+// file from sniffing as text; the embedded CRLF catches newline
+// mangling in transfer.
+const binaryMagic = "\x89DTB\r\n"
+
+// binaryVersion is the current wire-format version ("v2": v1 was the
+// JSON encoding).
+const binaryVersion = 2
+
+// flagFramed marks files whose records carry a uvarint length prefix.
+const flagFramed = 1
+
+// maxBinaryLen bounds any single length read from the wire (string
+// bytes, slice counts, record frames) so a corrupt count cannot drive
+// a multi-gigabyte allocation before the read fails.
+const maxBinaryLen = 1 << 26
+
+// Format selects a trace serialization.
+type Format int
+
+const (
+	// FormatJSON is the v1 encoding: one JSON document per trace.
+	FormatJSON Format = iota
+	// FormatBinary is the dtb/v2 encoding.
+	FormatBinary
+)
+
+// String names the format as ParseFormat accepts it.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatBinary:
+		return "dtb"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// Suffix returns the on-disk trace file suffix for the format.
+func (f Format) Suffix() string {
+	if f == FormatBinary {
+		return binarySuffix
+	}
+	return traceSuffix
+}
+
+// ParseFormat resolves a -format flag value.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "json":
+		return FormatJSON, nil
+	case "dtb", "binary", "dtb/v2":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (json, dtb)", s)
+}
+
+// BinaryOptions tunes EncodeBinaryOpts.
+type BinaryOptions struct {
+	// Unframed drops the per-record length prefixes, trading the
+	// decoder's boundary verification for a slightly smaller file.
+	Unframed bool
+}
+
+// EncodeBinary writes the trace in dtb/v2 with per-record framing.
+func (t *TaskTrace) EncodeBinary(w io.Writer) error {
+	return t.EncodeBinaryOpts(w, BinaryOptions{})
+}
+
+// EncodeFormat writes the trace to w in the given format.
+func (t *TaskTrace) EncodeFormat(w io.Writer, f Format) error {
+	if f == FormatBinary {
+		return t.EncodeBinary(w)
+	}
+	return t.Encode(w)
+}
+
+// EncodedSizeIn returns the serialized byte size of the trace in the
+// given format: the Figure 9d storage-overhead metric, comparable
+// across formats.
+func (t *TaskTrace) EncodedSizeIn(f Format) (int64, error) {
+	var cw countingWriter
+	if err := t.EncodeFormat(&cw, f); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// stringTable interns strings in first-use order, so encoding is
+// deterministic: the same trace always produces the same bytes.
+type stringTable struct {
+	index map[string]uint64
+	list  []string
+}
+
+func (st *stringTable) intern(s string) {
+	if _, ok := st.index[s]; ok {
+		return
+	}
+	st.index[s] = uint64(len(st.list))
+	st.list = append(st.list, s)
+}
+
+// buildStringTable walks the trace in wire order and interns every
+// string field.
+func buildStringTable(t *TaskTrace) *stringTable {
+	st := &stringTable{index: make(map[string]uint64, 16)}
+	st.intern(t.Task)
+	for _, o := range t.Objects {
+		st.intern(o.Task)
+		st.intern(o.File)
+		st.intern(o.Object)
+		st.intern(o.Type)
+		st.intern(o.Datatype)
+		st.intern(o.Layout)
+	}
+	for _, f := range t.Files {
+		st.intern(f.Task)
+		st.intern(f.File)
+	}
+	for _, m := range t.Mapped {
+		st.intern(m.Task)
+		st.intern(m.File)
+		st.intern(m.Object)
+	}
+	for _, r := range t.IOTrace {
+		st.intern(r.File)
+		st.intern(r.Object)
+	}
+	return st
+}
+
+// binWriter is a sticky-error varint writer.
+type binWriter struct {
+	w   io.Writer
+	st  *stringTable
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *binWriter) raw(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *binWriter) uv(v uint64) {
+	n := binary.PutUvarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *binWriter) v(v int64) {
+	n := binary.PutVarint(e.buf[:], v)
+	e.raw(e.buf[:n])
+}
+
+func (e *binWriter) str(s string) {
+	idx, ok := e.st.index[s]
+	if !ok && e.err == nil {
+		e.err = fmt.Errorf("trace: dtb encode: string %q missing from intern table", s)
+		return
+	}
+	e.uv(idx)
+}
+
+func (e *binWriter) boolByte(b bool) {
+	var p [1]byte
+	if b {
+		p[0] = 1
+	}
+	e.raw(p[:])
+}
+
+// sliceLen writes the nil-preserving count: 0 for a nil slice, n+1
+// for a slice of n elements (so empty-but-non-nil survives the round
+// trip, matching what a JSON re-encode would preserve in memory).
+func (e *binWriter) sliceLen(n int, isNil bool) {
+	if isNil {
+		e.uv(0)
+		return
+	}
+	e.uv(uint64(n) + 1)
+}
+
+func (e *binWriter) ints(s []int64) {
+	e.sliceLen(len(s), s == nil)
+	for _, v := range s {
+		e.v(v)
+	}
+}
+
+func (e *binWriter) extents(s []Extent) {
+	e.sliceLen(len(s), s == nil)
+	for _, x := range s {
+		e.v(x.Start)
+		e.v(x.End)
+	}
+}
+
+// EncodeBinaryOpts writes the trace in dtb/v2 with explicit options.
+func (t *TaskTrace) EncodeBinaryOpts(w io.Writer, opts BinaryOptions) error {
+	bw := bufio.NewWriter(w)
+	st := buildStringTable(t)
+	e := &binWriter{w: bw, st: st}
+
+	e.raw([]byte(binaryMagic))
+	e.uv(binaryVersion)
+	var flags uint64
+	if !opts.Unframed {
+		flags |= flagFramed
+	}
+	e.uv(flags)
+
+	e.uv(uint64(len(st.list)))
+	for _, s := range st.list {
+		e.uv(uint64(len(s)))
+		e.raw([]byte(s))
+	}
+
+	e.str(t.Task)
+	e.v(t.StartNS)
+	e.v(t.EndNS)
+	e.v(int64(t.Attempts))
+	e.boolByte(t.Failed)
+
+	// frame buffers one record when framing is on; records stream
+	// straight to bw otherwise.
+	var rec recordBuffer
+	frame := func(encode func(*binWriter)) {
+		if opts.Unframed {
+			encode(e)
+			return
+		}
+		rec.reset()
+		fe := &binWriter{w: &rec, st: st}
+		encode(fe)
+		if fe.err != nil && e.err == nil {
+			e.err = fe.err
+		}
+		e.uv(uint64(len(rec.b)))
+		e.raw(rec.b)
+	}
+
+	e.sliceLen(len(t.Objects), t.Objects == nil)
+	for i := range t.Objects {
+		o := &t.Objects[i]
+		frame(func(e *binWriter) {
+			e.str(o.Task)
+			e.str(o.File)
+			e.str(o.Object)
+			e.str(o.Type)
+			e.str(o.Datatype)
+			e.ints(o.Shape)
+			e.v(o.ElemSize)
+			e.str(o.Layout)
+			e.ints(o.ChunkDims)
+			e.v(o.AcquiredNS)
+			e.v(o.ReleasedNS)
+			e.v(o.Reads)
+			e.v(o.Writes)
+			e.v(o.BytesRead)
+			e.v(o.BytesWritten)
+		})
+	}
+
+	e.sliceLen(len(t.Files), t.Files == nil)
+	for i := range t.Files {
+		f := &t.Files[i]
+		frame(func(e *binWriter) {
+			e.str(f.Task)
+			e.str(f.File)
+			e.v(f.OpenNS)
+			e.v(f.CloseNS)
+			e.v(f.Ops)
+			e.v(f.Reads)
+			e.v(f.Writes)
+			e.v(f.BytesRead)
+			e.v(f.BytesWritten)
+			e.v(f.DataReads)
+			e.v(f.DataWrites)
+			e.v(f.SequentialOps)
+			e.v(f.MetaOps)
+			e.v(f.DataOps)
+			e.v(f.MetaBytes)
+			e.v(f.DataBytes)
+			e.extents(f.Regions)
+		})
+	}
+
+	e.sliceLen(len(t.Mapped), t.Mapped == nil)
+	for i := range t.Mapped {
+		m := &t.Mapped[i]
+		frame(func(e *binWriter) {
+			e.str(m.Task)
+			e.str(m.File)
+			e.str(m.Object)
+			e.v(m.MetaOps)
+			e.v(m.DataOps)
+			e.v(m.MetaBytes)
+			e.v(m.DataBytes)
+			e.v(m.Reads)
+			e.v(m.Writes)
+			e.extents(m.Regions)
+			e.v(m.FirstNS)
+			e.v(m.LastNS)
+		})
+	}
+
+	e.sliceLen(len(t.IOTrace), t.IOTrace == nil)
+	for i := range t.IOTrace {
+		r := &t.IOTrace[i]
+		frame(func(e *binWriter) {
+			e.v(r.Seq)
+			e.v(r.WallNS)
+			e.str(r.File)
+			e.v(r.Offset)
+			e.v(r.Length)
+			e.boolByte(r.Write)
+			e.boolByte(r.Meta)
+			e.str(r.Object)
+		})
+	}
+
+	if e.err != nil {
+		return fmt.Errorf("trace: dtb encode: %w", e.err)
+	}
+	return bw.Flush()
+}
+
+// recordBuffer is a reusable byte sink for framed record encoding.
+type recordBuffer struct{ b []byte }
+
+func (r *recordBuffer) reset() { r.b = r.b[:0] }
+
+func (r *recordBuffer) Write(p []byte) (int, error) {
+	r.b = append(r.b, p...)
+	return len(p), nil
+}
+
+// binReader is a sticky-error varint reader. It counts consumed bytes
+// so the framed decode path can verify each record ends exactly on its
+// frame boundary.
+type binReader struct {
+	r     *bufio.Reader
+	table []string
+	n     int64
+	err   error
+}
+
+func (d *binReader) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (d *binReader) ReadByte() (byte, error) {
+	b, err := d.r.ReadByte()
+	if err == nil {
+		d.n++
+	}
+	return b, err
+}
+
+func (d *binReader) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d)
+	if err != nil {
+		d.fail(fmt.Errorf("read uvarint: %w", err))
+	}
+	return v
+}
+
+func (d *binReader) v() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d)
+	if err != nil {
+		d.fail(fmt.Errorf("read varint: %w", err))
+	}
+	return v
+}
+
+func (d *binReader) boolByte() bool {
+	if d.err != nil {
+		return false
+	}
+	b, err := d.ReadByte()
+	if err != nil {
+		d.fail(fmt.Errorf("read bool: %w", err))
+		return false
+	}
+	switch b {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	d.fail(fmt.Errorf("bool byte = %#x", b))
+	return false
+}
+
+func (d *binReader) bytesN(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > maxBinaryLen {
+		d.fail(fmt.Errorf("length %d exceeds limit %d", n, maxBinaryLen))
+		return nil
+	}
+	p := make([]byte, n)
+	read, err := io.ReadFull(d.r, p)
+	d.n += int64(read)
+	if err != nil {
+		d.fail(fmt.Errorf("read %d bytes: %w", n, err))
+		return nil
+	}
+	return p
+}
+
+func (d *binReader) str() string {
+	idx := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if idx >= uint64(len(d.table)) {
+		d.fail(fmt.Errorf("string ref %d outside table of %d", idx, len(d.table)))
+		return ""
+	}
+	return d.table[idx]
+}
+
+// sliceLen reverses binWriter.sliceLen: ok is false for a nil slice.
+func (d *binReader) sliceLen() (n int, ok bool) {
+	v := d.uv()
+	if d.err != nil || v == 0 {
+		return 0, false
+	}
+	if v-1 > maxBinaryLen {
+		d.fail(fmt.Errorf("slice length %d exceeds limit %d", v-1, maxBinaryLen))
+		return 0, false
+	}
+	return int(v - 1), true
+}
+
+func (d *binReader) ints() []int64 {
+	n, ok := d.sliceLen()
+	if !ok {
+		return nil
+	}
+	s := make([]int64, 0, capHint(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		s = append(s, d.v())
+	}
+	return s
+}
+
+func (d *binReader) extents() []Extent {
+	n, ok := d.sliceLen()
+	if !ok {
+		return nil
+	}
+	s := make([]Extent, 0, capHint(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		s = append(s, Extent{Start: d.v(), End: d.v()})
+	}
+	return s
+}
+
+// capHint bounds pre-allocation from wire-supplied counts: the reader
+// hits EOF long before a lying count forces a huge allocation.
+func capHint(n int) int {
+	const maxPrealloc = 1 << 12
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
+// DecodeBinary reads one dtb/v2 trace from r and validates it.
+func DecodeBinary(r io.Reader) (*TaskTrace, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	t, err := decodeBinary(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: dtb decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func decodeBinary(br *bufio.Reader) (*TaskTrace, error) {
+	d := &binReader{r: br}
+	magic := d.bytesN(uint64(len(binaryMagic)))
+	if d.err != nil {
+		return nil, fmt.Errorf("header: %w", d.err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("bad magic %q", magic)
+	}
+	if v := d.uv(); d.err == nil && v != binaryVersion {
+		return nil, fmt.Errorf("unsupported version %d (want %d)", v, binaryVersion)
+	}
+	flags := d.uv()
+	framed := flags&flagFramed != 0
+
+	nstr := d.uv()
+	if d.err == nil && nstr > maxBinaryLen {
+		return nil, fmt.Errorf("string table count %d exceeds limit", nstr)
+	}
+	d.table = make([]string, 0, capHint(int(nstr)))
+	for i := uint64(0); i < nstr && d.err == nil; i++ {
+		d.table = append(d.table, string(d.bytesN(d.uv())))
+	}
+
+	t := &TaskTrace{
+		Task:    d.str(),
+		StartNS: d.v(),
+		EndNS:   d.v(),
+	}
+	t.Attempts = int(d.v())
+	t.Failed = d.boolByte()
+
+	// record runs decode inside the frame accounting: when framing is
+	// on, each record's declared length must match the bytes consumed.
+	record := func(decode func()) {
+		if d.err != nil {
+			return
+		}
+		if !framed {
+			decode()
+			return
+		}
+		want := d.uv()
+		if d.err != nil {
+			return
+		}
+		if want > maxBinaryLen {
+			d.fail(fmt.Errorf("record frame %d exceeds limit %d", want, maxBinaryLen))
+			return
+		}
+		start := d.n
+		decode()
+		if d.err == nil && d.n-start != int64(want) {
+			d.fail(fmt.Errorf("record frame declared %d bytes, consumed %d", want, d.n-start))
+		}
+	}
+
+	if n, ok := d.sliceLen(); ok {
+		t.Objects = make([]ObjectRecord, 0, capHint(n))
+		for i := 0; i < n && d.err == nil; i++ {
+			var o ObjectRecord
+			record(func() {
+				o.Task = d.str()
+				o.File = d.str()
+				o.Object = d.str()
+				o.Type = d.str()
+				o.Datatype = d.str()
+				o.Shape = d.ints()
+				o.ElemSize = d.v()
+				o.Layout = d.str()
+				o.ChunkDims = d.ints()
+				o.AcquiredNS = d.v()
+				o.ReleasedNS = d.v()
+				o.Reads = d.v()
+				o.Writes = d.v()
+				o.BytesRead = d.v()
+				o.BytesWritten = d.v()
+			})
+			t.Objects = append(t.Objects, o)
+		}
+	}
+
+	if n, ok := d.sliceLen(); ok {
+		t.Files = make([]FileRecord, 0, capHint(n))
+		for i := 0; i < n && d.err == nil; i++ {
+			var f FileRecord
+			record(func() {
+				f.Task = d.str()
+				f.File = d.str()
+				f.OpenNS = d.v()
+				f.CloseNS = d.v()
+				f.Ops = d.v()
+				f.Reads = d.v()
+				f.Writes = d.v()
+				f.BytesRead = d.v()
+				f.BytesWritten = d.v()
+				f.DataReads = d.v()
+				f.DataWrites = d.v()
+				f.SequentialOps = d.v()
+				f.MetaOps = d.v()
+				f.DataOps = d.v()
+				f.MetaBytes = d.v()
+				f.DataBytes = d.v()
+				f.Regions = d.extents()
+			})
+			t.Files = append(t.Files, f)
+		}
+	}
+
+	if n, ok := d.sliceLen(); ok {
+		t.Mapped = make([]MappedStat, 0, capHint(n))
+		for i := 0; i < n && d.err == nil; i++ {
+			var m MappedStat
+			record(func() {
+				m.Task = d.str()
+				m.File = d.str()
+				m.Object = d.str()
+				m.MetaOps = d.v()
+				m.DataOps = d.v()
+				m.MetaBytes = d.v()
+				m.DataBytes = d.v()
+				m.Reads = d.v()
+				m.Writes = d.v()
+				m.Regions = d.extents()
+				m.FirstNS = d.v()
+				m.LastNS = d.v()
+			})
+			t.Mapped = append(t.Mapped, m)
+		}
+	}
+
+	if n, ok := d.sliceLen(); ok {
+		t.IOTrace = make([]IORecord, 0, capHint(n))
+		for i := 0; i < n && d.err == nil; i++ {
+			var r IORecord
+			record(func() {
+				r.Seq = d.v()
+				r.WallNS = d.v()
+				r.File = d.str()
+				r.Offset = d.v()
+				r.Length = d.v()
+				r.Write = d.boolByte()
+				r.Meta = d.boolByte()
+				r.Object = d.str()
+			})
+			t.IOTrace = append(t.IOTrace, r)
+		}
+	}
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trailing data after trace")
+	}
+	return t, nil
+}
+
+// SniffFormat reports the serialization a trace byte stream uses,
+// from its first bytes: binary traces open with the dtb magic,
+// anything else is treated as JSON.
+func SniffFormat(prefix []byte) Format {
+	if len(prefix) >= len(binaryMagic) && string(prefix[:len(binaryMagic)]) == binaryMagic {
+		return FormatBinary
+	}
+	return FormatJSON
+}

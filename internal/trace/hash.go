@@ -17,9 +17,12 @@ func HashBytes(b []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// LoadHashed reads one trace file and returns the decoded trace
-// together with the content hash of its raw bytes. The file is read
-// exactly once; decode and validation errors carry the file path.
+// LoadHashed reads one trace file — either format, sniffed like Load —
+// and returns the decoded trace together with the content hash of its
+// raw bytes. The file is read exactly once; decode and validation
+// errors carry the file path. Hashing raw bytes keeps cache keys
+// stable per format: a JSON file and its dtb conversion are distinct
+// content, but re-reading either always yields the same key.
 func LoadHashed(path string) (*TaskTrace, string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -13,8 +13,19 @@ import (
 	"sync"
 )
 
-// traceSuffix names on-disk task traces.
-const traceSuffix = ".trace.json"
+// traceSuffix names on-disk JSON task traces; binarySuffix names
+// dtb/v2 traces.
+const (
+	traceSuffix  = ".trace.json"
+	binarySuffix = ".trace.dtb"
+)
+
+// IsTraceFile reports whether name looks like an on-disk task trace in
+// either format. Directory scanners (LoadDir, the serve ingest loop)
+// share this predicate so both formats are picked up uniformly.
+func IsTraceFile(name string) bool {
+	return strings.HasSuffix(name, traceSuffix) || strings.HasSuffix(name, binarySuffix)
+}
 
 // Encode writes the trace as JSON to w.
 func (t *TaskTrace) Encode(w io.Writer) error {
@@ -39,12 +50,28 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// Decode reads one trace from r.
+// Decode reads one trace from r, sniffing the serialization from the
+// leading bytes: dtb/v2 traces are routed to the binary decoder,
+// anything else is decoded as JSON. A JSON stream must hold exactly
+// one trace document — trailing non-whitespace data (a torn write, a
+// concatenation of two traces) is an error rather than being silently
+// ignored.
 func Decode(r io.Reader) (*TaskTrace, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if SniffFormat(prefix) == FormatBinary {
+		return DecodeBinary(br)
+	}
 	var t TaskTrace
-	dec := json.NewDecoder(bufio.NewReader(r))
+	dec := json.NewDecoder(br)
 	if err := dec.Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := rejectTrailing(io.MultiReader(dec.Buffered(), br)); err != nil {
+		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -52,27 +79,98 @@ func Decode(r io.Reader) (*TaskTrace, error) {
 	return &t, nil
 }
 
-// Save writes the trace to dir as <task>.trace.json. Slashes in task
-// names are flattened.
+// rejectTrailing errors if r holds anything but whitespace.
+func rejectTrailing(r io.Reader) error {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: decode: %w", err)
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return fmt.Errorf("trace: decode: trailing data after trace (byte %#x)", b)
+		}
+	}
+}
+
+// escapeTaskFilename maps a task name to a collision-free file stem:
+// '%', path separators and control bytes are percent-encoded, so
+// distinct task names always produce distinct file names (unlike the
+// old flatten-'/'-to-'_' scheme, under which tasks "a/b" and "a_b"
+// overwrote each other's trace file).
+func escapeTaskFilename(task string) string {
+	var b strings.Builder
+	for i := 0; i < len(task); i++ {
+		c := task[i]
+		if c == '%' || c == '/' || c == '\\' || c < 0x20 {
+			fmt.Fprintf(&b, "%%%02X", c)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// Save writes the trace to dir as <task>.trace.json. Path-hostile
+// bytes in the task name are percent-encoded.
 func (t *TaskTrace) Save(dir string) (string, error) {
+	return t.SaveFormat(dir, FormatJSON)
+}
+
+// SaveFormat writes the trace to dir in the given format, naming the
+// file <escaped-task><suffix>. The write is atomic: bytes land in a
+// temp file in the same directory which is renamed over the final
+// path, so a concurrent reader (the serve poller) and a crashed writer
+// alike never observe a partial trace at the destination.
+func (t *TaskTrace) SaveFormat(dir string, format Format) (string, error) {
 	if err := t.Validate(); err != nil {
 		return "", err
 	}
-	name := strings.ReplaceAll(t.Task, "/", "_") + traceSuffix
-	path := filepath.Join(dir, name)
-	f, err := os.Create(path)
-	if err != nil {
-		return "", fmt.Errorf("trace: save: %w", err)
-	}
-	defer f.Close()
-	bw := bufio.NewWriter(f)
-	if err := t.Encode(bw); err != nil {
-		return "", fmt.Errorf("trace: save %s: %w", path, err)
-	}
-	if err := bw.Flush(); err != nil {
+	path := filepath.Join(dir, escapeTaskFilename(t.Task)+format.Suffix())
+	if err := atomicWrite(path, func(w io.Writer) error {
+		return t.EncodeFormat(w, format)
+	}); err != nil {
 		return "", fmt.Errorf("trace: save %s: %w", path, err)
 	}
 	return path, nil
+}
+
+// atomicWrite streams write's output to a temp file next to path and
+// renames it into place, removing the temp file on any failure.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return err
+	}
+	tmp = nil
+	return nil
 }
 
 // Load reads one trace file. Every error path — open, decode, and
@@ -92,7 +190,8 @@ func Load(path string) (*TaskTrace, error) {
 	return t, nil
 }
 
-// LoadDir reads every task trace in dir, sorted by task name. Files
+// LoadDir reads every task trace in dir — JSON and dtb/v2 files
+// alike, each sniffed per file — sorted by task name. Files
 // are decoded concurrently on a bounded worker pool; the result is
 // deterministic regardless of scheduling: traces come back in the same
 // order a serial load would produce them, and when several files fail
@@ -111,7 +210,7 @@ func loadDirParallel(dir string, workers int) ([]*TaskTrace, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), traceSuffix) {
+		if e.IsDir() || !IsTraceFile(e.Name()) {
 			continue
 		}
 		names = append(names, e.Name())
@@ -173,16 +272,18 @@ type Manifest struct {
 	StageOrder []string `json:"stage_order,omitempty"`
 }
 
-// SaveManifest writes the manifest to dir/manifest.json.
+// SaveManifest writes the manifest to dir/manifest.json, atomically
+// like SaveFormat (the serve poller reads the manifest too).
 func SaveManifest(dir string, m *Manifest) error {
-	f, err := os.Create(filepath.Join(dir, "manifest.json"))
+	err := atomicWrite(filepath.Join(dir, "manifest.json"), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
 	if err != nil {
 		return fmt.Errorf("trace: save manifest: %w", err)
 	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	return enc.Encode(m)
+	return nil
 }
 
 // LoadManifest reads dir/manifest.json; a missing manifest returns nil

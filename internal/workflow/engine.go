@@ -3,6 +3,7 @@ package workflow
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -79,6 +80,26 @@ func (r *Result) Total() time.Duration {
 		}
 	}
 	return total
+}
+
+// SaveTraces persists every task trace plus the manifest to dir in
+// the given serialization format, creating dir if needed. This is the
+// engine's store-emission path: `dayu run -format` and the bench
+// harnesses share it so trace directories always carry a manifest and
+// a uniform format.
+func (r *Result) SaveTraces(dir string, format trace.Format) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("workflow: save traces: %w", err)
+	}
+	for _, tt := range r.Traces {
+		if _, err := tt.SaveFormat(dir, format); err != nil {
+			return err
+		}
+	}
+	if r.Manifest == nil {
+		return nil
+	}
+	return trace.SaveManifest(dir, r.Manifest)
 }
 
 // StageTime returns the virtual time of the named stage (0 if absent).

@@ -3,11 +3,13 @@ package workflow
 import (
 	"bytes"
 	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"dayu/internal/hdf5"
 	"dayu/internal/sim"
+	"dayu/internal/trace"
 	"dayu/internal/tracer"
 )
 
@@ -336,5 +338,33 @@ func TestWavesForOversubscribedStage(t *testing.T) {
 	}
 	if run(4) != 2*time.Second {
 		t.Error("two waves wrong")
+	}
+}
+
+func TestResultSaveTracesFormats(t *testing.T) {
+	res := &Result{
+		Workflow: "wf",
+		Traces: []*trace.TaskTrace{
+			{Task: "s0/a", StartNS: 1, EndNS: 2},
+			{Task: "s0/b", StartNS: 2, EndNS: 3},
+		},
+		Manifest: &trace.Manifest{Workflow: "wf", TaskOrder: []string{"s0/a", "s0/b"}},
+	}
+	for _, format := range []trace.Format{trace.FormatJSON, trace.FormatBinary} {
+		dir := filepath.Join(t.TempDir(), "traces")
+		if err := res.SaveTraces(dir, format); err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		got, err := trace.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got[0].Task != "s0/a" || got[1].Task != "s0/b" {
+			t.Fatalf("%v: reloaded %d traces", format, len(got))
+		}
+		m, err := trace.LoadManifest(dir)
+		if err != nil || m == nil || m.Workflow != "wf" {
+			t.Fatalf("%v: manifest %+v, %v", format, m, err)
+		}
 	}
 }

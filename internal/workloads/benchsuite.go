@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"dayu/internal/graph"
 	"dayu/internal/obs"
 	"dayu/internal/sim"
+	"dayu/internal/trace"
 	"dayu/internal/tracer"
 	"dayu/internal/workflow"
 )
@@ -107,6 +109,36 @@ type AnalyzerBench struct {
 	OutputsIdentical bool `json:"outputs_identical"`
 }
 
+// CodecBench is the trace-codec kernel's measurement: encoding and
+// decoding the synthetic workflow's trace set in JSON (wire v1)
+// versus dtb/v2 binary, the on-disk byte volumes (the Figure 9d
+// storage-overhead metric), and the equivalence gate — FTG and SDG
+// built from binary-round-tripped traces must render byte-identically
+// to the JSON build.
+type CodecBench struct {
+	Name string `json:"name"`
+	// Tasks is the synthetic trace count the kernel serialized.
+	Tasks int `json:"tasks"`
+	// Fastest wall times to encode / decode the whole trace set.
+	JSONEncodeNS   int64 `json:"json_encode_ns"`
+	JSONDecodeNS   int64 `json:"json_decode_ns"`
+	BinaryEncodeNS int64 `json:"binary_encode_ns"`
+	BinaryDecodeNS int64 `json:"binary_decode_ns"`
+	// Serialized byte volumes across the whole trace set.
+	JSONBytes   int64 `json:"json_bytes"`
+	BinaryBytes int64 `json:"binary_bytes"`
+	// EncodeSpeedup and DecodeSpeedup are JSON time over binary time.
+	EncodeSpeedup float64 `json:"encode_speedup"`
+	DecodeSpeedup float64 `json:"decode_speedup"`
+	// SizeRatio is BinaryBytes/JSONBytes (< 1 means smaller on disk).
+	SizeRatio float64 `json:"size_ratio"`
+	// BinaryEquivalent records that FTG and SDG built from the
+	// binary-decoded traces are byte-identical (DOT and JSON
+	// renderings) to the graphs built from the JSON-decoded traces.
+	// CI fails the record when false.
+	BinaryEquivalent bool `json:"binary_equivalent"`
+}
+
 // BenchResult is the root of a BENCH_*.json document.
 type BenchResult struct {
 	Schema    string          `json:"schema"`
@@ -120,6 +152,9 @@ type BenchResult struct {
 	// Analyzer is the parallel-analyzer kernel record (absent in
 	// records produced before the kernel existed).
 	Analyzer *AnalyzerBench `json:"analyzer,omitempty"`
+	// Codec is the trace-codec kernel record (absent in records
+	// produced before dtb/v2 existed).
+	Codec *CodecBench `json:"codec,omitempty"`
 }
 
 // overheadPct mirrors the experiments package's clamped overhead.
@@ -193,6 +228,12 @@ func RunBenchSuite(cfg BenchSuiteConfig) (*BenchResult, error) {
 		return nil, err
 	}
 	out.Analyzer = ab
+
+	cb, err := benchCodec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Codec = cb
 
 	for _, wf := range []struct {
 		name string
@@ -324,6 +365,122 @@ func benchAnalyzer(cfg BenchSuiteConfig) (*AnalyzerBench, error) {
 	return ab, nil
 }
 
+// benchCodec times JSON-versus-dtb/v2 serialization of the synthetic
+// workflow's trace set, records the byte volumes, and proves the
+// formats interchangeable: graphs built from binary-round-tripped
+// traces must render byte-identically to graphs built from the
+// JSON-round-tripped ones.
+func benchCodec(cfg BenchSuiteConfig) (*CodecBench, error) {
+	scfg := SyntheticTraceConfig{}
+	if cfg.Quick {
+		scfg = SyntheticTraceConfig{Tasks: 400, Stages: 5, FilesPerStage: 8, DatasetsPerTask: 3}
+	}
+	traces, m := GenerateSyntheticTraces(scfg)
+	cb := &CodecBench{Name: "codec", Tasks: len(traces)}
+
+	encodeAll := func(f trace.Format) ([][]byte, int64, error) {
+		blobs := make([][]byte, len(traces))
+		var total int64
+		for i, tt := range traces {
+			var buf bytes.Buffer
+			if err := tt.EncodeFormat(&buf, f); err != nil {
+				return nil, 0, err
+			}
+			blobs[i] = buf.Bytes()
+			total += int64(buf.Len())
+		}
+		return blobs, total, nil
+	}
+	decodeAll := func(blobs [][]byte) ([]*trace.TaskTrace, error) {
+		out := make([]*trace.TaskTrace, len(blobs))
+		for i, b := range blobs {
+			tt, err := trace.Decode(bytes.NewReader(b))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = tt
+		}
+		return out, nil
+	}
+
+	jsonBlobs, jsonBytes, err := encodeAll(trace.FormatJSON)
+	if err != nil {
+		return nil, err
+	}
+	binBlobs, binBytes, err := encodeAll(trace.FormatBinary)
+	if err != nil {
+		return nil, err
+	}
+	cb.JSONBytes, cb.BinaryBytes = jsonBytes, binBytes
+
+	timeEncode := func(f trace.Format) (int64, error) {
+		return fastest(cfg.Reps, func() (time.Duration, error) {
+			t0 := time.Now()
+			_, _, err := encodeAll(f)
+			return time.Since(t0), err
+		})
+	}
+	timeDecode := func(blobs [][]byte) (int64, error) {
+		return fastest(cfg.Reps, func() (time.Duration, error) {
+			t0 := time.Now()
+			_, err := decodeAll(blobs)
+			return time.Since(t0), err
+		})
+	}
+	if cb.JSONEncodeNS, err = timeEncode(trace.FormatJSON); err != nil {
+		return nil, err
+	}
+	if cb.BinaryEncodeNS, err = timeEncode(trace.FormatBinary); err != nil {
+		return nil, err
+	}
+	if cb.JSONDecodeNS, err = timeDecode(jsonBlobs); err != nil {
+		return nil, err
+	}
+	if cb.BinaryDecodeNS, err = timeDecode(binBlobs); err != nil {
+		return nil, err
+	}
+	if cb.BinaryEncodeNS > 0 {
+		cb.EncodeSpeedup = float64(cb.JSONEncodeNS) / float64(cb.BinaryEncodeNS)
+	}
+	if cb.BinaryDecodeNS > 0 {
+		cb.DecodeSpeedup = float64(cb.JSONDecodeNS) / float64(cb.BinaryDecodeNS)
+	}
+	if cb.JSONBytes > 0 {
+		cb.SizeRatio = float64(cb.BinaryBytes) / float64(cb.JSONBytes)
+	}
+
+	// Equivalence gate: the analyses, not just the structs, must be
+	// unaffected by the wire format.
+	fromJSON, err := decodeAll(jsonBlobs)
+	if err != nil {
+		return nil, err
+	}
+	fromBinary, err := decodeAll(binBlobs)
+	if err != nil {
+		return nil, err
+	}
+	build := func(ts []*trace.TaskTrace) (*graph.Graph, *graph.Graph) {
+		ftg := analyzer.BuildFTG(ts, m)
+		sdg := analyzer.BuildSDG(ts, m, analyzer.Options{
+			IncludeRegions: true, IncludeFileMetadata: true,
+		})
+		return ftg, sdg
+	}
+	jftg, jsdg := build(fromJSON)
+	bftg, bsdg := build(fromBinary)
+	identical, err := graphsRenderIdentically(jftg, bftg)
+	if err != nil {
+		return nil, err
+	}
+	if identical {
+		if identical, err = graphsRenderIdentically(jsdg, bsdg); err != nil {
+			return nil, err
+		}
+	}
+	cb.BinaryEquivalent = identical
+	return cb, nil
+}
+
 // graphsRenderIdentically byte-compares the DOT and JSON renderings of
 // two graphs.
 func graphsRenderIdentically(a, b *graph.Graph) (bool, error) {
@@ -453,6 +610,37 @@ func (r *BenchResult) Validate() error {
 		}
 		if !a.OutputsIdentical {
 			return fmt.Errorf("bench: analyzer: parallel build output differs from serial build")
+		}
+	}
+	// The codec record is likewise optional, but a present record must
+	// be sound and must prove the binary format interchangeable — the
+	// CI bench-smoke grep gate keys on binary_equivalent.
+	if c := r.Codec; c != nil {
+		if c.Name != "codec" {
+			return fmt.Errorf("bench: codec record named %q, want \"codec\"", c.Name)
+		}
+		if c.Tasks <= 0 {
+			return fmt.Errorf("bench: codec: tasks = %d, want > 0", c.Tasks)
+		}
+		for label, v := range map[string]int64{
+			"json_encode_ns": c.JSONEncodeNS, "json_decode_ns": c.JSONDecodeNS,
+			"binary_encode_ns": c.BinaryEncodeNS, "binary_decode_ns": c.BinaryDecodeNS,
+			"json_bytes": c.JSONBytes, "binary_bytes": c.BinaryBytes,
+		} {
+			if v <= 0 {
+				return fmt.Errorf("bench: codec: %s = %d, want > 0", label, v)
+			}
+		}
+		for label, v := range map[string]float64{
+			"encode_speedup": c.EncodeSpeedup, "decode_speedup": c.DecodeSpeedup,
+			"size_ratio": c.SizeRatio,
+		} {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("bench: codec: %s = %v invalid", label, v)
+			}
+		}
+		if !c.BinaryEquivalent {
+			return fmt.Errorf("bench: codec: graphs from binary traces differ from the JSON build")
 		}
 	}
 	return nil

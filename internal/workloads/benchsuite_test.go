@@ -29,6 +29,19 @@ func TestRunBenchSuiteQuick(t *testing.T) {
 	if res.Analyzer.Tasks != 400 {
 		t.Errorf("analyzer quick tasks = %d, want 400", res.Analyzer.Tasks)
 	}
+	if c := res.Codec; c == nil {
+		t.Fatal("quick suite missing codec record")
+	} else {
+		if !c.BinaryEquivalent {
+			t.Error("codec kernel: graphs from binary traces differ from JSON build")
+		}
+		if c.Tasks != 400 {
+			t.Errorf("codec quick tasks = %d, want 400", c.Tasks)
+		}
+		if c.BinaryBytes >= c.JSONBytes {
+			t.Errorf("codec: binary %d bytes not smaller than JSON %d", c.BinaryBytes, c.JSONBytes)
+		}
+	}
 	names := make([]string, len(res.Workflows))
 	for i, w := range res.Workflows {
 		names[i] = w.Name
@@ -113,6 +126,38 @@ func TestBenchValidateRejectsBadRecords(t *testing.T) {
 		bad.Analyzer = &a
 		if bad.Validate() == nil {
 			t.Errorf("analyzer record with %s accepted", label)
+		}
+	}
+
+	// Codec record: optional, but when present it must be sound.
+	goodCodec := &CodecBench{
+		Name: "codec", Tasks: 10,
+		JSONEncodeNS: 1, JSONDecodeNS: 1, BinaryEncodeNS: 1, BinaryDecodeNS: 1,
+		JSONBytes: 2, BinaryBytes: 1,
+		EncodeSpeedup: 1, DecodeSpeedup: 1, SizeRatio: 0.5,
+		BinaryEquivalent: true,
+	}
+	bad = *good
+	bad.Codec = goodCodec
+	if err := bad.Validate(); err != nil {
+		t.Errorf("good codec record rejected: %v", err)
+	}
+	codecMutations := map[string]func(*CodecBench){
+		"graphs differ":     func(c *CodecBench) { c.BinaryEquivalent = false },
+		"zero decode time":  func(c *CodecBench) { c.BinaryDecodeNS = 0 },
+		"zero binary bytes": func(c *CodecBench) { c.BinaryBytes = 0 },
+		"zero tasks":        func(c *CodecBench) { c.Tasks = 0 },
+		"negative speedup":  func(c *CodecBench) { c.DecodeSpeedup = -1 },
+		"zero size ratio":   func(c *CodecBench) { c.SizeRatio = 0 },
+		"wrong name":        func(c *CodecBench) { c.Name = "kodek" },
+	}
+	for label, mutate := range codecMutations {
+		c := *goodCodec
+		mutate(&c)
+		bad = *good
+		bad.Codec = &c
+		if bad.Validate() == nil {
+			t.Errorf("codec record with %s accepted", label)
 		}
 	}
 }
