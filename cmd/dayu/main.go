@@ -44,11 +44,22 @@
 //	    axis, retry/rollback counters, per-driver VFD op histograms.
 //
 //	dayu serve -dir traces [-addr :8080] [-poll 2s] [-tier nvme] [-nodes n]
+//	           [-wal dir] [-wal-fsync always|interval|never] [-ingest-queue n]
+//	           [-max-body bytes] [-request-timeout d]
 //	    Run the incremental analysis service: watch a trace directory
 //	    and serve FTG/SDG renderings, diagnostics and locality plans
 //	    over HTTP from a content-addressed result cache. See
 //	    /healthz, /metrics and the /v1/{ftg,sdg,diagnose,plan,tasks}
-//	    endpoints.
+//	    endpoints. With -wal, POST /v1/ingest accepts pushed traces
+//	    into a crash-safe write-ahead log; SIGINT/SIGTERM drain
+//	    in-flight requests and flush the WAL before exit.
+//
+//	dayu push -traces dir -server http://host:8080 [-attempts n] [-timeout d]
+//	    Push every trace file in a directory (plus manifest.json) to a
+//	    running dayu serve instance's durable ingest endpoint, retrying
+//	    transient failures and 429 backpressure with capped exponential
+//	    backoff. Idempotent: re-pushing already-ingested traces is
+//	    acknowledged as duplicates.
 //
 //	dayu convert -traces dir -o dir [-format dtb|json]
 //	    Rewrite a trace directory in the requested serialization
@@ -58,13 +69,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"dayu/internal/analyzer"
@@ -74,6 +88,7 @@ import (
 	"dayu/internal/optimizer"
 	"dayu/internal/report"
 	"dayu/internal/serve"
+	"dayu/internal/serve/client"
 	"dayu/internal/sim"
 	"dayu/internal/trace"
 	"dayu/internal/tracer"
@@ -108,6 +123,8 @@ func main() {
 		err = cmdMetrics(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "push":
+		err = cmdPush(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
 	case "help", "-h", "--help":
@@ -124,7 +141,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics|serve|push> [flags]
   run       execute a workload replica with tracing on the simulated cluster
   analyze   build FTG/SDG graphs from saved traces
   diagnose  detect I/O observations and print optimization guidelines
@@ -134,6 +151,7 @@ func usage() {
   bench     run the overhead bench suite; -json writes BENCH_*.json
   metrics   run a workload with the obs layer on and dump its metrics
   serve     watch a trace directory and serve cached analyses over HTTP
+  push      push a trace directory to a serve instance's durable ingest
   convert   rewrite a trace directory between JSON and dtb/v2 binary`)
 }
 
@@ -545,26 +563,124 @@ func cmdServe(args []string) error {
 	tier := fs.String("tier", "nvme", "fast tier for /v1/plan defaults")
 	nodes := fs.Int("nodes", 2, "cluster node count for /v1/plan defaults")
 	page := fs.Int64("page", 4096, "SDG address-region page size")
+	walDir := fs.String("wal", "", "write-ahead log directory for POST /v1/ingest (empty = push ingest disabled)")
+	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy (always, interval, never)")
+	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "fsync period for -wal-fsync=interval")
+	walSegBytes := fs.Int64("wal-segment-bytes", 4<<20, "rotate WAL segments at this size")
+	ingestQueue := fs.Int("ingest-queue", 64, "pushes admitted ahead of folding before 429 backpressure")
+	maxBody := fs.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout (0 = none)")
 	fs.Parse(args)
 
-	s := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Dir:        *dir,
 		Registry:   obs.NewRegistry(),
 		SDGOptions: analyzer.Options{PageSize: *page},
 		PlanOptions: optimizer.LocalityOptions{
 			FastTier: *tier, Nodes: *nodes, StageOutDisposable: true,
 		},
-		Poll: *poll,
-	})
-	s.Start()
-	defer s.Close()
-
-	ln, err := net.Listen("tcp", *addr)
+		Poll:         *poll,
+		IngestQueue:  *ingestQueue,
+		MaxBodyBytes: *maxBody,
+	}
+	if *walDir != "" {
+		policy, err := serve.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		cfg.WALDir = *walDir
+		cfg.WAL = serve.WALOptions{
+			Fsync:         policy,
+			FsyncInterval: *walFsyncEvery,
+			SegmentBytes:  *walSegBytes,
+		}
+	}
+	s, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dayu serve: watching %s, listening on %s (poll %s)\n", *dir, ln.Addr(), *poll)
-	return http.Serve(ln, s)
+	s.Start()
+
+	var handler http.Handler = s
+	if *reqTimeout > 0 {
+		handler = http.TimeoutHandler(s, *reqTimeout, "request timed out\n")
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	mode := "pull-only"
+	if *walDir != "" {
+		mode = fmt.Sprintf("push ingest on (wal %s, fsync %s)", *walDir, *walFsync)
+	}
+	fmt.Printf("dayu serve: watching %s, listening on %s (poll %s, %s)\n", *dir, ln.Addr(), *poll, mode)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Fprintln(os.Stderr, "dayu serve: shutting down (draining in-flight requests, flushing WAL)")
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := srv.Shutdown(sctx)
+	s.Close() // drains acknowledged records and flushes + closes the WAL
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	return nil
+}
+
+func cmdPush(args []string) error {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	tracesDir := fs.String("traces", "traces", "trace directory to push")
+	server := fs.String("server", "http://127.0.0.1:8080", "dayu serve base URL")
+	attempts := fs.Int("attempts", 8, "delivery attempts per record before giving up")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline for the whole push")
+	manifest := fs.Bool("manifest", true, "also push manifest.json when present")
+	fs.Parse(args)
+
+	c, err := client.New(*server, client.Options{MaxAttempts: *attempts})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var sum client.DirSummary
+	if *manifest {
+		sum, err = c.PushDir(ctx, *tracesDir)
+	} else {
+		sum, err = c.PushTraces(ctx, *tracesDir)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pushed %d traces to %s: %d accepted, %d duplicates", sum.Pushed, *server, sum.Accepted, sum.Duplicates)
+	if sum.Manifest {
+		fmt.Printf(", manifest updated")
+	}
+	fmt.Println()
+	return nil
 }
 
 func cmdConvert(args []string) error {

@@ -1,0 +1,238 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dayu/internal/trace"
+)
+
+func fastOptions() Options {
+	return Options{
+		MaxAttempts:    5,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     5 * time.Millisecond,
+		Rand:           rand.New(rand.NewSource(1)),
+	}
+}
+
+func ackHandler(status, task string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(PushResult{Status: status, Task: task, Hash: "h", Seq: 7})
+	}
+}
+
+func TestClientRetriesTransientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		ackHandler("accepted", "t1")(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PushBytes(context.Background(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "accepted" || res.Attempts != 3 {
+		t.Fatalf("res = %+v, want accepted after 3 attempts", res)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+func TestClientRetries429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+			return
+		}
+		ackHandler("accepted", "t1")(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PushBytes(context.Background(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestClientPermanentErrorDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad trace payload", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.PushBytes(context.Background(), []byte("garbage"))
+	if err == nil || !strings.Contains(err.Error(), "bad trace payload") {
+		t.Fatalf("err = %v, want permanent 400 detail", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1 (no retry on 4xx)", calls.Load())
+	}
+}
+
+func TestClientGivesUpClearly(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "persistent failure", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	opts := fastOptions()
+	opts.MaxAttempts = 3
+	c, err := New(srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.PushBytes(context.Background(), []byte("payload"))
+	if err == nil {
+		t.Fatal("expected give-up error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "giving up after 3 attempts") || !strings.Contains(msg, "persistent failure") {
+		t.Fatalf("give-up error %q lacks attempt count or cause", msg)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	opts := fastOptions()
+	opts.MaxAttempts = 1000
+	opts.InitialBackoff = 50 * time.Millisecond
+	c, err := New(srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.PushBytes(ctx, []byte("payload"))
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %s", elapsed)
+	}
+}
+
+func TestClientBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/relative/only"} {
+		if _, err := New(bad, Options{}); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	for in, want := range map[string]time.Duration{
+		"":    0,
+		"0":   0,
+		"3":   3 * time.Second,
+		" 2 ": 2 * time.Second,
+		"-1":  0,
+		"x":   0,
+	} {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestClientPushDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, task := range []string{"a_task", "b_task"} {
+		tt := &trace.TaskTrace{Task: task, StartNS: 1, EndNS: 10}
+		if _, err := tt.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := trace.SaveManifest(dir, &trace.Manifest{Workflow: "w", TaskOrder: []string{"a_task", "b_task"}}); err != nil {
+		t.Fatal(err)
+	}
+	// A stray non-trace file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("skip me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var ingests, manifests atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		status := "accepted"
+		if ingests.Add(1) > 1 {
+			status = "duplicate"
+		}
+		ackHandler(status, "t")(w, r)
+	})
+	mux.HandleFunc("/v1/ingest/manifest", func(w http.ResponseWriter, r *http.Request) {
+		manifests.Add(1)
+		ackHandler("accepted", "")(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.PushDir(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Pushed != 2 || sum.Accepted != 1 || sum.Duplicates != 1 || !sum.Manifest {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if ingests.Load() != 2 || manifests.Load() != 1 {
+		t.Fatalf("server saw %d ingests, %d manifests", ingests.Load(), manifests.Load())
+	}
+
+	// PushTraces skips the manifest.
+	manifests.Store(0)
+	sum, err = c.PushTraces(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Manifest || manifests.Load() != 0 {
+		t.Fatalf("PushTraces touched the manifest: %+v", sum)
+	}
+}

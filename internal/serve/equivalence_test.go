@@ -23,6 +23,17 @@ import (
 // testPlanOpts mirrors the batch CLI's `dayu plan` defaults.
 var testPlanOpts = optimizer.LocalityOptions{FastTier: "nvme", Nodes: 2, StageOutDisposable: true}
 
+// mustServer builds a server, failing the test on construction errors
+// (only WAL open/recovery failures are construction errors).
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // writeFixtureDir saves a small deterministic synthetic workflow.
 func writeFixtureDir(t *testing.T) string {
 	t.Helper()
@@ -145,7 +156,7 @@ func checkAllEndpoints(t *testing.T, srv *httptest.Server, dir, phase string) {
 func TestServeEquivalence(t *testing.T) {
 	dir := writeFixtureDir(t)
 	reg := obs.NewRegistry()
-	s := NewServer(Config{Dir: dir, Registry: reg, PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, Registry: reg, PlanOptions: testPlanOpts})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -248,7 +259,7 @@ func TestServeEquivalence(t *testing.T) {
 func TestServeManifestChange(t *testing.T) {
 	dir := writeFixtureDir(t)
 	reg := obs.NewRegistry()
-	s := NewServer(Config{Dir: dir, Registry: reg, PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, Registry: reg, PlanOptions: testPlanOpts})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -280,7 +291,7 @@ func TestServeManifestChange(t *testing.T) {
 // -race gate for the single-writer snapshot-swap model.
 func TestServeConcurrentRequestsDuringIngest(t *testing.T) {
 	dir := writeFixtureDir(t)
-	s := NewServer(Config{Dir: dir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()

@@ -174,10 +174,12 @@ func (s *Server) buildSnapshot() *snapshot {
 	traces := make([]*trace.TaskTrace, 0, len(paths))
 	hashByTrace := make(map[*trace.TaskTrace]string, len(paths))
 	infoByTrace := make(map[*trace.TaskTrace]TaskInfo, len(paths))
+	hashes := make(map[string]bool, len(paths))
 	for _, path := range paths {
 		ent := s.files[path]
 		traces = append(traces, ent.trace)
 		hashByTrace[ent.trace] = ent.hash
+		hashes[ent.hash] = true
 		infoByTrace[ent.trace] = TaskInfo{
 			Task: ent.trace.Task, File: path, Size: ent.size, Hash: ent.hash,
 			ModTime: ent.modTime, StartNS: ent.trace.StartNS, EndNS: ent.trace.EndNS,
@@ -243,6 +245,7 @@ func (s *Server) buildSnapshot() *snapshot {
 		traces:   traces,
 		manifest: s.manifest,
 		tasks:    infos,
+		hashes:   hashes,
 		ftg:      analyzer.BuildFTGFromContributions(ftgContribs),
 		sdg:      analyzer.BuildSDGFromContributions(sdgContribs),
 		rendered: map[string][]byte{},

@@ -1,0 +1,327 @@
+package serve
+
+// The durable push-ingest path: POST /v1/ingest accepts one complete
+// trace byte stream per request (dtb/v2 or JSON, sniffed from the
+// magic), validates it, appends the raw bytes to the write-ahead log,
+// and only then acknowledges with 200 — so an acknowledged record
+// survives a crash at any byte boundary. A single folder goroutine
+// drains acknowledged records into the watched trace directory
+// (atomic rename under the exact file name the batch loaders use),
+// advances the WAL fold checkpoint, and triggers an incremental
+// rescan, keeping /v1/* responses byte-identical to the batch CLI
+// over the union of pushed and directory traces.
+//
+// Admission control is a fixed pool of queue slots: a push that finds
+// no free slot is rejected with 429 + Retry-After before anything is
+// written, so the WAL cannot grow unboundedly ahead of folding.
+// Dedup is content-addressed: a payload whose hash matches an already
+// acknowledged or already folded trace is acknowledged as a duplicate
+// without re-appending, which makes client retries idempotent.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"dayu/internal/trace"
+)
+
+// foldJob is one acknowledged record awaiting folding. admitted marks
+// jobs holding an admission slot (live pushes; startup replay jobs do
+// not).
+type foldJob struct {
+	seq      uint64
+	hash     string
+	data     []byte
+	admitted bool
+}
+
+// PushResponse is the /v1/ingest response body.
+type PushResponse struct {
+	// Status is "accepted" (durably logged) or "duplicate" (an
+	// identical payload was already acknowledged).
+	Status string `json:"status"`
+	Task   string `json:"task"`
+	Hash   string `json:"hash"`
+	// Seq is the WAL sequence number of accepted records.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// handleIngest is POST /v1/ingest.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		http.Error(w, "push ingest disabled (start serve with a WAL directory)", http.StatusNotImplemented)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.pushRejected.Inc()
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(data) == 0 {
+		http.Error(w, "empty body", http.StatusBadRequest)
+		return
+	}
+	tt, err := trace.Decode(bytes.NewReader(data))
+	if err != nil {
+		s.pushErrors.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hash := trace.HashBytes(data)
+
+	s.pushMu.Lock()
+	if s.pushClosed {
+		s.pushMu.Unlock()
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	if s.isDuplicateLocked(hash) {
+		s.pushMu.Unlock()
+		s.pushDuplicates.Inc()
+		s.writePushResponse(w, PushResponse{Status: "duplicate", Task: tt.Task, Hash: hash})
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.pushMu.Unlock()
+		s.pushRejected.Inc()
+		retry := s.cfg.RetryAfter
+		if retry <= 0 {
+			retry = time.Second
+		}
+		// Retry-After is whole seconds; sub-half-second hints round to
+		// 0 ("retry at your own backoff") rather than inflating to 1s.
+		secs := int64(retry.Round(time.Second) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.pushWG.Add(1)
+	s.pushMu.Unlock()
+	defer s.pushWG.Done()
+
+	appendStart := time.Now()
+	seq, err := s.wal.Append(data)
+	s.walAppendNS.Observe(time.Since(appendStart).Nanoseconds())
+	if err != nil {
+		<-s.sem
+		s.pushErrors.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.pushMu.Lock()
+	s.acked[hash] = true
+	s.pushMu.Unlock()
+	s.pushAccepted.Inc()
+	s.updateWALGauges()
+	// Guaranteed not to block: foldQ has at least one slot per
+	// admission slot, and the folder frees the queue slot first.
+	s.foldQ <- foldJob{seq: seq, hash: hash, data: data, admitted: true}
+	s.writePushResponse(w, PushResponse{Status: "accepted", Task: tt.Task, Hash: hash, Seq: seq})
+}
+
+// isDuplicateLocked reports whether a payload hash was already
+// acknowledged (this process) or folded (any process — the snapshot
+// hashes cover the on-disk directory). Callers hold pushMu.
+func (s *Server) isDuplicateLocked(hash string) bool {
+	if s.acked[hash] {
+		return true
+	}
+	if snap := s.snap.Load(); snap != nil && snap.hashes[hash] {
+		return true
+	}
+	return false
+}
+
+func (s *Server) writePushResponse(w http.ResponseWriter, resp PushResponse) {
+	body, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleIngestManifest is POST /v1/ingest/manifest: replaces the
+// watched directory's manifest.json (atomic rename, so a crash after
+// the 200 cannot tear it).
+func (s *Server) handleIngestManifest(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		http.Error(w, "push ingest disabled (start serve with a WAL directory)", http.StatusNotImplemented)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m trace.Manifest
+	if err := dec.Decode(&m); err != nil {
+		http.Error(w, fmt.Sprintf("bad manifest: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := trace.SaveManifest(s.cfg.Dir, &m); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := s.Ingest(); err != nil {
+		// The manifest landed durably; the scan error surfaces via
+		// /healthz like any other ingest failure.
+		s.ingestErrors.Inc()
+	}
+	s.writePushResponse(w, PushResponse{Status: "accepted", Hash: trace.HashBytes(data)})
+}
+
+// folder is the single goroutine draining acknowledged records into
+// the trace directory. It exits when foldQ closes (graceful shutdown
+// drains everything already acknowledged).
+func (s *Server) folder() {
+	defer close(s.foldDone)
+	for job := range s.foldQ {
+		if h := s.cfg.foldHook; h != nil {
+			h(job)
+		}
+		s.foldOne(job)
+		if job.admitted {
+			<-s.sem
+		}
+		s.updateWALGauges()
+		if len(s.foldQ) == 0 {
+			// Coalesced rescan after a burst: the new files enter the
+			// snapshot without waiting for the poll tick.
+			_, _ = s.Ingest()
+		}
+	}
+}
+
+// foldOne folds one record with bounded retries. A record that cannot
+// be folded transiently (disk full, ...) stays unfolded in the WAL —
+// it is acknowledged data, so it must survive to the next replay
+// rather than being dropped.
+func (s *Server) foldOne(job foldJob) {
+	const attempts = 5
+	delay := 10 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		err := s.foldBytes(job.data)
+		if err == nil {
+			s.wal.MarkFolded(job.seq)
+			return
+		}
+		if errors.Is(err, errUnfoldable) {
+			// The payload can never fold (it validated at push time, so
+			// this means corruption that beat the CRC). Mark it folded
+			// so replay does not spin on it forever, and surface it.
+			s.foldErrors.Inc()
+			s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: fold record %d: %w", job.seq, err), when: time.Now()})
+			s.wal.MarkFolded(job.seq)
+			return
+		}
+		s.foldErrors.Inc()
+		s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: fold record %d: %w", job.seq, err), when: time.Now()})
+		if attempt >= attempts {
+			return // left pending in the WAL for the next replay
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+// errUnfoldable marks fold failures that no retry can cure.
+var errUnfoldable = errors.New("unfoldable record")
+
+// foldBytes lands one acknowledged payload in the trace directory
+// under the exact name the batch loaders expect, preserving the
+// pushed bytes (so the file's content hash equals the push hash and
+// dedup survives restarts). Folding is idempotent: re-folding the
+// same payload rewrites the same file with the same bytes.
+func (s *Server) foldBytes(data []byte) error {
+	tt, err := trace.Decode(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("%w: %v", errUnfoldable, err)
+	}
+	format := trace.SniffFormat(data)
+	path := filepath.Join(s.cfg.Dir, trace.TraceFileName(tt.Task, format))
+	if err := writeFileAtomic(path, data); err != nil {
+		return err
+	}
+	// Remove a stale twin in the other serialization so the task is
+	// never analyzed twice. (A crash between rename and remove leaves
+	// both; the record is still unfolded then, and replay converges.)
+	other := trace.FormatJSON
+	if format == trace.FormatJSON {
+		other = trace.FormatBinary
+	}
+	twin := filepath.Join(s.cfg.Dir, trace.TraceFileName(tt.Task, other))
+	if err := os.Remove(twin); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// writeFileAtomic lands data at path via a same-directory temp file
+// and rename, so concurrent readers and crashed writers never observe
+// a partial file.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		tmp = nil
+		return err
+	}
+	tmp = nil
+	return nil
+}
+
+// updateWALGauges refreshes the WAL/queue gauges from live state.
+func (s *Server) updateWALGauges() {
+	if s.wal == nil {
+		return
+	}
+	stats := s.wal.Stats()
+	s.walPending.Set(int64(stats.Pending))
+	s.walSegments.Set(int64(stats.Segments))
+	s.queueDepth.Set(int64(len(s.sem)))
+}

@@ -33,8 +33,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +66,29 @@ type Config struct {
 	// Poll is the background rescan interval; 0 means requests trigger
 	// the rescan themselves (still incremental, still cached).
 	Poll time.Duration
+	// MaxPollBackoff caps the exponential backoff applied to the poll
+	// loop after repeated scan errors (default 1 minute; never below
+	// Poll).
+	MaxPollBackoff time.Duration
+
+	// WALDir enables the durable push-ingest path (POST /v1/ingest):
+	// acknowledged records are appended to a write-ahead log under this
+	// directory and replayed on startup. Empty disables push ingest.
+	WALDir string
+	// WAL tunes the write-ahead log (fsync policy, segment size).
+	WAL WALOptions
+	// IngestQueue bounds acknowledged-but-unfolded push records; a
+	// full queue answers 429 + Retry-After (default 64).
+	IngestQueue int
+	// MaxBodyBytes caps /v1/ingest request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the backpressure hint sent with 429 responses
+	// (default 1s).
+	RetryAfter time.Duration
+
+	// foldHook, when set (tests only), runs in the folder goroutine
+	// before each record folds — used to hold the queue full.
+	foldHook func(foldJob)
 }
 
 // snapshot is an immutable view of one ingested directory state. The
@@ -73,6 +99,7 @@ type snapshot struct {
 	traces   []*trace.TaskTrace
 	manifest *trace.Manifest
 	tasks    []TaskInfo
+	hashes   map[string]bool // content hashes of every trace file
 	ftg      *graph.Graph
 	sdg      *graph.Graph
 
@@ -102,6 +129,23 @@ type Server struct {
 	snap    atomic.Pointer[snapshot]
 	lastErr atomic.Pointer[ingestError]
 
+	// Push-ingest state (nil/unused unless cfg.WALDir is set). sem is
+	// the admission pool: one slot per acknowledged-but-unfolded push;
+	// foldQ carries the records to the single folder goroutine.
+	wal        *WAL
+	sem        chan struct{}
+	foldQ      chan foldJob
+	foldDone   chan struct{}
+	pushMu     sync.Mutex
+	pushClosed bool
+	pushWG     sync.WaitGroup
+	acked      map[string]bool // content hashes acknowledged this process
+	closePush  sync.Once
+
+	// Poll-loop backoff state, surfaced by /healthz.
+	pollFailures  atomic.Int64
+	pollBackoffNS atomic.Int64
+
 	// Metric handles (nil-safe when cfg.Registry is nil).
 	requests       func(path string) *obs.Counter
 	requestNS      func(path string) *obs.Histogram
@@ -117,6 +161,15 @@ type Server struct {
 	responseHits   *obs.Counter
 	responseMisses *obs.Counter
 	snapshotTasks  *obs.Gauge
+	pushAccepted   *obs.Counter
+	pushDuplicates *obs.Counter
+	pushRejected   *obs.Counter
+	pushErrors     *obs.Counter
+	foldErrors     *obs.Counter
+	walAppendNS    *obs.Histogram
+	walPending     *obs.Gauge
+	walSegments    *obs.Gauge
+	queueDepth     *obs.Gauge
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -128,10 +181,13 @@ type ingestError struct {
 	when time.Time
 }
 
-// NewServer builds the service and performs the initial ingest; a
-// missing or unreadable directory is reported by the first request
-// (and /healthz) rather than failing construction.
-func NewServer(cfg Config) *Server {
+// NewServer builds the service, recovers any write-ahead-logged push
+// records (when cfg.WALDir is set) and performs the initial ingest; a
+// missing or unreadable trace directory is reported by the first
+// request (and /healthz) rather than failing construction. Only WAL
+// open/recovery failures are construction errors: a server that
+// cannot guarantee its durability contract must not start.
+func NewServer(cfg Config) (*Server, error) {
 	reg := cfg.Registry
 	s := &Server{
 		cfg:      cfg,
@@ -157,6 +213,15 @@ func NewServer(cfg Config) *Server {
 		responseHits:   reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "response")),
 		responseMisses: reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "response")),
 		snapshotTasks:  reg.Gauge("dayu_serve_snapshot_tasks"),
+		pushAccepted:   reg.Counter(obs.Name("dayu_serve_push_total", "result", "accepted")),
+		pushDuplicates: reg.Counter(obs.Name("dayu_serve_push_total", "result", "duplicate")),
+		pushRejected:   reg.Counter(obs.Name("dayu_serve_push_total", "result", "rejected")),
+		pushErrors:     reg.Counter(obs.Name("dayu_serve_push_total", "result", "error")),
+		foldErrors:     reg.Counter("dayu_serve_fold_errors_total"),
+		walAppendNS:    reg.Histogram("dayu_serve_wal_append_ns", obs.LatencyBuckets()),
+		walPending:     reg.Gauge("dayu_serve_wal_pending_records"),
+		walSegments:    reg.Gauge("dayu_serve_wal_segments"),
+		queueDepth:     reg.Gauge("dayu_serve_ingest_queue_depth"),
 
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -169,15 +234,79 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("/v1/sdg", s.instrument("/v1/sdg", s.graphHandler("sdg")))
 	mux.HandleFunc("/v1/diagnose", s.instrument("/v1/diagnose", s.handleDiagnose))
 	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", s.handlePlan))
-	mux.Handle("/metrics", obs.Handler(reg))
+	mux.HandleFunc("/v1/ingest", s.instrumentMethods("/v1/ingest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngest))
+	mux.HandleFunc("/v1/ingest/manifest", s.instrumentMethods("/v1/ingest/manifest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngestManifest))
+	mux.Handle("/metrics", limitBody(obs.Handler(reg), readOnlyBodyLimit))
 	s.mux = mux
 
+	if cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, err
+		}
+	}
 	s.Ingest() // initial scan; errors surface via healthz/requests
-	return s
+	if s.wal != nil {
+		go s.folder()
+	}
+	return s, nil
+}
+
+// openWAL opens the write-ahead log and synchronously folds every
+// record recovered from it into the trace directory, so the first
+// snapshot already reflects everything ever acknowledged. Records
+// that fail to fold transiently stay pending in the WAL and fail
+// construction (a durability guarantee the server cannot meet must
+// not be silently weakened).
+func (s *Server) openWAL() error {
+	wal, pending, err := OpenWAL(s.cfg.WALDir, s.cfg.WAL)
+	if err != nil {
+		return fmt.Errorf("serve: open wal: %w", err)
+	}
+	s.wal = wal
+	queue := s.cfg.IngestQueue
+	if queue <= 0 {
+		queue = 64
+	}
+	s.sem = make(chan struct{}, queue)
+	s.foldQ = make(chan foldJob, queue)
+	s.foldDone = make(chan struct{})
+	s.acked = make(map[string]bool, len(pending))
+	for _, rec := range pending {
+		hash := trace.HashBytes(rec.Data)
+		s.acked[hash] = true
+		if err := s.foldBytes(rec.Data); err != nil {
+			if errors.Is(err, errUnfoldable) {
+				// Validated at push time, mangled since in a way the
+				// CRC missed: count it, skip it, keep recovering.
+				s.foldErrors.Inc()
+				s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: replay record %d: %w", rec.Seq, err), when: time.Now()})
+				wal.MarkFolded(rec.Seq)
+				continue
+			}
+			wal.Close()
+			return fmt.Errorf("serve: wal replay: fold record %d: %w", rec.Seq, err)
+		}
+		wal.MarkFolded(rec.Seq)
+	}
+	s.updateWALGauges()
+	return nil
+}
+
+// maxBodyBytes is the /v1/ingest request body cap.
+func (s *Server) maxBodyBytes() int64 {
+	if s.cfg.MaxBodyBytes > 0 {
+		return s.cfg.MaxBodyBytes
+	}
+	return 32 << 20
 }
 
 // Start launches the background watcher when cfg.Poll > 0. Close stops
 // it. Start must be called at most once.
+//
+// Repeated scan errors back off exponentially (doubling from Poll up
+// to MaxPollBackoff, with ±20% jitter) instead of hammering a broken
+// directory at full poll frequency; one successful scan resets the
+// cadence. The current backoff state is surfaced by /healthz.
 func (s *Server) Start() {
 	if s.cfg.Poll <= 0 {
 		return
@@ -185,20 +314,63 @@ func (s *Server) Start() {
 	s.watching = true
 	go func() {
 		defer close(s.done)
-		ticker := time.NewTicker(s.cfg.Poll)
-		defer ticker.Stop()
+		delay := s.cfg.Poll
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		var failures int64
 		for {
 			select {
 			case <-s.stop:
 				return
-			case <-ticker.C:
-				s.Ingest()
+			case <-timer.C:
+				if _, err := s.Ingest(); err != nil {
+					failures++
+					delay = s.pollBackoff(failures)
+				} else {
+					failures = 0
+					delay = s.cfg.Poll
+				}
+				s.pollFailures.Store(failures)
+				if failures > 0 {
+					s.pollBackoffNS.Store(int64(delay))
+				} else {
+					s.pollBackoffNS.Store(0)
+				}
+				timer.Reset(delay)
 			}
 		}
 	}()
 }
 
-// Close stops the background watcher (a no-op when none is running).
+// pollBackoff returns the rescan delay after the given number of
+// consecutive failures: Poll doubled per failure, capped at
+// MaxPollBackoff, jittered ±20% so recovering pollers do not stampede.
+func (s *Server) pollBackoff(failures int64) time.Duration {
+	maxDelay := s.cfg.MaxPollBackoff
+	if maxDelay <= 0 {
+		maxDelay = time.Minute
+	}
+	if maxDelay < s.cfg.Poll {
+		maxDelay = s.cfg.Poll
+	}
+	delay := s.cfg.Poll
+	for i := int64(1); i < failures && delay < maxDelay; i++ {
+		delay *= 2
+	}
+	if delay > maxDelay {
+		delay = maxDelay
+	}
+	jitter := time.Duration((rand.Float64()*0.4 - 0.2) * float64(delay))
+	if delay += jitter; delay < time.Millisecond {
+		delay = time.Millisecond
+	}
+	return delay
+}
+
+// Close stops the background watcher (a no-op when none is running),
+// then drains the push-ingest path: in-flight /v1/ingest requests
+// finish, every acknowledged record folds into the trace directory,
+// and the write-ahead log is flushed and closed. Close is idempotent.
 func (s *Server) Close() {
 	select {
 	case <-s.stop:
@@ -207,6 +379,17 @@ func (s *Server) Close() {
 	}
 	if s.watching {
 		<-s.done
+	}
+	if s.wal != nil {
+		s.closePush.Do(func() {
+			s.pushMu.Lock()
+			s.pushClosed = true
+			s.pushMu.Unlock()
+			s.pushWG.Wait()
+			close(s.foldQ)
+			<-s.foldDone
+			s.wal.Close()
+		})
 	}
 }
 
@@ -258,13 +441,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// instrument wraps a handler with the request metrics.
+// readOnlyBodyLimit caps request bodies on endpoints that never read
+// one: hygiene against a client streaming an unbounded body at a GET.
+const readOnlyBodyLimit = 1 << 20
+
+// instrument wraps a read-only handler with the request metrics, a
+// GET/HEAD method gate and a body cap.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return s.instrumentMethods(path, []string{http.MethodGet, http.MethodHead}, readOnlyBodyLimit, h)
+}
+
+// instrumentMethods wraps a handler with the request metrics,
+// rejecting methods outside allowed with 405 (carrying an Allow
+// header) and capping the request body at bodyLimit bytes.
+func (s *Server) instrumentMethods(path string, allowed []string, bodyLimit int64, h http.HandlerFunc) http.HandlerFunc {
+	allow := strings.Join(allowed, ", ")
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		ok := false
+		for _, m := range allowed {
+			if r.Method == m {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			w.Header().Set("Allow", allow)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, bodyLimit)
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		start := time.Now()
@@ -272,6 +477,14 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		h(w, r)
 		s.requestNS(path).Observe(time.Since(start).Nanoseconds())
 	}
+}
+
+// limitBody caps the request body of a wrapped handler.
+func limitBody(h http.Handler, limit int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+		h.ServeHTTP(w, r)
+	})
 }
 
 // render returns the cached response body for key, computing and
@@ -431,11 +644,33 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 
 // Health is the /healthz response body.
 type Health struct {
-	Status          string    `json:"status"`
-	Snapshot        string    `json:"snapshot,omitempty"`
-	Tasks           int       `json:"tasks"`
-	LastIngestError string    `json:"last_ingest_error,omitempty"`
-	LastErrorAt     time.Time `json:"last_error_at,omitempty"`
+	Status          string      `json:"status"`
+	Snapshot        string      `json:"snapshot,omitempty"`
+	Tasks           int         `json:"tasks"`
+	LastIngestError string      `json:"last_ingest_error,omitempty"`
+	LastErrorAt     time.Time   `json:"last_error_at,omitempty"`
+	WAL             *WALHealth  `json:"wal,omitempty"`
+	Poll            *PollHealth `json:"poll,omitempty"`
+}
+
+// WALHealth reports the push-ingest durability state.
+type WALHealth struct {
+	// PendingRecords counts acknowledged records not yet folded into
+	// trace files (they survive in the WAL).
+	PendingRecords uint64 `json:"pending_records"`
+	// QueueDepth / QueueCapacity is the admission pool: at capacity,
+	// pushes are answered 429 + Retry-After.
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Segments      int    `json:"segments"`
+	NextSeq       uint64 `json:"next_seq"`
+	FoldedSeq     uint64 `json:"folded_seq"`
+}
+
+// PollHealth reports the background rescan loop's error-backoff state.
+type PollHealth struct {
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	BackoffMS           int64 `json:"backoff_ms"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +681,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if snap != nil {
 		h.Snapshot = snap.id
 		h.Tasks = len(snap.tasks)
+	}
+	if s.wal != nil {
+		stats := s.wal.Stats()
+		h.WAL = &WALHealth{
+			PendingRecords: stats.Pending,
+			QueueDepth:     len(s.sem),
+			QueueCapacity:  cap(s.sem),
+			Segments:       stats.Segments,
+			NextSeq:        stats.NextSeq,
+			FoldedSeq:      stats.Folded,
+		}
+	}
+	if s.cfg.Poll > 0 {
+		h.Poll = &PollHealth{
+			ConsecutiveFailures: s.pollFailures.Load(),
+			BackoffMS:           s.pollBackoffNS.Load() / int64(time.Millisecond),
+		}
 	}
 	status := http.StatusOK
 	if ie := s.lastErr.Load(); ie != nil {

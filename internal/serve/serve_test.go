@@ -16,7 +16,7 @@ import (
 
 func TestServeCorruptTraceReportsPath(t *testing.T) {
 	dir := writeFixtureDir(t)
-	s := NewServer(Config{Dir: dir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -83,7 +83,7 @@ func TestServeCorruptTraceReportsPath(t *testing.T) {
 
 func TestServeBadRequests(t *testing.T) {
 	dir := writeFixtureDir(t)
-	s := NewServer(Config{Dir: dir, PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, PlanOptions: testPlanOpts})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -117,7 +117,7 @@ func TestServeBadRequests(t *testing.T) {
 func TestServeTasksAndMetrics(t *testing.T) {
 	dir := writeFixtureDir(t)
 	reg := obs.NewRegistry()
-	s := NewServer(Config{Dir: dir, Registry: reg, PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, Registry: reg, PlanOptions: testPlanOpts})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -162,7 +162,7 @@ func TestServeTasksAndMetrics(t *testing.T) {
 func TestServeBackgroundWatcher(t *testing.T) {
 	dir := writeFixtureDir(t)
 	reg := obs.NewRegistry()
-	s := NewServer(Config{Dir: dir, Registry: reg, Poll: 5 * time.Millisecond, PlanOptions: testPlanOpts})
+	s := mustServer(t, Config{Dir: dir, Registry: reg, Poll: 5 * time.Millisecond, PlanOptions: testPlanOpts})
 	s.Start()
 	defer s.Close()
 
@@ -185,7 +185,7 @@ func TestServeBackgroundWatcher(t *testing.T) {
 }
 
 func TestServeMissingDirectory(t *testing.T) {
-	s := NewServer(Config{Dir: filepath.Join(t.TempDir(), "nope")})
+	s := mustServer(t, Config{Dir: filepath.Join(t.TempDir(), "nope")})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -209,7 +209,7 @@ func TestServeMissingDirectory(t *testing.T) {
 }
 
 func TestServeEmptyDirectory(t *testing.T) {
-	s := NewServer(Config{Dir: t.TempDir()})
+	s := mustServer(t, Config{Dir: t.TempDir()})
 	defer s.Close()
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -246,9 +246,9 @@ func TestServeBinaryTraceDirEquivalent(t *testing.T) {
 	}
 	bumpMtimes(t, binDir, 0)
 
-	js := NewServer(Config{Dir: jsonDir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
+	js := mustServer(t, Config{Dir: jsonDir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
 	defer js.Close()
-	bs := NewServer(Config{Dir: binDir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
+	bs := mustServer(t, Config{Dir: binDir, Registry: obs.NewRegistry(), PlanOptions: testPlanOpts})
 	defer bs.Close()
 	jsrv := httptest.NewServer(js)
 	defer jsrv.Close()

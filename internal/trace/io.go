@@ -122,6 +122,14 @@ func (t *TaskTrace) Save(dir string) (string, error) {
 	return t.SaveFormat(dir, FormatJSON)
 }
 
+// TraceFileName returns the file name Save/SaveFormat would use for a
+// task trace in the given format: the percent-escaped task name plus
+// the format suffix. Push-ingest folding uses it to land acknowledged
+// records under exactly the names the directory scanners expect.
+func TraceFileName(task string, f Format) string {
+	return escapeTaskFilename(task) + f.Suffix()
+}
+
 // SaveFormat writes the trace to dir in the given format, naming the
 // file <escaped-task><suffix>. The write is atomic: bytes land in a
 // temp file in the same directory which is renamed over the final
@@ -131,7 +139,7 @@ func (t *TaskTrace) SaveFormat(dir string, format Format) (string, error) {
 	if err := t.Validate(); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, escapeTaskFilename(t.Task)+format.Suffix())
+	path := filepath.Join(dir, TraceFileName(t.Task, format))
 	if err := atomicWrite(path, func(w io.Writer) error {
 		return t.EncodeFormat(w, format)
 	}); err != nil {

@@ -1,0 +1,157 @@
+package trace
+
+// Write-ahead-log record framing, shared with internal/serve's
+// segmented WAL. A WAL segment reuses the dtb framing idiom — a
+// PNG-style magic, uvarint header fields, and length-prefixed records
+// — with a CRC-32C per record so replay can distinguish a torn tail
+// (crash mid-append: truncate and continue) from a clean end of
+// segment:
+//
+//	header  magic "\x89DWL\r\n" + uvarint version (1) + uvarint
+//	        first-sequence-number of the segment's records
+//	record  uvarint payload length + 4-byte little-endian CRC-32C of
+//	        the payload + payload bytes
+//
+// The payload is opaque to this layer; in practice it is one complete
+// trace byte stream in either serialization (the dtb magic sniffs the
+// format back out on replay). Any framing violation — a partial
+// varint, a short payload, a CRC mismatch, an oversized length —
+// reports ErrWALTorn so the segment owner can truncate to the last
+// whole record instead of failing recovery.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// walMagic opens every WAL segment file.
+const walMagic = "\x89DWL\r\n"
+
+// walVersion is the current segment wire-format version.
+const walVersion = 1
+
+// ErrWALTorn marks a record (or segment header) whose bytes end early
+// or fail the checksum: the crash-truncated tail of a segment. It is
+// recoverable by construction — everything before it replays.
+var ErrWALTorn = errors.New("trace: wal: torn record")
+
+// walCRC is the Castagnoli table shared by every record checksum.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteWALHeader writes a segment header and returns the bytes
+// written. firstSeq is the global sequence number of the segment's
+// first record.
+func WriteWALHeader(w io.Writer, firstSeq uint64) (int, error) {
+	var buf [len(walMagic) + 2*binary.MaxVarintLen64]byte
+	n := copy(buf[:], walMagic)
+	n += binary.PutUvarint(buf[n:], walVersion)
+	n += binary.PutUvarint(buf[n:], firstSeq)
+	written, err := w.Write(buf[:n])
+	if err != nil {
+		return written, fmt.Errorf("trace: wal: write header: %w", err)
+	}
+	return written, nil
+}
+
+// ReadWALHeader reads a segment header, returning the segment's first
+// record sequence number and the bytes consumed. A short, mangled or
+// wrong-version header reports ErrWALTorn: the segment holds nothing
+// recoverable.
+func ReadWALHeader(r *bufio.Reader) (firstSeq uint64, n int, err error) {
+	cr := &countingByteReader{r: r}
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return 0, cr.n, fmt.Errorf("%w: short magic: %v", ErrWALTorn, err)
+	}
+	if string(magic) != walMagic {
+		return 0, cr.n, fmt.Errorf("%w: bad magic %q", ErrWALTorn, magic)
+	}
+	version, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return 0, cr.n, fmt.Errorf("%w: version: %v", ErrWALTorn, err)
+	}
+	if version != walVersion {
+		return 0, cr.n, fmt.Errorf("%w: unsupported version %d (want %d)", ErrWALTorn, version, walVersion)
+	}
+	firstSeq, err = binary.ReadUvarint(cr)
+	if err != nil {
+		return 0, cr.n, fmt.Errorf("%w: first sequence: %v", ErrWALTorn, err)
+	}
+	return firstSeq, cr.n, nil
+}
+
+// WriteWALRecord frames one payload — uvarint length, CRC-32C,
+// payload — and returns the bytes written. The write is issued as a
+// single Write call so an interrupted append leaves at most one torn
+// tail, never an interleaving.
+func WriteWALRecord(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > maxBinaryLen {
+		return 0, fmt.Errorf("trace: wal: record of %d bytes exceeds limit %d", len(payload), maxBinaryLen)
+	}
+	buf := make([]byte, 0, binary.MaxVarintLen64+4+len(payload))
+	var head [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(head[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(head[n:], crc32.Checksum(payload, walCRC))
+	buf = append(buf, head[:n+4]...)
+	buf = append(buf, payload...)
+	written, err := w.Write(buf)
+	if err != nil {
+		return written, fmt.Errorf("trace: wal: write record: %w", err)
+	}
+	return written, nil
+}
+
+// ReadWALRecord reads the next framed record, returning the payload
+// and the bytes consumed. A clean end of segment (zero bytes before
+// EOF) returns io.EOF; anything short, oversized or checksum-mangled
+// returns ErrWALTorn wrapped with detail.
+func ReadWALRecord(r *bufio.Reader) (payload []byte, n int, err error) {
+	cr := &countingByteReader{r: r}
+	length, err := binary.ReadUvarint(cr)
+	if err != nil {
+		if err == io.EOF && cr.n == 0 {
+			return nil, 0, io.EOF
+		}
+		return nil, cr.n, fmt.Errorf("%w: length: %v", ErrWALTorn, err)
+	}
+	if length > maxBinaryLen {
+		return nil, cr.n, fmt.Errorf("%w: record of %d bytes exceeds limit %d", ErrWALTorn, length, maxBinaryLen)
+	}
+	var crcBytes [4]byte
+	if _, err := io.ReadFull(cr, crcBytes[:]); err != nil {
+		return nil, cr.n, fmt.Errorf("%w: checksum: %v", ErrWALTorn, err)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(cr, payload); err != nil {
+		return nil, cr.n, fmt.Errorf("%w: payload: %v", ErrWALTorn, err)
+	}
+	if got, want := crc32.Checksum(payload, walCRC), binary.LittleEndian.Uint32(crcBytes[:]); got != want {
+		return nil, cr.n, fmt.Errorf("%w: checksum %08x != %08x", ErrWALTorn, got, want)
+	}
+	return payload, cr.n, nil
+}
+
+// countingByteReader counts consumed bytes so torn-tail truncation can
+// land exactly on the last whole record.
+type countingByteReader struct {
+	r *bufio.Reader
+	n int
+}
+
+func (c *countingByteReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func (c *countingByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Kill-restart chaos smoke for the durable push-ingest path.
+#
+# Starts `dayu serve` with a write-ahead log, pushes a workload's traces
+# at it, `kill -9`s the server mid-stream (arbitrary byte boundary,
+# possibly mid-WAL-append), restarts it, and asserts:
+#
+#   1. Replay loses nothing: every trace folded before the kill is
+#      still served after restart.
+#   2. The retrying push client eventually delivers every record.
+#   3. /v1/ftg and /v1/sdg responses are byte-identical to the batch
+#      CLI (`dayu analyze`) over both the recovered directory and the
+#      original source traces.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-dayu-binary]
+set -euo pipefail
+
+dayu="${1:-./dayu}"
+addr="127.0.0.1:18080"
+workdir="$(mktemp -d)"
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+src="$workdir/src"
+dir="$workdir/traces"
+wal="$workdir/wal"
+mkdir -p "$dir"
+
+"$dayu" run -workflow pyflextrkr -traces "$src" >/dev/null
+total="$(find "$src" -name '*.trace.*' | wc -l)"
+echo "chaos: $total source traces"
+
+# fsync-always and a small admission queue slow ingest enough that the
+# kill below lands mid-stream instead of after the push completes.
+start_serve() {
+  "$dayu" serve -dir "$dir" -wal "$wal" -addr "$addr" -poll 200ms \
+    -wal-fsync always -ingest-queue 2 &
+  serve_pid=$!
+  for _ in $(seq 1 50); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "chaos: server never became healthy" >&2
+  return 1
+}
+
+task_count() {
+  curl -fsS "http://$addr/v1/tasks" | grep -c '"file":' || true
+}
+
+start_serve
+
+# Push in the background with a generous retry budget (it must ride
+# out the kill and the restart), then kill -9 the server mid-stream.
+"$dayu" push -traces "$src" -server "http://$addr" -attempts 200 >"$workdir/push.log" 2>&1 &
+push_pid=$!
+sleep 0.05
+kill -9 "$serve_pid"
+serve_pid=""
+echo "chaos: killed serve mid-stream"
+
+folded_before="$(find "$dir" -name '*.trace.*' | wc -l)"
+echo "chaos: $folded_before traces folded before the kill"
+
+start_serve
+echo "chaos: restarted"
+
+# Gate 1: startup replay recovers at least everything already folded
+# (WAL replay can only add acknowledged records, never lose them).
+recovered="$(task_count)"
+if [ "$recovered" -lt "$folded_before" ]; then
+  echo "chaos: FAIL: recovered $recovered tasks < $folded_before folded before kill" >&2
+  exit 1
+fi
+echo "chaos: recovered $recovered tasks after restart"
+
+# Gate 2: the retrying client delivers everything. The original push
+# should finish against the restarted server; a rerun is idempotent
+# (duplicates are acknowledged, not re-applied) and covers the case
+# where it gave up while the server was down.
+wait "$push_pid" || true
+"$dayu" push -traces "$src" -server "http://$addr" -attempts 50
+
+for _ in $(seq 1 100); do
+  if [ "$(task_count)" -eq "$total" ]; then
+    break
+  fi
+  sleep 0.2
+done
+final="$(task_count)"
+if [ "$final" -ne "$total" ]; then
+  echo "chaos: FAIL: $final tasks served, want $total" >&2
+  exit 1
+fi
+echo "chaos: all $total tasks delivered"
+
+# Gate 3: byte-identical to the batch CLI — over the recovered
+# directory and over the original source traces.
+curl -fsS "http://$addr/v1/ftg" -o "$workdir/ftg.json"
+curl -fsS "http://$addr/v1/sdg" -o "$workdir/sdg.json"
+"$dayu" analyze -traces "$dir" -out "$workdir/out-dir" >/dev/null
+cmp "$workdir/out-dir/ftg.json" "$workdir/ftg.json"
+"$dayu" analyze -sdg -traces "$dir" -out "$workdir/out-dir-sdg" >/dev/null
+cmp "$workdir/out-dir-sdg/sdg.json" "$workdir/sdg.json"
+"$dayu" analyze -traces "$src" -out "$workdir/out-src" >/dev/null
+cmp "$workdir/out-src/ftg.json" "$workdir/ftg.json"
+"$dayu" analyze -sdg -traces "$src" -out "$workdir/out-src-sdg" >/dev/null
+cmp "$workdir/out-src-sdg/sdg.json" "$workdir/sdg.json"
+echo "chaos: /v1/ftg and /v1/sdg byte-identical to batch dayu analyze"
+
+echo "chaos: PASS"
