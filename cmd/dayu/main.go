@@ -568,7 +568,7 @@ func cmdServe(args []string) error {
 	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "fsync period for -wal-fsync=interval")
 	walSegBytes := fs.Int64("wal-segment-bytes", 4<<20, "rotate WAL segments at this size")
 	ingestQueue := fs.Int("ingest-queue", 64, "pushes admitted ahead of folding before 429 backpressure")
-	maxBody := fs.Int64("max-body", 64<<20, "largest accepted request body in bytes")
+	maxBody := fs.Int64("max-body", 32<<20, "largest accepted request body in bytes")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout (0 = none)")
 	fs.Parse(args)
 

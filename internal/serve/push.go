@@ -16,7 +16,10 @@ package serve
 // written, so the WAL cannot grow unboundedly ahead of folding.
 // Dedup is content-addressed: a payload whose hash matches an already
 // acknowledged or already folded trace is acknowledged as a duplicate
-// without re-appending, which makes client retries idempotent.
+// without re-appending, which makes client retries idempotent. A
+// payload identical to one whose append is still in flight waits for
+// that append to settle first — answering "duplicate" earlier would
+// acknowledge bytes not yet durable, and appending would double-log.
 
 import (
 	"bytes"
@@ -83,17 +86,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := trace.HashBytes(data)
 
-	s.pushMu.Lock()
-	if s.pushClosed {
+	for {
+		s.pushMu.Lock()
+		if s.pushClosed {
+			s.pushMu.Unlock()
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		}
+		if s.isDuplicateLocked(hash) {
+			s.pushMu.Unlock()
+			s.pushDuplicates.Inc()
+			s.writePushResponse(w, PushResponse{Status: "duplicate", Task: tt.Task, Hash: hash})
+			return
+		}
+		twin, inflight := s.pending[hash]
+		if !inflight {
+			break // proceed, still holding pushMu
+		}
+		// An identical payload is mid-append. Answering "duplicate"
+		// now would acknowledge bytes that are not durable yet, and
+		// appending too would double-log; wait for the twin's append
+		// to settle and re-evaluate.
 		s.pushMu.Unlock()
-		http.Error(w, "shutting down", http.StatusServiceUnavailable)
-		return
-	}
-	if s.isDuplicateLocked(hash) {
-		s.pushMu.Unlock()
-		s.pushDuplicates.Inc()
-		s.writePushResponse(w, PushResponse{Status: "duplicate", Task: tt.Task, Hash: hash})
-		return
+		select {
+		case <-twin:
+		case <-r.Context().Done():
+			http.Error(w, "canceled while an identical push was in flight", http.StatusServiceUnavailable)
+			return
+		}
 	}
 	select {
 	case s.sem <- struct{}{}:
@@ -111,6 +131,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ingest queue full", http.StatusTooManyRequests)
 		return
 	}
+	inflight := make(chan struct{})
+	s.pending[hash] = inflight
 	s.pushWG.Add(1)
 	s.pushMu.Unlock()
 	defer s.pushWG.Done()
@@ -118,15 +140,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	appendStart := time.Now()
 	seq, err := s.wal.Append(data)
 	s.walAppendNS.Observe(time.Since(appendStart).Nanoseconds())
+	s.pushMu.Lock()
+	if err == nil {
+		s.acked[hash] = true
+	}
+	delete(s.pending, hash)
+	close(inflight)
+	s.pushMu.Unlock()
 	if err != nil {
 		<-s.sem
 		s.pushErrors.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	s.pushMu.Lock()
-	s.acked[hash] = true
-	s.pushMu.Unlock()
 	s.pushAccepted.Inc()
 	s.updateWALGauges()
 	// Guaranteed not to block: foldQ has at least one slot per

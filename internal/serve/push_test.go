@@ -399,6 +399,58 @@ func TestPushClientDeliversThroughBackpressure(t *testing.T) {
 	waitTasks(t, env.s, n)
 }
 
+// TestPushConcurrentIdenticalPayloads pins in-flight dedup: identical
+// payloads racing through /v1/ingest must produce exactly one WAL
+// record and one "accepted" acknowledgement — a twin either waits for
+// the first append to settle and is answered "duplicate", or appends
+// itself if that append failed. Never both, and never a "duplicate"
+// for bytes that are not yet durable.
+func TestPushConcurrentIdenticalPayloads(t *testing.T) {
+	env := newPushEnv(t, nil)
+	data := makeTraceBytes(t, "twin_probe", trace.FormatBinary)
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make(chan string, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, pr, _ := postIngest(t, env.srv, data)
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("status %d", status)
+				return
+			}
+			results <- pr.Status
+		}()
+	}
+	wg.Wait()
+	close(results)
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	accepted, duplicates := 0, 0
+	for st := range results {
+		switch st {
+		case "accepted":
+			accepted++
+		case "duplicate":
+			duplicates++
+		default:
+			t.Errorf("unexpected status %q", st)
+		}
+	}
+	if accepted != 1 || duplicates != n-1 {
+		t.Fatalf("accepted=%d duplicates=%d, want 1 and %d", accepted, duplicates, n-1)
+	}
+	if stats := env.s.wal.Stats(); stats.NextSeq != 1 {
+		t.Fatalf("identical payloads appended %d WAL records, want 1", stats.NextSeq)
+	}
+	waitTasks(t, env.s, 1)
+}
+
 // TestPushCrashRecoveryEquivalence is the in-process crash gate: a WAL
 // left behind by a dead server — including a torn tail from a crash
 // mid-append — replays on startup into a server whose endpoints are

@@ -140,7 +140,13 @@ type Server struct {
 	pushClosed bool
 	pushWG     sync.WaitGroup
 	acked      map[string]bool // content hashes acknowledged this process
-	closePush  sync.Once
+	// pending holds content hashes whose WAL append is in flight; the
+	// channel closes when the append settles (either way). Identical
+	// concurrent pushes wait on it instead of double-appending — and
+	// instead of being answered "duplicate" before the twin's bytes
+	// are actually durable.
+	pending   map[string]chan struct{}
+	closePush sync.Once
 
 	// Poll-loop backoff state, surfaced by /healthz.
 	pollFailures  atomic.Int64
@@ -271,6 +277,7 @@ func (s *Server) openWAL() error {
 	s.foldQ = make(chan foldJob, queue)
 	s.foldDone = make(chan struct{})
 	s.acked = make(map[string]bool, len(pending))
+	s.pending = make(map[string]chan struct{})
 	for _, rec := range pending {
 		hash := trace.HashBytes(rec.Data)
 		s.acked[hash] = true

@@ -14,12 +14,16 @@ package serve
 //	checkpoint                           decimal next-unfolded sequence
 //
 // Sequence numbers are global and monotone; a segment's records are
-// implicitly numbered from its header's first-seq. MarkFolded advances
-// the checkpoint once a record has been folded into a saved trace
-// file, and compaction deletes closed segments whose records are all
-// folded. The checkpoint is an optimization, not a correctness
-// dependency: folding is idempotent (a content-addressed overwrite of
-// the same trace file), so a lost checkpoint merely re-folds.
+// implicitly numbered from its header's first-seq. MarkFolded records
+// one sequence number as folded into a saved trace file; the
+// checkpoint advances only over a contiguous prefix of folded records,
+// so folds that complete out of sequence order (or a fold that gave up
+// and left its record pending) can never move the checkpoint past an
+// unfolded acknowledged record. Compaction deletes closed segments
+// whose records are all below the checkpoint. The checkpoint is an
+// optimization, not a correctness dependency: folding is idempotent (a
+// content-addressed overwrite of the same trace file), so a lost
+// checkpoint merely re-folds.
 
 import (
 	"bufio"
@@ -120,8 +124,8 @@ type walSegment struct {
 type WALStats struct {
 	// Segments counts on-disk segment files, including the active one.
 	Segments int
-	// Pending is NextSeq - Folded: acknowledged records not yet folded
-	// into trace files.
+	// Pending counts acknowledged records not yet folded into trace
+	// files (including any gap records that block the checkpoint).
 	Pending uint64
 	// NextSeq is the sequence number the next append will take.
 	NextSeq uint64
@@ -144,7 +148,8 @@ type WAL struct {
 	activeSize    int64
 	nextSeq       uint64
 	folded        uint64
-	segments      []walSegment // closed segments, ordered by first
+	foldedAhead   map[uint64]bool // folded seqs above the contiguous prefix
+	segments      []walSegment    // closed segments, ordered by first
 	closed        bool
 	dirty         bool // unsynced appends under FsyncInterval/FsyncNever
 	stopSync      chan struct{}
@@ -155,11 +160,14 @@ type WAL struct {
 const walCheckpointFile = "checkpoint"
 
 // OpenWAL opens (creating if needed) the WAL under dir, replays every
-// segment — truncating torn tails, deleting empty or unreadable
-// segments — and returns the log plus the pending records at or past
-// the fold checkpoint, in sequence order. A new active segment is
-// created lazily on first append, so crash-looping never litters the
-// directory with empty files.
+// segment — truncating torn tails, deleting segments whose header is
+// crash-torn or that hold no whole record — and returns the log plus
+// the pending records at or past the fold checkpoint, in sequence
+// order. A genuine I/O fault during replay (a failed read or
+// truncate, not a torn tail) fails OpenWAL instead: deleting a
+// segment over a transient error would destroy acknowledged records.
+// A new active segment is created lazily on first append, so
+// crash-looping never litters the directory with empty files.
 func OpenWAL(dir string, opts WALOptions) (*WAL, []PendingRecord, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -173,13 +181,24 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, []PendingRecord, error) {
 	}
 	sort.Strings(names)
 
-	w := &WAL{dir: dir, opts: opts, folded: folded, nextSeq: folded}
+	w := &WAL{dir: dir, opts: opts, folded: folded, nextSeq: folded, foldedAhead: map[uint64]bool{}}
 	var pending []PendingRecord
 	for _, path := range names {
 		first, records, err := replaySegment(path)
-		if err != nil || len(records) == 0 {
-			// Unreadable header (crash mid-creation) or no whole
-			// records survive: the segment holds nothing acknowledged.
+		if err != nil {
+			if errors.Is(err, trace.ErrWALTorn) {
+				// Torn header: the crash hit mid-creation, before any
+				// record could be acknowledged in this segment.
+				os.Remove(path)
+				continue
+			}
+			// A real I/O fault (failed read or truncate). The segment
+			// may hold acknowledged records, so never delete it here.
+			return nil, nil, fmt.Errorf("serve: wal: replay %s: %w", filepath.Base(path), err)
+		}
+		if len(records) == 0 {
+			// Header-only segment (crash before the first whole
+			// record): nothing acknowledged survives in it.
 			os.Remove(path)
 			continue
 		}
@@ -206,9 +225,10 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, []PendingRecord, error) {
 
 // replaySegment reads one segment file, truncating any torn tail in
 // place so the file ends on a whole-record boundary. It returns the
-// segment's first sequence number and the surviving payloads; a
-// header that cannot be read reports an error (the caller removes the
-// file).
+// segment's first sequence number and the surviving payloads. A
+// crash-torn header reports trace.ErrWALTorn (the caller removes the
+// file — nothing in it was ever acknowledged); any other error is a
+// genuine I/O fault the caller must treat as fatal, not removable.
 func replaySegment(path string) (first uint64, records [][]byte, err error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -350,16 +370,29 @@ func (w *WAL) rotateLocked() error {
 	return nil
 }
 
-// MarkFolded records that every sequence number up to and including
-// seq has been folded into a saved trace file, persists the
-// checkpoint, and deletes closed segments that are now fully folded.
+// MarkFolded records that the record at seq has been folded into a
+// saved trace file. The checkpoint advances only over a contiguous
+// prefix of folded sequence numbers — a fold completing out of order
+// is remembered but cannot move the checkpoint past an earlier record
+// that is still unfolded, so that record always replays after a
+// crash. When the prefix advances, the checkpoint is persisted and
+// fully-folded closed segments are deleted.
 func (w *WAL) MarkFolded(seq uint64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if seq+1 <= w.folded {
+	if seq < w.folded {
 		return
 	}
-	w.folded = seq + 1
+	w.foldedAhead[seq] = true
+	advanced := false
+	for w.foldedAhead[w.folded] {
+		delete(w.foldedAhead, w.folded)
+		w.folded++
+		advanced = true
+	}
+	if !advanced {
+		return
+	}
 	w.checkpointErr = w.writeCheckpointLocked()
 	w.compactLocked()
 }
@@ -447,7 +480,7 @@ func (w *WAL) Stats() WALStats {
 	}
 	return WALStats{
 		Segments:    segs,
-		Pending:     w.nextSeq - w.folded,
+		Pending:     w.nextSeq - w.folded - uint64(len(w.foldedAhead)),
 		NextSeq:     w.nextSeq,
 		Folded:      w.folded,
 		ActiveBytes: w.activeSize,

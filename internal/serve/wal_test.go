@@ -108,6 +108,70 @@ func TestWALCheckpointAndCompaction(t *testing.T) {
 	}
 }
 
+// TestWALMarkFoldedOutOfOrder pins the checkpoint's contiguous-prefix
+// contract: fold jobs may complete out of sequence order (concurrent
+// pushes race between append and enqueue, and a failed fold leaves its
+// record pending), and the checkpoint must never advance past an
+// earlier acknowledged record that is still unfolded.
+func TestWALMarkFoldedOutOfOrder(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, WALOptions{Fsync: FsyncNever})
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Records 2 and 1 fold before record 0: the checkpoint stays put.
+	w.MarkFolded(2)
+	w.MarkFolded(1)
+	if stats := w.Stats(); stats.Folded != 0 || stats.Pending != 1 {
+		t.Fatalf("after out-of-order folds: folded=%d pending=%d, want 0,1", stats.Folded, stats.Pending)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash now must replay record 0 — acknowledged, never folded.
+	w2, pending := openTestWAL(t, dir, WALOptions{Fsync: FsyncNever})
+	if len(pending) == 0 || pending[0].Seq != 0 || string(pending[0].Data) != "rec-0" {
+		t.Fatalf("replay lost the unfolded record 0 (%d pending)", len(pending))
+	}
+	// Folding the gap record advances the checkpoint over the whole
+	// now-contiguous prefix at once.
+	w2.MarkFolded(1)
+	w2.MarkFolded(2)
+	w2.MarkFolded(0)
+	if stats := w2.Stats(); stats.Folded != 3 || stats.Pending != 0 {
+		t.Fatalf("after folding the gap: folded=%d pending=%d, want 3,0", stats.Folded, stats.Pending)
+	}
+	w2.Close()
+}
+
+// TestOpenWALFailsOnSegmentIOError pins the recovery deletion rule: a
+// segment that fails replay with a genuine I/O fault (here, a path
+// that cannot be opened as a file) must fail OpenWAL and survive on
+// disk — deleting it could destroy acknowledged records over a
+// transient error. Only crash-torn headers and record-free segments
+// are removable.
+func TestOpenWALFailsOnSegmentIOError(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := openTestWAL(t, dir, WALOptions{Fsync: FsyncNever})
+	if _, err := w.Append([]byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	bogus := filepath.Join(dir, "wal-00000000000000ff.seg")
+	if err := os.Mkdir(bogus, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(dir, WALOptions{Fsync: FsyncNever}); err == nil {
+		t.Fatal("OpenWAL succeeded over an unreadable segment")
+	}
+	if _, err := os.Stat(bogus); err != nil {
+		t.Fatalf("unreadable segment was removed during failed recovery: %v", err)
+	}
+}
+
 func TestWALIgnoresMangledCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	w, _ := openTestWAL(t, dir, WALOptions{Fsync: FsyncNever})

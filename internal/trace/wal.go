@@ -17,7 +17,10 @@ package trace
 // format back out on replay). Any framing violation — a partial
 // varint, a short payload, a CRC mismatch, an oversized length —
 // reports ErrWALTorn so the segment owner can truncate to the last
-// whole record instead of failing recovery.
+// whole record instead of failing recovery. A genuine I/O failure
+// (a disk fault, not bytes ending early) passes through unwrapped:
+// mistaking it for a torn tail would let recovery truncate or delete
+// acknowledged records over a transient error.
 
 import (
 	"bufio"
@@ -26,6 +29,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strings"
 )
 
 // walMagic opens every WAL segment file.
@@ -41,6 +45,19 @@ var ErrWALTorn = errors.New("trace: wal: torn record")
 
 // walCRC is the Castagnoli table shared by every record checksum.
 var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// classifyWALErr wraps a read failure for the given context: bytes
+// ending early (EOF after a partial frame) or a garbage varint are the
+// shape of a crash-torn tail and report ErrWALTorn; anything else is a
+// genuine I/O fault and passes through un-torn so the caller fails
+// recovery instead of truncating acknowledged data. (ReadUvarint's
+// overflow error is unexported, hence the string match.)
+func classifyWALErr(err error, context string) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || strings.Contains(err.Error(), "overflow") {
+		return fmt.Errorf("%w: %s: %v", ErrWALTorn, context, err)
+	}
+	return fmt.Errorf("trace: wal: %s: %w", context, err)
+}
 
 // WriteWALHeader writes a segment header and returns the bytes
 // written. firstSeq is the global sequence number of the segment's
@@ -65,21 +82,21 @@ func ReadWALHeader(r *bufio.Reader) (firstSeq uint64, n int, err error) {
 	cr := &countingByteReader{r: r}
 	magic := make([]byte, len(walMagic))
 	if _, err := io.ReadFull(cr, magic); err != nil {
-		return 0, cr.n, fmt.Errorf("%w: short magic: %v", ErrWALTorn, err)
+		return 0, cr.n, classifyWALErr(err, "magic")
 	}
 	if string(magic) != walMagic {
 		return 0, cr.n, fmt.Errorf("%w: bad magic %q", ErrWALTorn, magic)
 	}
 	version, err := binary.ReadUvarint(cr)
 	if err != nil {
-		return 0, cr.n, fmt.Errorf("%w: version: %v", ErrWALTorn, err)
+		return 0, cr.n, classifyWALErr(err, "version")
 	}
 	if version != walVersion {
 		return 0, cr.n, fmt.Errorf("%w: unsupported version %d (want %d)", ErrWALTorn, version, walVersion)
 	}
 	firstSeq, err = binary.ReadUvarint(cr)
 	if err != nil {
-		return 0, cr.n, fmt.Errorf("%w: first sequence: %v", ErrWALTorn, err)
+		return 0, cr.n, classifyWALErr(err, "first sequence")
 	}
 	return firstSeq, cr.n, nil
 }
@@ -116,18 +133,18 @@ func ReadWALRecord(r *bufio.Reader) (payload []byte, n int, err error) {
 		if err == io.EOF && cr.n == 0 {
 			return nil, 0, io.EOF
 		}
-		return nil, cr.n, fmt.Errorf("%w: length: %v", ErrWALTorn, err)
+		return nil, cr.n, classifyWALErr(err, "length")
 	}
 	if length > maxBinaryLen {
 		return nil, cr.n, fmt.Errorf("%w: record of %d bytes exceeds limit %d", ErrWALTorn, length, maxBinaryLen)
 	}
 	var crcBytes [4]byte
 	if _, err := io.ReadFull(cr, crcBytes[:]); err != nil {
-		return nil, cr.n, fmt.Errorf("%w: checksum: %v", ErrWALTorn, err)
+		return nil, cr.n, classifyWALErr(err, "checksum")
 	}
 	payload = make([]byte, length)
 	if _, err := io.ReadFull(cr, payload); err != nil {
-		return nil, cr.n, fmt.Errorf("%w: payload: %v", ErrWALTorn, err)
+		return nil, cr.n, classifyWALErr(err, "payload")
 	}
 	if got, want := crc32.Checksum(payload, walCRC), binary.LittleEndian.Uint32(crcBytes[:]); got != want {
 		return nil, cr.n, fmt.Errorf("%w: checksum %08x != %08x", ErrWALTorn, got, want)

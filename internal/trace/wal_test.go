@@ -8,6 +8,64 @@ import (
 	"testing"
 )
 
+// faultReader serves its data and then fails with a non-EOF error —
+// the shape of a disk fault mid-read, as opposed to bytes ending early.
+type faultReader struct {
+	data []byte
+	err  error
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if len(f.data) == 0 {
+		return 0, f.err
+	}
+	n := copy(p, f.data)
+	f.data = f.data[n:]
+	return n, nil
+}
+
+// TestWALReadIOErrorNotTorn pins the torn-vs-fault distinction: a read
+// that fails with a genuine I/O error must never be reported as
+// ErrWALTorn, because callers respond to torn by truncating or
+// deleting — which over a transient fault would destroy acknowledged
+// records. The original error must stay reachable via errors.Is.
+func TestWALReadIOErrorNotTorn(t *testing.T) {
+	fault := errors.New("simulated disk fault")
+
+	var rec bytes.Buffer
+	if _, err := WriteWALRecord(&rec, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	frame := rec.Bytes()
+	for cut := 0; cut < len(frame); cut++ {
+		_, _, err := ReadWALRecord(bufio.NewReader(&faultReader{data: frame[:cut], err: fault}))
+		if err == nil {
+			t.Fatalf("record cut %d: no error", cut)
+		}
+		if errors.Is(err, ErrWALTorn) {
+			t.Fatalf("record cut %d: I/O fault classified as torn: %v", cut, err)
+		}
+		if !errors.Is(err, fault) {
+			t.Fatalf("record cut %d: fault not surfaced: %v", cut, err)
+		}
+	}
+
+	var hdr bytes.Buffer
+	if _, err := WriteWALHeader(&hdr, 42); err != nil {
+		t.Fatal(err)
+	}
+	header := hdr.Bytes()
+	for cut := 0; cut < len(header); cut++ {
+		_, _, err := ReadWALHeader(bufio.NewReader(&faultReader{data: header[:cut], err: fault}))
+		if err == nil {
+			t.Fatalf("header cut %d: no error", cut)
+		}
+		if errors.Is(err, ErrWALTorn) {
+			t.Fatalf("header cut %d: I/O fault classified as torn: %v", cut, err)
+		}
+	}
+}
+
 func TestWALHeaderRoundTrip(t *testing.T) {
 	for _, firstSeq := range []uint64{0, 1, 127, 128, 1 << 40} {
 		var buf bytes.Buffer
