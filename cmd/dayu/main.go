@@ -480,21 +480,28 @@ func cmdBench(args []string) error {
 		if !a.OutputsIdentical {
 			match = "OUTPUTS DIFFER"
 		}
-		fmt.Printf("kernel %-12s %d tasks on %d cores (parallelism %d)  serial %-12s parallel %-12s speedup %.2fx  %s\n",
+		fmt.Printf("kernel %-12s %d tasks on %d cores (parallelism %d)  serial %-12s parallel %-12s speedup %.2fx [%s]  %s\n",
 			a.Name, a.Tasks, a.Cores, a.Parallelism,
 			units.Duration(time.Duration(a.SerialNS)),
-			units.Duration(time.Duration(a.ParallelNS)), a.Speedup, match)
+			units.Duration(time.Duration(a.ParallelNS)), a.Speedup, a.SpeedupGate, match)
 	}
 	if c := res.Codec; c != nil {
 		match := "graphs identical"
 		if !c.BinaryEquivalent {
 			match = "GRAPHS DIFFER"
 		}
-		fmt.Printf("kernel %-12s %d traces  decode json %-12s dtb %-12s (%.2fx)  size json %-10s dtb %-10s (%.1f%%)  %s\n",
+		fmt.Printf("kernel %-12s %d traces  encode json %-12s dtb %-12s (%.2fx [%s])  decode json %-12s dtb %-12s (%.2fx)  size json %-10s dtb %-10s (%.1f%%)  %s\n",
 			c.Name, c.Tasks,
+			units.Duration(time.Duration(c.JSONEncodeNS)),
+			units.Duration(time.Duration(c.BinaryEncodeNS)), c.EncodeSpeedup, c.EncodeSpeedupGate,
 			units.Duration(time.Duration(c.JSONDecodeNS)),
 			units.Duration(time.Duration(c.BinaryDecodeNS)), c.DecodeSpeedup,
 			units.Bytes(c.JSONBytes), units.Bytes(c.BinaryBytes), 100*c.SizeRatio, match)
+		fmt.Printf("kernel %-12s alloc bytes/op  encode json %-10s dtb %-10s  decode dtb %-10s\n",
+			c.Name,
+			units.Bytes(c.JSONEncodeAllocBytesPerOp),
+			units.Bytes(c.BinaryEncodeAllocBytesPerOp),
+			units.Bytes(c.BinaryDecodeAllocBytesPerOp))
 	}
 	for _, w := range res.Workflows {
 		fmt.Printf("workflow %-12s %d stages, %d tasks  virtual %-12s wall %-12s tracer %.2f%%\n",

@@ -4,18 +4,20 @@
 // offers resolution adjustment (aggregation by stage or dataset count)
 // for complex workflows.
 //
-// Graph construction is parallel: the per-task node/edge contributions
-// are computed concurrently on a bounded worker pool (Options.
-// Parallelism) and merged into the graph sequentially in task order, so
-// the result — node IDs, edge order, every rendered byte — is identical
-// to a serial build.
+// Graph construction is parallel end to end: per-task node/edge
+// contributions are computed in contiguous chunks into pooled
+// worker-owned arenas (Options.Parallelism workers claiming chunks off
+// an atomic counter), then folded into the graph by the shard-then-
+// stitch merge in merge.go — nodes are sharded by key, folded per
+// shard in global occurrence order, and stitched back into serial
+// insertion order. The result — node IDs, edge order, every rendered
+// byte — is identical to a serial build at every parallelism setting.
 package analyzer
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"dayu/internal/graph"
 	"dayu/internal/trace"
@@ -113,52 +115,6 @@ type Contribution struct {
 func (c *Contribution) addNode(n graph.Node) { c.nodes = append(c.nodes, n) }
 func (c *Contribution) addEdge(e graph.Edge) { c.edges = append(c.edges, e) }
 
-// buildContributions computes per-task contributions for the ordered
-// traces on a bounded worker pool and returns them in task order.
-func buildContributions(ordered []*trace.TaskTrace, parallelism int, build func(*trace.TaskTrace) Contribution) []Contribution {
-	out := make([]Contribution, len(ordered))
-	if parallelism > len(ordered) {
-		parallelism = len(ordered)
-	}
-	if parallelism <= 1 {
-		for i, t := range ordered {
-			out[i] = build(t)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	idx := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out[i] = build(ordered[i])
-			}
-		}()
-	}
-	for i := range ordered {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	return out
-}
-
-// merge folds contributions into the graph in task order — the same
-// sequence of AddNode/AddEdge calls the serial build performs, so node
-// identity, statistics merging and edge order are preserved exactly.
-func merge(g *graph.Graph, contribs []Contribution) {
-	for i := range contribs {
-		for _, n := range contribs[i].nodes {
-			g.AddNode(n)
-		}
-		for _, e := range contribs[i].edges {
-			mustAdd(g, e)
-		}
-	}
-}
-
 // BuildFTG constructs the File-Task Graph: tasks and files as nodes,
 // directed read/write edges decorated with access statistics, and
 // data-reuse marking for files consumed by multiple tasks.
@@ -171,12 +127,24 @@ func BuildFTG(traces []*trace.TaskTrace, m *trace.Manifest) *graph.Graph {
 func BuildFTGOpts(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph.Graph {
 	opts = opts.withDefaults()
 	ordered := OrderTasks(traces, m)
-	return BuildFTGFromContributions(buildContributions(ordered, opts.Parallelism, FTGContribution))
+	contribs, arenas := buildContributions(ordered, opts.Parallelism, ftgContribute)
+	g := buildFTGFrom(contribs, opts.Parallelism)
+	releaseArenas(arenas)
+	return g
 }
 
-// FTGContribution computes one task's FTG nodes and edges.
+// FTGContribution computes one task's FTG nodes and edges. The
+// returned contribution owns its memory (no pooled backing store), so
+// callers — the serve contribution cache — may retain it indefinitely.
 func FTGContribution(t *trace.TaskTrace) Contribution {
 	var c Contribution
+	ftgContribute(t, &c)
+	return c
+}
+
+// ftgContribute appends one task's FTG nodes and edges to c, in the
+// exact order the serial build would add them.
+func ftgContribute(t *trace.TaskTrace, c *Contribution) {
 	c.addNode(graph.Node{
 		ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
 		StartNS: t.StartNS, EndNS: t.EndNS,
@@ -206,7 +174,6 @@ func FTGContribution(t *trace.TaskTrace) Contribution {
 			})
 		}
 	}
-	return c
 }
 
 func avg(bytes, ops int64) int64 {
@@ -269,15 +236,18 @@ func BuildSDG(traces []*trace.TaskTrace, m *trace.Manifest, opts Options) *graph
 	opts = opts.withDefaults()
 	ordered := OrderTasks(traces, m)
 	descs := BuildObjectDescs(ordered)
-	return BuildSDGFromContributions(buildContributions(ordered, opts.Parallelism, func(t *trace.TaskTrace) Contribution {
-		return sdgContribute(t, descs, opts)
-	}))
+	contribs, arenas := buildContributions(ordered, opts.Parallelism, func(t *trace.TaskTrace, c *Contribution) {
+		sdgContribute(t, descs, opts, c)
+	})
+	g := buildSDGFrom(contribs, opts.Parallelism)
+	releaseArenas(arenas)
+	return g
 }
 
-// sdgContribute computes one task's SDG nodes and edges. descs is
-// read-only shared state (safe for concurrent readers).
-func sdgContribute(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contribution {
-	var c Contribution
+// sdgContribute appends one task's SDG nodes and edges to c, in the
+// exact order the serial build would add them. descs is read-only
+// shared state (safe for concurrent readers).
+func sdgContribute(t *trace.TaskTrace, descs ObjectDescs, opts Options, c *Contribution) {
 	c.addNode(graph.Node{
 		ID: taskNodeID(t.Task), Kind: graph.KindTask, Label: t.Task,
 		StartNS: t.StartNS, EndNS: t.EndNS,
@@ -292,7 +262,7 @@ func sdgContribute(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contribu
 	for _, ms := range t.Mapped {
 		if ms.Object == "" {
 			if opts.IncludeFileMetadata && ms.MetaOps > 0 {
-				addMetaNode(&c, t, ms)
+				addMetaNode(c, t, ms)
 			}
 			continue
 		}
@@ -332,12 +302,11 @@ func sdgContribute(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contribu
 		}
 		// Structural edges to regions/file.
 		if opts.IncludeRegions {
-			addRegionEdges(&c, ms, opts.PageSize, nodeID)
+			addRegionEdges(c, ms, opts.PageSize, nodeID)
 		} else {
 			c.addEdge(graph.Edge{From: nodeID, To: fileNodeID(ms.File), Op: graph.OpMap})
 		}
 	}
-	return c
 }
 
 // operationLabel summarizes the access mode (Figure 7 shows

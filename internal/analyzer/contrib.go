@@ -1,8 +1,13 @@
 package analyzer
 
 import (
-	"encoding/json"
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
 	"sort"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 
 	"dayu/internal/graph"
 	"dayu/internal/trace"
@@ -22,7 +27,9 @@ import (
 // options), which is what makes it cacheable — see
 // ObjectDescs.Fingerprint for the cache-key component covering descs.
 func SDGContribution(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contribution {
-	return sdgContribute(t, descs, opts.withDefaults())
+	var c Contribution
+	sdgContribute(t, descs, opts.withDefaults(), &c)
+	return c
 }
 
 // Fingerprint returns a stable content hash of the description entries
@@ -31,6 +38,15 @@ func SDGContribution(t *trace.TaskTrace, descs ObjectDescs, opts Options) Contri
 // valid until either the trace bytes or one of the descriptions it
 // actually consumes changes — edits to unrelated tasks never
 // invalidate it.
+//
+// The value is pinned: it is the SHA-256 of exactly the JSON document
+// json.Marshal used to produce here ([{"key":{...},"present":...,
+// "desc":{...}}, ...] over the sorted referenced keys), but the bytes
+// are streamed into the digest from a pooled scratch buffer instead of
+// materializing the document — this runs on the serve hot path once
+// per task per ingest, and the Marshal allocation dominated it.
+// TestFingerprintMatchesJSONReference holds the two byte streams
+// equal.
 func (d ObjectDescs) Fingerprint(t *trace.TaskTrace) string {
 	keys := make([]ObjectKey, 0, len(t.Mapped))
 	seen := map[ObjectKey]bool{}
@@ -47,34 +63,178 @@ func (d ObjectDescs) Fingerprint(t *trace.TaskTrace) string {
 		}
 		return keys[i].Object < keys[j].Object
 	})
-	type entry struct {
-		Key     ObjectKey          `json:"key"`
-		Present bool               `json:"present"`
-		Desc    trace.ObjectRecord `json:"desc,omitempty"`
-	}
-	entries := make([]entry, 0, len(keys))
-	for _, k := range keys {
-		e := entry{Key: k}
-		if desc, ok := d[k]; ok {
-			e.Present, e.Desc = true, desc
+	h := sha256.New()
+	bp := fingerprintBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, '[')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
 		}
-		entries = append(entries, e)
+		b = append(b, `{"key":{"File":`...)
+		b = appendJSONString(b, k.File)
+		b = append(b, `,"Object":`...)
+		b = appendJSONString(b, k.Object)
+		b = append(b, `},"present":`...)
+		desc, ok := d[k]
+		if ok {
+			b = append(b, `true`...)
+		} else {
+			desc = trace.ObjectRecord{}
+			b = append(b, `false`...)
+		}
+		b = append(b, `,"desc":`...)
+		b = appendObjectRecordJSON(b, &desc)
+		b = append(b, '}')
+		// Flush per entry so the scratch buffer stays small no matter
+		// how many objects the task references.
+		h.Write(b)
+		b = b[:0]
 	}
-	data, err := json.Marshal(entries)
-	if err != nil {
-		// ObjectRecord marshals without error by construction.
-		panic(err)
+	b = append(b, ']')
+	h.Write(b)
+	*bp = b[:0]
+	fingerprintBufPool.Put(bp)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return hex.EncodeToString(sum[:])
+}
+
+var fingerprintBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// appendObjectRecordJSON appends the record exactly as json.Marshal
+// renders it: tag order, omitempty semantics (datatype/layout when
+// empty, shape/chunk_dims when length zero, elem_size when zero) and
+// compact separators.
+func appendObjectRecordJSON(b []byte, r *trace.ObjectRecord) []byte {
+	b = append(b, `{"task":`...)
+	b = appendJSONString(b, r.Task)
+	b = append(b, `,"file":`...)
+	b = appendJSONString(b, r.File)
+	b = append(b, `,"object":`...)
+	b = appendJSONString(b, r.Object)
+	b = append(b, `,"type":`...)
+	b = appendJSONString(b, r.Type)
+	if r.Datatype != "" {
+		b = append(b, `,"datatype":`...)
+		b = appendJSONString(b, r.Datatype)
 	}
-	return trace.HashBytes(data)
+	if len(r.Shape) > 0 {
+		b = append(b, `,"shape":`...)
+		b = appendJSONInts(b, r.Shape)
+	}
+	if r.ElemSize != 0 {
+		b = append(b, `,"elem_size":`...)
+		b = strconv.AppendInt(b, r.ElemSize, 10)
+	}
+	if r.Layout != "" {
+		b = append(b, `,"layout":`...)
+		b = appendJSONString(b, r.Layout)
+	}
+	if len(r.ChunkDims) > 0 {
+		b = append(b, `,"chunk_dims":`...)
+		b = appendJSONInts(b, r.ChunkDims)
+	}
+	b = append(b, `,"acquired_ns":`...)
+	b = strconv.AppendInt(b, r.AcquiredNS, 10)
+	b = append(b, `,"released_ns":`...)
+	b = strconv.AppendInt(b, r.ReleasedNS, 10)
+	b = append(b, `,"reads":`...)
+	b = strconv.AppendInt(b, r.Reads, 10)
+	b = append(b, `,"writes":`...)
+	b = strconv.AppendInt(b, r.Writes, 10)
+	b = append(b, `,"bytes_read":`...)
+	b = strconv.AppendInt(b, r.BytesRead, 10)
+	b = append(b, `,"bytes_written":`...)
+	b = strconv.AppendInt(b, r.BytesWritten, 10)
+	return append(b, '}')
+}
+
+func appendJSONInts(b []byte, s []int64) []byte {
+	b = append(b, '[')
+	for i, v := range s {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, v, 10)
+	}
+	return append(b, ']')
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal byte-for-byte as
+// encoding/json renders it with HTML escaping on (its Marshal
+// default): quote, backslash and control bytes escaped (the \n \r \t
+// short forms, backslash-u00xx otherwise), the HTML-sensitive bytes
+// '<' '>' '&' as backslash-u003c/e/6, invalid UTF-8 as the literal
+// six-character escape backslash-ufffd, and U+2028/U+2029 as
+// backslash-u2028/9.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
 }
 
 // BuildFTGFromContributions assembles the File-Task Graph from
 // per-task contributions already in task order (see OrderTasks) and
 // applies the whole-graph decoration passes. Contributions are not
-// mutated and may be reused across calls.
+// mutated and may be reused across calls; the merge runs the
+// shard-then-stitch path at GOMAXPROCS when the input is large enough,
+// with byte-identical output either way.
 func BuildFTGFromContributions(contribs []Contribution) *graph.Graph {
+	return buildFTGFrom(contribs, runtime.GOMAXPROCS(0))
+}
+
+func buildFTGFrom(contribs []Contribution, parallelism int) *graph.Graph {
 	g := graph.New("File-Task Graph")
-	merge(g, contribs)
+	mergeContributions(g, contribs, parallelism)
 	markReuse(g)
 	return g
 }
@@ -82,8 +242,12 @@ func BuildFTGFromContributions(contribs []Contribution) *graph.Graph {
 // BuildSDGFromContributions is the SDG counterpart of
 // BuildFTGFromContributions.
 func BuildSDGFromContributions(contribs []Contribution) *graph.Graph {
+	return buildSDGFrom(contribs, runtime.GOMAXPROCS(0))
+}
+
+func buildSDGFrom(contribs []Contribution, parallelism int) *graph.Graph {
 	g := graph.New("Semantic Dataflow Graph")
-	merge(g, contribs)
+	mergeContributions(g, contribs, parallelism)
 	markReuse(g)
 	markDatasetReuse(g)
 	return g

@@ -1,0 +1,226 @@
+package analyzer
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dayu/internal/graph"
+)
+
+func countOccurrences(contribs []Contribution) (nodes, edges int) {
+	for i := range contribs {
+		nodes += len(contribs[i].nodes)
+		edges += len(contribs[i].edges)
+	}
+	return nodes, edges
+}
+
+// TestShardMergeByteIdenticalToSerial is the property test behind the
+// sharded merge's correctness claim: for FTG and SDG contributions
+// over synthetic traces with heavily colliding node keys (shared files
+// recur every 7 tasks, so file, dataset and region nodes all fold
+// across contributions), shardMerge must produce byte-identical
+// renderings to serialMerge at every shard count — including 1 — and
+// GOMAXPROCS. Runs under -race in CI, which also exercises the phase
+// barriers.
+func TestShardMergeByteIdenticalToSerial(t *testing.T) {
+	traces, m := syntheticTraces(150)
+	ordered := OrderTasks(traces, m)
+	descs := BuildObjectDescs(ordered)
+	opts := Options{IncludeRegions: true, IncludeFileMetadata: true}.withDefaults()
+
+	builders := []struct {
+		name     string
+		build    func(*testing.T) []Contribution
+		decorate func(*graph.Graph)
+	}{
+		{
+			name: "ftg",
+			build: func(t *testing.T) []Contribution {
+				out := make([]Contribution, len(ordered))
+				for i, tt := range ordered {
+					out[i] = FTGContribution(tt)
+				}
+				return out
+			},
+			decorate: markReuse,
+		},
+		{
+			name: "sdg",
+			build: func(t *testing.T) []Contribution {
+				out := make([]Contribution, len(ordered))
+				for i, tt := range ordered {
+					out[i] = SDGContribution(tt, descs, opts)
+				}
+				return out
+			},
+			decorate: func(g *graph.Graph) { markReuse(g); markDatasetReuse(g) },
+		},
+	}
+
+	shardCounts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			contribs := b.build(t)
+			nodeOccs, edgeCount := countOccurrences(contribs)
+			serial := graph.New("g")
+			serialMerge(serial, contribs)
+			b.decorate(serial)
+			want := renderAll(t, serial)
+			for _, shards := range shardCounts {
+				t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+					g := graph.New("g")
+					shardMerge(g, contribs, shards, nodeOccs, edgeCount)
+					b.decorate(g)
+					got := renderAll(t, g)
+					for format, wantBytes := range want {
+						if got[format] != wantBytes {
+							t.Errorf("%s rendering diverges from serial merge at %d shards", format, shards)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestMergeContributionsDispatch pins the dispatcher itself: whatever
+// path mergeContributions picks (serial below the occurrence
+// threshold, sharded above it), output bytes match serialMerge.
+func TestMergeContributionsDispatch(t *testing.T) {
+	for _, tasks := range []int{3, 400} {
+		t.Run(fmt.Sprintf("tasks=%d", tasks), func(t *testing.T) {
+			traces, m := syntheticTraces(tasks)
+			ordered := OrderTasks(traces, m)
+			contribs := make([]Contribution, len(ordered))
+			for i, tt := range ordered {
+				contribs[i] = FTGContribution(tt)
+			}
+			serial := graph.New("g")
+			serialMerge(serial, contribs)
+			markReuse(serial)
+			want := renderAll(t, serial)
+			for _, par := range []int{1, 2, 8} {
+				g := graph.New("g")
+				mergeContributions(g, contribs, par)
+				markReuse(g)
+				got := renderAll(t, g)
+				for format, wantBytes := range want {
+					if got[format] != wantBytes {
+						t.Errorf("parallelism %d: %s rendering diverges from serial", par, format)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestArenaContributionsMatchStandalone checks that arena-backed
+// contribution building (chunked parallel dispatch into pooled
+// arenas) yields exactly the contributions the standalone exported
+// hooks produce, and that arena reuse after release does not corrupt a
+// subsequent build.
+func TestArenaContributionsMatchStandalone(t *testing.T) {
+	traces, m := syntheticTraces(97)
+	ordered := OrderTasks(traces, m)
+	want := make([]Contribution, len(ordered))
+	for i, tt := range ordered {
+		want[i] = FTGContribution(tt)
+	}
+	for round := 0; round < 3; round++ {
+		for _, par := range []int{1, 3, runtime.GOMAXPROCS(0) + 2} {
+			got, arenas := buildContributions(ordered, par, ftgContribute)
+			if len(got) != len(want) {
+				t.Fatalf("round %d par %d: got %d contributions, want %d", round, par, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i].nodes, want[i].nodes) {
+					t.Fatalf("round %d par %d: contribution %d nodes diverge", round, par, i)
+				}
+				if !reflect.DeepEqual(got[i].edges, want[i].edges) {
+					t.Fatalf("round %d par %d: contribution %d edges diverge", round, par, i)
+				}
+			}
+			releaseArenas(arenas)
+		}
+	}
+}
+
+// TestBuildersEndToEndAcrossParallelism drives the full public
+// builders across parallelism settings on colliding-key synthetic
+// traces, covering arena dispatch plus merge plus decoration in one
+// pass. (TestSerialParallelEquivalence covers this too; this variant
+// adds the region/metadata options and odd parallelism values.)
+func TestBuildersEndToEndAcrossParallelism(t *testing.T) {
+	traces, m := syntheticTraces(130)
+	opts := Options{IncludeRegions: true, IncludeFileMetadata: true}
+	serialFTG := renderAll(t, BuildFTGOpts(traces, m, Options{Parallelism: 1}))
+	serialOpts := opts
+	serialOpts.Parallelism = 1
+	serialSDG := renderAll(t, BuildSDG(traces, m, serialOpts))
+	for _, par := range []int{2, 3, 5, 0} {
+		ftgOpts := Options{Parallelism: par}
+		if got := renderAll(t, BuildFTGOpts(traces, m, ftgOpts)); !reflect.DeepEqual(got, serialFTG) {
+			t.Errorf("FTG parallelism %d diverges from serial", par)
+		}
+		sdgOpts := opts
+		sdgOpts.Parallelism = par
+		if got := renderAll(t, BuildSDG(traces, m, sdgOpts)); !reflect.DeepEqual(got, serialSDG) {
+			t.Errorf("SDG parallelism %d diverges from serial", par)
+		}
+	}
+}
+
+// TestFTGContributionAllocBudget holds the arena path to its
+// allocation contract: building a task's contribution into a warmed
+// arena allocates only the node-ID strings themselves ("task:"+x /
+// "file:"+x concatenations — content the serial build pays for
+// identically), bounded by one per node and edge occurrence. A
+// regression here (per-task buffer allocations, goroutine/channel
+// dispatch overhead creeping back into the build function) fails in CI
+// instead of only surfacing as a BENCH number.
+func TestFTGContributionAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	traces, _ := syntheticTraces(1)
+	tt := traces[0]
+	a := getArena()
+	defer putArena(a)
+	c := a.contribution(tt, ftgContribute) // warm capacity
+	nodes, edges := len(c.nodes), len(c.edges)
+	allocs := testing.AllocsPerRun(200, func() {
+		a.nodes = a.nodes[:0]
+		a.edges = a.edges[:0]
+		_ = a.contribution(tt, ftgContribute)
+	})
+	budget := float64(nodes + 2*edges) // one ID string per node, two per edge
+	if allocs > budget {
+		t.Errorf("FTG contribution into warm arena allocates %.1f times per run, budget %.0f (%d nodes, %d edges; only ID strings may allocate)",
+			allocs, budget, nodes, edges)
+	}
+}
+
+// TestFTGMergeAllocBudget bounds the serial fold of one contribution
+// into a fresh graph: O(1) allocations per node and edge (the clone
+// plus index bookkeeping), nothing proportional to rendering or
+// serialization.
+func TestFTGMergeAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	traces, _ := syntheticTraces(1)
+	contribs := []Contribution{FTGContribution(traces[0])}
+	nodes, edges := countOccurrences(contribs)
+	allocs := testing.AllocsPerRun(100, func() {
+		g := graph.New("m")
+		serialMerge(g, contribs)
+	})
+	budget := float64(4*(nodes+edges) + 12)
+	if allocs > budget {
+		t.Errorf("merging one FTG contribution allocates %.1f times per run, budget %.0f (%d nodes, %d edges)",
+			allocs, budget, nodes, edges)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package analyzer
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package analyzer
+
+// raceEnabled reports whether the race detector is active; allocation
+// budget tests skip under it because instrumentation skews counts.
+const raceEnabled = true

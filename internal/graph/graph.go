@@ -174,6 +174,39 @@ func (g *Graph) AddEdge(e Edge) (*Edge, error) {
 // Edges returns all edges in insertion order.
 func (g *Graph) Edges() []*Edge { return g.edges }
 
+// InstallBulk replaces the graph's contents with a fully-assembled
+// state in O(nodes): nodes in insertion order (already deduplicated and
+// folded), edges in insertion order, and the forward/reverse adjacency
+// indexes keyed by node ID. It is the bulk-insert hook for builders —
+// the analyzer's shard-then-stitch merge — that assemble graph state in
+// parallel and hand it over in one call instead of paying a map lookup
+// per AddNode and three appends per AddEdge.
+//
+// The caller transfers ownership of every argument and guarantees the
+// invariants AddNode/AddEdge would have enforced: node IDs are unique,
+// every edge endpoint is present in nodes, out[id] and in[id] hold
+// exactly the edges leaving/entering id in global insertion order, and
+// the *Edge pointers are shared between edges and the two indexes (so
+// decoration passes mutate one object). Nothing is cloned here; attrs
+// maps must already be private to the graph.
+func (g *Graph) InstallBulk(nodes []*Node, edges []*Edge, out, in map[string][]*Edge) {
+	g.nodes = make(map[string]*Node, len(nodes))
+	g.order = make([]string, len(nodes))
+	for i, n := range nodes {
+		g.nodes[n.ID] = n
+		g.order[i] = n.ID
+	}
+	g.edges = edges
+	if out == nil {
+		out = make(map[string][]*Edge)
+	}
+	if in == nil {
+		in = make(map[string][]*Edge)
+	}
+	g.out = out
+	g.in = in
+}
+
 // OutEdges returns edges leaving the node in insertion order. The
 // returned slice is the graph's index; callers must not append to or
 // reorder it.

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"reflect"
@@ -310,4 +311,75 @@ func TestAdjacencyIndexMatchesScan(t *testing.T) {
 	// And a Filter pass (subgraphs are built through AddEdge too).
 	sub := g.Filter("half", func(n *Node) bool { return n.ID < "n20" })
 	check(sub)
+}
+
+// TestInstallBulkMatchesIncrementalBuild asserts a bulk-installed graph
+// is indistinguishable — queries and every rendering — from the same
+// graph assembled through AddNode/AddEdge.
+func TestInstallBulkMatchesIncrementalBuild(t *testing.T) {
+	want := sampleGraph()
+
+	nodes := make([]*Node, 0, want.NumNodes())
+	for _, n := range want.Nodes() {
+		cp := *n
+		nodes = append(nodes, &cp)
+	}
+	edges := make([]*Edge, 0, want.NumEdges())
+	out := map[string][]*Edge{}
+	in := map[string][]*Edge{}
+	for _, e := range want.Edges() {
+		cp := *e
+		edges = append(edges, &cp)
+		out[cp.From] = append(out[cp.From], &cp)
+		in[cp.To] = append(in[cp.To], &cp)
+	}
+	got := New(want.Name)
+	got.InstallBulk(nodes, edges, out, in)
+
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("bulk graph %d/%d nodes/edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	if got.DOT() != want.DOT() || got.HTML() != want.HTML() || got.SVG() != want.SVG() {
+		t.Fatal("bulk-installed graph renders differently")
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gj, wj) {
+		t.Fatal("bulk-installed graph JSON differs")
+	}
+	for _, n := range want.Nodes() {
+		if len(got.OutEdges(n.ID)) != len(want.OutEdges(n.ID)) ||
+			len(got.InEdges(n.ID)) != len(want.InEdges(n.ID)) {
+			t.Fatalf("adjacency for %s differs after InstallBulk", n.ID)
+		}
+	}
+	// Shared pointers: decorating through the index must show up in the
+	// edge list, exactly as with AddEdge-built graphs.
+	got.OutEdges("f1")[0].Reused = false
+	if got.Edges()[2].Reused {
+		t.Fatal("InstallBulk index does not share edge pointers with Edges()")
+	}
+	// The graph must remain usable for incremental mutation afterwards.
+	got.AddNode(Node{ID: "x", Kind: KindTask})
+	if _, err := got.AddEdge(Edge{From: "x", To: "f1", Op: OpMap}); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != want.NumNodes()+1 || got.NumEdges() != want.NumEdges()+1 {
+		t.Fatal("InstallBulk graph rejects later AddNode/AddEdge")
+	}
+	// Nil indexes are materialized so AddEdge on an empty bulk graph works.
+	empty := New("empty")
+	empty.InstallBulk(nil, nil, nil, nil)
+	empty.AddNode(Node{ID: "a"})
+	empty.AddNode(Node{ID: "b"})
+	if _, err := empty.AddEdge(Edge{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -78,7 +78,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty body", http.StatusBadRequest)
 		return
 	}
-	tt, err := trace.Decode(bytes.NewReader(data))
+	// Zero-copy decode: the trace is only used to validate the payload
+	// and name it; data outlives it (it is the WAL/queue payload).
+	tt, err := trace.DecodeBytesOpts(data, trace.DecodeOptions{ZeroCopy: true})
 	if err != nil {
 		s.pushErrors.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -288,7 +290,9 @@ var errUnfoldable = errors.New("unfoldable record")
 // dedup survives restarts). Folding is idempotent: re-folding the
 // same payload rewrites the same file with the same bytes.
 func (s *Server) foldBytes(data []byte) error {
-	tt, err := trace.Decode(bytes.NewReader(data))
+	// Zero-copy decode: only the task name is read before the raw
+	// bytes land on disk.
+	tt, err := trace.DecodeBytesOpts(data, trace.DecodeOptions{ZeroCopy: true})
 	if err != nil {
 		return fmt.Errorf("%w: %v", errUnfoldable, err)
 	}

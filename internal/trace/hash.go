@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -28,7 +27,7 @@ func LoadHashed(path string) (*TaskTrace, string, error) {
 	if err != nil {
 		return nil, "", fmt.Errorf("trace: load: %w", err)
 	}
-	t, err := Decode(bytes.NewReader(data))
+	t, err := DecodeBytes(data)
 	if err != nil {
 		return nil, "", fmt.Errorf("trace: load %s: %w", path, err)
 	}

@@ -186,12 +186,11 @@ func atomicWrite(path string, write func(io.Writer) error) error {
 // where the underlying error does not already embed it), so callers
 // looping over a directory can report which task trace is corrupt.
 func Load(path string) (*TaskTrace, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load: %w", err)
 	}
-	defer f.Close()
-	t, err := Decode(f)
+	t, err := DecodeBytes(data)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load %s: %w", path, err)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector is active; allocation
+// budget tests skip under it (instrumentation and sync.Pool's race-
+// mode randomization skew counts).
+const raceEnabled = true

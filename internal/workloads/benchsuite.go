@@ -103,10 +103,42 @@ type AnalyzerBench struct {
 	ParallelNS int64 `json:"parallel_ns"`
 	// Speedup is SerialNS/ParallelNS.
 	Speedup float64 `json:"speedup"`
+	// SpeedupGate is the honest verdict on Speedup: "passed" when the
+	// parallel build beats the threshold (1.5x at parallelism >= 4,
+	// 1.0x at 2-3), "failed" when it does not, and "skipped" — never
+	// "passed" — when the host cannot run in parallel at all (cores or
+	// parallelism < 2). BENCH_5 recorded cores: 1 with no gate, which
+	// let a 0.91x "parallel" build read as a benchmark rather than a
+	// bug.
+	SpeedupGate string `json:"speedup_gate"`
 	// OutputsIdentical records that serial and parallel builds emitted
 	// byte-identical DOT and JSON for both graphs. CI fails the record
 	// when false.
 	OutputsIdentical bool `json:"outputs_identical"`
+}
+
+// Bench gate verdicts.
+const (
+	GatePassed  = "passed"
+	GateFailed  = "failed"
+	GateSkipped = "skipped"
+)
+
+// speedupGate scores an analyzer speedup against the hardware it ran
+// on. Single-core hosts cannot demonstrate parallel speedup, so the
+// gate is skipped — not passed — there.
+func speedupGate(cores, parallelism int, speedup float64) string {
+	if cores < 2 || parallelism < 2 {
+		return GateSkipped
+	}
+	threshold := 1.0
+	if parallelism >= 4 {
+		threshold = 1.5
+	}
+	if speedup > threshold {
+		return GatePassed
+	}
+	return GateFailed
 }
 
 // CodecBench is the trace-codec kernel's measurement: encoding and
@@ -130,6 +162,17 @@ type CodecBench struct {
 	// EncodeSpeedup and DecodeSpeedup are JSON time over binary time.
 	EncodeSpeedup float64 `json:"encode_speedup"`
 	DecodeSpeedup float64 `json:"decode_speedup"`
+	// EncodeSpeedupGate is "passed" when binary encode is at least as
+	// fast as JSON (EncodeSpeedup >= 1.0), "failed" otherwise: the
+	// optimized format being slower to write than the baseline is a
+	// performance bug (BENCH_5 shipped at 0.93x), not a tradeoff.
+	EncodeSpeedupGate string `json:"encode_speedup_gate"`
+	// Allocation volume per trace through each pipeline, measured from
+	// runtime.MemStats TotalAlloc deltas. These track codec allocation
+	// regressions that wall time alone can hide.
+	JSONEncodeAllocBytesPerOp   int64 `json:"json_encode_alloc_bytes_per_op"`
+	BinaryEncodeAllocBytesPerOp int64 `json:"binary_encode_alloc_bytes_per_op"`
+	BinaryDecodeAllocBytesPerOp int64 `json:"binary_decode_alloc_bytes_per_op"`
 	// SizeRatio is BinaryBytes/JSONBytes (< 1 means smaller on disk).
 	SizeRatio float64 `json:"size_ratio"`
 	// BinaryEquivalent records that FTG and SDG built from the
@@ -178,6 +221,25 @@ func fastest(reps int, fn func() (time.Duration, error)) (int64, error) {
 		}
 	}
 	return best.Nanoseconds(), nil
+}
+
+// allocBytesPerOp runs fn once and returns the heap bytes it
+// allocated divided by ops, from runtime.MemStats TotalAlloc deltas.
+// A GC run beforehand keeps concurrent background sweep noise out of
+// the delta; TotalAlloc itself is monotonic, so the measurement is a
+// true upper bound on the work fn did.
+func allocBytesPerOp(ops int, fn func() error) (int64, error) {
+	if ops <= 0 {
+		return 0, nil
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc-before.TotalAlloc) / int64(ops), nil
 }
 
 // RunBenchSuite executes the full suite.
@@ -350,6 +412,7 @@ func benchAnalyzer(cfg BenchSuiteConfig) (*AnalyzerBench, error) {
 	if ab.ParallelNS > 0 {
 		ab.Speedup = float64(ab.SerialNS) / float64(ab.ParallelNS)
 	}
+	ab.SpeedupGate = speedupGate(ab.Cores, ab.Parallelism, ab.Speedup)
 	sftg, ssdg := build(1)
 	pftg, psdg := build(par)
 	identical, err := graphsRenderIdentically(sftg, pftg)
@@ -394,7 +457,7 @@ func benchCodec(cfg BenchSuiteConfig) (*CodecBench, error) {
 	decodeAll := func(blobs [][]byte) ([]*trace.TaskTrace, error) {
 		out := make([]*trace.TaskTrace, len(blobs))
 		for i, b := range blobs {
-			tt, err := trace.Decode(bytes.NewReader(b))
+			tt, err := trace.DecodeBytes(b)
 			if err != nil {
 				return nil, err
 			}
@@ -447,6 +510,33 @@ func benchCodec(cfg BenchSuiteConfig) (*CodecBench, error) {
 	}
 	if cb.JSONBytes > 0 {
 		cb.SizeRatio = float64(cb.BinaryBytes) / float64(cb.JSONBytes)
+	}
+	if cb.EncodeSpeedup >= 1.0 {
+		cb.EncodeSpeedupGate = GatePassed
+	} else {
+		cb.EncodeSpeedupGate = GateFailed
+	}
+
+	// Allocation volume per trace through each pipeline. Wall time can
+	// hide an allocation regression behind a fast allocator; TotalAlloc
+	// cannot.
+	if cb.JSONEncodeAllocBytesPerOp, err = allocBytesPerOp(len(traces), func() error {
+		_, _, err := encodeAll(trace.FormatJSON)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if cb.BinaryEncodeAllocBytesPerOp, err = allocBytesPerOp(len(traces), func() error {
+		_, _, err := encodeAll(trace.FormatBinary)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if cb.BinaryDecodeAllocBytesPerOp, err = allocBytesPerOp(len(traces), func() error {
+		_, err := decodeAll(binBlobs)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 
 	// Equivalence gate: the analyses, not just the structs, must be
@@ -611,6 +701,20 @@ func (r *BenchResult) Validate() error {
 		if !a.OutputsIdentical {
 			return fmt.Errorf("bench: analyzer: parallel build output differs from serial build")
 		}
+		switch a.SpeedupGate {
+		case GatePassed, GateFailed:
+			if a.Cores < 2 || a.Parallelism < 2 {
+				return fmt.Errorf("bench: analyzer: speedup gate %q on cores=%d parallelism=%d, want \"skipped\"",
+					a.SpeedupGate, a.Cores, a.Parallelism)
+			}
+		case GateSkipped:
+			if a.Cores >= 2 && a.Parallelism >= 2 {
+				return fmt.Errorf("bench: analyzer: speedup gate skipped on cores=%d parallelism=%d, want a verdict",
+					a.Cores, a.Parallelism)
+			}
+		default:
+			return fmt.Errorf("bench: analyzer: speedup_gate = %q, want passed/failed/skipped", a.SpeedupGate)
+		}
 	}
 	// The codec record is likewise optional, but a present record must
 	// be sound and must prove the binary format interchangeable — the
@@ -641,6 +745,27 @@ func (r *BenchResult) Validate() error {
 		}
 		if !c.BinaryEquivalent {
 			return fmt.Errorf("bench: codec: graphs from binary traces differ from the JSON build")
+		}
+		switch c.EncodeSpeedupGate {
+		case GatePassed:
+			if c.EncodeSpeedup < 1.0 {
+				return fmt.Errorf("bench: codec: encode gate passed but encode_speedup = %v < 1.0", c.EncodeSpeedup)
+			}
+		case GateFailed:
+			if c.EncodeSpeedup >= 1.0 {
+				return fmt.Errorf("bench: codec: encode gate failed but encode_speedup = %v >= 1.0", c.EncodeSpeedup)
+			}
+		default:
+			return fmt.Errorf("bench: codec: encode_speedup_gate = %q, want passed/failed", c.EncodeSpeedupGate)
+		}
+		for label, v := range map[string]int64{
+			"json_encode_alloc_bytes_per_op":   c.JSONEncodeAllocBytesPerOp,
+			"binary_encode_alloc_bytes_per_op": c.BinaryEncodeAllocBytesPerOp,
+			"binary_decode_alloc_bytes_per_op": c.BinaryDecodeAllocBytesPerOp,
+		} {
+			if v <= 0 {
+				return fmt.Errorf("bench: codec: %s = %d, want > 0", label, v)
+			}
 		}
 	}
 	return nil

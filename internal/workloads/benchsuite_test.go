@@ -105,7 +105,8 @@ func TestBenchValidateRejectsBadRecords(t *testing.T) {
 	// Analyzer record: optional, but when present it must be sound.
 	goodAnalyzer := &AnalyzerBench{
 		Name: "analyzer", Tasks: 10, Cores: 1, Parallelism: 1,
-		SerialNS: 1, ParallelNS: 1, Speedup: 1, OutputsIdentical: true,
+		SerialNS: 1, ParallelNS: 1, Speedup: 1, SpeedupGate: GateSkipped,
+		OutputsIdentical: true,
 	}
 	bad = *good
 	bad.Analyzer = goodAnalyzer
@@ -118,6 +119,13 @@ func TestBenchValidateRejectsBadRecords(t *testing.T) {
 		"zero parallelism": func(a *AnalyzerBench) { a.Parallelism = 0 },
 		"zero tasks":       func(a *AnalyzerBench) { a.Tasks = 0 },
 		"negative speedup": func(a *AnalyzerBench) { a.Speedup = -1 },
+		"empty gate":       func(a *AnalyzerBench) { a.SpeedupGate = "" },
+		"dishonest pass on one core": func(a *AnalyzerBench) {
+			a.SpeedupGate = GatePassed // cores: 1 cannot pass, only skip
+		},
+		"skipped despite real cores": func(a *AnalyzerBench) {
+			a.Cores, a.Parallelism = 8, 8 // must carry a verdict
+		},
 	}
 	for label, mutate := range mutations {
 		a := *goodAnalyzer
@@ -135,7 +143,11 @@ func TestBenchValidateRejectsBadRecords(t *testing.T) {
 		JSONEncodeNS: 1, JSONDecodeNS: 1, BinaryEncodeNS: 1, BinaryDecodeNS: 1,
 		JSONBytes: 2, BinaryBytes: 1,
 		EncodeSpeedup: 1, DecodeSpeedup: 1, SizeRatio: 0.5,
-		BinaryEquivalent: true,
+		EncodeSpeedupGate:           GatePassed,
+		JSONEncodeAllocBytesPerOp:   3,
+		BinaryEncodeAllocBytesPerOp: 1,
+		BinaryDecodeAllocBytesPerOp: 2,
+		BinaryEquivalent:            true,
 	}
 	bad = *good
 	bad.Codec = goodCodec
@@ -150,6 +162,14 @@ func TestBenchValidateRejectsBadRecords(t *testing.T) {
 		"negative speedup":  func(c *CodecBench) { c.DecodeSpeedup = -1 },
 		"zero size ratio":   func(c *CodecBench) { c.SizeRatio = 0 },
 		"wrong name":        func(c *CodecBench) { c.Name = "kodek" },
+		"empty encode gate": func(c *CodecBench) { c.EncodeSpeedupGate = "" },
+		"dishonest encode pass": func(c *CodecBench) {
+			c.EncodeSpeedup = 0.9 // gate says passed, number says regression
+		},
+		"inverted encode fail": func(c *CodecBench) {
+			c.EncodeSpeedupGate = GateFailed // speedup 1.0 is a pass
+		},
+		"zero encode allocs": func(c *CodecBench) { c.BinaryEncodeAllocBytesPerOp = 0 },
 	}
 	for label, mutate := range codecMutations {
 		c := *goodCodec
