@@ -3,8 +3,13 @@
 // Subcommands:
 //
 //	dayu run -workflow <pyflextrkr|ddmd|arldm> [-machine m] [-nodes n] -traces dir
+//	        [-stream url] [-checkpoint-ops n]
 //	    Execute a workload replica on the simulated cluster, saving
-//	    per-task traces and the workflow manifest.
+//	    per-task traces and the workflow manifest. With -stream, each
+//	    task additionally streams cumulative checkpoint records (every
+//	    -checkpoint-ops file operations) and its completed trace to a
+//	    running dayu serve instance's durable ingest, feeding the
+//	    /v1/live/* endpoints while the workflow is still executing.
 //
 //	dayu analyze -traces dir [-out dir] [-sdg] [-regions] [-page n]
 //	             [-by-stage] [-collapse n]
@@ -61,6 +66,13 @@
 //	    backoff. Idempotent: re-pushing already-ingested traces is
 //	    acknowledged as duplicates.
 //
+//	dayu watch -server http://host:8080 [-interval d] [-once] [-horizon d]
+//	    Follow a serve instance from the terminal: poll /healthz and
+//	    /v1/live/diagnostics, printing stream progress (complete vs
+//	    in-flight tasks, WAL state) and any anti-pattern findings as
+//	    they appear. -horizon restricts diagnostics to the trailing
+//	    window; -once prints a single observation for scripts.
+//
 //	dayu convert -traces dir -o dir [-format dtb|json]
 //	    Rewrite a trace directory in the requested serialization
 //	    (dtb/v2 binary by default), carrying the manifest along.
@@ -73,6 +85,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -125,6 +138,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "push":
 		err = cmdPush(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
 	case "help", "-h", "--help":
@@ -141,7 +156,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics|serve|push> [flags]
+	fmt.Fprintln(os.Stderr, `usage: dayu <run|analyze|diagnose|plan|report|faults|bench|metrics|serve|push|watch|convert> [flags]
   run       execute a workload replica with tracing on the simulated cluster
   analyze   build FTG/SDG graphs from saved traces
   diagnose  detect I/O observations and print optimization guidelines
@@ -152,6 +167,7 @@ func usage() {
   metrics   run a workload with the obs layer on and dump its metrics
   serve     watch a trace directory and serve cached analyses over HTTP
   push      push a trace directory to a serve instance's durable ingest
+  watch     follow a serve instance's live diagnostics from the terminal
   convert   rewrite a trace directory between JSON and dtb/v2 binary`)
 }
 
@@ -182,6 +198,9 @@ func cmdRun(args []string) error {
 	format := fs.String("format", "json", "trace serialization (json, dtb)")
 	ioTrace := fs.Bool("io-trace", false, "record time-sensitive raw I/O traces")
 	parallel := fs.Bool("parallel", false, "execute stage tasks on goroutines (per-task profilers)")
+	stream := fs.String("stream", "", "dayu serve base URL to stream live checkpoints and traces to")
+	checkpointOps := fs.Int64("checkpoint-ops", 64, "file operations between streamed checkpoints (with -stream)")
+	streamAttempts := fs.Int("stream-attempts", 8, "delivery attempts per streamed record (with -stream)")
 	fs.Parse(args)
 
 	tf, err := trace.ParseFormat(*format)
@@ -196,8 +215,19 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := workflow.NewEngine(workflow.Cluster{Machine: m, Nodes: *nodes, Parallel: *parallel}, nil,
-		tracer.Config{IOTrace: *ioTrace})
+	tcfg := tracer.Config{IOTrace: *ioTrace}
+	var sink *client.StreamSink
+	var streamClient *client.Client
+	if *stream != "" {
+		streamClient, err = client.New(*stream, client.Options{MaxAttempts: *streamAttempts})
+		if err != nil {
+			return err
+		}
+		sink = client.NewStreamSink(context.Background(), streamClient)
+		tcfg.Sink = sink
+		tcfg.CheckpointOps = *checkpointOps
+	}
+	eng, err := workflow.NewEngine(workflow.Cluster{Machine: m, Nodes: *nodes, Parallel: *parallel}, nil, tcfg)
 	if err != nil {
 		return err
 	}
@@ -217,6 +247,26 @@ func cmdRun(args []string) error {
 		fmt.Printf("  %-24s %s\n", s.Name, units.Duration(s.Time))
 	}
 	fmt.Printf("traces written to %s\n", *tracesDir)
+	if sink != nil {
+		// The manifest completes the server's live view (stage ordering
+		// for the analyzer); it only exists after the run.
+		if data, err := os.ReadFile(filepath.Join(*tracesDir, "manifest.json")); err == nil {
+			if _, err := streamClient.PushManifestBytes(context.Background(), data); err != nil {
+				return fmt.Errorf("stream manifest: %w", err)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		checkpoints, finals, dropped := sink.Stats()
+		fmt.Printf("streamed to %s: %d checkpoints, %d finals", *stream, checkpoints, finals)
+		if dropped > 0 {
+			fmt.Printf(", %d dropped", dropped)
+		}
+		fmt.Println()
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("streaming was degraded (the live view may lag the saved traces): %w", err)
+		}
+	}
 	return nil
 }
 
@@ -652,6 +702,118 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("shutdown: %w", shutdownErr)
 	}
 	return nil
+}
+
+// watchFinding mirrors the diagnose JSON wire form (the CLI decodes
+// the serve response rather than importing the analysis internals'
+// in-memory type).
+type watchFinding struct {
+	Kind     string `json:"kind"`
+	Severity string `json:"severity"`
+	Task     string `json:"task,omitempty"`
+	File     string `json:"file,omitempty"`
+	Object   string `json:"object,omitempty"`
+	Detail   string `json:"detail"`
+}
+
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "dayu serve base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "print one observation and exit")
+	horizon := fs.Duration("horizon", 0, "restrict diagnostics to the trailing horizon (0 = whole run)")
+	fs.Parse(args)
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	diagURL := *server + "/v1/live/diagnostics"
+	if *horizon > 0 {
+		diagURL += "?horizon=" + horizon.String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var lastSnapshot string
+	observe := func() error {
+		var health serve.Health
+		if err := getJSON(hc, *server+"/healthz", &health); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, diagURL, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return fmt.Errorf("%s: status %d: %s", diagURL, resp.StatusCode, string(body))
+		}
+		var findings []watchFinding
+		if err := json.NewDecoder(resp.Body).Decode(&findings); err != nil {
+			return fmt.Errorf("decode diagnostics: %w", err)
+		}
+		snapshot := resp.Header.Get("X-Dayu-Snapshot")
+		partial := resp.Header.Get("X-Dayu-Partial-Tasks")
+		complete := resp.Header.Get("X-Dayu-Complete-Tasks")
+
+		line := fmt.Sprintf("%s %s: %s complete, %s in flight, %d findings",
+			time.Now().Format("15:04:05"), health.Status, complete, partial, len(findings))
+		if health.WAL != nil {
+			line += fmt.Sprintf(" | wal: %d pending, %d quarantined",
+				health.WAL.PendingRecords, health.WAL.Quarantined)
+		}
+		fmt.Println(line)
+		if snapshot != lastSnapshot {
+			// Only re-print the findings when the served state changed.
+			for _, f := range findings {
+				loc := f.Task
+				if f.File != "" {
+					loc += " " + f.File
+				}
+				if f.Object != "" {
+					loc += " " + f.Object
+				}
+				fmt.Printf("  [%s] %s %s: %s\n", f.Severity, f.Kind, loc, f.Detail)
+			}
+			lastSnapshot = snapshot
+		}
+		return nil
+	}
+
+	if err := observe(); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if err := observe(); err != nil {
+				fmt.Fprintf(os.Stderr, "dayu watch: %v\n", err)
+			}
+		}
+	}
+}
+
+// getJSON fetches a URL and decodes its JSON body into out. Non-2xx
+// statuses are not errors here: /healthz answers 503 with a valid body
+// while degraded, which is exactly what watch wants to display.
+func getJSON(hc *http.Client, url string, out any) error {
+	resp, err := hc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 func cmdPush(args []string) error {

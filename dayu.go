@@ -229,6 +229,8 @@ func CollapseDatasets(g *Graph, maxPerFile int) (*Graph, error) {
 
 // AggregateByTime merges task nodes whose activity starts within the
 // same window (resolution adjustment along the time dimension).
+// windowNS must be positive; non-positive windows return
+// analyzer.ErrNonPositiveWindow rather than passing the graph through.
 func AggregateByTime(g *Graph, windowNS int64) (*Graph, error) {
 	return analyzer.AggregateByTime(g, windowNS)
 }

@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"errors"
 	"fmt"
 
 	"dayu/internal/graph"
@@ -166,14 +167,23 @@ func CollapseDatasets(g *graph.Graph, maxPerFile int) (*graph.Graph, error) {
 	return out, nil
 }
 
+// ErrNonPositiveWindow is returned by AggregateByTime for a window of
+// zero or negative width. The old behaviour — silently returning the
+// input graph — let a caller that computed a bad window (for example a
+// duration truncated to 0ns) present an unaggregated graph as a
+// windowed one.
+var ErrNonPositiveWindow = errors.New("analyzer: time window must be positive")
+
 // AggregateByTime merges task nodes whose activity starts within the
 // same window (the paper's time-dimension grouping): tasks launched in
 // the same window collapse into one "window" node. Non-task nodes -
 // including stage nodes from a prior AggregateByStage pass - are
-// untouched. The input graph is returned unchanged for windowNS <= 0.
+// untouched. windowNS must be positive; anything else is
+// ErrNonPositiveWindow. Callers that want pass-through for "no window"
+// must decide that explicitly before calling.
 func AggregateByTime(g *graph.Graph, windowNS int64) (*graph.Graph, error) {
 	if windowNS <= 0 {
-		return g, nil
+		return nil, fmt.Errorf("%w: %dns", ErrNonPositiveWindow, windowNS)
 	}
 	var minStart int64
 	for _, n := range g.NodesOfKind(graph.KindTask) {

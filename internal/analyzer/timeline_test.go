@@ -1,6 +1,7 @@
 package analyzer
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -124,9 +125,22 @@ func TestAggregateByTime(t *testing.T) {
 	if agg.TotalVolume() != g.TotalVolume() {
 		t.Error("volume lost in aggregation")
 	}
-	// Non-positive window passes through.
-	if same, err := AggregateByTime(g, 0); err != nil || same != g {
-		t.Errorf("zero window should pass through (err=%v)", err)
+}
+
+// Regression: a zero or negative window used to silently return the
+// input graph, so callers that truncated a duration to 0ns served an
+// unaggregated graph as a windowed one. It must now fail with the
+// typed error.
+func TestAggregateByTimeRejectsNonPositiveWindow(t *testing.T) {
+	g := BuildFTG(timelineTraces(), nil)
+	for _, w := range []int64{0, -1, -5000} {
+		agg, err := AggregateByTime(g, w)
+		if !errors.Is(err, ErrNonPositiveWindow) {
+			t.Errorf("window %d: err = %v, want ErrNonPositiveWindow", w, err)
+		}
+		if agg != nil {
+			t.Errorf("window %d: got a graph alongside the error", w)
+		}
 	}
 }
 

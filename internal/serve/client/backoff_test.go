@@ -1,0 +1,101 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// sleepClient builds a client with pinned backoff options and a
+// deterministic jitter source.
+func sleepClient(t *testing.T, initial, max time.Duration, seed int64) *Client {
+	t.Helper()
+	c, err := New("http://localhost:0", Options{
+		InitialBackoff: initial,
+		MaxBackoff:     max,
+		Rand:           rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Regression for the retry-sleep edge cases: a Retry-After hint larger
+// than MaxBackoff must win outright (not be clamped back to the cap),
+// jitter must never pull the sleep below the server's hint, and no
+// combination of cap, hint and jitter may yield a zero or negative
+// sleep.
+func TestSleepForEdgeDurations(t *testing.T) {
+	cases := []struct {
+		name       string
+		initial    time.Duration
+		max        time.Duration
+		attempt    int
+		retryAfter time.Duration
+		min        time.Duration // inclusive bounds on the result
+		maxWant    time.Duration
+	}{
+		{
+			name:    "first retry, no hint: jittered initial",
+			initial: 100 * time.Millisecond, max: 5 * time.Second,
+			attempt: 1, retryAfter: 0,
+			min: 80 * time.Millisecond, maxWant: 120 * time.Millisecond,
+		},
+		{
+			name:    "deep attempt capped at MaxBackoff plus jitter",
+			initial: 100 * time.Millisecond, max: 5 * time.Second,
+			attempt: 60, retryAfter: 0, // 2^59 would overflow without the cap
+			min: 4 * time.Second, maxWant: 6 * time.Second,
+		},
+		{
+			name:    "hint beyond the cap wins outright",
+			initial: 100 * time.Millisecond, max: 5 * time.Second,
+			attempt: 8, retryAfter: time.Hour,
+			min: time.Hour, maxWant: time.Hour,
+		},
+		{
+			name:    "jitter can never dip below the hint",
+			initial: 100 * time.Millisecond, max: 5 * time.Second,
+			attempt: 60, retryAfter: 6 * time.Second, // hint just above jitter ceiling
+			min: 6 * time.Second, maxWant: 6 * time.Second,
+		},
+		{
+			name:    "hint below the backoff leaves the backoff alone",
+			initial: 4 * time.Second, max: 5 * time.Second,
+			attempt: 1, retryAfter: time.Second,
+			min: 3200 * time.Millisecond, maxWant: 4800 * time.Millisecond,
+		},
+		{
+			name:    "tiny backoff with zero hint still sleeps",
+			initial: time.Nanosecond, max: time.Nanosecond,
+			attempt: 1, retryAfter: 0,
+			min: time.Millisecond, maxWant: time.Millisecond,
+		},
+		{
+			name:    "sub-millisecond hint rounds up to the floor",
+			initial: time.Nanosecond, max: time.Nanosecond,
+			attempt: 3, retryAfter: 100 * time.Microsecond,
+			min: time.Millisecond, maxWant: time.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Many seeds: the invariants must hold at every jitter draw,
+			// including the extremes.
+			for seed := int64(0); seed < 200; seed++ {
+				c := sleepClient(t, tc.initial, tc.max, seed)
+				got := c.sleepFor(tc.attempt, tc.retryAfter)
+				if got <= 0 {
+					t.Fatalf("seed %d: sleep %v is not positive", seed, got)
+				}
+				if got < tc.min || got > tc.maxWant {
+					t.Fatalf("seed %d: sleep %v outside [%v, %v]", seed, got, tc.min, tc.maxWant)
+				}
+				if got < tc.retryAfter {
+					t.Fatalf("seed %d: sleep %v below server hint %v", seed, got, tc.retryAfter)
+				}
+			}
+		})
+	}
+}

@@ -122,6 +122,18 @@ func (c *Client) PushTrace(ctx context.Context, t *trace.TaskTrace, f trace.Form
 	return c.PushBytes(ctx, buf.Bytes())
 }
 
+// PushCheckpoint encodes and delivers one cumulative checkpoint
+// record: the task's trace-so-far, flagged incremental with the given
+// stream sequence number. The server retains at most one checkpoint
+// per task (highest seq wins) until the task's final trace folds.
+func (c *Client) PushCheckpoint(ctx context.Context, t *trace.TaskTrace, seq uint64) (*PushResult, error) {
+	var buf bytes.Buffer
+	if err := t.EncodeBinaryOpts(&buf, trace.BinaryOptions{Incremental: true, CheckpointSeq: seq}); err != nil {
+		return nil, err
+	}
+	return c.PushBytes(ctx, buf.Bytes())
+}
+
 // PushManifestBytes delivers a manifest.json byte stream to
 // /v1/ingest/manifest.
 func (c *Client) PushManifestBytes(ctx context.Context, data []byte) (*PushResult, error) {
@@ -210,10 +222,7 @@ func (c *Client) push(ctx context.Context, path string, data []byte) (*PushResul
 		if attempt == c.opts.MaxAttempts {
 			break
 		}
-		delay := c.backoff(attempt)
-		if retryAfter > delay {
-			delay = retryAfter
-		}
+		delay := c.sleepFor(attempt, retryAfter)
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("push: %s: %w (last error: %v)", endpoint, ctx.Err(), lastErr)
@@ -258,9 +267,15 @@ func (c *Client) attempt(ctx context.Context, endpoint string, data []byte) (*Pu
 	}
 }
 
-// backoff returns the capped, jittered exponential delay before the
-// retry following the given attempt number.
-func (c *Client) backoff(attempt int) time.Duration {
+// sleepFor returns the delay before the retry following the given
+// attempt number: capped exponential backoff with ±20% jitter, then a
+// server Retry-After hint applied as a floor AFTER the jitter. The
+// ordering matters: a hint larger than MaxBackoff must win outright
+// (the server knows its own backlog), and jitter must never pull the
+// sleep below what the server asked for. The result is always at
+// least one millisecond — never zero or negative, whatever the
+// combination of cap, hint and jitter.
+func (c *Client) sleepFor(attempt int, retryAfter time.Duration) time.Duration {
 	delay := c.opts.InitialBackoff
 	for i := 1; i < attempt && delay < c.opts.MaxBackoff; i++ {
 		delay *= 2
@@ -271,7 +286,11 @@ func (c *Client) backoff(attempt int) time.Duration {
 	c.mu.Lock()
 	jitter := time.Duration((c.rnd.Float64()*0.4 - 0.2) * float64(delay))
 	c.mu.Unlock()
-	if delay += jitter; delay < time.Millisecond {
+	delay += jitter
+	if delay < retryAfter {
+		delay = retryAfter
+	}
+	if delay < time.Millisecond {
 		delay = time.Millisecond
 	}
 	return delay

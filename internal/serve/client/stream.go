@@ -1,0 +1,86 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dayu/internal/trace"
+)
+
+// StreamSink adapts a Client to the tracer's streaming Sink interface
+// (satisfied structurally — this package does not import the tracer):
+// checkpoints go out as incremental records, finals as complete trace
+// records, both through the durable /v1/ingest path with the client's
+// usual retry policy.
+//
+// Pushes are synchronous, as the Sink contract requires: the tracer
+// keeps profiling into the same buffers after EmitCheckpoint returns,
+// so the record must be encoded (and here, delivered) before
+// returning. A checkpoint that exhausts its retries is dropped — the
+// next checkpoint or the final supersedes it anyway — but the first
+// error is retained for Err so the caller can report degraded
+// streaming. Safe for concurrent use by parallel stages.
+type StreamSink struct {
+	client *Client
+	ctx    context.Context
+
+	mu          sync.Mutex
+	err         error
+	checkpoints int
+	finals      int
+	dropped     int
+}
+
+// NewStreamSink builds a sink pushing through c under ctx.
+func NewStreamSink(ctx context.Context, c *Client) *StreamSink {
+	return &StreamSink{client: c, ctx: ctx}
+}
+
+// EmitCheckpoint pushes one cumulative checkpoint record.
+func (s *StreamSink) EmitCheckpoint(t *trace.TaskTrace, seq uint64) {
+	if _, err := s.client.PushCheckpoint(s.ctx, t, seq); err != nil {
+		s.record(fmt.Errorf("stream checkpoint %s@%d: %w", t.Task, seq, err))
+		return
+	}
+	s.mu.Lock()
+	s.checkpoints++
+	s.mu.Unlock()
+}
+
+// EmitFinal pushes the completed trace record.
+func (s *StreamSink) EmitFinal(t *trace.TaskTrace) {
+	if _, err := s.client.PushTrace(s.ctx, t, trace.FormatBinary); err != nil {
+		s.record(fmt.Errorf("stream final %s: %w", t.Task, err))
+		return
+	}
+	s.mu.Lock()
+	s.finals++
+	s.mu.Unlock()
+}
+
+func (s *StreamSink) record(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropped++
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first delivery error, if any: streaming is
+// best-effort per record, but the caller should know the live view
+// may be missing data.
+func (s *StreamSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats reports delivered checkpoint/final counts and records dropped
+// after exhausting retries.
+func (s *StreamSink) Stats() (checkpoints, finals, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpoints, s.finals, s.dropped
+}

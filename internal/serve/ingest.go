@@ -107,6 +107,14 @@ func (s *Server) refresh() (*snapshot, error) {
 		s.ingestErrors.Inc()
 		return nil, err
 	}
+	// Streaming checkpoints change the live view without touching the
+	// directory; their generation counter is the change signal.
+	s.partialMu.Lock()
+	gen := s.partialsGen
+	s.partialMu.Unlock()
+	if gen != s.lastPartialsGen {
+		changed = true
+	}
 
 	cur := s.snap.Load()
 	if cur != nil && !changed {
@@ -190,13 +198,91 @@ func (s *Server) buildSnapshot() *snapshot {
 	// directory-ordered slice.
 	sort.SliceStable(traces, func(i, j int) bool { return traces[i].Task < traces[j].Task })
 
+	// Capture the live overlay: retained streaming checkpoints for
+	// tasks that have no final trace on disk yet (a final always
+	// shadows a partial). lastPartialsGen records what the snapshot
+	// saw, so refresh can detect later checkpoint activity.
+	batchTasks := make(map[string]bool, len(traces))
+	for _, tt := range traces {
+		batchTasks[tt.Task] = true
+	}
+	var partialTraces []*trace.TaskTrace
+	var partialLines []string
+	s.partialMu.Lock()
+	s.lastPartialsGen = s.partialsGen
+	for task, pe := range s.partials {
+		if batchTasks[task] {
+			continue
+		}
+		partialTraces = append(partialTraces, pe.trace)
+		hashByTrace[pe.trace] = pe.hash
+		hashes[pe.hash] = true
+		partialLines = append(partialLines, fmt.Sprintf("partial:%s=%s@%d", task, pe.hash, pe.seq))
+	}
+	s.partialMu.Unlock()
+	sort.Strings(partialLines)
+
+	usedFTG := map[string]bool{}
+	usedSDG := map[string]bool{}
 	ordered := analyzer.OrderTasks(traces, s.manifest)
 	descs := analyzer.BuildObjectDescs(ordered)
+	ftgContribs, sdgContribs := s.contributions(ordered, descs, hashByTrace, usedFTG, usedSDG)
 
+	infos := make([]TaskInfo, 0, len(traces))
+	for _, tt := range traces {
+		infos = append(infos, infoByTrace[tt])
+	}
+
+	snap := &snapshot{
+		id:       s.snapshotID(paths, partialLines),
+		traces:   traces,
+		manifest: s.manifest,
+		tasks:    infos,
+		hashes:   hashes,
+		ftg:      analyzer.BuildFTGFromContributions(ftgContribs),
+		sdg:      analyzer.BuildSDGFromContributions(sdgContribs),
+		rendered: map[string][]byte{},
+	}
+	// With zero partials the live view IS the batch view: aliasing the
+	// graphs (and, in the handlers, the render keys) makes live and
+	// batch responses byte-identical once a stream completes.
+	snap.liveTraces, snap.liveFTG, snap.liveSDG = snap.traces, snap.ftg, snap.sdg
+	if len(partialTraces) > 0 {
+		live := make([]*trace.TaskTrace, 0, len(traces)+len(partialTraces))
+		live = append(append(live, traces...), partialTraces...)
+		sort.SliceStable(live, func(i, j int) bool { return live[i].Task < live[j].Task })
+		liveOrdered := analyzer.OrderTasks(live, s.manifest)
+		liveDescs := analyzer.BuildObjectDescs(liveOrdered)
+		lf, ls := s.contributions(liveOrdered, liveDescs, hashByTrace, usedFTG, usedSDG)
+		snap.liveTraces = live
+		snap.liveFTG = analyzer.BuildFTGFromContributions(lf)
+		snap.liveSDG = analyzer.BuildSDGFromContributions(ls)
+		snap.partialTasks = len(partialTraces)
+	}
+	// Keep exactly the contributions this snapshot (batch and live)
+	// used: earlier revisions of changed traces, superseded checkpoint
+	// records and stale description-fingerprint variants are
+	// unreachable once the snapshot swaps.
+	for hash := range s.ftgCache {
+		if !usedFTG[hash] {
+			delete(s.ftgCache, hash)
+		}
+	}
+	for key := range s.sdgCache {
+		if !usedSDG[key] {
+			delete(s.sdgCache, key)
+		}
+	}
+	return snap
+}
+
+// contributions assembles per-task FTG and SDG contributions for one
+// ordered trace set, pulling from (and filling) the content-addressed
+// caches; every key touched is recorded in usedFTG/usedSDG so the
+// caller can prune the caches to the snapshot's working set.
+func (s *Server) contributions(ordered []*trace.TaskTrace, descs analyzer.ObjectDescs, hashByTrace map[*trace.TaskTrace]string, usedFTG, usedSDG map[string]bool) ([]analyzer.Contribution, []analyzer.Contribution) {
 	ftgContribs := make([]analyzer.Contribution, len(ordered))
 	sdgContribs := make([]analyzer.Contribution, len(ordered))
-	usedFTG := make(map[string]bool, len(ordered))
-	usedSDG := make(map[string]bool, len(ordered))
 	for i, tt := range ordered {
 		hash := hashByTrace[tt]
 		usedFTG[hash] = true
@@ -221,41 +307,13 @@ func (s *Server) buildSnapshot() *snapshot {
 			sdgContribs[i] = c
 		}
 	}
-	// Keep exactly the contributions this snapshot used: earlier
-	// revisions of changed traces and stale description-fingerprint
-	// variants are unreachable once the snapshot swaps.
-	for hash := range s.ftgCache {
-		if !usedFTG[hash] {
-			delete(s.ftgCache, hash)
-		}
-	}
-	for key := range s.sdgCache {
-		if !usedSDG[key] {
-			delete(s.sdgCache, key)
-		}
-	}
-
-	infos := make([]TaskInfo, 0, len(traces))
-	for _, tt := range traces {
-		infos = append(infos, infoByTrace[tt])
-	}
-
-	snap := &snapshot{
-		id:       s.snapshotID(paths),
-		traces:   traces,
-		manifest: s.manifest,
-		tasks:    infos,
-		hashes:   hashes,
-		ftg:      analyzer.BuildFTGFromContributions(ftgContribs),
-		sdg:      analyzer.BuildSDGFromContributions(sdgContribs),
-		rendered: map[string][]byte{},
-	}
-	return snap
+	return ftgContribs, sdgContribs
 }
 
-// snapshotID is the content address of the whole directory state: the
-// manifest hash plus every trace file's name and content hash.
-func (s *Server) snapshotID(paths []string) string {
+// snapshotID is the content address of the whole served state: the
+// manifest hash, every trace file's name and content hash, and every
+// retained streaming checkpoint's task, hash and sequence number.
+func (s *Server) snapshotID(paths []string, partialLines []string) string {
 	var b strings.Builder
 	b.WriteString("manifest:")
 	b.WriteString(s.manifestState.hash)
@@ -264,6 +322,10 @@ func (s *Server) snapshotID(paths []string) string {
 		b.WriteString(filepath.Base(path))
 		b.WriteString("=")
 		b.WriteString(s.files[path].hash)
+	}
+	for _, line := range partialLines {
+		b.WriteString("\n")
+		b.WriteString(line)
 	}
 	return trace.HashBytes([]byte(b.String()))
 }

@@ -80,7 +80,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	// Zero-copy decode: the trace is only used to validate the payload
 	// and name it; data outlives it (it is the WAL/queue payload).
-	tt, err := trace.DecodeBytesOpts(data, trace.DecodeOptions{ZeroCopy: true})
+	// DecodeBytesMeta also admits incremental checkpoint records, whose
+	// header sequence number makes every checkpoint's bytes (and hash)
+	// distinct, so the content-addressed dedup below applies unchanged.
+	tt, _, err := trace.DecodeBytesMeta(data, trace.DecodeOptions{ZeroCopy: true})
 	if err != nil {
 		s.pushErrors.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -260,10 +263,20 @@ func (s *Server) foldOne(job foldJob) {
 		}
 		if errors.Is(err, errUnfoldable) {
 			// The payload can never fold (it validated at push time, so
-			// this means corruption that beat the CRC). Mark it folded
-			// so replay does not spin on it forever, and surface it.
+			// this means corruption that beat the CRC). Quarantine the
+			// bytes first — they are acknowledged data, and advancing
+			// the fold checkpoint without a copy would destroy the only
+			// evidence — then mark it folded so replay does not spin on
+			// it forever.
 			s.foldErrors.Inc()
 			s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: fold record %d: %w", job.seq, err), when: time.Now()})
+			if qerr := s.quarantineRecord(job.seq, job.data); qerr != nil {
+				// Could not preserve the bytes: leave the record pending
+				// in the WAL (the next replay retries the quarantine)
+				// rather than dropping acknowledged data.
+				s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: quarantine record %d: %w", job.seq, qerr), when: time.Now()})
+				return
+			}
 			s.wal.MarkFolded(job.seq)
 			return
 		}
@@ -284,6 +297,40 @@ func (s *Server) foldOne(job foldJob) {
 // errUnfoldable marks fold failures that no retry can cure.
 var errUnfoldable = errors.New("unfoldable record")
 
+// quarantineDir holds acknowledged records that could not be folded
+// (errUnfoldable): the WAL checkpoint only advances past such a record
+// once its bytes are preserved here, so a poisoned record survives any
+// number of restarts for offline inspection instead of vanishing.
+func (s *Server) quarantineDir() string {
+	return filepath.Join(s.cfg.WALDir, "quarantine")
+}
+
+// quarantineRecord persists an unfoldable record's raw bytes under the
+// quarantine directory, named by WAL sequence number. Idempotent:
+// re-quarantining the same seq rewrites the same file.
+func (s *Server) quarantineRecord(seq uint64, data []byte) error {
+	dir := s.quarantineDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, fmt.Sprintf("rec-%d.bin", seq)), data)
+}
+
+// countQuarantined reports how many records sit in quarantine.
+func (s *Server) countQuarantined() int {
+	entries, err := os.ReadDir(s.quarantineDir())
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
 // foldBytes lands one acknowledged payload in the trace directory
 // under the exact name the batch loaders expect, preserving the
 // pushed bytes (so the file's content hash equals the push hash and
@@ -292,9 +339,12 @@ var errUnfoldable = errors.New("unfoldable record")
 func (s *Server) foldBytes(data []byte) error {
 	// Zero-copy decode: only the task name is read before the raw
 	// bytes land on disk.
-	tt, err := trace.DecodeBytesOpts(data, trace.DecodeOptions{ZeroCopy: true})
+	tt, meta, err := trace.DecodeBytesMeta(data, trace.DecodeOptions{ZeroCopy: true})
 	if err != nil {
 		return fmt.Errorf("%w: %v", errUnfoldable, err)
+	}
+	if meta.Incremental {
+		return s.foldCheckpoint(data, tt.Task, meta.CheckpointSeq)
 	}
 	format := trace.SniffFormat(data)
 	path := filepath.Join(s.cfg.Dir, trace.TraceFileName(tt.Task, format))
@@ -312,6 +362,8 @@ func (s *Server) foldBytes(data []byte) error {
 	if err := os.Remove(twin); err != nil && !os.IsNotExist(err) {
 		return err
 	}
+	// The final supersedes any streamed checkpoint for this task.
+	s.retractPartial(tt.Task)
 	return nil
 }
 
@@ -354,4 +406,8 @@ func (s *Server) updateWALGauges() {
 	s.walPending.Set(int64(stats.Pending))
 	s.walSegments.Set(int64(stats.Segments))
 	s.queueDepth.Set(int64(len(s.sem)))
+	s.partialMu.Lock()
+	partials := len(s.partials)
+	s.partialMu.Unlock()
+	s.partialGauge.Set(int64(partials))
 }

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -103,6 +104,15 @@ type snapshot struct {
 	ftg      *graph.Graph
 	sdg      *graph.Graph
 
+	// Live overlay: the trace set extended with retained checkpoint
+	// records for tasks still in flight. With zero partials these
+	// alias traces/ftg/sdg, making live and batch responses share
+	// rendered bytes.
+	liveTraces   []*trace.TaskTrace
+	liveFTG      *graph.Graph
+	liveSDG      *graph.Graph
+	partialTasks int
+
 	mu       sync.Mutex
 	rendered map[string][]byte
 	findings []diagnose.Finding
@@ -148,34 +158,47 @@ type Server struct {
 	pending   map[string]chan struct{}
 	closePush sync.Once
 
+	// Retained streaming checkpoints, one per in-flight task (newest
+	// sequence number wins). partialsGen bumps on every mutation so
+	// refresh can detect live-state changes the directory scan cannot
+	// see; lastPartialsGen is the writer-owned (ingestMu) generation
+	// the published snapshot was built from.
+	partialMu       sync.Mutex
+	partials        map[string]*partialEntry
+	partialsGen     uint64
+	lastPartialsGen uint64
+
 	// Poll-loop backoff state, surfaced by /healthz.
 	pollFailures  atomic.Int64
 	pollBackoffNS atomic.Int64
 
 	// Metric handles (nil-safe when cfg.Registry is nil).
-	requests       func(path string) *obs.Counter
-	requestNS      func(path string) *obs.Histogram
-	inflight       *obs.Gauge
-	ingests        *obs.Counter
-	ingestNS       *obs.Histogram
-	ingestErrors   *obs.Counter
-	traceParses    *obs.Counter
-	snapshotHits   *obs.Counter
-	snapshotMisses *obs.Counter
-	contribHits    *obs.Counter
-	contribMisses  *obs.Counter
-	responseHits   *obs.Counter
-	responseMisses *obs.Counter
-	snapshotTasks  *obs.Gauge
-	pushAccepted   *obs.Counter
-	pushDuplicates *obs.Counter
-	pushRejected   *obs.Counter
-	pushErrors     *obs.Counter
-	foldErrors     *obs.Counter
-	walAppendNS    *obs.Histogram
-	walPending     *obs.Gauge
-	walSegments    *obs.Gauge
-	queueDepth     *obs.Gauge
+	requests        func(path string) *obs.Counter
+	requestNS       func(path string) *obs.Histogram
+	inflight        *obs.Gauge
+	ingests         *obs.Counter
+	ingestNS        *obs.Histogram
+	ingestErrors    *obs.Counter
+	traceParses     *obs.Counter
+	snapshotHits    *obs.Counter
+	snapshotMisses  *obs.Counter
+	contribHits     *obs.Counter
+	contribMisses   *obs.Counter
+	responseHits    *obs.Counter
+	responseMisses  *obs.Counter
+	snapshotTasks   *obs.Gauge
+	pushAccepted    *obs.Counter
+	pushDuplicates  *obs.Counter
+	pushRejected    *obs.Counter
+	pushErrors      *obs.Counter
+	foldErrors      *obs.Counter
+	partialFolds    *obs.Counter
+	partialRetracts *obs.Counter
+	partialGauge    *obs.Gauge
+	walAppendNS     *obs.Histogram
+	walPending      *obs.Gauge
+	walSegments     *obs.Gauge
+	queueDepth      *obs.Gauge
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -200,6 +223,7 @@ func NewServer(cfg Config) (*Server, error) {
 		files:    map[string]*taskEntry{},
 		ftgCache: map[string]analyzer.Contribution{},
 		sdgCache: map[string]analyzer.Contribution{},
+		partials: map[string]*partialEntry{},
 
 		requests: func(path string) *obs.Counter {
 			return reg.Counter(obs.Name("dayu_serve_requests_total", "path", path))
@@ -207,27 +231,30 @@ func NewServer(cfg Config) (*Server, error) {
 		requestNS: func(path string) *obs.Histogram {
 			return reg.Histogram(obs.Name("dayu_serve_request_ns", "path", path), obs.LatencyBuckets())
 		},
-		inflight:       reg.Gauge("dayu_serve_inflight_requests"),
-		ingests:        reg.Counter("dayu_serve_ingests_total"),
-		ingestNS:       reg.Histogram("dayu_serve_ingest_ns", obs.LatencyBuckets()),
-		ingestErrors:   reg.Counter("dayu_serve_ingest_errors_total"),
-		traceParses:    reg.Counter("dayu_serve_trace_parses_total"),
-		snapshotHits:   reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "snapshot")),
-		snapshotMisses: reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "snapshot")),
-		contribHits:    reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "contribution")),
-		contribMisses:  reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "contribution")),
-		responseHits:   reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "response")),
-		responseMisses: reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "response")),
-		snapshotTasks:  reg.Gauge("dayu_serve_snapshot_tasks"),
-		pushAccepted:   reg.Counter(obs.Name("dayu_serve_push_total", "result", "accepted")),
-		pushDuplicates: reg.Counter(obs.Name("dayu_serve_push_total", "result", "duplicate")),
-		pushRejected:   reg.Counter(obs.Name("dayu_serve_push_total", "result", "rejected")),
-		pushErrors:     reg.Counter(obs.Name("dayu_serve_push_total", "result", "error")),
-		foldErrors:     reg.Counter("dayu_serve_fold_errors_total"),
-		walAppendNS:    reg.Histogram("dayu_serve_wal_append_ns", obs.LatencyBuckets()),
-		walPending:     reg.Gauge("dayu_serve_wal_pending_records"),
-		walSegments:    reg.Gauge("dayu_serve_wal_segments"),
-		queueDepth:     reg.Gauge("dayu_serve_ingest_queue_depth"),
+		inflight:        reg.Gauge("dayu_serve_inflight_requests"),
+		ingests:         reg.Counter("dayu_serve_ingests_total"),
+		ingestNS:        reg.Histogram("dayu_serve_ingest_ns", obs.LatencyBuckets()),
+		ingestErrors:    reg.Counter("dayu_serve_ingest_errors_total"),
+		traceParses:     reg.Counter("dayu_serve_trace_parses_total"),
+		snapshotHits:    reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "snapshot")),
+		snapshotMisses:  reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "snapshot")),
+		contribHits:     reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "contribution")),
+		contribMisses:   reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "contribution")),
+		responseHits:    reg.Counter(obs.Name("dayu_serve_cache_hits_total", "cache", "response")),
+		responseMisses:  reg.Counter(obs.Name("dayu_serve_cache_misses_total", "cache", "response")),
+		snapshotTasks:   reg.Gauge("dayu_serve_snapshot_tasks"),
+		pushAccepted:    reg.Counter(obs.Name("dayu_serve_push_total", "result", "accepted")),
+		pushDuplicates:  reg.Counter(obs.Name("dayu_serve_push_total", "result", "duplicate")),
+		pushRejected:    reg.Counter(obs.Name("dayu_serve_push_total", "result", "rejected")),
+		pushErrors:      reg.Counter(obs.Name("dayu_serve_push_total", "result", "error")),
+		foldErrors:      reg.Counter("dayu_serve_fold_errors_total"),
+		partialFolds:    reg.Counter(obs.Name("dayu_serve_partial_total", "op", "fold")),
+		partialRetracts: reg.Counter(obs.Name("dayu_serve_partial_total", "op", "retract")),
+		partialGauge:    reg.Gauge("dayu_serve_partial_tasks"),
+		walAppendNS:     reg.Histogram("dayu_serve_wal_append_ns", obs.LatencyBuckets()),
+		walPending:      reg.Gauge("dayu_serve_wal_pending_records"),
+		walSegments:     reg.Gauge("dayu_serve_wal_segments"),
+		queueDepth:      reg.Gauge("dayu_serve_ingest_queue_depth"),
 
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -239,6 +266,9 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/ftg", s.instrument("/v1/ftg", s.graphHandler("ftg")))
 	mux.HandleFunc("/v1/sdg", s.instrument("/v1/sdg", s.graphHandler("sdg")))
 	mux.HandleFunc("/v1/diagnose", s.instrument("/v1/diagnose", s.handleDiagnose))
+	mux.HandleFunc("/v1/live/ftg", s.instrument("/v1/live/ftg", s.liveGraphHandler("ftg")))
+	mux.HandleFunc("/v1/live/sdg", s.instrument("/v1/live/sdg", s.liveGraphHandler("sdg")))
+	mux.HandleFunc("/v1/live/diagnostics", s.instrument("/v1/live/diagnostics", s.handleLiveDiagnostics))
 	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", s.handlePlan))
 	mux.HandleFunc("/v1/ingest", s.instrumentMethods("/v1/ingest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngest))
 	mux.HandleFunc("/v1/ingest/manifest", s.instrumentMethods("/v1/ingest/manifest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngestManifest))
@@ -269,6 +299,16 @@ func (s *Server) openWAL() error {
 		return fmt.Errorf("serve: open wal: %w", err)
 	}
 	s.wal = wal
+	if err := os.MkdirAll(s.partialsDir(), 0o755); err != nil {
+		wal.Close()
+		return fmt.Errorf("serve: create partials dir: %w", err)
+	}
+	// Restore retained checkpoints before WAL replay so replayed
+	// checkpoint records apply newest-wins against them.
+	if err := s.loadPartials(); err != nil {
+		wal.Close()
+		return err
+	}
 	queue := s.cfg.IngestQueue
 	if queue <= 0 {
 		queue = 64
@@ -284,9 +324,16 @@ func (s *Server) openWAL() error {
 		if err := s.foldBytes(rec.Data); err != nil {
 			if errors.Is(err, errUnfoldable) {
 				// Validated at push time, mangled since in a way the
-				// CRC missed: count it, skip it, keep recovering.
+				// CRC missed: preserve the bytes in quarantine before
+				// advancing past them, then keep recovering. A failed
+				// quarantine write fails construction — acknowledged
+				// data must not be dropped silently.
 				s.foldErrors.Inc()
 				s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: replay record %d: %w", rec.Seq, err), when: time.Now()})
+				if qerr := s.quarantineRecord(rec.Seq, rec.Data); qerr != nil {
+					wal.Close()
+					return fmt.Errorf("serve: wal replay: quarantine record %d: %w", rec.Seq, qerr)
+				}
 				wal.MarkFolded(rec.Seq)
 				continue
 			}
@@ -545,17 +592,7 @@ func (s *Server) graphHandler(which string) http.HandlerFunc {
 			return
 		}
 		body, err := s.render(snap, which+"."+format, func() ([]byte, error) {
-			switch format {
-			case "json":
-				// Matches the batch CLI's analyze output encoding.
-				return json.MarshalIndent(g, "", " ")
-			case "dot":
-				return []byte(g.DOT()), nil
-			case "html":
-				return []byte(g.HTML()), nil
-			default:
-				return []byte(g.SVG()), nil
-			}
+			return renderGraph(g, format)
 		})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -564,6 +601,21 @@ func (s *Server) graphHandler(which string) http.HandlerFunc {
 		w.Header().Set("Content-Type", contentType)
 		w.Header().Set("X-Dayu-Snapshot", snap.id)
 		_, _ = w.Write(body)
+	}
+}
+
+// renderGraph serializes a graph in one of the supported response
+// formats; json matches the batch CLI's analyze output encoding.
+func renderGraph(g *graph.Graph, format string) ([]byte, error) {
+	switch format {
+	case "json":
+		return json.MarshalIndent(g, "", " ")
+	case "dot":
+		return []byte(g.DOT()), nil
+	case "html":
+		return []byte(g.HTML()), nil
+	default:
+		return []byte(g.SVG()), nil
 	}
 }
 
@@ -672,6 +724,12 @@ type WALHealth struct {
 	Segments      int    `json:"segments"`
 	NextSeq       uint64 `json:"next_seq"`
 	FoldedSeq     uint64 `json:"folded_seq"`
+	// PartialTasks counts tasks currently represented by a streaming
+	// checkpoint rather than a final trace.
+	PartialTasks int `json:"partial_tasks"`
+	// Quarantined counts acknowledged records that could not be folded
+	// and were preserved under WALDir/quarantine for inspection.
+	Quarantined int `json:"quarantined"`
 }
 
 // PollHealth reports the background rescan loop's error-backoff state.
@@ -691,6 +749,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.wal != nil {
 		stats := s.wal.Stats()
+		s.partialMu.Lock()
+		partials := len(s.partials)
+		s.partialMu.Unlock()
 		h.WAL = &WALHealth{
 			PendingRecords: stats.Pending,
 			QueueDepth:     len(s.sem),
@@ -698,6 +759,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Segments:       stats.Segments,
 			NextSeq:        stats.NextSeq,
 			FoldedSeq:      stats.Folded,
+			PartialTasks:   partials,
+			Quarantined:    s.countQuarantined(),
 		}
 	}
 	if s.cfg.Poll > 0 {

@@ -37,6 +37,7 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -54,6 +55,14 @@ const binaryVersion = 2
 
 // flagFramed marks files whose records carry a uvarint length prefix.
 const flagFramed = 1
+
+// flagIncremental marks a streamed checkpoint record: a cumulative
+// snapshot of a still-running task's trace. When set, a uvarint
+// checkpoint sequence number follows the flags field in the header.
+// Incremental records are a transport framing for the live analysis
+// path, not trace files: the plain decoders (and hence Load/LoadDir)
+// reject them so a stray checkpoint can never skew a batch analysis.
+const flagIncremental = 2
 
 // maxBinaryLen bounds any single length read from the wire (string
 // bytes, slice counts, record frames) so a corrupt count cannot drive
@@ -105,6 +114,22 @@ type BinaryOptions struct {
 	// Unframed drops the per-record length prefixes, trading the
 	// decoder's boundary verification for a slightly smaller file.
 	Unframed bool
+	// Incremental marks the record as a streamed mid-task checkpoint
+	// (cumulative trace-so-far). CheckpointSeq orders checkpoints of
+	// the same task: a consumer keeps the highest one it has seen.
+	Incremental bool
+	// CheckpointSeq is written only when Incremental is set.
+	CheckpointSeq uint64
+}
+
+// RecordMeta describes the stream framing of a decoded record.
+type RecordMeta struct {
+	// Incremental is true for streamed checkpoint records (cumulative
+	// mid-task snapshots); false for complete trace files.
+	Incremental bool
+	// CheckpointSeq orders checkpoints of one task; zero unless
+	// Incremental.
+	CheckpointSeq uint64
 }
 
 // EncodeBinary writes the trace in dtb/v2 with per-record framing.
@@ -138,13 +163,15 @@ func (t *TaskTrace) EncodedSizeIn(f Format) (int64, error) {
 // buffers are truncated in place, so a steady stream of traces of
 // similar shape encodes without allocating.
 type binaryEncoder struct {
-	index  map[string]uint64
-	list   []string
-	body   []byte
-	rec    []byte
-	hdr    []byte
-	framed bool
-	inRec  bool
+	index       map[string]uint64
+	list        []string
+	body        []byte
+	rec         []byte
+	hdr         []byte
+	framed      bool
+	incremental bool
+	ckptSeq     uint64
+	inRec       bool
 }
 
 var encoderPool = sync.Pool{
@@ -351,7 +378,13 @@ func (e *binaryEncoder) encodeHeader() {
 	if e.framed {
 		flags |= flagFramed
 	}
+	if e.incremental {
+		flags |= flagIncremental
+	}
 	e.hdr = binary.AppendUvarint(e.hdr, flags)
+	if e.incremental {
+		e.hdr = binary.AppendUvarint(e.hdr, e.ckptSeq)
+	}
 	e.hdr = binary.AppendUvarint(e.hdr, uint64(len(e.list)))
 	for _, s := range e.list {
 		e.hdr = binary.AppendUvarint(e.hdr, uint64(len(s)))
@@ -364,6 +397,11 @@ func (t *TaskTrace) EncodeBinaryOpts(w io.Writer, opts BinaryOptions) error {
 	e := getEncoder()
 	defer putEncoder(e)
 	e.framed = !opts.Unframed
+	e.incremental = opts.Incremental
+	e.ckptSeq = 0
+	if opts.Incremental {
+		e.ckptSeq = opts.CheckpointSeq
+	}
 	e.encodeBody(t)
 	e.encodeHeader()
 	if _, err := w.Write(e.hdr); err != nil {
@@ -573,13 +611,22 @@ func DecodeBinary(r io.Reader) (*TaskTrace, error) {
 	return DecodeBinaryBytes(data, DecodeOptions{})
 }
 
+// ErrIncrementalRecord is returned by the plain decoders when handed a
+// streamed checkpoint record: only meta-aware consumers (the live
+// ingest path) may accept those.
+var ErrIncrementalRecord = errors.New("trace: incremental checkpoint record (not a complete trace)")
+
 // DecodeBinaryBytes decodes one dtb/v2 trace held completely in data
 // and validates it. With opts.ZeroCopy the decoded trace's strings
-// alias data; otherwise it is self-contained.
+// alias data; otherwise it is self-contained. Incremental checkpoint
+// records are rejected with ErrIncrementalRecord.
 func DecodeBinaryBytes(data []byte, opts DecodeOptions) (*TaskTrace, error) {
-	t, err := decodeBinaryBytes(data, opts.ZeroCopy)
+	t, meta, err := decodeBinaryBytes(data, opts.ZeroCopy)
 	if err != nil {
 		return nil, fmt.Errorf("trace: dtb decode: %w", err)
+	}
+	if meta.Incremental {
+		return nil, ErrIncrementalRecord
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -602,6 +649,24 @@ func DecodeBytesOpts(data []byte, opts DecodeOptions) (*TaskTrace, error) {
 	return Decode(bytes.NewReader(data))
 }
 
+// DecodeBytesMeta decodes one trace record of either serialization and
+// reports its stream framing. Unlike DecodeBytesOpts it accepts
+// incremental checkpoint records; JSON records are never incremental.
+func DecodeBytesMeta(data []byte, opts DecodeOptions) (*TaskTrace, RecordMeta, error) {
+	if SniffFormat(data) != FormatBinary {
+		t, err := Decode(bytes.NewReader(data))
+		return t, RecordMeta{}, err
+	}
+	t, meta, err := decodeBinaryBytes(data, opts.ZeroCopy)
+	if err != nil {
+		return nil, RecordMeta{}, fmt.Errorf("trace: dtb decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, RecordMeta{}, err
+	}
+	return t, meta, nil
+}
+
 // tableString materializes one intern-table entry: a copy by default,
 // an alias of the input buffer under ZeroCopy.
 func (d *byteDecoder) tableString(b []byte) string {
@@ -614,24 +679,29 @@ func (d *byteDecoder) tableString(b []byte) string {
 	return string(b)
 }
 
-func decodeBinaryBytes(data []byte, zeroCopy bool) (*TaskTrace, error) {
+func decodeBinaryBytes(data []byte, zeroCopy bool) (*TaskTrace, RecordMeta, error) {
+	var meta RecordMeta
 	d := &byteDecoder{data: data, zero: zeroCopy}
 	magic := d.bytesN(uint64(len(binaryMagic)))
 	if d.err != nil {
-		return nil, fmt.Errorf("header: %w", d.err)
+		return nil, meta, fmt.Errorf("header: %w", d.err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("bad magic %q", magic)
+		return nil, meta, fmt.Errorf("bad magic %q", magic)
 	}
 	if v := d.uv(); d.err == nil && v != binaryVersion {
-		return nil, fmt.Errorf("unsupported version %d (want %d)", v, binaryVersion)
+		return nil, meta, fmt.Errorf("unsupported version %d (want %d)", v, binaryVersion)
 	}
 	flags := d.uv()
 	d.framed = flags&flagFramed != 0
+	if flags&flagIncremental != 0 {
+		meta.Incremental = true
+		meta.CheckpointSeq = d.uv()
+	}
 
 	nstr := d.uv()
 	if d.err == nil && nstr > maxBinaryLen {
-		return nil, fmt.Errorf("string table count %d exceeds limit", nstr)
+		return nil, meta, fmt.Errorf("string table count %d exceeds limit", nstr)
 	}
 	d.table = make([]string, 0, capHint(int(nstr)))
 	for i := uint64(0); i < nstr && d.err == nil; i++ {
@@ -739,12 +809,12 @@ func decodeBinaryBytes(data []byte, zeroCopy bool) (*TaskTrace, error) {
 	}
 
 	if d.err != nil {
-		return nil, d.err
+		return nil, meta, d.err
 	}
 	if d.off != len(d.data) {
-		return nil, fmt.Errorf("trailing data after trace")
+		return nil, meta, fmt.Errorf("trailing data after trace")
 	}
-	return t, nil
+	return t, meta, nil
 }
 
 // SniffFormat reports the serialization a trace byte stream uses,

@@ -62,7 +62,9 @@ func richTrace(seed int64) *TaskTrace {
 			BytesRead: rng.Int63n(1 << 30), BytesWritten: rng.Int63n(1 << 30),
 		})
 	}
-	for i := 0; i < rng.Intn(5); i++ {
+	// At least one file record: mapped stats may only reference files
+	// present in the file table (Validate enforces the join).
+	for i := 0; i < rng.Intn(4)+1; i++ {
 		open := t.StartNS + rng.Int63n(1000)
 		meta, data := rng.Int63n(50), rng.Int63n(50)
 		t.Files = append(t.Files, FileRecord{
@@ -77,7 +79,7 @@ func richTrace(seed int64) *TaskTrace {
 	}
 	for i := 0; i < rng.Intn(5); i++ {
 		t.Mapped = append(t.Mapped, MappedStat{
-			Task: t.Task, File: str("file"), Object: str("obj"),
+			Task: t.Task, File: t.Files[rng.Intn(len(t.Files))].File, Object: str("obj"),
 			MetaOps: rng.Int63n(50), DataOps: rng.Int63n(50),
 			MetaBytes: rng.Int63n(1 << 20), DataBytes: rng.Int63n(1 << 28),
 			Reads: rng.Int63n(40), Writes: rng.Int63n(40),

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// encodeIncremental is the test shorthand for an incremental record.
+func encodeIncremental(t *testing.T, tr *TaskTrace, seq uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinaryOpts(&buf, BinaryOptions{Incremental: true, CheckpointSeq: seq}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestIncrementalRoundTripMeta(t *testing.T) {
+	tr := richTrace(3)
+	for _, seq := range []uint64{0, 1, 7, 1 << 40} {
+		data := encodeIncremental(t, tr, seq)
+		got, meta, err := DecodeBytesMeta(data, DecodeOptions{})
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		if !meta.Incremental || meta.CheckpointSeq != seq {
+			t.Fatalf("seq %d: meta = %+v", seq, meta)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("seq %d: incremental round trip diverged", seq)
+		}
+	}
+}
+
+func TestDecodeBytesMetaPlainRecords(t *testing.T) {
+	tr := richTrace(5)
+
+	var dtb bytes.Buffer
+	if err := tr.EncodeBinary(&dtb); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := DecodeBytesMeta(dtb.Bytes(), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != (RecordMeta{}) {
+		t.Fatalf("plain dtb record decoded with meta %+v", meta)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("plain dtb round trip diverged")
+	}
+
+	jt := sampleTrace()
+	var js bytes.Buffer
+	if err := jt.Encode(&js); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err = DecodeBytesMeta(js.Bytes(), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != (RecordMeta{}) {
+		t.Fatalf("JSON record decoded with meta %+v", meta)
+	}
+	if !reflect.DeepEqual(got, jt) {
+		t.Fatal("JSON round trip diverged")
+	}
+}
+
+// Plain decoders must refuse checkpoint records: a stray checkpoint in
+// a trace directory could otherwise silently skew a batch analysis
+// with a task's partial counters.
+func TestPlainDecodersRejectIncremental(t *testing.T) {
+	tr := richTrace(9)
+	data := encodeIncremental(t, tr, 4)
+
+	if _, err := DecodeBinaryBytes(data, DecodeOptions{}); !errors.Is(err, ErrIncrementalRecord) {
+		t.Fatalf("DecodeBinaryBytes err = %v, want ErrIncrementalRecord", err)
+	}
+	if _, err := DecodeBytes(data); !errors.Is(err, ErrIncrementalRecord) {
+		t.Fatalf("DecodeBytes err = %v, want ErrIncrementalRecord", err)
+	}
+	if _, err := DecodeBinary(bytes.NewReader(data)); !errors.Is(err, ErrIncrementalRecord) {
+		t.Fatalf("DecodeBinary err = %v, want ErrIncrementalRecord", err)
+	}
+	if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrIncrementalRecord) {
+		t.Fatalf("Decode err = %v, want ErrIncrementalRecord", err)
+	}
+
+	// And through the file loaders: LoadDir must fail loudly, not skip.
+	dir := t.TempDir()
+	path := filepath.Join(dir, TraceFileName(tr.Task, FormatBinary))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrIncrementalRecord) {
+		t.Fatalf("Load err = %v, want ErrIncrementalRecord", err)
+	}
+	if _, err := LoadDir(dir); !errors.Is(err, ErrIncrementalRecord) {
+		t.Fatalf("LoadDir err = %v, want ErrIncrementalRecord", err)
+	}
+}
+
+// The checkpoint seq lives in the header, so two checkpoints of
+// identical cumulative state still have distinct bytes (and distinct
+// content hashes, which the ingest dedup relies on).
+func TestIncrementalSeqChangesBytes(t *testing.T) {
+	tr := richTrace(1)
+	a := encodeIncremental(t, tr, 1)
+	b := encodeIncremental(t, tr, 2)
+	if bytes.Equal(a, b) {
+		t.Fatal("checkpoint seq not reflected in encoded bytes")
+	}
+	if HashBytes(a) == HashBytes(b) {
+		t.Fatal("checkpoint seq not reflected in content hash")
+	}
+}
+
+// A truncated incremental header (flag set, seq missing) must fail
+// cleanly rather than decode as something else.
+func TestIncrementalTruncatedHeader(t *testing.T) {
+	data := encodeIncremental(t, richTrace(2), 300) // multi-byte uvarint seq
+	// Locate the header: magic + version uvarint + flags uvarint, then
+	// chop inside the checkpoint-seq uvarint.
+	cut := len(binaryMagic) + 1 + 1 + 1
+	if _, _, err := DecodeBytesMeta(data[:cut], DecodeOptions{}); err == nil {
+		t.Fatal("truncated checkpoint header decoded")
+	}
+}

@@ -204,12 +204,26 @@ func (t *TaskTrace) Validate() error {
 			return fmt.Errorf("trace: object %q released before acquired", o.Object)
 		}
 	}
+	files := make(map[string]bool, len(t.Files))
 	for _, f := range t.Files {
 		if f.CloseNS < f.OpenNS {
 			return fmt.Errorf("trace: file %q closed before opened", f.File)
 		}
 		if f.Ops != f.MetaOps+f.DataOps {
 			return fmt.Errorf("trace: file %q op counts inconsistent", f.File)
+		}
+		files[f.File] = true
+	}
+	// Mapped stats join per-object accounting onto the file-level
+	// table: the tracer creates both rows from the same operation, so a
+	// mapped row whose file has no file record cannot come from a real
+	// run — and downstream graph builds emit dataset->file edges that
+	// assume the file node exists. Rejecting the record here turns what
+	// would be a panic deep inside analysis into a decode error the
+	// ingest path can refuse or quarantine.
+	for _, ms := range t.Mapped {
+		if !files[ms.File] {
+			return fmt.Errorf("trace: mapped stats for object %q reference file %q with no file record", ms.Object, ms.File)
 		}
 	}
 	return nil

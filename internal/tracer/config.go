@@ -37,6 +37,19 @@ type Config struct {
 	DisableVFD bool `json:"disable_vfd,omitempty"`
 	// Now supplies wall-clock timestamps; defaults to time.Now.
 	Now func() time.Time `json:"-"`
+	// Sink, when non-nil, receives streamed task records: cumulative
+	// mid-task checkpoints every CheckpointOps observed file
+	// operations, and — emitted by the workflow engine once attempt
+	// and failure accounting is final — the completed trace.
+	// Implementations must be safe for concurrent use: parallel stages
+	// share one Sink across their per-task tracers, and must consume
+	// (or copy) each record synchronously — the tracer keeps profiling
+	// into the same buffers after EmitCheckpoint returns.
+	Sink Sink `json:"-"`
+	// CheckpointOps is the file-operation period between streamed
+	// checkpoints; 0 disables mid-task checkpoints (finals still
+	// stream when Sink is set).
+	CheckpointOps int64 `json:"checkpoint_ops,omitempty"`
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,190 @@
+package tracer
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dayu/internal/hdf5"
+	"dayu/internal/trace"
+)
+
+// recordingSink snapshots each emitted record by encoding it, since the
+// tracer keeps profiling into the same aggregation tables after
+// EmitCheckpoint returns.
+type recordingSink struct {
+	mu          sync.Mutex
+	err         error
+	checkpoints []recordedCheckpoint
+	finals      []*trace.TaskTrace
+}
+
+type recordedCheckpoint struct {
+	seq  uint64
+	data []byte
+}
+
+func (s *recordingSink) EmitCheckpoint(t *trace.TaskTrace, seq uint64) {
+	var buf bytes.Buffer
+	err := t.EncodeBinaryOpts(&buf, trace.BinaryOptions{Incremental: true, CheckpointSeq: seq})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil && s.err == nil {
+		s.err = err
+		return
+	}
+	s.checkpoints = append(s.checkpoints, recordedCheckpoint{seq: seq, data: buf.Bytes()})
+}
+
+func (s *recordingSink) EmitFinal(t *trace.TaskTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finals = append(s.finals, t)
+}
+
+// streamWorkload is a deterministic body with enough file operations to
+// cross several checkpoint periods.
+func streamWorkload(t *testing.T) func(f *hdf5.File) {
+	return func(f *hdf5.File) {
+		ds, err := f.Root().CreateDataset("field", hdf5.Float64, []int64{256}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := ds.WriteAll(make([]byte, 2048)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ds.ReadAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func fixedClock() func() time.Time {
+	at := time.Unix(0, 1_000_000)
+	return func() time.Time { return at }
+}
+
+// normalizeNS zeroes the wall-clock fields that the VFD/VOL layers
+// stamp with real time (Config.Now only governs task start/end), so
+// two runs of the same workload compare structurally.
+func normalizeNS(tt *trace.TaskTrace) *trace.TaskTrace {
+	cp := *tt
+	cp.StartNS, cp.EndNS = 0, 0
+	cp.Objects = append([]trace.ObjectRecord(nil), tt.Objects...)
+	for i := range cp.Objects {
+		cp.Objects[i].AcquiredNS, cp.Objects[i].ReleasedNS = 0, 0
+	}
+	cp.Files = append([]trace.FileRecord(nil), tt.Files...)
+	for i := range cp.Files {
+		cp.Files[i].OpenNS, cp.Files[i].CloseNS = 0, 0
+	}
+	cp.Mapped = append([]trace.MappedStat(nil), tt.Mapped...)
+	for i := range cp.Mapped {
+		cp.Mapped[i].FirstNS, cp.Mapped[i].LastNS = 0, 0
+	}
+	return &cp
+}
+
+func totalFileOps(tt *trace.TaskTrace) int64 {
+	var n int64
+	for _, f := range tt.Files {
+		n += f.Ops
+	}
+	return n
+}
+
+// TestStreamCheckpoints drives a traced task with a sink attached and
+// checks the streamed records: strictly increasing sequence numbers,
+// each checkpoint a valid cumulative prefix of the final trace, and —
+// the invariant live analysis depends on — the final trace identical
+// to one produced by a sink-less run of the same workload.
+func TestStreamCheckpoints(t *testing.T) {
+	sink := &recordingSink{}
+	withSink := runTracedTask(t, Config{Sink: sink, CheckpointOps: 4, Now: fixedClock()},
+		"stage0/stream", streamWorkload(t))
+	plain := runTracedTask(t, Config{Now: fixedClock()},
+		"stage0/stream", streamWorkload(t))
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.err != nil {
+		t.Fatal(sink.err)
+	}
+	if len(sink.checkpoints) < 2 {
+		t.Fatalf("checkpoints = %d, want at least 2", len(sink.checkpoints))
+	}
+	// EmitFinal is the workflow engine's job (attempt accounting is
+	// stamped after EndTask), so a bare tracer run emits none.
+	if len(sink.finals) != 0 {
+		t.Fatalf("tracer emitted %d finals; that is the engine's job", len(sink.finals))
+	}
+
+	final := withSink.trace
+	prevSeq := uint64(0)
+	prevOps := int64(-1)
+	for i, ck := range sink.checkpoints {
+		if ck.seq <= prevSeq {
+			t.Fatalf("checkpoint %d: seq %d not increasing (prev %d)", i, ck.seq, prevSeq)
+		}
+		prevSeq = ck.seq
+		tt, meta, err := trace.DecodeBytesMeta(ck.data, trace.DecodeOptions{})
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		if !meta.Incremental || meta.CheckpointSeq != ck.seq {
+			t.Fatalf("checkpoint %d: meta = %+v", i, meta)
+		}
+		if tt.Task != final.Task {
+			t.Fatalf("checkpoint %d: task %q", i, tt.Task)
+		}
+		if err := tt.Validate(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		ops := totalFileOps(tt)
+		if ops <= prevOps {
+			t.Fatalf("checkpoint %d: file ops %d not cumulative (prev %d)", i, ops, prevOps)
+		}
+		prevOps = ops
+	}
+	if finalOps := totalFileOps(final); prevOps > finalOps {
+		t.Fatalf("last checkpoint has %d file ops, final only %d", prevOps, finalOps)
+	}
+
+	// Non-destructiveness: checkpointing must not perturb the final
+	// trace in any way.
+	if got, want := normalizeNS(final), normalizeNS(plain.trace); !reflect.DeepEqual(got, want) {
+		t.Fatalf("final trace with checkpoints diverged from plain run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// TestStreamSeqMonotoneAcrossTasks pins the process-global ordering:
+// records from successive tracers (retry attempts reuse nothing) still
+// carry increasing sequence numbers, so "keep the highest seq" on the
+// consumer side is delivery-order independent.
+func TestStreamSeqMonotoneAcrossTasks(t *testing.T) {
+	sink := &recordingSink{}
+	cfg := Config{Sink: sink, CheckpointOps: 4, Now: fixedClock()}
+	runTracedTask(t, cfg, "stage0/a", streamWorkload(t))
+	runTracedTask(t, cfg, "stage0/b", streamWorkload(t))
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.err != nil {
+		t.Fatal(sink.err)
+	}
+	if len(sink.checkpoints) < 4 {
+		t.Fatalf("checkpoints = %d, want at least 4", len(sink.checkpoints))
+	}
+	for i := 1; i < len(sink.checkpoints); i++ {
+		if sink.checkpoints[i].seq <= sink.checkpoints[i-1].seq {
+			t.Fatalf("seq %d -> %d across tasks", sink.checkpoints[i-1].seq, sink.checkpoints[i].seq)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package tracer
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"dayu/internal/semantics"
@@ -10,6 +11,20 @@ import (
 	"dayu/internal/vfd"
 	"dayu/internal/vol"
 )
+
+// Sink receives streamed task records (the live-analysis event feed).
+// EmitCheckpoint ships a cumulative snapshot of a still-running task's
+// trace-so-far; seq is process-monotone, so of two checkpoints for the
+// same task the one with the larger seq is always the fresher — even
+// across retry attempts, which each run on a fresh Tracer. EmitFinal
+// ships the completed trace exactly as it will be persisted.
+type Sink interface {
+	EmitCheckpoint(t *trace.TaskTrace, seq uint64)
+	EmitFinal(t *trace.TaskTrace)
+}
+
+// streamSeq numbers checkpoints across every tracer in the process.
+var streamSeq atomic.Uint64
 
 // Tracer is one Data Semantic Mapper instance. It profiles one task at a
 // time (BeginTask/EndTask) and emits a trace.TaskTrace per task. It is
@@ -89,9 +104,21 @@ func (t *Tracer) BeginTask(name string) {
 	t.vfdProf.reset()
 }
 
-// EndTask finalizes the current task's statistics into a TaskTrace and
-// resets profiler state.
+// EndTask finalizes the current task's statistics into a TaskTrace.
+// Profiler state is not reset here (BeginTask resets), which is what
+// lets Checkpoint share the implementation.
 func (t *Tracer) EndTask() *trace.TaskTrace {
+	return t.Checkpoint()
+}
+
+// Checkpoint assembles a cumulative snapshot of the current task's
+// trace-so-far without disturbing profiler state: the finalize paths
+// only read the aggregation tables (state resets in BeginTask), so a
+// checkpoint followed by more I/O and EndTask yields exactly the trace
+// EndTask would have produced without the checkpoint. This is the
+// streamed-record builder for live analysis — each emitted record
+// replaces the previous one wholesale on the consumer side.
+func (t *Tracer) Checkpoint() *trace.TaskTrace {
 	t0 := time.Now()
 	out := &trace.TaskTrace{
 		Task:    t.task,
@@ -389,6 +416,14 @@ func (p *vfdProfiler) Observe(op vfd.Op) {
 	}
 	if timed {
 		p.tr.times.CharacteristicMapper += time.Since(t1) * timingSampleRate
+	}
+
+	// Streamed checkpoints: every CheckpointOps fully-accounted
+	// operations, ship the cumulative trace-so-far. Emission sits after
+	// both the file-level and object-level updates so a checkpoint
+	// never splits one operation's accounting.
+	if cfg := &p.tr.cfg; cfg.Sink != nil && cfg.CheckpointOps > 0 && p.opSeen%cfg.CheckpointOps == 0 {
+		cfg.Sink.EmitCheckpoint(p.tr.Checkpoint(), streamSeq.Add(1))
 	}
 }
 

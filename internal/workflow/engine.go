@@ -419,6 +419,12 @@ func (e *Engine) runStage(stage Stage, res *Result) (StageResult, time.Duration,
 		if r.trace != nil {
 			r.trace.Attempts = r.attempts
 			r.trace.Failed = r.err != nil
+			// Stream the completed trace only now: Attempts/Failed are
+			// part of the record, so emitting from EndTask would ship
+			// bytes that differ from what SaveTraces persists.
+			if sink := e.tcfg.Sink; sink != nil {
+				sink.EmitFinal(r.trace)
+			}
 			res.Traces = append(res.Traces, r.trace)
 		}
 		res.OpsByTask[r.task.Name] = r.ops

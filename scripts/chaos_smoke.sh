@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Kill-restart chaos smoke for the durable push-ingest path.
 #
-# Starts `dayu serve` with a write-ahead log, pushes a workload's traces
-# at it, `kill -9`s the server mid-stream (arbitrary byte boundary,
-# possibly mid-WAL-append), restarts it, and asserts:
+# Phase 1 — batch push: starts `dayu serve` with a write-ahead log,
+# pushes a workload's traces at it, `kill -9`s the server mid-stream
+# (arbitrary byte boundary, possibly mid-WAL-append), restarts it, and
+# asserts:
 #
 #   1. Replay loses nothing: every trace folded before the kill is
 #      still served after restart.
@@ -11,6 +12,14 @@
 #   3. /v1/ftg and /v1/sdg responses are byte-identical to the batch
 #      CLI (`dayu analyze`) over both the recovered directory and the
 #      original source traces.
+#
+# Phase 2 — live stream: runs a workload with `dayu run -stream`, so
+# the tracer ships incremental checkpoints and finals through the same
+# WAL path while the workflow executes, kill -9s the server mid-run,
+# restarts it, and asserts the stream rides out the crash: the run
+# completes undegraded, every partial retracts, and the recovered
+# /v1/live/{ftg,sdg} snapshot is byte-identical to /v1/{ftg,sdg} and
+# to `dayu analyze` over the traces the run saved locally.
 #
 # Usage: scripts/chaos_smoke.sh [path-to-dayu-binary]
 set -euo pipefail
@@ -113,5 +122,74 @@ cmp "$workdir/out-src/ftg.json" "$workdir/ftg.json"
 "$dayu" analyze -sdg -traces "$src" -out "$workdir/out-src-sdg" >/dev/null
 cmp "$workdir/out-src-sdg/sdg.json" "$workdir/sdg.json"
 echo "chaos: /v1/ftg and /v1/sdg byte-identical to batch dayu analyze"
+
+# ---------------------------------------------------------------------
+# Phase 2: live streaming. A fresh server on fresh directories; the
+# workload itself is the pusher this time, checkpointing every 32 ops.
+kill -9 "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+addr="127.0.0.1:18081"
+dir="$workdir/stream-traces"
+wal="$workdir/stream-wal"
+slocal="$workdir/stream-local"
+mkdir -p "$dir"
+
+start_serve
+echo "chaos: live-phase server up"
+
+# Stream a run in the background with a retry budget generous enough
+# to ride out the kill and restart below. The run must exit zero: a
+# non-zero exit means a checkpoint or final was dropped (degraded
+# streaming), which this gate treats as a failure.
+"$dayu" run -workflow pyflextrkr -traces "$slocal" \
+  -stream "http://$addr" -checkpoint-ops 32 -stream-attempts 300 \
+  >"$workdir/run.log" 2>&1 &
+run_pid=$!
+sleep 0.5
+kill -9 "$serve_pid"
+serve_pid=""
+echo "chaos: killed serve mid-run (live phase)"
+
+start_serve
+echo "chaos: restarted (live phase)"
+
+if ! wait "$run_pid"; then
+  echo "chaos: FAIL: streamed run degraded or failed:" >&2
+  tail -5 "$workdir/run.log" >&2
+  exit 1
+fi
+stotal="$(find "$slocal" -name '*.trace.*' | wc -l)"
+echo "chaos: streamed run completed ($stotal tasks)"
+
+# Convergence: every final folded, every partial retracted.
+for _ in $(seq 1 150); do
+  curl -fsS -D "$workdir/live.hdr" "http://$addr/v1/live/ftg" \
+    -o "$workdir/live-ftg.json" >/dev/null 2>&1 || true
+  partial="$(awk 'tolower($1) == "x-dayu-partial-tasks:" { gsub(/[^0-9]/, "", $2); print $2 }' "$workdir/live.hdr")"
+  complete="$(awk 'tolower($1) == "x-dayu-complete-tasks:" { gsub(/[^0-9]/, "", $2); print $2 }' "$workdir/live.hdr")"
+  if [ "${partial:-1}" -eq 0 ] && [ "${complete:-0}" -eq "$stotal" ]; then
+    break
+  fi
+  sleep 0.2
+done
+if [ "${partial:-1}" -ne 0 ] || [ "${complete:-0}" -ne "$stotal" ]; then
+  echo "chaos: FAIL: live view never converged (partial=$partial complete=$complete want=$stotal)" >&2
+  exit 1
+fi
+echo "chaos: live view converged ($complete complete, 0 partial)"
+
+# The converged live snapshot is byte-identical to the batch endpoints
+# and to the batch CLI over the traces the run saved locally.
+curl -fsS "http://$addr/v1/ftg" -o "$workdir/stream-batch-ftg.json"
+cmp "$workdir/live-ftg.json" "$workdir/stream-batch-ftg.json"
+curl -fsS "http://$addr/v1/live/sdg" -o "$workdir/live-sdg.json"
+curl -fsS "http://$addr/v1/sdg" -o "$workdir/stream-batch-sdg.json"
+cmp "$workdir/live-sdg.json" "$workdir/stream-batch-sdg.json"
+"$dayu" analyze -traces "$slocal" -out "$workdir/out-stream" >/dev/null
+cmp "$workdir/out-stream/ftg.json" "$workdir/live-ftg.json"
+"$dayu" analyze -sdg -traces "$slocal" -out "$workdir/out-stream-sdg" >/dev/null
+cmp "$workdir/out-stream-sdg/sdg.json" "$workdir/live-sdg.json"
+echo "chaos: recovered /v1/live/ftg and /v1/live/sdg byte-identical to batch dayu analyze"
 
 echo "chaos: PASS"
