@@ -50,14 +50,18 @@
 //
 //	dayu serve -dir traces [-addr :8080] [-poll 2s] [-tier nvme] [-nodes n]
 //	           [-wal dir] [-wal-fsync always|interval|never] [-ingest-queue n]
-//	           [-max-body bytes] [-request-timeout d]
+//	           [-max-body bytes] [-request-timeout d] [-shards n]
+//	           [-history dir] [-history-retain n]
 //	    Run the incremental analysis service: watch a trace directory
 //	    and serve FTG/SDG renderings, diagnostics and locality plans
 //	    over HTTP from a content-addressed result cache. See
 //	    /healthz, /metrics and the /v1/{ftg,sdg,diagnose,plan,tasks}
 //	    endpoints. With -wal, POST /v1/ingest accepts pushed traces
 //	    into a crash-safe write-ahead log; SIGINT/SIGTERM drain
-//	    in-flight requests and flush the WAL before exit.
+//	    in-flight requests and flush the WAL before exit. -shards
+//	    partitions the parse/contribution caches and the WAL across N
+//	    workers (responses stay byte-identical at any count); -history
+//	    records every converged snapshot for /v1/history replay.
 //
 //	dayu push -traces dir -server http://host:8080 [-attempts n] [-timeout d]
 //	    Push every trace file in a directory (plus manifest.json) to a
@@ -102,6 +106,7 @@ import (
 	"dayu/internal/report"
 	"dayu/internal/serve"
 	"dayu/internal/serve/client"
+	"dayu/internal/serve/shard"
 	"dayu/internal/sim"
 	"dayu/internal/trace"
 	"dayu/internal/tracer"
@@ -627,8 +632,14 @@ func cmdServe(args []string) error {
 	ingestQueue := fs.Int("ingest-queue", 64, "pushes admitted ahead of folding before 429 backpressure")
 	maxBody := fs.Int64("max-body", 32<<20, "largest accepted request body in bytes")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler timeout (0 = none)")
+	shards := fs.Int("shards", 1, fmt.Sprintf("ingest shard workers partitioning caches and WAL (1-%d); responses stay byte-identical at any count", shard.MaxShards))
+	historyDir := fs.String("history", "", "snapshot-history store directory for /v1/history (empty = history disabled)")
+	historyRetain := fs.Int("history-retain", 64, "snapshots retained in the history store before compaction")
 	fs.Parse(args)
 
+	if *shards < 1 || *shards > shard.MaxShards {
+		return fmt.Errorf("serve: -shards %d out of range [1, %d]", *shards, shard.MaxShards)
+	}
 	cfg := serve.Config{
 		Dir:        *dir,
 		Registry:   obs.NewRegistry(),
@@ -636,9 +647,12 @@ func cmdServe(args []string) error {
 		PlanOptions: optimizer.LocalityOptions{
 			FastTier: *tier, Nodes: *nodes, StageOutDisposable: true,
 		},
-		Poll:         *poll,
-		IngestQueue:  *ingestQueue,
-		MaxBodyBytes: *maxBody,
+		Poll:          *poll,
+		IngestQueue:   *ingestQueue,
+		MaxBodyBytes:  *maxBody,
+		Shards:        *shards,
+		HistoryDir:    *historyDir,
+		HistoryRetain: *historyRetain,
 	}
 	if *walDir != "" {
 		policy, err := serve.ParseFsyncPolicy(*walFsync)
@@ -678,6 +692,12 @@ func cmdServe(args []string) error {
 	mode := "pull-only"
 	if *walDir != "" {
 		mode = fmt.Sprintf("push ingest on (wal %s, fsync %s)", *walDir, *walFsync)
+	}
+	if *shards > 1 {
+		mode += fmt.Sprintf(", %d shards", *shards)
+	}
+	if *historyDir != "" {
+		mode += fmt.Sprintf(", history %s", *historyDir)
 	}
 	fmt.Printf("dayu serve: watching %s, listening on %s (poll %s, %s)\n", *dir, ln.Addr(), *poll, mode)
 

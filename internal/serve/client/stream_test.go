@@ -1,0 +1,175 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"dayu/internal/trace"
+)
+
+func streamTrace(task string) *trace.TaskTrace {
+	return &trace.TaskTrace{
+		Task: task, StartNS: 100, EndNS: 900,
+		Files: []trace.FileRecord{{
+			Task: task, File: "out.h5",
+			OpenNS: 150, CloseNS: 800,
+			Ops: 2, Writes: 2, BytesWritten: 2048,
+			MetaOps: 1, DataOps: 1, MetaBytes: 64, DataBytes: 1984,
+		}},
+	}
+}
+
+// received is what the capture server decoded from one /v1/ingest body.
+type received struct {
+	task string
+	meta trace.RecordMeta
+}
+
+// captureServer acknowledges every push and decodes each body so tests
+// can assert the wire framing (incremental flag, checkpoint seq).
+func captureServer(t *testing.T) (*httptest.Server, func() []received) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []received
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, r.ContentLength)
+		if _, err := r.Body.Read(body); err != nil && err.Error() != "EOF" {
+			t.Errorf("read push body: %v", err)
+		}
+		tt, meta, err := trace.DecodeBytesMeta(body, trace.DecodeOptions{})
+		if err != nil {
+			t.Errorf("pushed bytes do not decode: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = append(got, received{task: tt.Task, meta: meta})
+		mu.Unlock()
+		ackHandler("accepted", tt.Task)(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, func() []received {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]received(nil), got...)
+	}
+}
+
+// TestPushTraceAndCheckpointFraming pins the wire contract of the
+// typed push helpers: PushTrace ships a complete record, while
+// PushCheckpoint ships an incremental record carrying the stream seq.
+func TestPushTraceAndCheckpointFraming(t *testing.T) {
+	srv, recvd := captureServer(t)
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushCheckpoint(context.Background(), streamTrace("w/ckpt"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushTrace(context.Background(), streamTrace("w/final"), trace.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushTrace(context.Background(), streamTrace("w/json"), trace.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	got := recvd()
+	if len(got) != 3 {
+		t.Fatalf("server decoded %d records, want 3", len(got))
+	}
+	if got[0].task != "w/ckpt" || !got[0].meta.Incremental || got[0].meta.CheckpointSeq != 3 {
+		t.Errorf("checkpoint framing = %+v, want incremental seq 3", got[0])
+	}
+	if got[1].task != "w/final" || got[1].meta.Incremental {
+		t.Errorf("final framing = %+v, want complete record", got[1])
+	}
+	if got[2].task != "w/json" || got[2].meta.Incremental {
+		t.Errorf("json framing = %+v, want complete record", got[2])
+	}
+}
+
+// TestStreamSinkDelivers pins the happy path: emits count, no error,
+// and both record kinds reach the server with the right framing.
+func TestStreamSinkDelivers(t *testing.T) {
+	srv, recvd := captureServer(t)
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewStreamSink(context.Background(), c)
+	sink.EmitCheckpoint(streamTrace("w/task"), 1)
+	sink.EmitCheckpoint(streamTrace("w/task"), 2)
+	sink.EmitFinal(streamTrace("w/task"))
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	cks, finals, dropped := sink.Stats()
+	if cks != 2 || finals != 1 || dropped != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 2/1/0", cks, finals, dropped)
+	}
+	if got := recvd(); len(got) != 3 || !got[0].meta.Incremental || got[2].meta.Incremental {
+		t.Fatalf("server decoded %+v", got)
+	}
+}
+
+// TestStreamSinkRecordsDropsAndFirstError pins degraded streaming:
+// exhausted retries drop the record, count it, and retain the FIRST
+// error for Err while later emits keep flowing.
+func TestStreamSinkRecordsDropsAndFirstError(t *testing.T) {
+	var fail bool
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		f := fail
+		mu.Unlock()
+		if f {
+			http.Error(w, "synthetic outage", http.StatusServiceUnavailable)
+			return
+		}
+		ackHandler("accepted", "w/task")(w, r)
+	}))
+	defer srv.Close()
+	setFail := func(v bool) { mu.Lock(); fail = v; mu.Unlock() }
+
+	opts := fastOptions()
+	opts.MaxAttempts = 2
+	c, err := New(srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewStreamSink(context.Background(), c)
+
+	setFail(true)
+	sink.EmitCheckpoint(streamTrace("w/task"), 1)
+	sink.EmitFinal(streamTrace("w/task"))
+	setFail(false)
+	sink.EmitCheckpoint(streamTrace("w/task"), 2)
+
+	first := sink.Err()
+	if first == nil || !strings.Contains(first.Error(), "stream checkpoint w/task@1") {
+		t.Fatalf("Err = %v, want the first (checkpoint) failure", first)
+	}
+	cks, finals, dropped := sink.Stats()
+	if cks != 1 || finals != 0 || dropped != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 1/0/2", cks, finals, dropped)
+	}
+}
+
+// TestPermanentErrorWrapsCause pins that a permanent rejection's
+// detail survives the retry loop's wrapping and unwraps to the cause.
+func TestPermanentErrorWrapsCause(t *testing.T) {
+	cause := fmt.Errorf("status 400: bad trace payload")
+	pe := &permanentError{cause}
+	if pe.Error() != cause.Error() {
+		t.Errorf("Error() = %q, want %q", pe.Error(), cause.Error())
+	}
+	if !errors.Is(pe, cause) {
+		t.Error("permanentError does not unwrap to its cause")
+	}
+}

@@ -1,0 +1,171 @@
+package history
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dayu/internal/trace"
+)
+
+var t0 = time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAppendListGetBlobRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	ftg, sdg := []byte(`{"g":"ftg-1"}`), []byte(`{"g":"sdg-1"}`)
+	m, err := s.Append("snap-1", t0, 7, ftg, sdg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 0 || m.ID != "snap-1" || m.Tasks != 7 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.FTG != trace.HashBytes(ftg) || m.SDG != trace.HashBytes(sdg) {
+		t.Fatal("manifest blob hashes are not the content hashes")
+	}
+	got, ok := s.Get("snap-1")
+	if !ok || got != m {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	body, err := s.Blob(m.FTG)
+	if err != nil || string(body) != string(ftg) {
+		t.Fatalf("Blob(ftg) = %q, %v", body, err)
+	}
+	body, err = s.Blob(m.SDG)
+	if err != nil || string(body) != string(sdg) {
+		t.Fatalf("Blob(sdg) = %q, %v", body, err)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get of unknown ID succeeded")
+	}
+}
+
+func TestAppendDedupsByID(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	m1, err := s.Append("snap-1", t0, 1, []byte("a"), []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Append("snap-1", t0.Add(time.Hour), 99, []byte("x"), []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m1 {
+		t.Fatalf("re-append changed the manifest: %+v vs %+v", m2, m1)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate append, want 1", s.Len())
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Append(fmt.Sprintf("snap-%d", i), t0.Add(time.Duration(i)*time.Minute), i, []byte{byte(i)}, []byte{byte(i + 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := s.List()
+	if len(list) != 3 || list[0].ID != "snap-2" || list[2].ID != "snap-0" {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestRetentionCompactionAndBlobGC(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{Retain: 2})
+	shared := []byte("shared-ftg") // same FTG across all snapshots
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(fmt.Sprintf("snap-%d", i), t0, i, shared, []byte(fmt.Sprintf("sdg-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d with Retain=2, want 2", s.Len())
+	}
+	list := s.List()
+	if list[0].ID != "snap-3" || list[1].ID != "snap-2" {
+		t.Fatalf("survivors = %+v, want the newest two", list)
+	}
+	// The shared blob survives (still referenced); dropped snapshots'
+	// unique SDG blobs are gone.
+	if _, err := s.Blob(trace.HashBytes(shared)); err != nil {
+		t.Fatalf("shared blob GCed while referenced: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Blob(trace.HashBytes([]byte(fmt.Sprintf("sdg-%d", i)))); !os.IsNotExist(err) {
+			t.Errorf("dropped snapshot %d's blob still present (err=%v)", i, err)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, err := s.Blob(trace.HashBytes([]byte(fmt.Sprintf("sdg-%d", i)))); err != nil {
+			t.Errorf("surviving snapshot %d's blob missing: %v", i, err)
+		}
+	}
+}
+
+func TestReopenRestoresStateAndSequence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, err := s.Append("snap-0", t0, 1, []byte("f0"), []byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append("snap-1", t0, 2, []byte("f1"), []byte("s1")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", s2.Len())
+	}
+	m, ok := s2.Get("snap-1")
+	if !ok || m.Seq != 1 || m.Tasks != 2 {
+		t.Fatalf("reopened Get(snap-1) = %+v, %v", m, ok)
+	}
+	if body, err := s2.Blob(m.FTG); err != nil || string(body) != "f1" {
+		t.Fatalf("reopened Blob = %q, %v", body, err)
+	}
+	// Sequence numbering continues past the recovered tail.
+	m3, err := s2.Append("snap-2", t0, 3, []byte("f2"), []byte("s2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Seq != 2 {
+		t.Fatalf("post-reopen Seq = %d, want 2", m3.Seq)
+	}
+}
+
+func TestOpenFailsOnBrokenManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if _, err := s.Append("snap-0", t0, 1, []byte("f"), []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "manifests", fmt.Sprintf("%016x.json", 0))
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open over a broken manifest succeeded; a listing that skips snapshots is a lie")
+	}
+}
+
+func TestBlobRejectsNonHexHashes(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, bad := range []string{"", "../../etc/passwd", "ABCDEF", "zz", "a/b"} {
+		if _, err := s.Blob(bad); err == nil {
+			t.Errorf("Blob(%q) accepted a non-hash", bad)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+// The snapshot-history endpoints: /v1/history lists the recorded
+// snapshot manifests (newest first), /v1/history/{id} returns one
+// manifest, and /v1/history/{id}/{ftg,sdg} replays the exact response
+// bodies the server published for that snapshot — the same bytes
+// /v1/{ftg,sdg} answered while it was current, straight from the
+// content-addressed blob store, without refolding a single trace.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"dayu/internal/serve/history"
+)
+
+// HistoryList is the /v1/history response body.
+type HistoryList struct {
+	Snapshots []history.Manifest `json:"snapshots"`
+}
+
+func (s *Server) handleHistoryList(w http.ResponseWriter, r *http.Request) {
+	if s.hist == nil {
+		http.Error(w, "history disabled (start serve with -history)", http.StatusNotImplemented)
+		return
+	}
+	body, err := json.MarshalIndent(HistoryList{Snapshots: s.hist.List()}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleHistoryEntry serves /v1/history/{id} (the manifest) and
+// /v1/history/{id}/{ftg,sdg} (the recorded response bodies).
+func (s *Server) handleHistoryEntry(w http.ResponseWriter, r *http.Request) {
+	if s.hist == nil {
+		http.Error(w, "history disabled (start serve with -history)", http.StatusNotImplemented)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/history/")
+	id, which, hasWhich := strings.Cut(rest, "/")
+	if id == "" {
+		http.Error(w, "missing snapshot id", http.StatusBadRequest)
+		return
+	}
+	m, ok := s.hist.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown snapshot %q", id), http.StatusNotFound)
+		return
+	}
+	if !hasWhich || which == "" {
+		body, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Dayu-Snapshot", m.ID)
+		_, _ = w.Write(body)
+		return
+	}
+	var hash string
+	switch which {
+	case "ftg":
+		hash = m.FTG
+	case "sdg":
+		hash = m.SDG
+	default:
+		http.Error(w, fmt.Sprintf("unknown history graph %q (ftg, sdg)", which), http.StatusBadRequest)
+		return
+	}
+	body, err := s.hist.Blob(hash)
+	if err != nil {
+		// A listed manifest whose blob is gone means the store was
+		// mutilated out of band; 500, not 404 — the snapshot exists.
+		if os.IsNotExist(err) {
+			http.Error(w, fmt.Sprintf("snapshot %s blob missing", id), http.StatusInternalServerError)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dayu-Snapshot", m.ID)
+	_, _ = w.Write(body)
+}

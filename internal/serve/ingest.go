@@ -6,13 +6,15 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dayu/internal/analyzer"
+	"dayu/internal/serve/shard"
 	"dayu/internal/trace"
 )
 
-// fileState identifies one on-disk trace file revision. Size and
+// fileState identifies one on-disk file revision. Size and
 // modification time short-circuit the scan (an untouched file is not
 // even re-read); the content hash is the authoritative identity — a
 // rewritten file with identical bytes maps to the same cached work.
@@ -20,15 +22,6 @@ type fileState struct {
 	size    int64
 	modTime time.Time
 	hash    string
-}
-
-// taskEntry is the parsed-trace cache, keyed by file path in the
-// server's scan state. The decoded trace is reused as long as the
-// content hash matches, so touching a file (mtime change, same bytes)
-// re-hashes but never re-parses.
-type taskEntry struct {
-	fileState
-	trace *trace.TaskTrace
 }
 
 // TaskInfo is one row of the /v1/tasks listing.
@@ -43,6 +36,14 @@ type TaskInfo struct {
 	Failed  bool      `json:"failed,omitempty"`
 }
 
+// scanItem is one directory entry routed to a shard worker for the
+// stat/hash/parse pipeline.
+type scanItem struct {
+	path string
+	size int64
+	mod  time.Time
+}
+
 // refresh rescans the trace directory and, when its content changed,
 // builds and atomically publishes a new snapshot. It is the single
 // writer: callers must hold s.ingestMu. Returns the current snapshot
@@ -55,53 +56,48 @@ func (s *Server) refresh() (*snapshot, error) {
 		return nil, fmt.Errorf("serve: scan %s: %w", s.cfg.Dir, err)
 	}
 
-	seen := make(map[string]bool, len(entries))
-	changed := false
+	// Partition the directory listing by owning shard worker, then fan
+	// the stat/hash/parse work out with one goroutine per worker: each
+	// worker touches only its own cache slice, so no locking is needed
+	// beyond the ingestMu the caller already holds.
+	n := s.coord.Shards()
+	byShard := make([][]scanItem, n)
+	seenByShard := make([]map[string]bool, n)
+	for k := range seenByShard {
+		seenByShard[k] = map[string]bool{}
+	}
 	for _, e := range entries {
 		if e.IsDir() || !trace.IsTraceFile(e.Name()) {
 			continue
 		}
 		path := filepath.Join(s.cfg.Dir, e.Name())
-		seen[path] = true
 		info, err := e.Info()
 		if err != nil {
 			s.ingestErrors.Inc()
 			return nil, fmt.Errorf("serve: stat %s: %w", path, err)
 		}
-		prev, ok := s.files[path]
-		if ok && prev.size == info.Size() && prev.modTime.Equal(info.ModTime()) {
-			continue // untouched: not even re-read
-		}
-		// Stat changed (or new file): re-read and re-hash; only a
-		// content change forces a re-parse.
-		if ok {
-			hash, err := trace.HashFile(path)
-			if err != nil {
-				s.ingestErrors.Inc()
-				return nil, err
-			}
-			if hash == prev.hash {
-				prev.size, prev.modTime = info.Size(), info.ModTime()
-				continue
-			}
-		}
-		tt, hash, err := trace.LoadHashed(path)
-		if err != nil {
-			s.ingestErrors.Inc()
-			return nil, err
-		}
-		s.traceParses.Inc()
-		s.files[path] = &taskEntry{
-			fileState: fileState{size: info.Size(), modTime: info.ModTime(), hash: hash},
-			trace:     tt,
-		}
-		changed = true
+		k := s.coord.RouteFile(path)
+		seenByShard[k][path] = true
+		byShard[k] = append(byShard[k], scanItem{path: path, size: info.Size(), mod: info.ModTime()})
 	}
-	for path := range s.files {
-		if !seen[path] {
-			delete(s.files, path)
-			changed = true
+	changedBy := make([]bool, n)
+	errBy := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			changedBy[k], errBy[k] = s.scanShard(s.coord.Worker(k), byShard[k], seenByShard[k])
+		}(k)
+	}
+	wg.Wait()
+	changed := false
+	for k := 0; k < n; k++ {
+		if errBy[k] != nil {
+			s.ingestErrors.Inc()
+			return nil, errBy[k]
 		}
+		changed = changed || changedBy[k]
 	}
 	if err := s.refreshManifest(&changed); err != nil {
 		s.ingestErrors.Inc()
@@ -123,12 +119,54 @@ func (s *Server) refresh() (*snapshot, error) {
 	}
 	s.snapshotMisses.Inc()
 
-	next := s.buildSnapshot()
+	next, err := s.buildSnapshot()
+	if err != nil {
+		s.ingestErrors.Inc()
+		return nil, err
+	}
 	s.snap.Store(next)
 	s.ingests.Inc()
 	s.ingestNS.Observe(time.Since(start).Nanoseconds())
 	s.snapshotTasks.Set(int64(len(next.traces)))
+	s.recordHistory(next)
 	return next, nil
+}
+
+// scanShard runs one worker's slice of the directory scan: the stat
+// short-circuit, the hash check for touched-but-equal files, parsing
+// what actually changed, and sweeping deletions. It reports whether
+// the worker's cache changed.
+func (s *Server) scanShard(w *shard.Worker, items []scanItem, seen map[string]bool) (bool, error) {
+	changed := false
+	for _, it := range items {
+		prev, ok := w.File(it.path)
+		if ok && prev.Size == it.size && prev.ModTime.Equal(it.mod) {
+			continue // untouched: not even re-read
+		}
+		// Stat changed (or new file): re-read and re-hash; only a
+		// content change forces a re-parse.
+		if ok {
+			hash, err := trace.HashFile(it.path)
+			if err != nil {
+				return changed, err
+			}
+			if hash == prev.Hash {
+				w.TouchFile(it.path, it.size, it.mod)
+				continue
+			}
+		}
+		tt, hash, err := trace.LoadHashed(it.path)
+		if err != nil {
+			return changed, err
+		}
+		s.traceParses.Inc()
+		w.PutFile(it.path, shard.Entry{Size: it.size, ModTime: it.mod, Hash: hash, Trace: tt})
+		changed = true
+	}
+	if w.SweepFiles(seen) {
+		changed = true
+	}
+	return changed, nil
 }
 
 // refreshManifest reloads dir/manifest.json when its bytes changed.
@@ -169,29 +207,30 @@ func (s *Server) refreshManifest(changed *bool) error {
 
 // buildSnapshot assembles a read-only snapshot from the current scan
 // state: traces sorted exactly as trace.LoadDir sorts them, per-task
-// contributions pulled from the content-addressed caches (computing
-// and caching only the missing ones), and both graphs merged in the
-// deterministic task order the batch builders use.
-func (s *Server) buildSnapshot() *snapshot {
-	paths := make([]string, 0, len(s.files))
-	for path := range s.files {
-		paths = append(paths, path)
-	}
-	sort.Strings(paths) // directory order, as os.ReadDir yields it
+// contributions gathered from the shard workers (each computing and
+// caching only its missing ones) and stitched back into the global
+// task order, and both graphs merged exactly as the batch builders
+// merge them — which is why the shard count can never leak into the
+// output bytes.
+func (s *Server) buildSnapshot() (*snapshot, error) {
+	paths := s.coord.Paths() // sorted: directory order, as os.ReadDir yields it
 
 	traces := make([]*trace.TaskTrace, 0, len(paths))
 	hashByTrace := make(map[*trace.TaskTrace]string, len(paths))
 	infoByTrace := make(map[*trace.TaskTrace]TaskInfo, len(paths))
 	hashes := make(map[string]bool, len(paths))
 	for _, path := range paths {
-		ent := s.files[path]
-		traces = append(traces, ent.trace)
-		hashByTrace[ent.trace] = ent.hash
-		hashes[ent.hash] = true
-		infoByTrace[ent.trace] = TaskInfo{
-			Task: ent.trace.Task, File: path, Size: ent.size, Hash: ent.hash,
-			ModTime: ent.modTime, StartNS: ent.trace.StartNS, EndNS: ent.trace.EndNS,
-			Failed: ent.trace.Failed,
+		ent, ok := s.coord.File(path)
+		if !ok {
+			return nil, fmt.Errorf("serve: shard cache lost %s mid-build", path)
+		}
+		traces = append(traces, ent.Trace)
+		hashByTrace[ent.Trace] = ent.Hash
+		hashes[ent.Hash] = true
+		infoByTrace[ent.Trace] = TaskInfo{
+			Task: ent.Trace.Task, File: path, Size: ent.Size, Hash: ent.Hash,
+			ModTime: ent.ModTime, StartNS: ent.Trace.StartNS, EndNS: ent.Trace.EndNS,
+			Failed: ent.Trace.Failed,
 		}
 	}
 	// LoadDir's final ordering: stable sort by task name over the
@@ -222,11 +261,12 @@ func (s *Server) buildSnapshot() *snapshot {
 	s.partialMu.Unlock()
 	sort.Strings(partialLines)
 
-	usedFTG := map[string]bool{}
-	usedSDG := map[string]bool{}
 	ordered := analyzer.OrderTasks(traces, s.manifest)
 	descs := analyzer.BuildObjectDescs(ordered)
-	ftgContribs, sdgContribs := s.contributions(ordered, descs, hashByTrace, usedFTG, usedSDG)
+	ftgContribs, sdgContribs, err := s.contributions(ordered, descs, hashByTrace)
+	if err != nil {
+		return nil, err
+	}
 
 	infos := make([]TaskInfo, 0, len(traces))
 	for _, tt := range traces {
@@ -253,7 +293,10 @@ func (s *Server) buildSnapshot() *snapshot {
 		sort.SliceStable(live, func(i, j int) bool { return live[i].Task < live[j].Task })
 		liveOrdered := analyzer.OrderTasks(live, s.manifest)
 		liveDescs := analyzer.BuildObjectDescs(liveOrdered)
-		lf, ls := s.contributions(liveOrdered, liveDescs, hashByTrace, usedFTG, usedSDG)
+		lf, ls, err := s.contributions(liveOrdered, liveDescs, hashByTrace)
+		if err != nil {
+			return nil, err
+		}
 		snap.liveTraces = live
 		snap.liveFTG = analyzer.BuildFTGFromContributions(lf)
 		snap.liveSDG = analyzer.BuildSDGFromContributions(ls)
@@ -263,51 +306,59 @@ func (s *Server) buildSnapshot() *snapshot {
 	// used: earlier revisions of changed traces, superseded checkpoint
 	// records and stale description-fingerprint variants are
 	// unreachable once the snapshot swaps.
-	for hash := range s.ftgCache {
-		if !usedFTG[hash] {
-			delete(s.ftgCache, hash)
-		}
-	}
-	for key := range s.sdgCache {
-		if !usedSDG[key] {
-			delete(s.sdgCache, key)
-		}
-	}
-	return snap
+	s.coord.Prune()
+	return snap, nil
 }
 
-// contributions assembles per-task FTG and SDG contributions for one
-// ordered trace set, pulling from (and filling) the content-addressed
-// caches; every key touched is recorded in usedFTG/usedSDG so the
-// caller can prune the caches to the snapshot's working set.
-func (s *Server) contributions(ordered []*trace.TaskTrace, descs analyzer.ObjectDescs, hashByTrace map[*trace.TaskTrace]string, usedFTG, usedSDG map[string]bool) ([]analyzer.Contribution, []analyzer.Contribution) {
-	ftgContribs := make([]analyzer.Contribution, len(ordered))
-	sdgContribs := make([]analyzer.Contribution, len(ordered))
+// contributions fans one ordered trace set out to the shard workers
+// (each serving its slice from cache or computing the misses) and
+// stitches the per-shard sets back into the global task order. A
+// stitch error means the partition invariant broke — it surfaces as an
+// ingest error rather than publishing a graph with a hole.
+func (s *Server) contributions(ordered []*trace.TaskTrace, descs analyzer.ObjectDescs, hashByTrace map[*trace.TaskTrace]string) ([]analyzer.Contribution, []analyzer.Contribution, error) {
+	tasks := make([]shard.Task, len(ordered))
 	for i, tt := range ordered {
-		hash := hashByTrace[tt]
-		usedFTG[hash] = true
-		if c, ok := s.ftgCache[hash]; ok {
-			s.contribHits.Inc()
-			ftgContribs[i] = c
-		} else {
-			s.contribMisses.Inc()
-			c = analyzer.FTGContribution(tt)
-			s.ftgCache[hash] = c
-			ftgContribs[i] = c
-		}
-		sdgKey := hash + ":" + descs.Fingerprint(tt)
-		usedSDG[sdgKey] = true
-		if c, ok := s.sdgCache[sdgKey]; ok {
-			s.contribHits.Inc()
-			sdgContribs[i] = c
-		} else {
-			s.contribMisses.Inc()
-			c = analyzer.SDGContribution(tt, descs, s.cfg.SDGOptions)
-			s.sdgCache[sdgKey] = c
-			sdgContribs[i] = c
-		}
+		tasks[i] = shard.Task{Pos: i, Trace: tt, Hash: hashByTrace[tt]}
 	}
-	return ftgContribs, sdgContribs
+	sets := s.coord.Gather(
+		shard.Request{Tasks: tasks, Descs: descs, Opts: s.cfg.SDGOptions},
+		shard.Metrics{Hit: s.contribHits.Inc, Miss: s.contribMisses.Inc},
+	)
+	return shard.Stitch(len(ordered), sets)
+}
+
+// recordHistory appends a converged snapshot (no live partials — a
+// half-streamed state is not a state worth replaying) to the history
+// store, seeding the snapshot's render cache with the recorded bodies
+// so history replay and live responses share bytes by construction.
+// History failures degrade /healthz; they never block serving.
+func (s *Server) recordHistory(snap *snapshot) {
+	if s.hist == nil || snap.partialTasks > 0 {
+		return
+	}
+	ftgBody, err := renderGraph(snap.ftg, "json")
+	if err != nil {
+		s.histErr.Store(&ingestError{err: fmt.Errorf("serve: history render ftg: %w", err), when: time.Now()})
+		return
+	}
+	sdgBody, err := renderGraph(snap.sdg, "json")
+	if err != nil {
+		s.histErr.Store(&ingestError{err: fmt.Errorf("serve: history render sdg: %w", err), when: time.Now()})
+		return
+	}
+	snap.mu.Lock()
+	if _, ok := snap.rendered["ftg.json"]; !ok {
+		snap.rendered["ftg.json"] = ftgBody
+	}
+	if _, ok := snap.rendered["sdg.json"]; !ok {
+		snap.rendered["sdg.json"] = sdgBody
+	}
+	snap.mu.Unlock()
+	if _, err := s.hist.Append(snap.id, time.Now().UTC(), len(snap.tasks), ftgBody, sdgBody); err != nil {
+		s.histErr.Store(&ingestError{err: err, when: time.Now()})
+		return
+	}
+	s.histErr.Store(nil)
 }
 
 // snapshotID is the content address of the whole served state: the
@@ -318,10 +369,11 @@ func (s *Server) snapshotID(paths []string, partialLines []string) string {
 	b.WriteString("manifest:")
 	b.WriteString(s.manifestState.hash)
 	for _, path := range paths {
+		ent, _ := s.coord.File(path)
 		b.WriteString("\n")
 		b.WriteString(filepath.Base(path))
 		b.WriteString("=")
-		b.WriteString(s.files[path].hash)
+		b.WriteString(ent.Hash)
 	}
 	for _, line := range partialLines {
 		b.WriteString("\n")

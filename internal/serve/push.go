@@ -59,7 +59,7 @@ type PushResponse struct {
 
 // handleIngest is POST /v1/ingest.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	if s.wal == nil {
+	if !s.pushEnabled() {
 		http.Error(w, "push ingest disabled (start serve with a WAL directory)", http.StatusNotImplemented)
 		return
 	}
@@ -90,6 +90,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := trace.HashBytes(data)
+	// Route by task name: one task's checkpoints and final always land
+	// in the same shard's WAL and fold sequentially in its folder.
+	sh := s.walFor(tt.Task)
 
 	for {
 		s.pushMu.Lock()
@@ -121,7 +124,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	select {
-	case s.sem <- struct{}{}:
+	case sh.sem <- struct{}{}:
 	default:
 		s.pushMu.Unlock()
 		s.pushRejected.Inc()
@@ -143,8 +146,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	defer s.pushWG.Done()
 
 	appendStart := time.Now()
-	seq, err := s.wal.Append(data)
-	s.walAppendNS.Observe(time.Since(appendStart).Nanoseconds())
+	seq, err := sh.wal.Append(data)
+	elapsed := time.Since(appendStart).Nanoseconds()
+	s.walAppendNS.Observe(elapsed)
+	sh.appendNS.Observe(elapsed)
 	s.pushMu.Lock()
 	if err == nil {
 		s.acked[hash] = true
@@ -153,16 +158,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	close(inflight)
 	s.pushMu.Unlock()
 	if err != nil {
-		<-s.sem
+		<-sh.sem
 		s.pushErrors.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.pushAccepted.Inc()
 	s.updateWALGauges()
-	// Guaranteed not to block: foldQ has at least one slot per
-	// admission slot, and the folder frees the queue slot first.
-	s.foldQ <- foldJob{seq: seq, hash: hash, data: data, admitted: true}
+	// Guaranteed not to block: the shard's foldQ has at least one slot
+	// per admission slot, and its folder frees the queue slot first.
+	sh.foldQ <- foldJob{seq: seq, hash: hash, data: data, admitted: true}
 	s.writePushResponse(w, PushResponse{Status: "accepted", Task: tt.Task, Hash: hash, Seq: seq})
 }
 
@@ -193,7 +198,7 @@ func (s *Server) writePushResponse(w http.ResponseWriter, resp PushResponse) {
 // watched directory's manifest.json (atomic rename, so a crash after
 // the 200 cannot tear it).
 func (s *Server) handleIngestManifest(w http.ResponseWriter, r *http.Request) {
-	if s.wal == nil {
+	if !s.pushEnabled() {
 		http.Error(w, "push ingest disabled (start serve with a WAL directory)", http.StatusNotImplemented)
 		return
 	}
@@ -226,21 +231,24 @@ func (s *Server) handleIngestManifest(w http.ResponseWriter, r *http.Request) {
 	s.writePushResponse(w, PushResponse{Status: "accepted", Hash: trace.HashBytes(data)})
 }
 
-// folder is the single goroutine draining acknowledged records into
-// the trace directory. It exits when foldQ closes (graceful shutdown
-// drains everything already acknowledged).
-func (s *Server) folder() {
-	defer close(s.foldDone)
-	for job := range s.foldQ {
+// folder is one shard's goroutine draining its acknowledged records
+// into the trace directory. It exits when the shard's foldQ closes
+// (graceful shutdown drains everything already acknowledged). Folding
+// is safe to run concurrently across shards: each write is an atomic
+// rename, tasks route to exactly one shard, and the rescan is
+// serialized by ingestMu.
+func (s *Server) folder(sh *shardIngest) {
+	defer close(sh.foldDone)
+	for job := range sh.foldQ {
 		if h := s.cfg.foldHook; h != nil {
 			h(job)
 		}
-		s.foldOne(job)
+		s.foldOne(sh, job)
 		if job.admitted {
-			<-s.sem
+			<-sh.sem
 		}
 		s.updateWALGauges()
-		if len(s.foldQ) == 0 {
+		if len(sh.foldQ) == 0 {
 			// Coalesced rescan after a burst: the new files enter the
 			// snapshot without waiting for the poll tick.
 			_, _ = s.Ingest()
@@ -252,13 +260,15 @@ func (s *Server) folder() {
 // be folded transiently (disk full, ...) stays unfolded in the WAL —
 // it is acknowledged data, so it must survive to the next replay
 // rather than being dropped.
-func (s *Server) foldOne(job foldJob) {
+func (s *Server) foldOne(sh *shardIngest, job foldJob) {
 	const attempts = 5
 	delay := 10 * time.Millisecond
+	start := time.Now()
 	for attempt := 1; ; attempt++ {
 		err := s.foldBytes(job.data)
 		if err == nil {
-			s.wal.MarkFolded(job.seq)
+			sh.wal.MarkFolded(job.seq)
+			sh.foldNS.Observe(time.Since(start).Nanoseconds())
 			return
 		}
 		if errors.Is(err, errUnfoldable) {
@@ -270,14 +280,14 @@ func (s *Server) foldOne(job foldJob) {
 			// it forever.
 			s.foldErrors.Inc()
 			s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: fold record %d: %w", job.seq, err), when: time.Now()})
-			if qerr := s.quarantineRecord(job.seq, job.data); qerr != nil {
+			if qerr := s.quarantineRecord(s.quarantinePrefix(sh.idx), job.seq, job.data); qerr != nil {
 				// Could not preserve the bytes: leave the record pending
 				// in the WAL (the next replay retries the quarantine)
 				// rather than dropping acknowledged data.
 				s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: quarantine record %d: %w", job.seq, qerr), when: time.Now()})
 				return
 			}
-			s.wal.MarkFolded(job.seq)
+			sh.wal.MarkFolded(job.seq)
 			return
 		}
 		s.foldErrors.Inc()
@@ -305,15 +315,27 @@ func (s *Server) quarantineDir() string {
 	return filepath.Join(s.cfg.WALDir, "quarantine")
 }
 
+// quarantinePrefix namespaces quarantine file names by WAL shard:
+// every shard numbers its own records from zero, so without the prefix
+// two shards' records with equal sequence numbers would overwrite each
+// other. A single-shard server keeps the historical bare names.
+func (s *Server) quarantinePrefix(shardIdx int) string {
+	if s.coord.Shards() == 1 {
+		return ""
+	}
+	return fmt.Sprintf("shard-%d-", shardIdx)
+}
+
 // quarantineRecord persists an unfoldable record's raw bytes under the
-// quarantine directory, named by WAL sequence number. Idempotent:
-// re-quarantining the same seq rewrites the same file.
-func (s *Server) quarantineRecord(seq uint64, data []byte) error {
+// quarantine directory, named by WAL sequence number (prefixed by its
+// shard namespace when sharded). Idempotent: re-quarantining the same
+// seq rewrites the same file.
+func (s *Server) quarantineRecord(prefix string, seq uint64, data []byte) error {
 	dir := s.quarantineDir()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(dir, fmt.Sprintf("rec-%d.bin", seq)), data)
+	return writeFileAtomic(filepath.Join(dir, fmt.Sprintf("%srec-%d.bin", prefix, seq)), data)
 }
 
 // countQuarantined reports how many records sit in quarantine.
@@ -397,15 +419,27 @@ func writeFileAtomic(path string, data []byte) error {
 	return nil
 }
 
-// updateWALGauges refreshes the WAL/queue gauges from live state.
+// updateWALGauges refreshes the WAL/queue gauges from live state: the
+// global gauges as sums across shards (at one shard, exactly the
+// pre-sharding values) plus each shard's own breakdown.
 func (s *Server) updateWALGauges() {
-	if s.wal == nil {
+	if !s.pushEnabled() {
 		return
 	}
-	stats := s.wal.Stats()
-	s.walPending.Set(int64(stats.Pending))
-	s.walSegments.Set(int64(stats.Segments))
-	s.queueDepth.Set(int64(len(s.sem)))
+	var pending, segments, depth int64
+	for _, sh := range s.shards {
+		stats := sh.wal.Stats()
+		shardDepth := int64(len(sh.sem))
+		sh.walPending.Set(int64(stats.Pending))
+		sh.walSegments.Set(int64(stats.Segments))
+		sh.queueDepth.Set(shardDepth)
+		pending += int64(stats.Pending)
+		segments += int64(stats.Segments)
+		depth += shardDepth
+	}
+	s.walPending.Set(pending)
+	s.walSegments.Set(segments)
+	s.queueDepth.Set(depth)
 	s.partialMu.Lock()
 	partials := len(s.partials)
 	s.partialMu.Unlock()

@@ -115,9 +115,9 @@ func waitTasks(t *testing.T, s *Server, n int) {
 func waitWALDrained(t *testing.T, s *Server) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
-	for s.wal.Stats().Pending != 0 {
+	for s.walStats().Pending != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("WAL never drained: %+v", s.wal.Stats())
+			t.Fatalf("WAL never drained: %+v", s.walStats())
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -257,7 +257,7 @@ func TestPushIngestBadRequests(t *testing.T) {
 	}
 
 	// Nothing above may have landed anything.
-	if stats := env.s.wal.Stats(); stats.NextSeq != 0 {
+	if stats := env.s.walStats(); stats.NextSeq != 0 {
 		t.Errorf("bad requests appended %d records", stats.NextSeq)
 	}
 }
@@ -325,7 +325,7 @@ func TestPushBackpressure(t *testing.T) {
 	if err != nil || secs != 3 {
 		t.Fatalf("Retry-After = %q, want 3", hdr.Get("Retry-After"))
 	}
-	if stats := env.s.wal.Stats(); stats.NextSeq != 2 {
+	if stats := env.s.walStats(); stats.NextSeq != 2 {
 		t.Fatalf("rejected push appended: next seq %d, want 2", stats.NextSeq)
 	}
 
@@ -445,7 +445,7 @@ func TestPushConcurrentIdenticalPayloads(t *testing.T) {
 	if accepted != 1 || duplicates != n-1 {
 		t.Fatalf("accepted=%d duplicates=%d, want 1 and %d", accepted, duplicates, n-1)
 	}
-	if stats := env.s.wal.Stats(); stats.NextSeq != 1 {
+	if stats := env.s.walStats(); stats.NextSeq != 1 {
 		t.Fatalf("identical payloads appended %d WAL records, want 1", stats.NextSeq)
 	}
 	waitTasks(t, env.s, 1)

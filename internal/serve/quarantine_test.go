@@ -51,7 +51,7 @@ func TestUnfoldableRecordQuarantinedAcrossRestarts(t *testing.T) {
 	if !bytes.Equal(got, poison) {
 		t.Fatalf("quarantined bytes diverged: %q", got)
 	}
-	if p := s.wal.Stats().Pending; p != 0 {
+	if p := s.walStats().Pending; p != 0 {
 		t.Fatalf("pending = %d after quarantine, want 0", p)
 	}
 	snap, err := s.Ingest()

@@ -38,6 +38,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,8 @@ import (
 	"dayu/internal/graph"
 	"dayu/internal/obs"
 	"dayu/internal/optimizer"
+	"dayu/internal/serve/history"
+	"dayu/internal/serve/shard"
 	"dayu/internal/trace"
 )
 
@@ -87,7 +90,24 @@ type Config struct {
 	// (default 1s).
 	RetryAfter time.Duration
 
-	// foldHook, when set (tests only), runs in the folder goroutine
+	// Shards partitions the parsed-trace and contribution caches (and,
+	// with WALDir set, the push-ingest WAL and fold pipeline) across N
+	// workers routed by FNV-1a hash; <= 1 means a single worker, which
+	// behaves exactly as the unsharded server always did. The shard
+	// count can never leak into response bytes: per-shard contribution
+	// sets are stitched back into the global task order before the
+	// graphs build.
+	Shards int
+
+	// HistoryDir enables the persistent snapshot-history store: every
+	// converged snapshot's manifest and rendered /v1/{ftg,sdg} bodies
+	// are recorded there (content-addressed, compacted by retention)
+	// and served back via /v1/history. Empty disables history.
+	HistoryDir string
+	// HistoryRetain caps retained history snapshots (default 64).
+	HistoryRetain int
+
+	// foldHook, when set (tests only), runs in the folder goroutines
 	// before each record folds — used to hold the queue full.
 	foldHook func(foldJob)
 }
@@ -119,6 +139,24 @@ type snapshot struct {
 	diagDone bool
 }
 
+// shardIngest is one shard's slice of the push-ingest pipeline: its
+// own WAL namespace, admission pool, fold queue and folder goroutine,
+// plus the per-shard observability handles the scale work needs to
+// spot a hot or lagging shard.
+type shardIngest struct {
+	idx      int
+	wal      *WAL
+	sem      chan struct{}
+	foldQ    chan foldJob
+	foldDone chan struct{}
+
+	queueDepth  *obs.Gauge
+	walPending  *obs.Gauge
+	walSegments *obs.Gauge
+	foldNS      *obs.Histogram
+	appendNS    *obs.Histogram
+}
+
 // Server is the incremental analysis service. It implements
 // http.Handler.
 type Server struct {
@@ -126,26 +164,28 @@ type Server struct {
 	mux *http.ServeMux
 
 	// ingestMu serializes directory scans and snapshot builds: the
-	// single-writer half of the snapshot-swap model.
+	// single-writer half of the snapshot-swap model. The sharded scan
+	// and contribution fan-out run inside it (one goroutine per shard
+	// worker), so worker state needs no further locking.
 	ingestMu      sync.Mutex
-	files         map[string]*taskEntry
+	coord         *shard.Coordinator
 	manifest      *trace.Manifest
 	manifestState fileState
 
-	// Content-addressed contribution caches (writer-owned).
-	ftgCache map[string]analyzer.Contribution
-	sdgCache map[string]analyzer.Contribution
+	// hist is the persistent snapshot-history store (nil unless
+	// cfg.HistoryDir is set).
+	hist *history.Store
 
 	snap    atomic.Pointer[snapshot]
 	lastErr atomic.Pointer[ingestError]
+	histErr atomic.Pointer[ingestError]
 
-	// Push-ingest state (nil/unused unless cfg.WALDir is set). sem is
-	// the admission pool: one slot per acknowledged-but-unfolded push;
-	// foldQ carries the records to the single folder goroutine.
-	wal        *WAL
-	sem        chan struct{}
-	foldQ      chan foldJob
-	foldDone   chan struct{}
+	// Push-ingest state (nil/unused unless cfg.WALDir is set). Each
+	// shard owns an admission pool (one slot per
+	// acknowledged-but-unfolded push), a WAL namespace and a folder
+	// goroutine; records route to shards by task name, so one task's
+	// records always fold sequentially in one shard.
+	shards     []*shardIngest
 	pushMu     sync.Mutex
 	pushClosed bool
 	pushWG     sync.WaitGroup
@@ -220,9 +260,7 @@ func NewServer(cfg Config) (*Server, error) {
 	reg := cfg.Registry
 	s := &Server{
 		cfg:      cfg,
-		files:    map[string]*taskEntry{},
-		ftgCache: map[string]analyzer.Contribution{},
-		sdgCache: map[string]analyzer.Contribution{},
+		coord:    shard.NewCoordinator(cfg.Shards),
 		partials: map[string]*partialEntry{},
 
 		requests: func(path string) *obs.Counter {
@@ -272,52 +310,113 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", s.handlePlan))
 	mux.HandleFunc("/v1/ingest", s.instrumentMethods("/v1/ingest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngest))
 	mux.HandleFunc("/v1/ingest/manifest", s.instrumentMethods("/v1/ingest/manifest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngestManifest))
+	mux.HandleFunc("/v1/history", s.instrument("/v1/history", s.handleHistoryList))
+	mux.HandleFunc("/v1/history/", s.instrument("/v1/history/", s.handleHistoryEntry))
 	mux.Handle("/metrics", limitBody(obs.Handler(reg), readOnlyBodyLimit))
 	s.mux = mux
 
+	if cfg.HistoryDir != "" {
+		h, err := history.Open(cfg.HistoryDir, history.Options{Retain: cfg.HistoryRetain})
+		if err != nil {
+			return nil, fmt.Errorf("serve: open history: %w", err)
+		}
+		s.hist = h
+	}
 	if cfg.WALDir != "" {
 		if err := s.openWAL(); err != nil {
 			return nil, err
 		}
 	}
 	s.Ingest() // initial scan; errors surface via healthz/requests
-	if s.wal != nil {
-		go s.folder()
+	for _, sh := range s.shards {
+		go s.folder(sh)
 	}
 	return s, nil
 }
 
-// openWAL opens the write-ahead log and synchronously folds every
-// record recovered from it into the trace directory, so the first
-// snapshot already reflects everything ever acknowledged. Records
-// that fail to fold transiently stay pending in the WAL and fail
-// construction (a durability guarantee the server cannot meet must
-// not be silently weakened).
+// openWAL opens one write-ahead log per shard — under WALDir itself
+// for a single shard (the layout every pre-sharding deployment used),
+// under WALDir/shard-<k>/ otherwise — and synchronously folds every
+// record recovered from them into the trace directory, so the first
+// snapshot already reflects everything ever acknowledged. Namespaces
+// orphaned by a previous run at a different shard count are replayed
+// and retired the same way: acknowledged data survives any -shards
+// change. Records that fail to fold transiently stay pending in their
+// WAL and fail construction (a durability guarantee the server cannot
+// meet must not be silently weakened).
 func (s *Server) openWAL() error {
-	wal, pending, err := OpenWAL(s.cfg.WALDir, s.cfg.WAL)
-	if err != nil {
-		return fmt.Errorf("serve: open wal: %w", err)
-	}
-	s.wal = wal
 	if err := os.MkdirAll(s.partialsDir(), 0o755); err != nil {
-		wal.Close()
 		return fmt.Errorf("serve: create partials dir: %w", err)
 	}
 	// Restore retained checkpoints before WAL replay so replayed
 	// checkpoint records apply newest-wins against them.
 	if err := s.loadPartials(); err != nil {
-		wal.Close()
 		return err
 	}
 	queue := s.cfg.IngestQueue
 	if queue <= 0 {
 		queue = 64
 	}
-	s.sem = make(chan struct{}, queue)
-	s.foldQ = make(chan foldJob, queue)
-	s.foldDone = make(chan struct{})
-	s.acked = make(map[string]bool, len(pending))
+	s.acked = make(map[string]bool)
 	s.pending = make(map[string]chan struct{})
+	n := s.coord.Shards()
+	for k := 0; k < n; k++ {
+		wal, pending, err := OpenWAL(s.shardWALDir(k), s.cfg.WAL)
+		if err != nil {
+			s.closeWALs()
+			return fmt.Errorf("serve: open wal shard %d: %w", k, err)
+		}
+		reg := s.cfg.Registry
+		label := fmt.Sprintf("%d", k)
+		sh := &shardIngest{
+			idx:      k,
+			wal:      wal,
+			sem:      make(chan struct{}, queue),
+			foldQ:    make(chan foldJob, queue),
+			foldDone: make(chan struct{}),
+
+			queueDepth:  reg.Gauge(obs.Name("dayu_serve_shard_queue_depth", "shard", label)),
+			walPending:  reg.Gauge(obs.Name("dayu_serve_shard_wal_pending_records", "shard", label)),
+			walSegments: reg.Gauge(obs.Name("dayu_serve_shard_wal_segments", "shard", label)),
+			foldNS:      reg.Histogram(obs.Name("dayu_serve_shard_fold_ns", "shard", label), obs.LatencyBuckets()),
+			appendNS:    reg.Histogram(obs.Name("dayu_serve_shard_wal_append_ns", "shard", label), obs.LatencyBuckets()),
+		}
+		s.shards = append(s.shards, sh)
+		if err := s.replayPending(wal, pending, s.quarantinePrefix(k)); err != nil {
+			s.closeWALs()
+			return err
+		}
+	}
+	if err := s.replayOrphanWALs(); err != nil {
+		s.closeWALs()
+		return err
+	}
+	s.updateWALGauges()
+	return nil
+}
+
+// shardWALDir is shard k's WAL namespace. A single-shard server keeps
+// the pre-sharding flat layout so existing WAL directories replay
+// unchanged.
+func (s *Server) shardWALDir(k int) string {
+	if s.coord.Shards() == 1 {
+		return s.cfg.WALDir
+	}
+	return filepath.Join(s.cfg.WALDir, fmt.Sprintf("shard-%d", k))
+}
+
+// closeWALs closes every WAL opened so far (construction error path).
+func (s *Server) closeWALs() {
+	for _, sh := range s.shards {
+		sh.wal.Close()
+	}
+	s.shards = nil
+}
+
+// replayPending folds the acknowledged-but-unfolded records one WAL
+// handed back at open, marking each folded (or quarantined under the
+// given namespace prefix) as the original replay always did.
+func (s *Server) replayPending(wal *WAL, pending []PendingRecord, qprefix string) error {
 	for _, rec := range pending {
 		hash := trace.HashBytes(rec.Data)
 		s.acked[hash] = true
@@ -330,20 +429,100 @@ func (s *Server) openWAL() error {
 				// data must not be dropped silently.
 				s.foldErrors.Inc()
 				s.lastErr.Store(&ingestError{err: fmt.Errorf("serve: replay record %d: %w", rec.Seq, err), when: time.Now()})
-				if qerr := s.quarantineRecord(rec.Seq, rec.Data); qerr != nil {
-					wal.Close()
+				if qerr := s.quarantineRecord(qprefix, rec.Seq, rec.Data); qerr != nil {
 					return fmt.Errorf("serve: wal replay: quarantine record %d: %w", rec.Seq, qerr)
 				}
 				wal.MarkFolded(rec.Seq)
 				continue
 			}
-			wal.Close()
 			return fmt.Errorf("serve: wal replay: fold record %d: %w", rec.Seq, err)
 		}
 		wal.MarkFolded(rec.Seq)
 	}
-	s.updateWALGauges()
 	return nil
+}
+
+// replayOrphanWALs drains WAL namespaces a previous run at a different
+// shard count left behind: the flat root log when running sharded, and
+// shard-<k> subdirectories outside the current shard set. Every
+// pending record folds (it is acknowledged data), the namespace
+// compacts to empty, and retired shard directories are removed.
+func (s *Server) replayOrphanWALs() error {
+	n := s.coord.Shards()
+	var orphans []string
+	if n > 1 {
+		// The flat layout is shard 0's namespace only when n == 1.
+		orphans = append(orphans, s.cfg.WALDir)
+	}
+	entries, err := os.ReadDir(s.cfg.WALDir)
+	if err != nil {
+		return fmt.Errorf("serve: scan wal dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var k int
+		if _, err := fmt.Sscanf(e.Name(), "shard-%d", &k); err != nil || fmt.Sprintf("shard-%d", k) != e.Name() {
+			continue
+		}
+		if n > 1 && k < n {
+			continue // live namespace
+		}
+		orphans = append(orphans, filepath.Join(s.cfg.WALDir, e.Name()))
+	}
+	for _, dir := range orphans {
+		wal, pending, err := OpenWAL(dir, s.cfg.WAL)
+		if err != nil {
+			return fmt.Errorf("serve: open orphan wal %s: %w", dir, err)
+		}
+		// Quarantine names keep the prefix the namespace would have used
+		// while live, so re-quarantining after a shard-count change is
+		// still idempotent.
+		qprefix := ""
+		if dir != s.cfg.WALDir {
+			qprefix = filepath.Base(dir) + "-"
+		}
+		if err := s.replayPending(wal, pending, qprefix); err != nil {
+			wal.Close()
+			return err
+		}
+		wal.Close()
+		if dir != s.cfg.WALDir {
+			// Fully drained: retire the namespace. Removal is
+			// best-effort — a leftover empty directory replays as empty
+			// next time.
+			os.Remove(filepath.Join(dir, walCheckpointFile))
+			os.Remove(dir)
+		}
+	}
+	return nil
+}
+
+// walFor routes a task's records to its owning shard. Routing is by
+// task name, so one task's checkpoints and final always fold
+// sequentially in one shard's folder goroutine.
+func (s *Server) walFor(task string) *shardIngest {
+	return s.shards[s.coord.Route(task)]
+}
+
+// pushEnabled reports whether the durable push-ingest path is up.
+func (s *Server) pushEnabled() bool { return len(s.shards) > 0 }
+
+// walStats sums every shard's WAL stats; at one shard these are
+// exactly that WAL's stats, which keeps the pre-sharding observable
+// values (and the tests pinning them) intact.
+func (s *Server) walStats() WALStats {
+	var total WALStats
+	for _, sh := range s.shards {
+		st := sh.wal.Stats()
+		total.Segments += st.Segments
+		total.Pending += st.Pending
+		total.NextSeq += st.NextSeq
+		total.Folded += st.Folded
+		total.ActiveBytes += st.ActiveBytes
+	}
+	return total
 }
 
 // maxBodyBytes is the /v1/ingest request body cap.
@@ -434,15 +613,19 @@ func (s *Server) Close() {
 	if s.watching {
 		<-s.done
 	}
-	if s.wal != nil {
+	if s.pushEnabled() {
 		s.closePush.Do(func() {
 			s.pushMu.Lock()
 			s.pushClosed = true
 			s.pushMu.Unlock()
 			s.pushWG.Wait()
-			close(s.foldQ)
-			<-s.foldDone
-			s.wal.Close()
+			for _, sh := range s.shards {
+				close(sh.foldQ)
+			}
+			for _, sh := range s.shards {
+				<-sh.foldDone
+				sh.wal.Close()
+			}
 		})
 	}
 }
@@ -703,16 +886,20 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 
 // Health is the /healthz response body.
 type Health struct {
-	Status          string      `json:"status"`
-	Snapshot        string      `json:"snapshot,omitempty"`
-	Tasks           int         `json:"tasks"`
-	LastIngestError string      `json:"last_ingest_error,omitempty"`
-	LastErrorAt     time.Time   `json:"last_error_at,omitempty"`
-	WAL             *WALHealth  `json:"wal,omitempty"`
-	Poll            *PollHealth `json:"poll,omitempty"`
+	Status          string         `json:"status"`
+	Snapshot        string         `json:"snapshot,omitempty"`
+	Tasks           int            `json:"tasks"`
+	LastIngestError string         `json:"last_ingest_error,omitempty"`
+	LastErrorAt     time.Time      `json:"last_error_at,omitempty"`
+	WAL             *WALHealth     `json:"wal,omitempty"`
+	Poll            *PollHealth    `json:"poll,omitempty"`
+	History         *HistoryHealth `json:"history,omitempty"`
 }
 
-// WALHealth reports the push-ingest durability state.
+// WALHealth reports the push-ingest durability state. With more than
+// one shard the top-level numbers are aggregates (sums across shards —
+// NextSeq and FoldedSeq then count records appended and folded in
+// total) and Shards carries the per-shard breakdown.
 type WALHealth struct {
 	// PendingRecords counts acknowledged records not yet folded into
 	// trace files (they survive in the WAL).
@@ -730,6 +917,26 @@ type WALHealth struct {
 	// Quarantined counts acknowledged records that could not be folded
 	// and were preserved under WALDir/quarantine for inspection.
 	Quarantined int `json:"quarantined"`
+	// Shards is the per-shard breakdown (only when sharded).
+	Shards []WALShardHealth `json:"shards,omitempty"`
+}
+
+// WALShardHealth is one shard's slice of the push-ingest state.
+type WALShardHealth struct {
+	Shard          int    `json:"shard"`
+	PendingRecords uint64 `json:"pending_records"`
+	QueueDepth     int    `json:"queue_depth"`
+	QueueCapacity  int    `json:"queue_capacity"`
+	Segments       int    `json:"segments"`
+	NextSeq        uint64 `json:"next_seq"`
+	FoldedSeq      uint64 `json:"folded_seq"`
+}
+
+// HistoryHealth reports the snapshot-history store state.
+type HistoryHealth struct {
+	Snapshots   int    `json:"snapshots"`
+	LastError   string `json:"last_error,omitempty"`
+	LastErrorAt string `json:"last_error_at,omitempty"`
 }
 
 // PollHealth reports the background rescan loop's error-backoff state.
@@ -747,21 +954,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Snapshot = snap.id
 		h.Tasks = len(snap.tasks)
 	}
-	if s.wal != nil {
-		stats := s.wal.Stats()
+	if s.pushEnabled() {
 		s.partialMu.Lock()
 		partials := len(s.partials)
 		s.partialMu.Unlock()
-		h.WAL = &WALHealth{
-			PendingRecords: stats.Pending,
-			QueueDepth:     len(s.sem),
-			QueueCapacity:  cap(s.sem),
-			Segments:       stats.Segments,
-			NextSeq:        stats.NextSeq,
-			FoldedSeq:      stats.Folded,
-			PartialTasks:   partials,
-			Quarantined:    s.countQuarantined(),
+		wh := &WALHealth{
+			PartialTasks: partials,
+			Quarantined:  s.countQuarantined(),
 		}
+		for _, sh := range s.shards {
+			stats := sh.wal.Stats()
+			wh.PendingRecords += stats.Pending
+			wh.QueueDepth += len(sh.sem)
+			wh.QueueCapacity += cap(sh.sem)
+			wh.Segments += stats.Segments
+			wh.NextSeq += stats.NextSeq
+			wh.FoldedSeq += stats.Folded
+			if len(s.shards) > 1 {
+				wh.Shards = append(wh.Shards, WALShardHealth{
+					Shard:          sh.idx,
+					PendingRecords: stats.Pending,
+					QueueDepth:     len(sh.sem),
+					QueueCapacity:  cap(sh.sem),
+					Segments:       stats.Segments,
+					NextSeq:        stats.NextSeq,
+					FoldedSeq:      stats.Folded,
+				})
+			}
+		}
+		h.WAL = wh
+	}
+	if s.hist != nil {
+		hh := &HistoryHealth{Snapshots: s.hist.Len()}
+		if he := s.histErr.Load(); he != nil {
+			hh.LastError = he.err.Error()
+			hh.LastErrorAt = he.when.UTC().Format(time.RFC3339Nano)
+		}
+		h.History = hh
 	}
 	if s.cfg.Poll > 0 {
 		h.Poll = &PollHealth{

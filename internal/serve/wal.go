@@ -218,7 +218,7 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, []PendingRecord, error) {
 	if opts.Fsync == FsyncInterval {
 		w.stopSync = make(chan struct{})
 		w.syncDone = make(chan struct{})
-		go w.syncLoop()
+		go w.syncLoop(w.stopSync)
 	}
 	return w, pending, nil
 }
@@ -455,14 +455,17 @@ func (w *WAL) Sync() error {
 	return w.active.Sync()
 }
 
-// syncLoop is the FsyncInterval background flusher.
-func (w *WAL) syncLoop() {
+// syncLoop is the FsyncInterval background flusher. The stop channel
+// is passed in rather than read from the struct: Close may run before
+// this goroutine is ever scheduled, and a field read here could then
+// observe a post-Close value and select on the wrong channel forever.
+func (w *WAL) syncLoop(stop <-chan struct{}) {
 	defer close(w.syncDone)
 	ticker := time.NewTicker(w.opts.FsyncInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-w.stopSync:
+		case <-stop:
 			return
 		case <-ticker.C:
 			_ = w.Sync()
@@ -497,7 +500,6 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	stop := w.stopSync
-	w.stopSync = nil
 	w.mu.Unlock()
 	if stop != nil {
 		close(stop)

@@ -6,9 +6,35 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dayu/internal/trace"
 )
+
+// TestWALCloseImmediatelyAfterOpenInterval pins the open-then-close
+// deadlock: with FsyncInterval, Close used to nil the stop channel the
+// sync loop read from the struct — if the loop goroutine had not been
+// scheduled yet (exactly what orphan-WAL replay does at startup), it
+// selected on a nil channel forever and Close hung on syncDone.
+func TestWALCloseImmediatelyAfterOpenInterval(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 50; i++ {
+		w, _, err := OpenWAL(dir, WALOptions{Fsync: FsyncInterval, FsyncInterval: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- w.Close() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close deadlocked waiting for the sync loop")
+		}
+	}
+}
 
 func openTestWAL(t *testing.T, dir string, opts WALOptions) (*WAL, []PendingRecord) {
 	t.Helper()
