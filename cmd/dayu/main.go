@@ -3,13 +3,17 @@
 // Subcommands:
 //
 //	dayu run -workflow <pyflextrkr|ddmd|arldm> [-machine m] [-nodes n] -traces dir
-//	        [-stream url] [-checkpoint-ops n]
+//	        [-stream url] [-checkpoint-ops n] [-delta]
 //	    Execute a workload replica on the simulated cluster, saving
 //	    per-task traces and the workflow manifest. With -stream, each
 //	    task additionally streams cumulative checkpoint records (every
 //	    -checkpoint-ops file operations) and its completed trace to a
 //	    running dayu serve instance's durable ingest, feeding the
 //	    /v1/live/* endpoints while the workflow is still executing.
+//	    -delta frames each checkpoint as a delta against the last
+//	    acknowledged one, cutting pushed bytes for long tasks; the
+//	    server reassembles cumulative state and NACK-resyncs after
+//	    restarts, so the live view is byte-identical either way.
 //
 //	dayu analyze -traces dir [-out dir] [-sdg] [-regions] [-page n]
 //	             [-by-stage] [-collapse n]
@@ -71,11 +75,16 @@
 //	    acknowledged as duplicates.
 //
 //	dayu watch -server http://host:8080 [-interval d] [-once] [-horizon d]
-//	    Follow a serve instance from the terminal: poll /healthz and
-//	    /v1/live/diagnostics, printing stream progress (complete vs
-//	    in-flight tasks, WAL state) and any anti-pattern findings as
-//	    they appear. -horizon restricts diagnostics to the trailing
-//	    window; -once prints a single observation for scripts.
+//	           [-sse=false]
+//	    Follow a serve instance from the terminal: subscribe to the
+//	    /v1/live/events stream (one pushed event per snapshot change,
+//	    resumed with Last-Event-ID across reconnects) and print stream
+//	    progress (complete vs in-flight tasks, WAL state) plus any
+//	    anti-pattern findings as they appear. Servers without the
+//	    stream — or -sse=false — fall back to polling /healthz and
+//	    /v1/live/diagnostics every -interval. -horizon restricts
+//	    diagnostics to the trailing window (must be non-negative);
+//	    -once prints a single observation for scripts.
 //
 //	dayu convert -traces dir -o dir [-format dtb|json]
 //	    Rewrite a trace directory in the requested serialization
@@ -85,8 +94,10 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -95,6 +106,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -206,6 +219,7 @@ func cmdRun(args []string) error {
 	stream := fs.String("stream", "", "dayu serve base URL to stream live checkpoints and traces to")
 	checkpointOps := fs.Int64("checkpoint-ops", 64, "file operations between streamed checkpoints (with -stream)")
 	streamAttempts := fs.Int("stream-attempts", 8, "delivery attempts per streamed record (with -stream)")
+	delta := fs.Bool("delta", false, "frame streamed checkpoints as deltas against the last acknowledged one (with -stream)")
 	fs.Parse(args)
 
 	tf, err := trace.ParseFormat(*format)
@@ -228,7 +242,7 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
-		sink = client.NewStreamSink(context.Background(), streamClient)
+		sink = client.NewStreamSinkOpts(context.Background(), streamClient, client.StreamOptions{Delta: *delta})
 		tcfg.Sink = sink
 		tcfg.CheckpointOps = *checkpointOps
 	}
@@ -266,6 +280,10 @@ func cmdRun(args []string) error {
 		fmt.Printf("streamed to %s: %d checkpoints, %d finals", *stream, checkpoints, finals)
 		if dropped > 0 {
 			fmt.Printf(", %d dropped", dropped)
+		}
+		if *delta {
+			deltas, resyncs, pushed := sink.DeltaStats()
+			fmt.Printf(" (%d deltas, %d resyncs, %s pushed)", deltas, resyncs, units.Bytes(pushed))
 		}
 		fmt.Println()
 		if err := sink.Err(); err != nil {
@@ -674,7 +692,15 @@ func cmdServe(args []string) error {
 
 	var handler http.Handler = s
 	if *reqTimeout > 0 {
-		handler = http.TimeoutHandler(s, *reqTimeout, "request timed out\n")
+		// TimeoutHandler buffers the whole response, which would turn the
+		// SSE stream into a 30s-delayed timeout error; route the events
+		// endpoint straight to the server (it manages its own lifetime
+		// via heartbeats and connection deadlines).
+		timed := http.TimeoutHandler(s, *reqTimeout, "request timed out\n")
+		mux := http.NewServeMux()
+		mux.Handle("/v1/live/events", s)
+		mux.Handle("/", timed)
+		handler = mux
 	}
 	srv := &http.Server{
 		Handler:           handler,
@@ -736,24 +762,170 @@ type watchFinding struct {
 	Detail   string `json:"detail"`
 }
 
+// watchPrinter renders observations for dayu watch, deduplicating the
+// findings list by snapshot id so both transports (SSE, polling) print
+// identically.
+type watchPrinter struct {
+	lastSnapshot string
+}
+
+func (p *watchPrinter) print(status, snapshot string, partial, complete string, findings []watchFinding, wal *serve.WALHealth) {
+	line := fmt.Sprintf("%s %s: %s complete, %s in flight, %d findings",
+		time.Now().Format("15:04:05"), status, complete, partial, len(findings))
+	if wal != nil {
+		line += fmt.Sprintf(" | wal: %d pending, %d quarantined",
+			wal.PendingRecords, wal.Quarantined)
+	}
+	fmt.Println(line)
+	if snapshot != p.lastSnapshot {
+		// Only re-print the findings when the served state changed.
+		for _, f := range findings {
+			loc := f.Task
+			if f.File != "" {
+				loc += " " + f.File
+			}
+			if f.Object != "" {
+				loc += " " + f.Object
+			}
+			fmt.Printf("  [%s] %s %s: %s\n", f.Severity, f.Kind, loc, f.Detail)
+		}
+		p.lastSnapshot = snapshot
+	}
+}
+
+// watchEvent mirrors the /v1/live/events data payload.
+type watchEvent struct {
+	Snapshot      string         `json:"snapshot"`
+	PartialTasks  int            `json:"partial_tasks"`
+	CompleteTasks int            `json:"complete_tasks"`
+	Findings      []watchFinding `json:"findings"`
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id, event string
+	data      string
+}
+
+// readSSEEvent parses the next event off an SSE stream, skipping
+// comment lines (heartbeats). Multi-line data fields are rejoined with
+// \n, which reassembles the server's payload byte-identically.
+func readSSEEvent(rd *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	var data []string
+	haveData := false
+	for {
+		raw, err := rd.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line := strings.TrimRight(raw, "\r\n")
+		switch {
+		case line == "":
+			if ev.id != "" || ev.event != "" || haveData {
+				ev.data = strings.Join(data, "\n")
+				return ev, nil
+			}
+		case strings.HasPrefix(line, ":"): // comment (heartbeat)
+		case strings.HasPrefix(line, "id: "):
+			ev.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			ev.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: "))
+			haveData = true
+		}
+	}
+}
+
+// errSSEUnsupported marks a server without /v1/live/events (or a proxy
+// that breaks streaming); watch falls back to polling.
+var errSSEUnsupported = errors.New("server does not support /v1/live/events")
+
+// watchSSE follows the event stream until ctx ends or the connection
+// drops; it returns the Last-Event-ID to resume from. A nil error with
+// done=true means -once was satisfied.
+func watchSSE(ctx context.Context, server, query, lastID string, once bool, p *watchPrinter) (string, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, server+"/v1/live/events"+query, nil)
+	if err != nil {
+		return lastID, false, err
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	// No client timeout: the stream is long-lived and heartbeats keep
+	// it distinguishable from a dead peer.
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return lastID, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusNotImplemented {
+		return lastID, false, errSSEUnsupported
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return lastID, false, fmt.Errorf("%s/v1/live/events: status %d: %s", server, resp.StatusCode, string(body))
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return lastID, false, errSSEUnsupported
+	}
+	rd := bufio.NewReader(resp.Body)
+	for {
+		ev, err := readSSEEvent(rd)
+		if err != nil {
+			return lastID, false, err
+		}
+		switch ev.event {
+		case "lagged":
+			fmt.Fprintln(os.Stderr, "dayu watch: lagging behind the event stream (intermediate states skipped)")
+		case "snapshot":
+			if ev.id != "" {
+				lastID = ev.id
+			}
+			var we watchEvent
+			if err := json.Unmarshal([]byte(ev.data), &we); err != nil {
+				return lastID, false, fmt.Errorf("decode event: %w", err)
+			}
+			var health serve.Health
+			status := "?"
+			if err := getJSON(&http.Client{Timeout: 10 * time.Second}, server+"/healthz", &health); err == nil {
+				status = health.Status
+			}
+			p.print(status, we.Snapshot, strconv.Itoa(we.PartialTasks), strconv.Itoa(we.CompleteTasks), we.Findings, health.WAL)
+			if once {
+				return lastID, true, nil
+			}
+		}
+	}
+}
+
 func cmdWatch(args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	server := fs.String("server", "http://127.0.0.1:8080", "dayu serve base URL")
-	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval (and SSE reconnect delay)")
 	once := fs.Bool("once", false, "print one observation and exit")
 	horizon := fs.Duration("horizon", 0, "restrict diagnostics to the trailing horizon (0 = whole run)")
+	sse := fs.Bool("sse", true, "follow /v1/live/events (server push); -sse=false forces polling")
 	fs.Parse(args)
 
-	hc := &http.Client{Timeout: 30 * time.Second}
-	diagURL := *server + "/v1/live/diagnostics"
-	if *horizon > 0 {
-		diagURL += "?horizon=" + horizon.String()
+	if *horizon < 0 {
+		// Mirror the server's 400: a negative horizon is a mistake, not
+		// "whole run" — silently ignoring it hid typos like -horizon -5s.
+		return fmt.Errorf("watch: -horizon must be non-negative (got %s)", *horizon)
 	}
+	query := ""
+	if *horizon > 0 {
+		query = "?horizon=" + horizon.String()
+	}
+
+	hc := &http.Client{Timeout: 30 * time.Second}
+	diagURL := *server + "/v1/live/diagnostics" + query
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var lastSnapshot string
+	printer := &watchPrinter{}
 	observe := func() error {
 		var health serve.Health
 		if err := getJSON(hc, *server+"/healthz", &health); err != nil {
@@ -776,32 +948,36 @@ func cmdWatch(args []string) error {
 		if err := json.NewDecoder(resp.Body).Decode(&findings); err != nil {
 			return fmt.Errorf("decode diagnostics: %w", err)
 		}
-		snapshot := resp.Header.Get("X-Dayu-Snapshot")
-		partial := resp.Header.Get("X-Dayu-Partial-Tasks")
-		complete := resp.Header.Get("X-Dayu-Complete-Tasks")
-
-		line := fmt.Sprintf("%s %s: %s complete, %s in flight, %d findings",
-			time.Now().Format("15:04:05"), health.Status, complete, partial, len(findings))
-		if health.WAL != nil {
-			line += fmt.Sprintf(" | wal: %d pending, %d quarantined",
-				health.WAL.PendingRecords, health.WAL.Quarantined)
-		}
-		fmt.Println(line)
-		if snapshot != lastSnapshot {
-			// Only re-print the findings when the served state changed.
-			for _, f := range findings {
-				loc := f.Task
-				if f.File != "" {
-					loc += " " + f.File
-				}
-				if f.Object != "" {
-					loc += " " + f.Object
-				}
-				fmt.Printf("  [%s] %s %s: %s\n", f.Severity, f.Kind, loc, f.Detail)
-			}
-			lastSnapshot = snapshot
-		}
+		printer.print(health.Status, resp.Header.Get("X-Dayu-Snapshot"),
+			resp.Header.Get("X-Dayu-Partial-Tasks"), resp.Header.Get("X-Dayu-Complete-Tasks"),
+			findings, health.WAL)
 		return nil
+	}
+
+	if *sse {
+		lastID := ""
+		for {
+			id, done, err := watchSSE(ctx, *server, query, lastID, *once, printer)
+			lastID = id
+			if done {
+				return nil
+			}
+			if errors.Is(err, errSSEUnsupported) {
+				fmt.Fprintln(os.Stderr, "dayu watch: no event stream, falling back to polling")
+				break
+			}
+			if ctx.Err() != nil {
+				return nil
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dayu watch: event stream: %v (reconnecting in %s)\n", err, *interval)
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(*interval):
+			}
+		}
 	}
 
 	if err := observe(); err != nil {

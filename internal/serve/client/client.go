@@ -92,7 +92,8 @@ func New(baseURL string, opts Options) (*Client, error) {
 
 // PushResult is the server's acknowledgement for one record.
 type PushResult struct {
-	// Status is "accepted" or "duplicate".
+	// Status is "accepted", "duplicate", or (for delta checkpoints the
+	// server cannot fold) "resync".
 	Status string `json:"status"`
 	Task   string `json:"task"`
 	Hash   string `json:"hash"`
@@ -104,6 +105,12 @@ type PushResult struct {
 // Duplicate reports whether the server had already acknowledged an
 // identical payload.
 func (r *PushResult) Duplicate() bool { return r.Status == "duplicate" }
+
+// NeedsResync reports that the server refused a delta checkpoint
+// because its retained partial is not at the delta's base sequence
+// (Seq carries the sequence it does have, or 0 for none). The record
+// was NOT logged; the caller must re-push cumulative framing.
+func (r *PushResult) NeedsResync() bool { return r.Status == "resync" }
 
 // PushBytes delivers one complete trace byte stream (either
 // serialization) to /v1/ingest, retrying transient failures. The
@@ -129,6 +136,25 @@ func (c *Client) PushTrace(ctx context.Context, t *trace.TaskTrace, f trace.Form
 func (c *Client) PushCheckpoint(ctx context.Context, t *trace.TaskTrace, seq uint64) (*PushResult, error) {
 	var buf bytes.Buffer
 	if err := t.EncodeBinaryOpts(&buf, trace.BinaryOptions{Incremental: true, CheckpointSeq: seq}); err != nil {
+		return nil, err
+	}
+	return c.PushBytes(ctx, buf.Bytes())
+}
+
+// PushDelta encodes and delivers one delta checkpoint record: only
+// the rows changed since the checkpoint at baseSeq (see trace.Diff),
+// flagged delta with both sequence numbers. A server whose retained
+// partial is not at baseSeq answers with a resync result (see
+// PushResult.NeedsResync) instead of logging the record; the caller
+// then re-pushes the same checkpoint in cumulative framing.
+func (c *Client) PushDelta(ctx context.Context, delta *trace.TaskTrace, seq, baseSeq uint64) (*PushResult, error) {
+	var buf bytes.Buffer
+	if err := delta.EncodeBinaryOpts(&buf, trace.BinaryOptions{
+		Incremental:   true,
+		CheckpointSeq: seq,
+		Delta:         true,
+		DeltaBaseSeq:  baseSeq,
+	}); err != nil {
 		return nil, err
 	}
 	return c.PushBytes(ctx, buf.Bytes())
@@ -216,7 +242,9 @@ func (c *Client) push(ctx context.Context, path string, data []byte) (*PushResul
 			return res, nil
 		}
 		if pe := (*permanentError)(nil); errorAs(err, &pe) {
-			return nil, fmt.Errorf("push: %s: %w", endpoint, pe.err)
+			// Wrap pe itself, not pe.err: IsPermanent must keep working
+			// on the returned error (same message either way).
+			return nil, fmt.Errorf("push: %s: %w", endpoint, pe)
 		}
 		lastErr = err
 		if attempt == c.opts.MaxAttempts {
@@ -260,6 +288,15 @@ func (c *Client) attempt(ctx context.Context, endpoint string, data []byte) (*Pu
 		return &res, 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
 		return nil, parseRetryAfter(resp.Header.Get("Retry-After")), fmt.Errorf("server backpressure: %s", strings.TrimSpace(string(body)))
+	case resp.StatusCode == http.StatusConflict:
+		// A delta NACK is a protocol outcome, not a failure: the server
+		// is telling us which base it has so we can resync. Anything
+		// else on 409 is permanent.
+		var res PushResult
+		if err := json.Unmarshal(body, &res); err == nil && res.Status == "resync" {
+			return &res, 0, nil
+		}
+		return nil, 0, &permanentError{fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
 	case resp.StatusCode >= 500 || resp.StatusCode == http.StatusRequestTimeout:
 		return nil, 0, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	default:
@@ -296,16 +333,34 @@ func (c *Client) sleepFor(attempt int, retryAfter time.Duration) time.Duration {
 	return delay
 }
 
-// parseRetryAfter reads a Retry-After header in delay-seconds form.
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds or an HTTP-date. Negative delays and past dates clamp
+// to 0 (retry immediately) rather than poisoning the backoff floor.
 func parseRetryAfter(v string) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// IsPermanent reports whether a push error was a permanent server
+// rejection (validation failure, oversize body, disabled endpoint)
+// rather than a transient delivery failure that exhausted its retries.
+func IsPermanent(err error) bool {
+	pe := (*permanentError)(nil)
+	return errorAs(err, &pe)
 }
 
 // permanentError marks outcomes no retry can change (validation

@@ -172,10 +172,19 @@ func TestParseRetryAfter(t *testing.T) {
 		" 2 ": 2 * time.Second,
 		"-1":  0,
 		"x":   0,
+		// RFC 9110 also allows the HTTP-date form; a past date means
+		// "retry now", never a negative sleep.
+		time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat): 0,
+		"Mon, 32 Jan 2024 00:00:00 GMT":                            0, // malformed date
 	} {
 		if got := parseRetryAfter(in); got != want {
 			t.Errorf("parseRetryAfter(%q) = %s, want %s", in, got, want)
 		}
+	}
+	// A future HTTP-date yields roughly the remaining wait.
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if got := parseRetryAfter(future); got <= 25*time.Second || got > 31*time.Second {
+		t.Errorf("parseRetryAfter(%q) = %s, want ~30s", future, got)
 	}
 }
 

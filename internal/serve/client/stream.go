@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -14,63 +15,167 @@ import (
 // records, both through the durable /v1/ingest path with the client's
 // usual retry policy.
 //
+// In delta mode the sink retains each task's last acknowledged
+// checkpoint and ships only the rows changed since it (trace.Diff).
+// The first checkpoint of a task is always cumulative — the server
+// has no base to fold onto — and so is any checkpoint for which no
+// exact delta exists. When the server NACKs a delta because its
+// retained partial is at a different sequence (a crash, a restart, or
+// an eviction), the sink re-pushes the same checkpoint cumulatively at
+// the same sequence: the resync is one extra round trip, after which
+// delta framing resumes.
+//
 // Pushes are synchronous, as the Sink contract requires: the tracer
 // keeps profiling into the same buffers after EmitCheckpoint returns,
 // so the record must be encoded (and here, delivered) before
 // returning. A checkpoint that exhausts its retries is dropped — the
-// next checkpoint or the final supersedes it anyway — but the first
-// error is retained for Err so the caller can report degraded
-// streaming. Safe for concurrent use by parallel stages.
+// next checkpoint or the final supersedes it anyway — but an error is
+// retained for Err so the caller can report degraded streaming; a
+// permanent rejection takes precedence over an earlier transient
+// give-up because it indicates a protocol problem retries cannot fix.
+// A checkpoint acknowledged as a content-hash duplicate is a success
+// (the server already holds identical bytes), never a drop. Safe for
+// concurrent use by parallel stages.
 type StreamSink struct {
 	client *Client
 	ctx    context.Context
 
-	mu          sync.Mutex
-	err         error
-	checkpoints int
-	finals      int
-	dropped     int
+	mu           sync.Mutex
+	err          error
+	errPermanent bool
+	delta        bool
+	bases        map[string]streamBase
+	checkpoints  int
+	deltas       int
+	resyncs      int
+	finals       int
+	dropped      int
+	pushedBytes  int64
 }
 
-// NewStreamSink builds a sink pushing through c under ctx.
+// streamBase is a task's last acknowledged checkpoint, the diff base
+// for the next delta. Retaining the trace is safe: the tracer's
+// Checkpoint allocates fresh row slices per call.
+type streamBase struct {
+	seq uint64
+	t   *trace.TaskTrace
+}
+
+// StreamOptions tunes a StreamSink.
+type StreamOptions struct {
+	// Delta enables delta checkpoint framing (cumulative fallback on
+	// first checkpoint, inexact diffs, and server resync NACKs).
+	Delta bool
+}
+
+// NewStreamSink builds a sink pushing cumulative checkpoints through c
+// under ctx.
 func NewStreamSink(ctx context.Context, c *Client) *StreamSink {
-	return &StreamSink{client: c, ctx: ctx}
+	return NewStreamSinkOpts(ctx, c, StreamOptions{})
 }
 
-// EmitCheckpoint pushes one cumulative checkpoint record.
+// NewStreamSinkOpts builds a sink with explicit options.
+func NewStreamSinkOpts(ctx context.Context, c *Client, opts StreamOptions) *StreamSink {
+	return &StreamSink{client: c, ctx: ctx, delta: opts.Delta, bases: make(map[string]streamBase)}
+}
+
+// EmitCheckpoint pushes one checkpoint record: cumulative, or — in
+// delta mode, when the task has an acknowledged base and an exact diff
+// exists — delta-framed with resync fallback.
 func (s *StreamSink) EmitCheckpoint(t *trace.TaskTrace, seq uint64) {
-	if _, err := s.client.PushCheckpoint(s.ctx, t, seq); err != nil {
+	s.mu.Lock()
+	base, haveBase := s.bases[t.Task]
+	useDelta := s.delta && haveBase
+	s.mu.Unlock()
+
+	if useDelta {
+		if d, ok := trace.Diff(base.t, t); ok {
+			var buf bytes.Buffer
+			if err := d.EncodeBinaryOpts(&buf, trace.BinaryOptions{
+				Incremental:   true,
+				CheckpointSeq: seq,
+				Delta:         true,
+				DeltaBaseSeq:  base.seq,
+			}); err != nil {
+				s.record(fmt.Errorf("stream delta checkpoint %s@%d: %w", t.Task, seq, err))
+				return
+			}
+			res, err := s.client.PushBytes(s.ctx, buf.Bytes())
+			if err != nil {
+				s.record(fmt.Errorf("stream delta checkpoint %s@%d: %w", t.Task, seq, err))
+				return
+			}
+			if !res.NeedsResync() {
+				s.acked(t, seq, true, int64(buf.Len()))
+				return
+			}
+			// The server's partial is not at our base: fall through to a
+			// cumulative re-push of this same checkpoint.
+			s.mu.Lock()
+			s.resyncs++
+			s.mu.Unlock()
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := t.EncodeBinaryOpts(&buf, trace.BinaryOptions{Incremental: true, CheckpointSeq: seq}); err != nil {
 		s.record(fmt.Errorf("stream checkpoint %s@%d: %w", t.Task, seq, err))
 		return
 	}
-	s.mu.Lock()
-	s.checkpoints++
-	s.mu.Unlock()
+	if _, err := s.client.PushBytes(s.ctx, buf.Bytes()); err != nil {
+		s.record(fmt.Errorf("stream checkpoint %s@%d: %w", t.Task, seq, err))
+		return
+	}
+	s.acked(t, seq, false, int64(buf.Len()))
 }
 
 // EmitFinal pushes the completed trace record.
 func (s *StreamSink) EmitFinal(t *trace.TaskTrace) {
-	if _, err := s.client.PushTrace(s.ctx, t, trace.FormatBinary); err != nil {
+	var buf bytes.Buffer
+	if err := t.EncodeFormat(&buf, trace.FormatBinary); err != nil {
+		s.record(fmt.Errorf("stream final %s: %w", t.Task, err))
+		return
+	}
+	if _, err := s.client.PushBytes(s.ctx, buf.Bytes()); err != nil {
 		s.record(fmt.Errorf("stream final %s: %w", t.Task, err))
 		return
 	}
 	s.mu.Lock()
 	s.finals++
+	s.pushedBytes += int64(buf.Len())
+	delete(s.bases, t.Task)
 	s.mu.Unlock()
+}
+
+// acked books one delivered checkpoint and advances the task's diff
+// base to it.
+func (s *StreamSink) acked(t *trace.TaskTrace, seq uint64, wasDelta bool, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpoints++
+	if wasDelta {
+		s.deltas++
+	}
+	s.pushedBytes += size
+	if s.delta {
+		s.bases[t.Task] = streamBase{seq: seq, t: t}
+	}
 }
 
 func (s *StreamSink) record(err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dropped++
-	if s.err == nil {
-		s.err = err
+	permanent := IsPermanent(err)
+	if s.err == nil || (permanent && !s.errPermanent) {
+		s.err, s.errPermanent = err, permanent
 	}
 }
 
-// Err returns the first delivery error, if any: streaming is
-// best-effort per record, but the caller should know the live view
-// may be missing data.
+// Err returns the retained delivery error, if any: the first permanent
+// rejection when one occurred, else the first transient give-up.
+// Streaming is best-effort per record, but the caller should know the
+// live view may be missing data.
 func (s *StreamSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -83,4 +188,13 @@ func (s *StreamSink) Stats() (checkpoints, finals, dropped int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.checkpoints, s.finals, s.dropped
+}
+
+// DeltaStats reports delta-mode bookkeeping: checkpoints that went out
+// delta-framed, resync round trips forced by server NACKs, and the
+// total encoded bytes of every delivered record.
+func (s *StreamSink) DeltaStats() (deltas, resyncs int, pushedBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltas, s.resyncs, s.pushedBytes
 }

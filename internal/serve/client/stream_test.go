@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -158,6 +159,206 @@ func TestStreamSinkRecordsDropsAndFirstError(t *testing.T) {
 	cks, finals, dropped := sink.Stats()
 	if cks != 1 || finals != 0 || dropped != 2 {
 		t.Fatalf("stats = %d/%d/%d, want 1/0/2", cks, finals, dropped)
+	}
+}
+
+// streamTraceN returns streamTrace(task) grown by extra file rows —
+// monotone growth an exact delta exists for.
+func streamTraceN(task string, extra int) *trace.TaskTrace {
+	tt := streamTrace(task)
+	for i := 0; i < extra; i++ {
+		tt.EndNS += 300
+		tt.Files = append(tt.Files, trace.FileRecord{
+			Task: task, File: fmt.Sprintf("out_extra_%d.h5", i),
+			OpenNS: tt.EndNS - 250, CloseNS: tt.EndNS - 100,
+			Ops: 2, Writes: 2, BytesWritten: 1024,
+			MetaOps: 1, DataOps: 1, MetaBytes: 32, DataBytes: 992,
+		})
+	}
+	return tt
+}
+
+// TestStreamSinkDeltaFraming pins delta mode's wire contract: first
+// checkpoint cumulative (no base), subsequent ones delta-framed
+// against the acknowledged base, and the base dropped by the final so
+// a reused task name starts cumulative again.
+func TestStreamSinkDeltaFraming(t *testing.T) {
+	srv, recvd := captureServer(t)
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewStreamSinkOpts(context.Background(), c, StreamOptions{Delta: true})
+	sink.EmitCheckpoint(streamTraceN("w/task", 0), 1)
+	sink.EmitCheckpoint(streamTraceN("w/task", 1), 2)
+	sink.EmitFinal(streamTraceN("w/task", 2))
+	sink.EmitCheckpoint(streamTraceN("w/task", 2), 3)
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+
+	got := recvd()
+	if len(got) != 4 {
+		t.Fatalf("server decoded %d records, want 4", len(got))
+	}
+	if !got[0].meta.Incremental || got[0].meta.Delta || got[0].meta.CheckpointSeq != 1 {
+		t.Errorf("first checkpoint framing = %+v, want cumulative seq 1", got[0].meta)
+	}
+	if !got[1].meta.Delta || got[1].meta.CheckpointSeq != 2 || got[1].meta.DeltaBaseSeq != 1 {
+		t.Errorf("second checkpoint framing = %+v, want delta 1->2", got[1].meta)
+	}
+	if got[2].meta.Incremental {
+		t.Errorf("final framing = %+v, want complete record", got[2].meta)
+	}
+	if got[3].meta.Delta {
+		t.Errorf("post-final checkpoint framing = %+v, want cumulative (final dropped the base)", got[3].meta)
+	}
+
+	cks, finals, dropped := sink.Stats()
+	if cks != 3 || finals != 1 || dropped != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 3/1/0", cks, finals, dropped)
+	}
+	deltas, resyncs, pushed := sink.DeltaStats()
+	if deltas != 1 || resyncs != 0 || pushed <= 0 {
+		t.Fatalf("delta stats = %d/%d/%d, want 1 delta, 0 resyncs, >0 bytes", deltas, resyncs, pushed)
+	}
+}
+
+// TestStreamSinkDeltaResync pins the NACK protocol: a 409 resync is
+// not an error — the sink re-pushes the same checkpoint cumulatively
+// at the same sequence, then resumes delta framing from the new base.
+func TestStreamSinkDeltaResync(t *testing.T) {
+	var mu sync.Mutex
+	var got []received
+	deltasSeen := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, r.ContentLength)
+		if _, err := r.Body.Read(body); err != nil && err.Error() != "EOF" {
+			t.Errorf("read push body: %v", err)
+		}
+		tt, meta, err := trace.DecodeBytesMeta(body, trace.DecodeOptions{})
+		if err != nil {
+			t.Errorf("pushed bytes do not decode: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = append(got, received{task: tt.Task, meta: meta})
+		first := meta.Delta && func() bool { deltasSeen++; return deltasSeen == 1 }()
+		mu.Unlock()
+		if first {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(PushResult{Status: "resync", Task: tt.Task, Seq: 1})
+			return
+		}
+		ackHandler("accepted", tt.Task)(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewStreamSinkOpts(context.Background(), c, StreamOptions{Delta: true})
+	sink.EmitCheckpoint(streamTraceN("w/task", 0), 1)
+	sink.EmitCheckpoint(streamTraceN("w/task", 1), 2) // delta NACKed -> cumulative
+	sink.EmitCheckpoint(streamTraceN("w/task", 2), 3) // delta again, accepted
+	if err := sink.Err(); err != nil {
+		t.Fatalf("resync surfaced as an error: %v", err)
+	}
+
+	mu.Lock()
+	wire := append([]received(nil), got...)
+	mu.Unlock()
+	if len(wire) != 4 {
+		t.Fatalf("server saw %d records, want 4 (cum, NACKed delta, cum, delta)", len(wire))
+	}
+	if wire[1].meta.Delta != true || wire[1].meta.CheckpointSeq != 2 {
+		t.Errorf("second record = %+v, want the NACKed delta@2", wire[1].meta)
+	}
+	if wire[2].meta.Delta || wire[2].meta.CheckpointSeq != 2 {
+		t.Errorf("third record = %+v, want the cumulative resync@2", wire[2].meta)
+	}
+	if !wire[3].meta.Delta || wire[3].meta.CheckpointSeq != 3 || wire[3].meta.DeltaBaseSeq != 2 {
+		t.Errorf("fourth record = %+v, want delta 2->3", wire[3].meta)
+	}
+
+	cks, _, dropped := sink.Stats()
+	if cks != 3 || dropped != 0 {
+		t.Fatalf("stats = %d checkpoints / %d dropped, want 3/0", cks, dropped)
+	}
+	deltas, resyncs, _ := sink.DeltaStats()
+	if deltas != 1 || resyncs != 1 {
+		t.Fatalf("delta stats = %d deltas / %d resyncs, want 1/1", deltas, resyncs)
+	}
+}
+
+// TestStreamSinkDuplicateIsSuccess pins that a content-hash duplicate
+// acknowledgement counts as a delivered checkpoint, never a drop: the
+// server already holds identical bytes.
+func TestStreamSinkDuplicateIsSuccess(t *testing.T) {
+	srv := httptest.NewServer(ackHandler("duplicate", "w/task"))
+	defer srv.Close()
+	c, err := New(srv.URL, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewStreamSink(context.Background(), c)
+	sink.EmitCheckpoint(streamTrace("w/task"), 1)
+	sink.EmitCheckpoint(streamTrace("w/task"), 1) // identical retry
+	if err := sink.Err(); err != nil {
+		t.Fatalf("duplicate ack surfaced as an error: %v", err)
+	}
+	cks, _, dropped := sink.Stats()
+	if cks != 2 || dropped != 0 {
+		t.Fatalf("stats = %d checkpoints / %d dropped, want 2/0 (duplicates are successes)", cks, dropped)
+	}
+}
+
+// TestStreamSinkPermanentErrorPrecedence pins Err's contract: a
+// permanent rejection (a protocol problem retries cannot fix)
+// supersedes an earlier transient give-up, and is not displaced by a
+// later one.
+func TestStreamSinkPermanentErrorPrecedence(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, r.ContentLength)
+		if _, err := r.Body.Read(body); err != nil && err.Error() != "EOF" {
+			t.Errorf("read push body: %v", err)
+		}
+		tt, _, err := trace.DecodeBytesMeta(body, trace.DecodeOptions{})
+		if err == nil && tt.Task == "w/bad" {
+			http.Error(w, "bad trace payload", http.StatusBadRequest)
+			return
+		}
+		http.Error(w, "synthetic outage", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	opts := fastOptions()
+	opts.MaxAttempts = 2
+	c, err := New(srv.URL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewStreamSink(context.Background(), c)
+
+	sink.EmitCheckpoint(streamTrace("w/task"), 1) // transient give-up
+	if err := sink.Err(); err == nil || IsPermanent(err) {
+		t.Fatalf("after transient give-up Err = %v, want non-permanent error", err)
+	}
+	sink.EmitCheckpoint(streamTrace("w/bad"), 2) // permanent rejection
+	err = sink.Err()
+	if err == nil || !IsPermanent(err) || !strings.Contains(err.Error(), "w/bad") {
+		t.Fatalf("Err = %v, want the permanent w/bad rejection", err)
+	}
+	sink.EmitCheckpoint(streamTrace("w/task"), 3) // later transient must not displace it
+	if got := sink.Err(); got == nil || !strings.Contains(got.Error(), "w/bad") {
+		t.Fatalf("Err = %v, want the permanent rejection retained", got)
+	}
+	_, _, dropped := sink.Stats()
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
 	}
 }
 

@@ -1,0 +1,290 @@
+package serve
+
+// Server-sent events for the live view: /v1/live/events pushes one
+// event per converged snapshot change instead of making dashboards
+// poll /v1/live/* for the X-Dayu-Snapshot header to move.
+//
+// Design constraints, in order:
+//
+//   - Ingest must never block on a slow consumer. Subscribers get a
+//     bounded buffer and a non-blocking fan-out; an overflowing
+//     subscriber is marked lagging and simply misses intermediate
+//     events. That is safe because every event carries the full
+//     current state (snapshot id + live diagnostics), never a diff —
+//     the next event a lagging client receives supersedes everything
+//     it missed. A skip is surfaced as an `event: lagged` line so the
+//     client knows intermediate states existed.
+//   - Zero cost when unused. The broadcaster only tracks (id,
+//     snapshot) pairs; payload rendering happens in the subscriber's
+//     handler goroutine through the snapshot render cache, so a
+//     deployment with no SSE clients never renders an event and the
+//     refresh path never waits on one.
+//   - Resume must be cheap and correct. Events get monotone ids and a
+//     small replay ring; a Last-Event-ID inside the ring resumes with
+//     exactly the missed events, and an unknown or stale id (a server
+//     restart, an outgrown ring) falls back to one full current-state
+//     event — again correct because events are full-state.
+//
+// Event schema (`event: snapshot`):
+//
+//	{"snapshot":"<id>","partial_tasks":N,"complete_tasks":M,"findings":<...>}
+//
+// where findings is the exact /v1/live/diagnostics JSON body for the
+// same snapshot — shared bytes via the render cache, so an SSE-fed
+// dashboard and a polling one can never disagree.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dayu/internal/diagnose"
+)
+
+// eventRingSize bounds Last-Event-ID replay. Full-state events make
+// the ring a latency optimization, not a correctness requirement.
+const eventRingSize = 32
+
+// liveEvent pairs a monotone event id with the snapshot it announced.
+type liveEvent struct {
+	id   uint64
+	snap *snapshot
+}
+
+// eventSub is one /v1/live/events connection.
+type eventSub struct {
+	ch     chan liveEvent
+	lagged bool // guarded by the broadcaster's mutex
+}
+
+// eventsBroadcaster fans snapshot changes out to SSE subscribers. The
+// zero value is ready; it shares the Server's partialMu-free locking
+// discipline (its own mutex, never held across I/O).
+type eventsBroadcaster struct {
+	nextID uint64
+	lastID string // snapshot id of the newest published event
+	ring   []liveEvent
+	subs   map[*eventSub]struct{}
+}
+
+// publish announces a snapshot if it differs from the last announced
+// one. Called from refresh (single writer under ingestMu); never
+// blocks.
+func (s *Server) publishEvent(snap *snapshot) {
+	b := &s.events
+	s.eventMu.Lock()
+	defer s.eventMu.Unlock()
+	if b.lastID == snap.id {
+		return
+	}
+	b.appendLocked(snap)
+}
+
+// appendLocked assigns the next id, records the event in the replay
+// ring, and fans it out non-blocking. Callers hold eventMu.
+func (b *eventsBroadcaster) appendLocked(snap *snapshot) liveEvent {
+	b.nextID++
+	b.lastID = snap.id
+	ev := liveEvent{id: b.nextID, snap: snap}
+	b.ring = append(b.ring, ev)
+	if len(b.ring) > eventRingSize {
+		b.ring = b.ring[len(b.ring)-eventRingSize:]
+	}
+	for sub := range b.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.lagged = true
+		}
+	}
+	return ev
+}
+
+// subscribe registers a connection and returns the events it must send
+// first: the replay suffix after lastID when the ring still covers it,
+// else one full current-state event (seeded from snap if nothing was
+// ever published). snap may be nil only when the server has never
+// built a snapshot; then there is nothing to send until publish.
+func (s *Server) subscribeEvents(lastID uint64, snap *snapshot) (*eventSub, []liveEvent) {
+	s.eventMu.Lock()
+	defer s.eventMu.Unlock()
+	b := &s.events
+	if b.subs == nil {
+		b.subs = map[*eventSub]struct{}{}
+	}
+	sub := &eventSub{ch: make(chan liveEvent, 16)}
+	b.subs[sub] = struct{}{}
+
+	if len(b.ring) == 0 {
+		if snap == nil {
+			return sub, nil
+		}
+		// First subscriber before any publish: seed the stream so every
+		// connection starts with the current state.
+		return sub, []liveEvent{b.appendLocked(snap)}
+	}
+	newest := b.ring[len(b.ring)-1]
+	if lastID == 0 {
+		// A fresh connection (no Last-Event-ID): current state only.
+		return sub, []liveEvent{newest}
+	}
+	if lastID == newest.id {
+		return sub, nil // already current
+	}
+	oldest := b.ring[0]
+	if lastID >= oldest.id-1 && lastID < newest.id {
+		// The ring covers the gap: replay exactly the missed suffix.
+		start := int(lastID - (oldest.id - 1))
+		return sub, append([]liveEvent(nil), b.ring[start:]...)
+	}
+	// lastID > newest means an id from a previous server incarnation
+	// (ids restart at 1): unknown, so catch up with full state below.
+	// Stale or unknown id: one full-state event catches the client up.
+	return sub, []liveEvent{newest}
+}
+
+func (s *Server) unsubscribeEvents(sub *eventSub) {
+	s.eventMu.Lock()
+	delete(s.events.subs, sub)
+	s.eventMu.Unlock()
+}
+
+// takeLagged consumes the subscriber's lagged mark.
+func (s *Server) takeLagged(sub *eventSub) bool {
+	s.eventMu.Lock()
+	defer s.eventMu.Unlock()
+	l := sub.lagged
+	sub.lagged = false
+	return l
+}
+
+// liveEventPayload renders one event's data line: the snapshot header
+// plus the exact /v1/live/diagnostics body for the snapshot, shared
+// through the snapshot's render cache.
+func (s *Server) liveEventPayload(snap *snapshot) ([]byte, error) {
+	key := "live-diagnose"
+	if snap.partialTasks == 0 {
+		key = "diagnose"
+	}
+	findings, err := s.render(snap, key, func() ([]byte, error) {
+		return diagnose.EncodeJSON(diagnose.Analyze(snap.liveTraces, snap.manifest, diagnose.Thresholds{}))
+	})
+	if err != nil {
+		return nil, err
+	}
+	head := fmt.Sprintf(`{"snapshot":%q,"partial_tasks":%d,"complete_tasks":%d,"findings":`,
+		snap.id, snap.partialTasks, len(snap.traces))
+	payload := make([]byte, 0, len(head)+len(findings)+1)
+	payload = append(payload, head...)
+	payload = append(payload, findings...)
+	payload = append(payload, '}')
+	return payload, nil
+}
+
+// handleLiveEvents is GET /v1/live/events: the SSE stream. It must be
+// routed around any buffering middleware (http.TimeoutHandler would
+// buffer the whole response); cmd/dayu serve exempts this path.
+func (s *Server) handleLiveEvents(w http.ResponseWriter, r *http.Request) {
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		http.Error(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return
+	}
+	// The stream is long-lived: clear the connection deadlines so the
+	// http.Server's Read/WriteTimeout does not sever it between
+	// heartbeats. Errors are ignored — a ResponseWriter that does not
+	// support deadlines (tests, exotic middleware) simply keeps them.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.SetReadDeadline(time.Time{})
+	// Validate live-endpoint parameters exactly like /v1/live/*: the
+	// stream takes none, but a mistyped ?window=/-5s must fail loudly
+	// with 400, not be silently ignored.
+	if _, ok := durationParam(w, r, "window"); !ok {
+		return
+	}
+	if _, ok := durationParam(w, r, "horizon"); !ok {
+		return
+	}
+	snap, err := s.current()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var lastID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			lastID = n
+		}
+	}
+	sub, backlog := s.subscribeEvents(lastID, snap)
+	defer s.unsubscribeEvents(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	writeEvent := func(ev liveEvent) bool {
+		payload, err := s.liveEventPayload(ev.snap)
+		if err != nil {
+			// The stream is already committed; drop the event rather
+			// than corrupting the framing. The next event retries.
+			return true
+		}
+		if s.takeLagged(sub) {
+			if _, err := fmt.Fprint(w, "event: lagged\ndata: {}\n\n"); err != nil {
+				return false
+			}
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: snapshot\n", ev.id); err != nil {
+			return false
+		}
+		// The payload is multi-line JSON; SSE framing requires one
+		// "data:" field per line (clients rejoin them with \n, so the
+		// reassembled payload is byte-identical).
+		for _, line := range bytes.Split(payload, []byte("\n")) {
+			if _, err := fmt.Fprintf(w, "data: %s\n", line); err != nil {
+				return false
+			}
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for _, ev := range backlog {
+		if !writeEvent(ev) {
+			return
+		}
+	}
+
+	heartbeat := s.cfg.SSEHeartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case ev := <-sub.ch:
+			if !writeEvent(ev) {
+				return
+			}
+		case <-ticker.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

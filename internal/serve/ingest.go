@@ -125,6 +125,7 @@ func (s *Server) refresh() (*snapshot, error) {
 		return nil, err
 	}
 	s.snap.Store(next)
+	s.publishEvent(next)
 	s.ingests.Inc()
 	s.ingestNS.Observe(time.Since(start).Nanoseconds())
 	s.snapshotTasks.Set(int64(len(next.traces)))

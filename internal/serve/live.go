@@ -22,6 +22,7 @@ package serve
 // stream-equals-batch equivalence gate holds at end of stream.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net/http"
@@ -61,10 +62,16 @@ func (s *Server) finalExists(task string) bool {
 
 // foldCheckpoint applies one incremental record: persist it under the
 // partials directory and retain it in memory iff it is the newest
-// checkpoint for a task that has no final yet. Runs in the single
-// folder goroutine (or startup replay), so checkpoints for one task
-// are applied sequentially.
-func (s *Server) foldCheckpoint(data []byte, task string, seq uint64) error {
+// checkpoint for a task that has no final yet. A delta record is first
+// reassembled onto the retained partial at its base sequence
+// (trace.ApplyDelta) and persisted in the reassembled cumulative form,
+// re-encoded deterministically — so the partials directory, restarts,
+// and the snapshot hash are indistinguishable from a cumulative
+// stream's. Runs in the single folder goroutine (or startup replay),
+// so checkpoints for one task are applied sequentially and a delta
+// always folds after its base.
+func (s *Server) foldCheckpoint(data []byte, task string, meta trace.RecordMeta) error {
+	seq := meta.CheckpointSeq
 	if s.finalExists(task) {
 		return nil // finals supersede partials
 	}
@@ -75,9 +82,27 @@ func (s *Server) foldCheckpoint(data []byte, task string, seq uint64) error {
 		return nil // stale delivery (retries, reordering)
 	}
 	// Retain an owned decode: the raw bytes are the WAL/queue payload.
-	tt, meta, err := trace.DecodeBytesMeta(data, trace.DecodeOptions{})
-	if err != nil || !meta.Incremental {
+	tt, meta2, err := trace.DecodeBytesMeta(data, trace.DecodeOptions{})
+	if err != nil || !meta2.Incremental {
 		return fmt.Errorf("%w: checkpoint re-decode: %v", errUnfoldable, err)
+	}
+	if meta.Delta {
+		if !ok || prev.seq != meta.DeltaBaseSeq {
+			// No partial at the delta's base: the ingest gate bounced
+			// such deltas, so this is a replayed record whose base was
+			// superseded before the crash. The client has already (or
+			// will) resync cumulatively; dropping is safe and keeps
+			// refolding idempotent.
+			s.deltaDrops.Inc()
+			return nil
+		}
+		cum := trace.ApplyDelta(prev.trace, tt)
+		var buf bytes.Buffer
+		if err := cum.EncodeBinaryOpts(&buf, trace.BinaryOptions{Incremental: true, CheckpointSeq: seq}); err != nil {
+			return fmt.Errorf("%w: reassemble delta: %v", errUnfoldable, err)
+		}
+		data, tt = buf.Bytes(), cum
+		s.deltaFolds.Inc()
 	}
 	path := filepath.Join(s.partialsDir(), trace.TraceFileName(task, trace.FormatBinary))
 	if err := writeFileAtomic(path, data); err != nil {
@@ -87,6 +112,9 @@ func (s *Server) foldCheckpoint(data []byte, task string, seq uint64) error {
 	if prev, ok := s.partials[task]; !ok || prev.seq < seq {
 		s.partials[task] = &partialEntry{seq: seq, hash: trace.HashBytes(data), trace: tt}
 		s.partialsGen++
+		if seq > s.streamSeqs[task] {
+			s.streamSeqs[task] = seq
+		}
 	}
 	s.partialMu.Unlock()
 	s.partialFolds.Inc()
@@ -104,6 +132,7 @@ func (s *Server) retractPartial(task string) {
 		delete(s.partials, task)
 		s.partialsGen++
 	}
+	delete(s.streamSeqs, task)
 	s.partialMu.Unlock()
 	if ok {
 		_ = os.Remove(filepath.Join(s.partialsDir(), trace.TraceFileName(task, trace.FormatBinary)))
@@ -143,6 +172,9 @@ func (s *Server) loadPartials() error {
 			continue
 		}
 		s.partials[tt.Task] = &partialEntry{seq: meta.CheckpointSeq, hash: trace.HashBytes(data), trace: tt}
+		if meta.CheckpointSeq > s.streamSeqs[tt.Task] {
+			s.streamSeqs[tt.Task] = meta.CheckpointSeq
+		}
 		s.partialsGen++
 	}
 	return nil
@@ -198,7 +230,12 @@ func (s *Server) liveGraphHandler(which string) http.HandlerFunc {
 		body, err := s.render(snap, key, func() ([]byte, error) {
 			out := g
 			if windowNS > 0 {
-				agg, err := analyzer.AggregateByTime(g, windowNS)
+				// The cross-snapshot cache: when only a few tasks folded
+				// since the last render of this window, the fingerprint
+				// pass proves the windowed projection unchanged and the
+				// previous aggregation is reused (byte-identical output
+				// is the cache's contract).
+				agg, err := s.timeAgg.Aggregate(g, "live-"+which, snap.id, windowNS)
 				if err != nil {
 					return nil, err
 				}

@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"dayu/internal/obs"
 	"time"
 
 	"dayu/internal/serve/client"
@@ -100,6 +102,120 @@ func encodeCheckpoint(t *testing.T, tt *trace.TaskTrace, seq uint64) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// encodeDelta renders one delta checkpoint record.
+func encodeDelta(t *testing.T, d *trace.TaskTrace, seq, baseSeq uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.EncodeBinaryOpts(&buf, trace.BinaryOptions{
+		Incremental: true, CheckpointSeq: seq, Delta: true, DeltaBaseSeq: baseSeq,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sortedCheckpoint deep-copies a checkpoint's tables into the
+// tracer's canonical sort orders — what real checkpoints look like,
+// and what delta reassembly reproduces (trace.Diff requires it for an
+// exact delta). The copy matters: checkpointTrace's slices alias the
+// final's tables.
+func sortedCheckpoint(cp *trace.TaskTrace) *trace.TaskTrace {
+	out := *cp
+	out.Objects = append([]trace.ObjectRecord(nil), cp.Objects...)
+	out.Files = append([]trace.FileRecord(nil), cp.Files...)
+	out.Mapped = append([]trace.MappedStat(nil), cp.Mapped...)
+	sort.SliceStable(out.Objects, func(i, j int) bool {
+		if out.Objects[i].File != out.Objects[j].File {
+			return out.Objects[i].File < out.Objects[j].File
+		}
+		return out.Objects[i].Object < out.Objects[j].Object
+	})
+	sort.SliceStable(out.Files, func(i, j int) bool { return out.Files[i].File < out.Files[j].File })
+	sort.SliceStable(out.Mapped, func(i, j int) bool {
+		if out.Mapped[i].File != out.Mapped[j].File {
+			return out.Mapped[i].File < out.Mapped[j].File
+		}
+		return out.Mapped[i].Object < out.Mapped[j].Object
+	})
+	return &out
+}
+
+// pushStreamMode streams the fixture with per-task checkpoint chains
+// in the given framing mode — "delta" (cumulative first checkpoint,
+// delta second), "mixed" (alternate tasks delta/cumulative), or
+// "delta-gap" (a delta with a wrong base sequence that must be NACKed
+// with 409/resync, then the cumulative resync push) — followed by the
+// final's exact file bytes. Returns the task count.
+func pushStreamMode(t *testing.T, env *pushEnv, fixture, mode string) int {
+	t.Helper()
+	entries, err := os.ReadDir(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if trace.IsTraceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var seq uint64
+	for i, name := range names {
+		path := filepath.Join(fixture, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt, err := trace.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp1 := sortedCheckpoint(checkpointTrace(tt, 0.34))
+		cp2 := sortedCheckpoint(checkpointTrace(tt, 0.75))
+		useDelta := mode != "mixed" || i%2 == 0
+
+		seq++
+		seq1 := seq
+		if status, pr, _ := postIngest(t, env.srv, encodeCheckpoint(t, cp1, seq1)); status != http.StatusOK || pr.Status != "accepted" {
+			t.Fatalf("%s: checkpoint 1 for %s = %d %q", mode, tt.Task, status, pr.Status)
+		}
+		seq++
+		seq2 := seq
+		if useDelta {
+			d, ok := trace.Diff(cp1, cp2)
+			if !ok {
+				t.Fatalf("%s: no exact delta for %s (fixture checkpoints must admit deltas)", mode, tt.Task)
+			}
+			if mode == "delta-gap" {
+				// Wrong base: the server never saw seq1+777, so it must
+				// NACK before logging anything, reporting the sequence it
+				// does have.
+				status, pr, _ := postIngest(t, env.srv, encodeDelta(t, d, seq2, seq1+777))
+				if status != http.StatusConflict || pr.Status != "resync" || pr.Seq != seq1 {
+					t.Fatalf("%s: gapped delta for %s = %d %q seq=%d, want 409 resync seq=%d",
+						mode, tt.Task, status, pr.Status, pr.Seq, seq1)
+				}
+				// Resync: the same checkpoint, cumulative, same sequence.
+				if status, pr, _ := postIngest(t, env.srv, encodeCheckpoint(t, cp2, seq2)); status != http.StatusOK || pr.Status != "accepted" {
+					t.Fatalf("%s: resync checkpoint for %s = %d %q", mode, tt.Task, status, pr.Status)
+				}
+			} else {
+				if status, pr, _ := postIngest(t, env.srv, encodeDelta(t, d, seq2, seq1)); status != http.StatusOK || pr.Status != "accepted" {
+					t.Fatalf("%s: delta checkpoint for %s = %d %q", mode, tt.Task, status, pr.Status)
+				}
+			}
+		} else {
+			if status, pr, _ := postIngest(t, env.srv, encodeCheckpoint(t, cp2, seq2)); status != http.StatusOK || pr.Status != "accepted" {
+				t.Fatalf("%s: checkpoint 2 for %s = %d %q", mode, tt.Task, status, pr.Status)
+			}
+		}
+		if status, _, _ := postIngest(t, env.srv, raw); status != http.StatusOK {
+			t.Fatalf("%s: final %s = %d", mode, tt.Task, status)
+		}
+	}
+	return len(names)
 }
 
 // streamDelivery is one record on the wire.
@@ -240,8 +356,95 @@ func TestLiveStreamEquivalence(t *testing.T) {
 			}
 		})
 	}
+	// The framing matrix: the same workflow streamed with delta
+	// checkpoints, mixed framing, and a forced gap-resync must converge
+	// to the same bytes as the cumulative orders above.
+	for _, mode := range []string{"delta", "mixed", "delta-gap"} {
+		mode := mode
+		t.Run("mode-"+mode, func(t *testing.T) {
+			env := newPushEnv(t, func(cfg *Config) {
+				cfg.IngestQueue = 256
+				cfg.Registry = obs.NewRegistry()
+			})
+			tasks := pushStreamMode(t, env, fixture, mode)
+			pushManifest(t, env.srv, fixture)
+			waitTasks(t, env.s, tasks)
+			waitWALDrained(t, env.s)
+			bodies := checkLiveConverged(t, env.srv, env.dir, "mode-"+mode)
+			for live, body := range bodies {
+				if ref != nil && !bytes.Equal(body, ref[live]) {
+					t.Errorf("mode-%s: GET %s differs from cumulative delivery", mode, live)
+				}
+			}
+			if mode != "delta-gap" && env.s.deltaFolds.Value() == 0 {
+				t.Errorf("mode-%s never folded a delta record", mode)
+			}
+			if mode == "delta-gap" && env.s.deltaResyncs.Value() == 0 {
+				t.Error("delta-gap mode never exercised the resync NACK")
+			}
+		})
+	}
 	if !t.Failed() {
-		t.Log("STREAM-EQUIVALENCE: live snapshot byte-identical to batch across 3 delivery orders")
+		t.Log("STREAM-EQUIVALENCE: live snapshot byte-identical to batch across 3 delivery orders and 3 delta framing modes")
+	}
+}
+
+// TestDeltaStreamMidFlightView pins the delta path before any final
+// folds: a cumulative base plus a delta must produce the exact live
+// view — body bytes and snapshot id — that pushing the second
+// checkpoint cumulatively produces, because the server persists the
+// reassembled cumulative form re-encoded deterministically.
+func TestDeltaStreamMidFlightView(t *testing.T) {
+	tt := liveTask("live_delta")
+	cp1 := sortedCheckpoint(checkpointTrace(tt, 0.5))
+	cp2 := sortedCheckpoint(checkpointTrace(tt, 1.0))
+	d, ok := trace.Diff(cp1, cp2)
+	if !ok {
+		t.Fatal("no exact delta between the two checkpoints")
+	}
+
+	envDelta := newPushEnv(t, nil)
+	if status, pr, _ := postIngest(t, envDelta.srv, encodeCheckpoint(t, cp1, 1)); status != http.StatusOK || pr.Status != "accepted" {
+		t.Fatalf("base checkpoint = %d %q", status, pr.Status)
+	}
+	if status, pr, _ := postIngest(t, envDelta.srv, encodeDelta(t, d, 2, 1)); status != http.StatusOK || pr.Status != "accepted" {
+		t.Fatalf("delta checkpoint = %d %q", status, pr.Status)
+	}
+	waitWALDrained(t, envDelta.s)
+	waitLiveCounts(t, envDelta.srv, 1, 0)
+
+	envCum := newPushEnv(t, nil)
+	if status, _, _ := postIngest(t, envCum.srv, encodeCheckpoint(t, cp2, 2)); status != http.StatusOK {
+		t.Fatalf("cumulative checkpoint = %d", status)
+	}
+	waitWALDrained(t, envCum.s)
+	waitLiveCounts(t, envCum.srv, 1, 0)
+
+	for _, path := range []string{"/v1/live/ftg", "/v1/live/sdg", "/v1/live/diagnostics"} {
+		deltaBody, deltaHdr := getHdr(t, envDelta.srv, path)
+		cumBody, cumHdr := getHdr(t, envCum.srv, path)
+		if !bytes.Equal(deltaBody, cumBody) {
+			t.Errorf("GET %s: delta-fed view differs from cumulative-fed view", path)
+		}
+		if dh, ch := deltaHdr.Get("X-Dayu-Snapshot"), cumHdr.Get("X-Dayu-Snapshot"); dh != ch {
+			t.Errorf("GET %s: snapshot id %s != %s (reassembled partial must hash identically)", path, dh, ch)
+		}
+	}
+
+	// And a restart rebuilds the same view from the persisted partial.
+	envDelta.srv.Close()
+	envDelta.s.Close()
+	s2 := mustServer(t, Config{
+		Dir: envDelta.dir, WALDir: envDelta.walDir, WAL: WALOptions{Fsync: FsyncNever},
+		PlanOptions: testPlanOpts,
+	})
+	defer s2.Close()
+	srv2 := httptest.NewServer(s2)
+	defer srv2.Close()
+	restartBody, _ := getHdr(t, srv2, "/v1/live/ftg")
+	cumBody, _ := getHdr(t, envCum.srv, "/v1/live/ftg")
+	if !bytes.Equal(restartBody, cumBody) {
+		t.Error("restarted delta-fed server diverged from the cumulative-fed view")
 	}
 }
 
@@ -524,4 +727,48 @@ func TestLiveStreamHammer(t *testing.T) {
 	waitTasks(t, env.s, len(finals))
 	waitWALDrained(t, env.s)
 	checkLiveConverged(t, env.srv, env.dir, "hammer")
+}
+
+// TestLiveWindowedRenderCache pins the serve-level behaviour of the
+// cross-snapshot aggregation cache: windowed live responses stay
+// byte-identical to what a fresh server (empty cache) computes from the
+// same stream, and successive snapshots actually exercise the cache.
+func TestLiveWindowedRenderCache(t *testing.T) {
+	env := newPushEnv(t, nil)
+	a, b := liveTask("win_a"), liveTask("win_b")
+
+	cpA := encodeCheckpoint(t, checkpointTrace(a, 0.5), 1)
+	if status, _, _ := postIngest(t, env.srv, cpA); status != http.StatusOK {
+		t.Fatalf("checkpoint a = %d", status)
+	}
+	waitLiveCounts(t, env.srv, 1, 0)
+	if wb, _ := getHdr(t, env.srv, "/v1/live/ftg?window=1h"); len(wb) == 0 {
+		t.Fatal("windowed live FTG answered empty")
+	}
+
+	cpB := encodeCheckpoint(t, checkpointTrace(b, 0.5), 2)
+	if status, _, _ := postIngest(t, env.srv, cpB); status != http.StatusOK {
+		t.Fatalf("checkpoint b = %d", status)
+	}
+	waitLiveCounts(t, env.srv, 2, 0)
+	warm, _ := getHdr(t, env.srv, "/v1/live/ftg?window=1h")
+
+	if s := env.s.timeAgg.Stats(); s.Hits+s.Misses < 2 {
+		t.Errorf("windowed renders bypassed the aggregation cache: %+v", s)
+	}
+
+	// A fresh server fed the same two checkpoints computes the windowed
+	// view with no cache history; the warmed server must match it
+	// byte for byte.
+	cold := newPushEnv(t, nil)
+	for i, cp := range [][]byte{cpA, cpB} {
+		if status, _, _ := postIngest(t, cold.srv, cp); status != http.StatusOK {
+			t.Fatalf("cold checkpoint %d = %d", i, status)
+		}
+	}
+	waitLiveCounts(t, cold.srv, 2, 0)
+	coldBody, _ := getHdr(t, cold.srv, "/v1/live/ftg?window=1h")
+	if !bytes.Equal(warm, coldBody) {
+		t.Errorf("warmed windowed render diverged from cold render:\n%s\nvs\n%s", warm, coldBody)
+	}
 }

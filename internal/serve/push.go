@@ -48,12 +48,17 @@ type foldJob struct {
 
 // PushResponse is the /v1/ingest response body.
 type PushResponse struct {
-	// Status is "accepted" (durably logged) or "duplicate" (an
-	// identical payload was already acknowledged).
+	// Status is "accepted" (durably logged), "duplicate" (an
+	// identical payload was already acknowledged), or "resync" (a
+	// delta checkpoint whose base is not the task's acknowledged
+	// head; sent with HTTP 409, and the client must re-push the
+	// checkpoint in cumulative framing).
 	Status string `json:"status"`
 	Task   string `json:"task"`
 	Hash   string `json:"hash"`
-	// Seq is the WAL sequence number of accepted records.
+	// Seq is the WAL sequence number of accepted records. On a
+	// "resync" it instead carries the checkpoint sequence the server
+	// does have for the task, so clients can diagnose the gap.
 	Seq uint64 `json:"seq,omitempty"`
 }
 
@@ -83,7 +88,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// DecodeBytesMeta also admits incremental checkpoint records, whose
 	// header sequence number makes every checkpoint's bytes (and hash)
 	// distinct, so the content-addressed dedup below applies unchanged.
-	tt, _, err := trace.DecodeBytesMeta(data, trace.DecodeOptions{ZeroCopy: true})
+	tt, meta, err := trace.DecodeBytesMeta(data, trace.DecodeOptions{ZeroCopy: true})
 	if err != nil {
 		s.pushErrors.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -120,6 +125,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		case <-twin:
 		case <-r.Context().Done():
 			http.Error(w, "canceled while an identical push was in flight", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if meta.Delta {
+		// Delta gate, before the WAL sees the bytes: folding is ordered
+		// per shard, so a delta is only usable if its base is the task's
+		// acknowledged checkpoint head. Anything else — a restart that
+		// lost the in-memory ack state, an evicted partial, a client
+		// bug — gets a 409 resync NACK carrying the sequence we do have,
+		// and the client re-pushes cumulative framing.
+		s.partialMu.Lock()
+		have := s.streamSeqs[tt.Task]
+		s.partialMu.Unlock()
+		if have != meta.DeltaBaseSeq {
+			s.pushMu.Unlock()
+			s.deltaResyncs.Inc()
+			s.writePushResponseCode(w, http.StatusConflict, PushResponse{Status: "resync", Task: tt.Task, Seq: have})
 			return
 		}
 	}
@@ -164,6 +186,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.pushAccepted.Inc()
+	if meta.Incremental {
+		// The acknowledged checkpoint head advances at ack time, not
+		// fold time: the client's next delta may arrive before the
+		// folder has applied this record, and ordered folding will have
+		// its base in place by the time the delta folds.
+		s.partialMu.Lock()
+		if meta.CheckpointSeq > s.streamSeqs[tt.Task] {
+			s.streamSeqs[tt.Task] = meta.CheckpointSeq
+		}
+		s.partialMu.Unlock()
+	}
 	s.updateWALGauges()
 	// Guaranteed not to block: the shard's foldQ has at least one slot
 	// per admission slot, and its folder frees the queue slot first.
@@ -185,12 +218,17 @@ func (s *Server) isDuplicateLocked(hash string) bool {
 }
 
 func (s *Server) writePushResponse(w http.ResponseWriter, resp PushResponse) {
+	s.writePushResponseCode(w, http.StatusOK, resp)
+}
+
+func (s *Server) writePushResponseCode(w http.ResponseWriter, code int, resp PushResponse) {
 	body, err := json.Marshal(resp)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	_, _ = w.Write(body)
 }
 
@@ -366,7 +404,7 @@ func (s *Server) foldBytes(data []byte) error {
 		return fmt.Errorf("%w: %v", errUnfoldable, err)
 	}
 	if meta.Incremental {
-		return s.foldCheckpoint(data, tt.Task, meta.CheckpointSeq)
+		return s.foldCheckpoint(data, tt.Task, meta)
 	}
 	format := trace.SniffFormat(data)
 	path := filepath.Join(s.cfg.Dir, trace.TraceFileName(tt.Task, format))

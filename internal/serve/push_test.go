@@ -81,9 +81,9 @@ func postIngest(t *testing.T, srv *httptest.Server, data []byte) (int, PushRespo
 		t.Fatal(err)
 	}
 	var pr PushResponse
-	if resp.StatusCode == http.StatusOK {
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict {
 		if err := json.Unmarshal(body, &pr); err != nil {
-			t.Fatalf("bad 200 body %q: %v", body, err)
+			t.Fatalf("bad %d body %q: %v", resp.StatusCode, body, err)
 		}
 	}
 	return resp.StatusCode, pr, resp.Header

@@ -107,6 +107,10 @@ type Config struct {
 	// HistoryRetain caps retained history snapshots (default 64).
 	HistoryRetain int
 
+	// SSEHeartbeat is the /v1/live/events keep-alive comment interval
+	// (default 15s). Tests and smoke scripts shorten it.
+	SSEHeartbeat time.Duration
+
 	// foldHook, when set (tests only), runs in the folder goroutines
 	// before each record folds — used to hold the queue full.
 	foldHook func(foldJob)
@@ -207,6 +211,19 @@ type Server struct {
 	partials        map[string]*partialEntry
 	partialsGen     uint64
 	lastPartialsGen uint64
+	// SSE broadcaster state for /v1/live/events (its own mutex: event
+	// fan-out must not contend with checkpoint folding).
+	eventMu sync.Mutex
+	events  eventsBroadcaster
+
+	// streamSeqs tracks the highest acknowledged checkpoint sequence
+	// per in-flight task (guarded by partialMu). It is the delta-ingest
+	// gate: a delta whose base sequence is not the task's acknowledged
+	// head is NACKed with 409/resync before touching the WAL, because
+	// ordered per-shard folding could never apply it. Advanced at ack
+	// and fold time, seeded from persisted partials at startup, cleared
+	// when the task's final retracts the partial.
+	streamSeqs map[string]uint64
 
 	// Poll-loop backoff state, surfaced by /healthz.
 	pollFailures  atomic.Int64
@@ -235,10 +252,18 @@ type Server struct {
 	partialFolds    *obs.Counter
 	partialRetracts *obs.Counter
 	partialGauge    *obs.Gauge
+	deltaFolds      *obs.Counter
+	deltaResyncs    *obs.Counter
+	deltaDrops      *obs.Counter
 	walAppendNS     *obs.Histogram
 	walPending      *obs.Gauge
 	walSegments     *obs.Gauge
 	queueDepth      *obs.Gauge
+
+	// timeAgg caches windowed aggregations (?window=) across snapshots
+	// so a live watcher polling a fixed window does not pay a full
+	// AggregateByTime rebuild on every folded checkpoint.
+	timeAgg *analyzer.TimeAggCache
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -259,9 +284,10 @@ type ingestError struct {
 func NewServer(cfg Config) (*Server, error) {
 	reg := cfg.Registry
 	s := &Server{
-		cfg:      cfg,
-		coord:    shard.NewCoordinator(cfg.Shards),
-		partials: map[string]*partialEntry{},
+		cfg:        cfg,
+		coord:      shard.NewCoordinator(cfg.Shards),
+		partials:   map[string]*partialEntry{},
+		streamSeqs: map[string]uint64{},
 
 		requests: func(path string) *obs.Counter {
 			return reg.Counter(obs.Name("dayu_serve_requests_total", "path", path))
@@ -289,10 +315,15 @@ func NewServer(cfg Config) (*Server, error) {
 		partialFolds:    reg.Counter(obs.Name("dayu_serve_partial_total", "op", "fold")),
 		partialRetracts: reg.Counter(obs.Name("dayu_serve_partial_total", "op", "retract")),
 		partialGauge:    reg.Gauge("dayu_serve_partial_tasks"),
+		deltaFolds:      reg.Counter(obs.Name("dayu_serve_delta_total", "op", "fold")),
+		deltaResyncs:    reg.Counter(obs.Name("dayu_serve_delta_total", "op", "resync")),
+		deltaDrops:      reg.Counter(obs.Name("dayu_serve_delta_total", "op", "drop")),
 		walAppendNS:     reg.Histogram("dayu_serve_wal_append_ns", obs.LatencyBuckets()),
 		walPending:      reg.Gauge("dayu_serve_wal_pending_records"),
 		walSegments:     reg.Gauge("dayu_serve_wal_segments"),
 		queueDepth:      reg.Gauge("dayu_serve_ingest_queue_depth"),
+
+		timeAgg: analyzer.NewTimeAggCache(0),
 
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -307,6 +338,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/live/ftg", s.instrument("/v1/live/ftg", s.liveGraphHandler("ftg")))
 	mux.HandleFunc("/v1/live/sdg", s.instrument("/v1/live/sdg", s.liveGraphHandler("sdg")))
 	mux.HandleFunc("/v1/live/diagnostics", s.instrument("/v1/live/diagnostics", s.handleLiveDiagnostics))
+	mux.HandleFunc("/v1/live/events", s.instrument("/v1/live/events", s.handleLiveEvents))
 	mux.HandleFunc("/v1/plan", s.instrument("/v1/plan", s.handlePlan))
 	mux.HandleFunc("/v1/ingest", s.instrumentMethods("/v1/ingest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngest))
 	mux.HandleFunc("/v1/ingest/manifest", s.instrumentMethods("/v1/ingest/manifest", []string{http.MethodPost}, s.maxBodyBytes(), s.handleIngestManifest))

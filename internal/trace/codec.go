@@ -64,6 +64,15 @@ const flagFramed = 1
 // reject them so a stray checkpoint can never skew a batch analysis.
 const flagIncremental = 2
 
+// flagDelta marks an incremental checkpoint that carries only the
+// records changed since a base checkpoint, instead of the full
+// cumulative trace-so-far. When set, a uvarint base sequence number
+// (the checkpoint the delta applies on top of) follows the checkpoint
+// sequence in the header. A delta is meaningless without the
+// incremental flag; decoders reject that combination. Reassembly is
+// record-level replacement: see Diff/ApplyDelta in delta.go.
+const flagDelta = 4
+
 // maxBinaryLen bounds any single length read from the wire (string
 // bytes, slice counts, record frames) so a corrupt count cannot drive
 // a multi-gigabyte allocation before the read fails.
@@ -120,6 +129,15 @@ type BinaryOptions struct {
 	Incremental bool
 	// CheckpointSeq is written only when Incremental is set.
 	CheckpointSeq uint64
+	// Delta marks the checkpoint as a delta against an earlier
+	// checkpoint of the same task: the record carries only the rows
+	// that changed since DeltaBaseSeq (see Diff/ApplyDelta). Requires
+	// Incremental; EncodeBinaryOpts rejects a delta-without-incremental
+	// combination rather than writing an undecodable header.
+	Delta bool
+	// DeltaBaseSeq is the checkpoint sequence the delta applies on top
+	// of; written only when Delta is set.
+	DeltaBaseSeq uint64
 }
 
 // RecordMeta describes the stream framing of a decoded record.
@@ -130,6 +148,13 @@ type RecordMeta struct {
 	// CheckpointSeq orders checkpoints of one task; zero unless
 	// Incremental.
 	CheckpointSeq uint64
+	// Delta is true for delta-framed checkpoints: the decoded trace
+	// holds only the rows changed since the base checkpoint and must be
+	// reassembled with ApplyDelta before use.
+	Delta bool
+	// DeltaBaseSeq is the checkpoint the delta applies on top of; zero
+	// unless Delta.
+	DeltaBaseSeq uint64
 }
 
 // EncodeBinary writes the trace in dtb/v2 with per-record framing.
@@ -170,7 +195,9 @@ type binaryEncoder struct {
 	hdr         []byte
 	framed      bool
 	incremental bool
+	delta       bool
 	ckptSeq     uint64
+	baseSeq     uint64
 	inRec       bool
 }
 
@@ -381,9 +408,15 @@ func (e *binaryEncoder) encodeHeader() {
 	if e.incremental {
 		flags |= flagIncremental
 	}
+	if e.delta {
+		flags |= flagDelta
+	}
 	e.hdr = binary.AppendUvarint(e.hdr, flags)
 	if e.incremental {
 		e.hdr = binary.AppendUvarint(e.hdr, e.ckptSeq)
+	}
+	if e.delta {
+		e.hdr = binary.AppendUvarint(e.hdr, e.baseSeq)
 	}
 	e.hdr = binary.AppendUvarint(e.hdr, uint64(len(e.list)))
 	for _, s := range e.list {
@@ -394,13 +427,20 @@ func (e *binaryEncoder) encodeHeader() {
 
 // EncodeBinaryOpts writes the trace in dtb/v2 with explicit options.
 func (t *TaskTrace) EncodeBinaryOpts(w io.Writer, opts BinaryOptions) error {
+	if opts.Delta && !opts.Incremental {
+		return fmt.Errorf("trace: dtb encode: delta framing requires an incremental checkpoint")
+	}
 	e := getEncoder()
 	defer putEncoder(e)
 	e.framed = !opts.Unframed
 	e.incremental = opts.Incremental
-	e.ckptSeq = 0
+	e.delta = opts.Delta
+	e.ckptSeq, e.baseSeq = 0, 0
 	if opts.Incremental {
 		e.ckptSeq = opts.CheckpointSeq
+	}
+	if opts.Delta {
+		e.baseSeq = opts.DeltaBaseSeq
 	}
 	e.encodeBody(t)
 	e.encodeHeader()
@@ -697,6 +737,13 @@ func decodeBinaryBytes(data []byte, zeroCopy bool) (*TaskTrace, RecordMeta, erro
 	if flags&flagIncremental != 0 {
 		meta.Incremental = true
 		meta.CheckpointSeq = d.uv()
+	}
+	if flags&flagDelta != 0 {
+		if !meta.Incremental {
+			return nil, meta, fmt.Errorf("delta flag without incremental flag")
+		}
+		meta.Delta = true
+		meta.DeltaBaseSeq = d.uv()
 	}
 
 	nstr := d.uv()

@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// canonical sorts a trace's tables into the tracer's finalize orders
+// (delta reassembly reproduces exactly these, so round-trip tests
+// start from them like real checkpoints do).
+func canonical(t *TaskTrace) *TaskTrace {
+	sort.SliceStable(t.Objects, func(i, j int) bool {
+		if t.Objects[i].File != t.Objects[j].File {
+			return t.Objects[i].File < t.Objects[j].File
+		}
+		return t.Objects[i].Object < t.Objects[j].Object
+	})
+	sort.SliceStable(t.Files, func(i, j int) bool { return t.Files[i].File < t.Files[j].File })
+	sort.SliceStable(t.Mapped, func(i, j int) bool {
+		if t.Mapped[i].File != t.Mapped[j].File {
+			return t.Mapped[i].File < t.Mapped[j].File
+		}
+		return t.Mapped[i].Object < t.Mapped[j].Object
+	})
+	return t
+}
+
+// dedupeKeys drops duplicate-keyed rows (keeping the first) from a
+// canonically sorted trace. The tracer's profilers are map-keyed so
+// real checkpoints never carry duplicates, and Diff deliberately
+// refuses them — but richTrace can emit colliding names.
+func dedupeKeys(t *TaskTrace) *TaskTrace {
+	if len(t.Objects) > 0 {
+		out := t.Objects[:1]
+		for _, o := range t.Objects[1:] {
+			last := out[len(out)-1]
+			if o.File != last.File || o.Object != last.Object {
+				out = append(out, o)
+			}
+		}
+		t.Objects = out
+	}
+	if len(t.Files) > 0 {
+		out := t.Files[:1]
+		for _, f := range t.Files[1:] {
+			if f.File != out[len(out)-1].File {
+				out = append(out, f)
+			}
+		}
+		t.Files = out
+	}
+	if len(t.Mapped) > 0 {
+		out := t.Mapped[:1]
+		for _, m := range t.Mapped[1:] {
+			last := out[len(out)-1]
+			if m.File != last.File || m.Object != last.Object {
+				out = append(out, m)
+			}
+		}
+		t.Mapped = out
+	}
+	return t
+}
+
+// cloneTrace deep-copies via the binary codec (whose round trip is
+// pinned lossless by TestBinaryRoundTrip).
+func cloneTrace(t *testing.T, tr *TaskTrace) *TaskTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := DecodeBytesMeta(buf.Bytes(), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// grow mutates cur the way a running task's next checkpoint would:
+// counters on existing rows advance, new rows appear, the I/O trace
+// extends, the end timestamp moves forward. Tables stay canonically
+// sorted afterwards.
+func grow(t *testing.T, rng *rand.Rand, cur *TaskTrace) *TaskTrace {
+	t.Helper()
+	next := cloneTrace(t, cur)
+	next.EndNS += rng.Int63n(1000) + 1
+	for i := range next.Files {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		f := &next.Files[i]
+		f.DataOps += 2
+		f.Ops += 2
+		f.DataWrites += 2
+		f.Writes += 2
+		f.BytesWritten += 4096
+		f.DataBytes += 4096
+		f.CloseNS += 10
+	}
+	// New rows get names keyed by current table sizes so repeated grow
+	// calls never collide on a row key (duplicate keys admit no exact
+	// delta by design).
+	if rng.Intn(2) == 0 {
+		open := next.StartNS + rng.Int63n(5000)
+		next.Files = append(next.Files, FileRecord{
+			Task: next.Task, File: fmt.Sprintf("grown_file_%d", len(next.Files)),
+			OpenNS: open, CloseNS: open + 100,
+			Ops: 3, MetaOps: 1, DataOps: 2, Writes: 2, BytesWritten: 512,
+			DataWrites: 2, DataBytes: 512,
+		})
+	}
+	if len(next.Files) > 0 && rng.Intn(2) == 0 {
+		f := next.Files[rng.Intn(len(next.Files))].File
+		next.Mapped = append(next.Mapped, MappedStat{
+			Task: next.Task, File: f, Object: fmt.Sprintf("grown_obj_%d", len(next.Mapped)),
+			DataOps: 1, DataBytes: 256, Writes: 1,
+			FirstNS: next.StartNS, LastNS: next.EndNS,
+		})
+	}
+	if rng.Intn(2) == 0 {
+		next.Objects = append(next.Objects, ObjectRecord{
+			Task: next.Task, File: "grown_file", Object: fmt.Sprintf("grown_obj_%d", len(next.Objects)), Type: "dataset",
+			AcquiredNS: next.StartNS, ReleasedNS: next.EndNS, Writes: 1, BytesWritten: 128,
+		})
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		next.IOTrace = append(next.IOTrace, IORecord{
+			Seq: int64(len(next.IOTrace)), WallNS: next.EndNS,
+			File: "grown_file", Length: 64, Write: true,
+		})
+	}
+	return canonical(next)
+}
+
+// TestDiffApplyRoundTrip is the delta exactness property over a chain
+// of grown checkpoints: every Diff succeeds, ApplyDelta reproduces the
+// target deeply, and (the encoder being deterministic) the reassembled
+// cumulative encodes to the exact bytes the cumulative checkpoint
+// would have shipped.
+func TestDiffApplyRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := dedupeKeys(canonical(richTrace(seed)))
+		for step := 0; step < 4; step++ {
+			cur := grow(t, rng, base)
+			delta, ok := Diff(base, cur)
+			if !ok {
+				t.Fatalf("seed %d step %d: Diff reported no exact delta for monotone growth", seed, step)
+			}
+			got := ApplyDelta(base, delta)
+			if !reflect.DeepEqual(got, cur) {
+				t.Fatalf("seed %d step %d: ApplyDelta diverged:\n got %+v\nwant %+v", seed, step, got, cur)
+			}
+			var wantBytes, gotBytes bytes.Buffer
+			if err := cur.EncodeBinaryOpts(&wantBytes, BinaryOptions{Incremental: true, CheckpointSeq: 7}); err != nil {
+				t.Fatal(err)
+			}
+			if err := got.EncodeBinaryOpts(&gotBytes, BinaryOptions{Incremental: true, CheckpointSeq: 7}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantBytes.Bytes(), gotBytes.Bytes()) {
+				t.Fatalf("seed %d step %d: reassembled cumulative encodes differently", seed, step)
+			}
+			base = cur
+		}
+	}
+}
+
+// TestDiffShipsOnlyChangedRows pins the point of delta framing: a
+// small change to a large trace yields a delta with only the touched
+// rows, encoding far smaller than the cumulative record.
+func TestDiffShipsOnlyChangedRows(t *testing.T) {
+	base := dedupeKeys(canonical(richTrace(3)))
+	for len(base.Files) < 40 {
+		f := base.Files[0]
+		f.File = f.File + "_" + string(rune('a'+len(base.Files)%26)) + string(rune('a'+len(base.Files)/26))
+		base.Files = append(base.Files, f)
+	}
+	canonical(base)
+	cur := cloneTrace(t, base)
+	cur.EndNS += 50
+	cur.Files[0].Ops++
+	cur.Files[0].MetaOps++
+	delta, ok := Diff(base, cur)
+	if !ok {
+		t.Fatal("no delta for a one-row change")
+	}
+	if len(delta.Files) != 1 || delta.Files[0].File != cur.Files[0].File {
+		t.Fatalf("delta carries %d file rows, want exactly the changed one", len(delta.Files))
+	}
+	if len(delta.IOTrace) != 0 {
+		t.Fatalf("delta carries %d io records, want 0", len(delta.IOTrace))
+	}
+	curSize, err := cur.EncodedSizeIn(FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var db bytes.Buffer
+	if err := delta.EncodeBinaryOpts(&db, BinaryOptions{Incremental: true, CheckpointSeq: 2, Delta: true, DeltaBaseSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(db.Len())*4 > curSize {
+		t.Fatalf("delta %d bytes not ≪ cumulative %d bytes", db.Len(), curSize)
+	}
+}
+
+// TestDiffRefusesNonMonotoneGrowth pins the cumulative-fallback cases:
+// shrunk tables, a rewritten I/O prefix, or a renamed task admit no
+// exact delta.
+func TestDiffRefusesNonMonotoneGrowth(t *testing.T) {
+	base := canonical(richTrace(5))
+	if len(base.Files) == 0 || len(base.IOTrace) < 2 {
+		base.Files = append(base.Files, FileRecord{Task: base.Task, File: "f"})
+		base.IOTrace = append(base.IOTrace, IORecord{Seq: 0, File: "f"}, IORecord{Seq: 1, File: "f"})
+		canonical(base)
+	}
+
+	shrunk := cloneTrace(t, base)
+	shrunk.Files = shrunk.Files[:len(shrunk.Files)-1]
+	if _, ok := Diff(base, shrunk); ok {
+		t.Error("Diff accepted a shrunk file table")
+	}
+
+	rewritten := cloneTrace(t, base)
+	rewritten.IOTrace[0].Length += 999
+	if _, ok := Diff(base, rewritten); ok {
+		t.Error("Diff accepted a rewritten I/O prefix")
+	}
+
+	renamed := cloneTrace(t, base)
+	renamed.Task = base.Task + "_other"
+	if _, ok := Diff(base, renamed); ok {
+		t.Error("Diff accepted a cross-task delta")
+	}
+	if _, ok := Diff(nil, base); ok {
+		t.Error("Diff accepted a nil base")
+	}
+}
+
+// TestDeltaWireFraming pins the dtb/v2 delta header: both sequence
+// numbers survive the round trip, plain decoders keep rejecting the
+// record, and the invalid flag combinations fail loudly.
+func TestDeltaWireFraming(t *testing.T) {
+	base := dedupeKeys(canonical(richTrace(1)))
+	cur := grow(t, rand.New(rand.NewSource(1)), base)
+	delta, ok := Diff(base, cur)
+	if !ok {
+		t.Fatal("no delta")
+	}
+	var buf bytes.Buffer
+	if err := delta.EncodeBinaryOpts(&buf, BinaryOptions{Incremental: true, CheckpointSeq: 9, Delta: true, DeltaBaseSeq: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := DecodeBytesMeta(buf.Bytes(), DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RecordMeta{Incremental: true, CheckpointSeq: 9, Delta: true, DeltaBaseSeq: 4}
+	if meta != want {
+		t.Fatalf("meta = %+v, want %+v", meta, want)
+	}
+	if !reflect.DeepEqual(got, delta) {
+		t.Fatal("delta body did not round-trip")
+	}
+	// Plain decoders must reject the framing like any incremental record.
+	if _, err := DecodeBinaryBytes(buf.Bytes(), DecodeOptions{}); err == nil {
+		t.Fatal("plain decoder accepted a delta record")
+	}
+
+	// Delta without incremental: refused at encode...
+	if err := delta.EncodeBinaryOpts(&bytes.Buffer{}, BinaryOptions{Delta: true, DeltaBaseSeq: 4}); err == nil {
+		t.Fatal("encoder accepted delta without incremental")
+	}
+	// ...and at decode, for a hand-crafted header.
+	hdr := []byte(binaryMagic)
+	hdr = append(hdr, binaryVersion)        // version uvarint
+	hdr = append(hdr, flagFramed|flagDelta) // flags uvarint: delta, not incremental
+	if _, _, err := DecodeBytesMeta(hdr, DecodeOptions{}); err == nil {
+		t.Fatal("decoder accepted delta flag without incremental flag")
+	}
+}

@@ -96,6 +96,67 @@ func FuzzDecodeBinary(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDelta hammers the metadata-aware decoder with arbitrary
+// bytes, biased toward delta-framed records: it must error or return a
+// valid trace with coherent metadata, never panic, and any accepted
+// frame must re-encode with its own metadata losslessly.
+func FuzzDecodeDelta(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		base := canonical(richTrace(seed))
+		cur := canonical(richTrace(seed))
+		cur.EndNS += 100
+		if len(cur.IOTrace) > 0 {
+			cur.IOTrace = append(cur.IOTrace, IORecord{Seq: int64(len(cur.IOTrace)), File: "fz", Length: 1})
+		}
+		var buf bytes.Buffer
+		if delta, ok := Diff(base, cur); ok {
+			if err := delta.EncodeBinaryOpts(&buf, BinaryOptions{Incremental: true, CheckpointSeq: uint64(seed) + 2, Delta: true, DeltaBaseSeq: uint64(seed) + 1}); err != nil {
+				f.Fatal(err)
+			}
+		} else {
+			if err := cur.EncodeBinaryOpts(&buf, BinaryOptions{Incremental: true, CheckpointSeq: uint64(seed) + 2}); err != nil {
+				f.Fatal(err)
+			}
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(binaryMagic))
+	f.Add(append([]byte(binaryMagic), binaryVersion, flagFramed|flagIncremental|flagDelta, 2, 1))
+	f.Add(append([]byte(binaryMagic), binaryVersion, flagFramed|flagDelta, 2))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, meta, err := DecodeBytesMeta(data, DecodeOptions{})
+		if err != nil {
+			return
+		}
+		if meta.Delta && !meta.Incremental {
+			t.Fatal("decoder accepted delta without incremental")
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid trace: %v", err)
+		}
+		var buf bytes.Buffer
+		opts := BinaryOptions{
+			Incremental:   meta.Incremental,
+			CheckpointSeq: meta.CheckpointSeq,
+			Delta:         meta.Delta,
+			DeltaBaseSeq:  meta.DeltaBaseSeq,
+		}
+		if err := tr.EncodeBinaryOpts(&buf, opts); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		again, meta2, err := DecodeBytesMeta(buf.Bytes(), DecodeOptions{})
+		if err != nil {
+			t.Fatalf("decode of re-encode failed: %v", err)
+		}
+		if meta2 != meta {
+			t.Fatalf("metadata did not survive re-encode: %+v != %+v", meta2, meta)
+		}
+		if !reflect.DeepEqual(again, tr) {
+			t.Fatal("delta frame re-encode round trip diverged")
+		}
+	})
+}
+
 // TestEncodedSizeMatchesBytesWritten is the property test: for both
 // formats, EncodedSizeIn must equal the actual byte count an encode
 // produces, across a spread of trace shapes including the empty-ish

@@ -2,6 +2,7 @@ package tracer
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -161,6 +162,85 @@ func TestStreamCheckpoints(t *testing.T) {
 	// trace in any way.
 	if got, want := normalizeNS(final), normalizeNS(plain.trace); !reflect.DeepEqual(got, want) {
 		t.Fatalf("final trace with checkpoints diverged from plain run:\n%+v\nvs\n%+v", got, want)
+	}
+}
+
+// deltaSink retains each checkpoint exactly like a delta-framing
+// client would, verifying the two contracts delta streaming rests on:
+// a retained snapshot is never mutated by later profiling (Checkpoint
+// allocates fresh slices), and consecutive checkpoints of one task
+// admit an exact record-level delta (monotone growth).
+type deltaSink struct {
+	mu       sync.Mutex
+	prev     *trace.TaskTrace
+	prevSnap []byte // prev's encoding at emit time
+	diffs    int
+	inexact  int
+	err      error
+}
+
+func snapshotBytes(t *trace.TaskTrace) ([]byte, error) {
+	var buf bytes.Buffer
+	err := t.EncodeBinaryOpts(&buf, trace.BinaryOptions{Incremental: true, CheckpointSeq: 1})
+	return buf.Bytes(), err
+}
+
+func (s *deltaSink) EmitCheckpoint(t *trace.TaskTrace, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if s.prev != nil {
+		reenc, err := snapshotBytes(s.prev)
+		if err != nil {
+			s.err = err
+			return
+		}
+		if !bytes.Equal(reenc, s.prevSnap) {
+			s.err = fmt.Errorf("retained checkpoint mutated by later profiling")
+			return
+		}
+		if d, ok := trace.Diff(s.prev, t); ok {
+			s.diffs++
+			if !reflect.DeepEqual(trace.ApplyDelta(s.prev, d), t) {
+				s.err = fmt.Errorf("delta does not reassemble to the checkpoint")
+				return
+			}
+		} else {
+			s.inexact++
+		}
+	}
+	snap, err := snapshotBytes(t)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.prev, s.prevSnap = t, snap
+}
+
+func (s *deltaSink) EmitFinal(*trace.TaskTrace) {}
+
+// TestStreamCheckpointsAdmitDeltas pins the Sink retention contract on
+// a real traced run: every consecutive checkpoint pair diffs exactly,
+// and the retained base survives later profiling unchanged — the
+// invariants delta framing (client) and delta folding (server) assume.
+func TestStreamCheckpointsAdmitDeltas(t *testing.T) {
+	sink := &deltaSink{}
+	runTracedTask(t, Config{Sink: sink, CheckpointOps: 4, Now: fixedClock()},
+		"stage0/delta", streamWorkload(t))
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.err != nil {
+		t.Fatal(sink.err)
+	}
+	if sink.diffs < 1 {
+		t.Fatalf("observed %d consecutive checkpoint pairs, want at least 1", sink.diffs)
+	}
+	if sink.inexact != 0 {
+		t.Fatalf("%d of %d checkpoint pairs admitted no exact delta; tracer growth must be monotone",
+			sink.inexact, sink.inexact+sink.diffs)
 	}
 }
 

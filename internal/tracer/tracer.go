@@ -18,6 +18,14 @@ import (
 // same task the one with the larger seq is always the fresher — even
 // across retry attempts, which each run on a fresh Tracer. EmitFinal
 // ships the completed trace exactly as it will be persisted.
+//
+// A Sink may retain the emitted trace beyond the call — delta-framing
+// sinks keep it as the diff base for the next checkpoint. That is safe
+// because Checkpoint allocates fresh row slices on every call; later
+// profiling never mutates an already-emitted snapshot. Successive
+// checkpoints of one task also grow monotonically (rows accumulate,
+// the I/O trace only appends), which is what makes record-level deltas
+// between consecutive checkpoints exact (trace.Diff).
 type Sink interface {
 	EmitCheckpoint(t *trace.TaskTrace, seq uint64)
 	EmitFinal(t *trace.TaskTrace)

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"dayu/internal/analyzer"
@@ -182,6 +183,33 @@ type CodecBench struct {
 	BinaryEquivalent bool `json:"binary_equivalent"`
 }
 
+// StreamBench measures what delta checkpoint framing buys on the wire:
+// the synthetic trace set streamed as K mid-task checkpoints plus the
+// final record per task, once cumulative (every checkpoint re-sends the
+// whole trace-so-far) and once delta-framed (each checkpoint carries
+// only the rows changed since the previous acknowledged one, with
+// cumulative fallback when no exact delta exists). Both modes push the
+// same final records, so the ratio is an honest total-stream-volume
+// comparison, not a per-record best case.
+type StreamBench struct {
+	Name string `json:"name"`
+	// Tasks is the synthetic task count; CheckpointsPerTask is K.
+	Tasks              int `json:"tasks"`
+	CheckpointsPerTask int `json:"checkpoints_per_task"`
+	// Total bytes pushed per framing mode (checkpoints + finals).
+	CumulativeBytes int64 `json:"cumulative_bytes"`
+	DeltaBytes      int64 `json:"delta_bytes"`
+	// DeltaExact / DeltaFallbacks count checkpoint pairs that admitted
+	// an exact delta vs fell back to cumulative framing.
+	DeltaExact     int64 `json:"delta_exact"`
+	DeltaFallbacks int64 `json:"delta_fallbacks"`
+	// Reduction is CumulativeBytes / DeltaBytes.
+	Reduction float64 `json:"reduction"`
+	// DeltaGate is "passed" when delta framing at least halves the
+	// total pushed volume (Reduction >= 2.0), "failed" otherwise.
+	DeltaGate string `json:"delta_gate"`
+}
+
 // BenchResult is the root of a BENCH_*.json document.
 type BenchResult struct {
 	Schema    string          `json:"schema"`
@@ -198,6 +226,9 @@ type BenchResult struct {
 	// Codec is the trace-codec kernel record (absent in records
 	// produced before dtb/v2 existed).
 	Codec *CodecBench `json:"codec,omitempty"`
+	// Stream is the checkpoint-stream framing record (absent in
+	// records produced before delta framing existed).
+	Stream *StreamBench `json:"stream,omitempty"`
 }
 
 // overheadPct mirrors the experiments package's clamped overhead.
@@ -296,6 +327,12 @@ func RunBenchSuite(cfg BenchSuiteConfig) (*BenchResult, error) {
 		return nil, err
 	}
 	out.Codec = cb
+
+	sb, err := benchStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Stream = sb
 
 	for _, wf := range []struct {
 		name string
@@ -590,6 +627,129 @@ func graphsRenderIdentically(a, b *graph.Graph) (bool, error) {
 
 // benchWorkflow runs one workflow replica end to end, tracers on and
 // off, on the standard CPU cluster.
+// canonicalTrace returns a copy of tt with its tables in the tracer's
+// canonical sort orders (what ApplyDelta reproduces), so prefix
+// checkpoints of it admit exact deltas.
+func canonicalTrace(tt *trace.TaskTrace) *trace.TaskTrace {
+	cp := *tt
+	cp.Files = append([]trace.FileRecord(nil), tt.Files...)
+	sort.SliceStable(cp.Files, func(i, j int) bool { return cp.Files[i].File < cp.Files[j].File })
+	cp.Objects = append([]trace.ObjectRecord(nil), tt.Objects...)
+	sort.SliceStable(cp.Objects, func(i, j int) bool {
+		if cp.Objects[i].File != cp.Objects[j].File {
+			return cp.Objects[i].File < cp.Objects[j].File
+		}
+		return cp.Objects[i].Object < cp.Objects[j].Object
+	})
+	cp.Mapped = append([]trace.MappedStat(nil), tt.Mapped...)
+	sort.SliceStable(cp.Mapped, func(i, j int) bool {
+		if cp.Mapped[i].File != cp.Mapped[j].File {
+			return cp.Mapped[i].File < cp.Mapped[j].File
+		}
+		return cp.Mapped[i].Object < cp.Mapped[j].Object
+	})
+	return &cp
+}
+
+// streamPrefix synthesizes the trace-so-far a checkpoint at the given
+// fraction of the task would carry: the first frac of the file rows,
+// the object/mapped rows belonging to those files, and the matching
+// I/O-trace prefix. Later fractions strictly grow the tables, which is
+// the tracer's monotone-growth invariant.
+func streamPrefix(tt *trace.TaskTrace, frac float64) *trace.TaskTrace {
+	cp := *tt
+	nf := int(math.Ceil(float64(len(tt.Files)) * frac))
+	cp.Files = tt.Files[:nf:nf]
+	keep := make(map[string]bool, nf)
+	for i := range cp.Files {
+		keep[cp.Files[i].File] = true
+	}
+	cp.Objects = make([]trace.ObjectRecord, 0, len(tt.Objects))
+	for _, o := range tt.Objects {
+		if keep[o.File] {
+			cp.Objects = append(cp.Objects, o)
+		}
+	}
+	cp.Mapped = make([]trace.MappedStat, 0, len(tt.Mapped))
+	for _, m := range tt.Mapped {
+		if keep[m.File] {
+			cp.Mapped = append(cp.Mapped, m)
+		}
+	}
+	if tt.IOTrace != nil {
+		ni := int(math.Ceil(float64(len(tt.IOTrace)) * frac))
+		cp.IOTrace = tt.IOTrace[:ni:ni]
+	}
+	return &cp
+}
+
+// benchStream replays the synthetic trace set through both checkpoint
+// framings and totals the pushed bytes. K checkpoints per task at
+// even fractions model a long task streaming its trace-so-far every
+// -checkpoint-ops operations; the final record ships in both modes.
+func benchStream(cfg BenchSuiteConfig) (*StreamBench, error) {
+	scfg := SyntheticTraceConfig{}
+	if cfg.Quick {
+		scfg = SyntheticTraceConfig{Tasks: 400, Stages: 5, FilesPerStage: 8, DatasetsPerTask: 3}
+	}
+	traces, _ := GenerateSyntheticTraces(scfg)
+	const k = 8
+	sb := &StreamBench{Name: "stream", Tasks: len(traces), CheckpointsPerTask: k}
+
+	encLen := func(tt *trace.TaskTrace, opts trace.BinaryOptions) (int64, error) {
+		var buf bytes.Buffer
+		if err := tt.EncodeBinaryOpts(&buf, opts); err != nil {
+			return 0, err
+		}
+		return int64(buf.Len()), nil
+	}
+	for _, raw := range traces {
+		canon := canonicalTrace(raw)
+		var prev *trace.TaskTrace
+		for i := 1; i <= k; i++ {
+			cp := streamPrefix(canon, float64(i)/k)
+			seq := uint64(i)
+			n, err := encLen(cp, trace.BinaryOptions{Incremental: true, CheckpointSeq: seq})
+			if err != nil {
+				return nil, err
+			}
+			sb.CumulativeBytes += n
+			if prev == nil {
+				sb.DeltaBytes += n
+			} else if d, ok := trace.Diff(prev, cp); ok {
+				dn, err := encLen(d, trace.BinaryOptions{
+					Incremental: true, CheckpointSeq: seq,
+					Delta: true, DeltaBaseSeq: seq - 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sb.DeltaBytes += dn
+				sb.DeltaExact++
+			} else {
+				sb.DeltaBytes += n
+				sb.DeltaFallbacks++
+			}
+			prev = cp
+		}
+		fn, err := encLen(canon, trace.BinaryOptions{})
+		if err != nil {
+			return nil, err
+		}
+		sb.CumulativeBytes += fn
+		sb.DeltaBytes += fn
+	}
+	if sb.DeltaBytes > 0 {
+		sb.Reduction = float64(sb.CumulativeBytes) / float64(sb.DeltaBytes)
+	}
+	if sb.Reduction >= 2.0 {
+		sb.DeltaGate = GatePassed
+	} else {
+		sb.DeltaGate = GateFailed
+	}
+	return sb, nil
+}
+
 func benchWorkflow(name string, cfg BenchSuiteConfig, mk func() (workflow.Spec, func(*workflow.Engine) error)) (WorkflowBench, error) {
 	wb := WorkflowBench{Name: name}
 	run := func(tcfg tracer.Config) (*workflow.Result, int64, error) {
@@ -766,6 +926,31 @@ func (r *BenchResult) Validate() error {
 			if v <= 0 {
 				return fmt.Errorf("bench: codec: %s = %d, want > 0", label, v)
 			}
+		}
+	}
+	if s := r.Stream; s != nil {
+		if s.Tasks <= 0 || s.CheckpointsPerTask <= 0 {
+			return fmt.Errorf("bench: stream: %d tasks x %d checkpoints invalid", s.Tasks, s.CheckpointsPerTask)
+		}
+		if s.CumulativeBytes <= 0 || s.DeltaBytes <= 0 {
+			return fmt.Errorf("bench: stream: byte totals (%d cumulative, %d delta) must be > 0",
+				s.CumulativeBytes, s.DeltaBytes)
+		}
+		if s.Reduction <= 0 || math.IsNaN(s.Reduction) || math.IsInf(s.Reduction, 0) {
+			return fmt.Errorf("bench: stream: reduction = %v invalid", s.Reduction)
+		}
+		// The gate verdict must be honest about the measured ratio.
+		switch s.DeltaGate {
+		case GatePassed:
+			if s.Reduction < 2.0 {
+				return fmt.Errorf("bench: stream: delta gate passed but reduction = %.2fx < 2.0x", s.Reduction)
+			}
+		case GateFailed:
+			if s.Reduction >= 2.0 {
+				return fmt.Errorf("bench: stream: delta gate failed but reduction = %.2fx >= 2.0x", s.Reduction)
+			}
+		default:
+			return fmt.Errorf("bench: stream: delta_gate = %q, want passed/failed", s.DeltaGate)
 		}
 	}
 	return nil

@@ -42,6 +42,21 @@ func TestRunBenchSuiteQuick(t *testing.T) {
 			t.Errorf("codec: binary %d bytes not smaller than JSON %d", c.BinaryBytes, c.JSONBytes)
 		}
 	}
+	if s := res.Stream; s == nil {
+		t.Fatal("quick suite missing stream record")
+	} else {
+		if s.Tasks != 400 {
+			t.Errorf("stream quick tasks = %d, want 400", s.Tasks)
+		}
+		if s.DeltaExact == 0 || s.DeltaFallbacks != 0 {
+			t.Errorf("stream: %d exact deltas, %d fallbacks; synthetic prefixes must all diff exactly",
+				s.DeltaExact, s.DeltaFallbacks)
+		}
+		if s.DeltaGate != GatePassed {
+			t.Errorf("stream: delta gate %q at %.2fx reduction; delta framing must at least halve pushed bytes",
+				s.DeltaGate, s.Reduction)
+		}
+	}
 	names := make([]string, len(res.Workflows))
 	for i, w := range res.Workflows {
 		names[i] = w.Name

@@ -27,6 +27,20 @@
 # asserts zero acknowledged loss plus /v1/{ftg,sdg} byte-identity to
 # the batch CLI — sharding must not open any new crash window.
 #
+# Phase 4 — delta stream + SSE: like phase 2 but with `dayu run -delta`
+# (checkpoints framed as deltas against the last acknowledged one) and
+# an SSE watcher attached to /v1/live/events. The kill -9 lands while
+# the server holds per-task delta bases; on restart the WAL replay
+# reassembles the persisted partials and reseeds the acked sequence
+# map, so in-flight deltas keep folding — and any delta whose base the
+# replay could NOT recover is 409 NACKed, pushing the client through
+# the cumulative-resync fallback (the run's summary line reports how
+# many of each happened). Asserts the run completes undegraded, the
+# watcher saw pushed snapshot events, the restarted server still
+# serves the event stream, and the recovered live view is
+# byte-identical to the batch CLI — delta framing must not open any
+# recovery gap cumulative framing doesn't have.
+#
 # Usage: scripts/chaos_smoke.sh [path-to-dayu-binary]
 set -euo pipefail
 
@@ -266,5 +280,95 @@ cmp "$workdir/out-src/ftg.json" "$workdir/shard-ftg.json"
 curl -fsS "http://$addr/v1/sdg" -o "$workdir/shard-sdg.json"
 cmp "$workdir/out-src-sdg/sdg.json" "$workdir/shard-sdg.json"
 echo "chaos: sharded /v1/ftg and /v1/sdg byte-identical to batch dayu analyze"
+
+# ---------------------------------------------------------------------
+# Phase 4: delta stream + SSE. Fresh directories; the run streams
+# delta-framed checkpoints while an SSE watcher follows the live view.
+# The kill drops the server's delta bases, so recovery exercises the
+# 409 NACK-resync handshake (client falls back to cumulative) on top of
+# the WAL replay phase 2 already covers.
+kill -9 "$serve_pid" 2>/dev/null || true
+serve_pid=""
+
+addr="127.0.0.1:18083"
+dir="$workdir/delta-traces"
+wal="$workdir/delta-wal"
+dlocal="$workdir/delta-local"
+mkdir -p "$dir"
+serve_shards=""
+
+start_serve
+echo "chaos: delta-phase server up"
+
+# The watcher rides the first server incarnation; it dies with the kill
+# but must have captured at least one pushed snapshot event by then.
+curl -sS -N --max-time 120 "http://$addr/v1/live/events" >"$workdir/sse.log" 2>/dev/null &
+sse_pid=$!
+
+"$dayu" run -workflow pyflextrkr -traces "$dlocal" \
+  -stream "http://$addr" -delta -checkpoint-ops 32 -stream-attempts 300 \
+  >"$workdir/delta-run.log" 2>&1 &
+run_pid=$!
+sleep 0.5
+kill -9 "$serve_pid"
+serve_pid=""
+echo "chaos: killed serve mid-run (delta phase)"
+
+start_serve
+echo "chaos: restarted (delta phase)"
+
+if ! wait "$run_pid"; then
+  echo "chaos: FAIL: delta-streamed run degraded or failed:" >&2
+  tail -5 "$workdir/delta-run.log" >&2
+  exit 1
+fi
+dtotal="$(find "$dlocal" -name '*.trace.*' | wc -l)"
+echo "chaos: delta-streamed run completed ($dtotal tasks)"
+grep -E 'deltas' "$workdir/delta-run.log" || true
+
+wait "$sse_pid" 2>/dev/null || true
+if ! grep -q '^event: snapshot' "$workdir/sse.log"; then
+  echo "chaos: FAIL: SSE watcher never received a snapshot event" >&2
+  exit 1
+fi
+echo "chaos: SSE watcher received $(grep -c '^event: snapshot' "$workdir/sse.log") snapshot events before the kill"
+
+# Convergence on the restarted server: every final folded, every
+# partial retracted.
+for _ in $(seq 1 150); do
+  curl -fsS -D "$workdir/delta-live.hdr" "http://$addr/v1/live/ftg" \
+    -o "$workdir/delta-live-ftg.json" >/dev/null 2>&1 || true
+  partial="$(awk 'tolower($1) == "x-dayu-partial-tasks:" { gsub(/[^0-9]/, "", $2); print $2 }' "$workdir/delta-live.hdr")"
+  complete="$(awk 'tolower($1) == "x-dayu-complete-tasks:" { gsub(/[^0-9]/, "", $2); print $2 }' "$workdir/delta-live.hdr")"
+  if [ "${partial:-1}" -eq 0 ] && [ "${complete:-0}" -eq "$dtotal" ]; then
+    break
+  fi
+  sleep 0.2
+done
+if [ "${partial:-1}" -ne 0 ] || [ "${complete:-0}" -ne "$dtotal" ]; then
+  echo "chaos: FAIL: delta live view never converged (partial=$partial complete=$complete want=$dtotal)" >&2
+  exit 1
+fi
+echo "chaos: delta live view converged ($complete complete, 0 partial)"
+
+# The restarted server still pushes events: a fresh subscriber gets the
+# current state immediately.
+curl -sS -N --max-time 5 "http://$addr/v1/live/events" >"$workdir/sse-restart.log" 2>/dev/null || true
+grep -q '^event: snapshot' "$workdir/sse-restart.log"
+grep -Eq '^id: [0-9]+' "$workdir/sse-restart.log"
+echo "chaos: restarted server streams events"
+
+# Byte-identity: the recovered delta-fed live view matches the batch
+# endpoints and the batch CLI over the locally saved traces.
+curl -fsS "http://$addr/v1/ftg" -o "$workdir/delta-batch-ftg.json"
+cmp "$workdir/delta-live-ftg.json" "$workdir/delta-batch-ftg.json"
+curl -fsS "http://$addr/v1/live/sdg" -o "$workdir/delta-live-sdg.json"
+curl -fsS "http://$addr/v1/sdg" -o "$workdir/delta-batch-sdg.json"
+cmp "$workdir/delta-live-sdg.json" "$workdir/delta-batch-sdg.json"
+"$dayu" analyze -traces "$dlocal" -out "$workdir/out-delta" >/dev/null
+cmp "$workdir/out-delta/ftg.json" "$workdir/delta-live-ftg.json"
+"$dayu" analyze -sdg -traces "$dlocal" -out "$workdir/out-delta-sdg" >/dev/null
+cmp "$workdir/out-delta-sdg/sdg.json" "$workdir/delta-live-sdg.json"
+echo "chaos: recovered delta-fed live view byte-identical to batch dayu analyze"
 
 echo "chaos: PASS"

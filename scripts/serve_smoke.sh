@@ -77,6 +77,17 @@ grep 'dayu_serve_cache_hits_total{cache="response"}' "$out/metrics.txt"
 hits="$(awk '/dayu_serve_cache_hits_total\{cache="response"\}/ { print $2 }' "$out/metrics.txt")"
 test "$hits" -ge 1
 
+# --- events stream ---------------------------------------------------
+# A fresh SSE subscriber receives the current state immediately: at
+# least one `event: snapshot` carrying a numeric id. curl exits 28 when
+# --max-time cuts the (intentionally unbounded) stream — that's fine,
+# the captured prefix is what we assert on.
+curl -sS -N --max-time 5 "http://$addr/v1/live/events" >"$out/events.log" || true
+grep -q '^event: snapshot$' "$out/events.log"
+grep -Eq '^id: [0-9]+$' "$out/events.log"
+grep -q '^data: ' "$out/events.log"
+echo "serve_smoke: /v1/live/events delivered a snapshot event"
+
 # --- history (optional) ---------------------------------------------
 if [ -n "$history" ]; then
   curl -fsS "http://$addr/v1/history" -o "$out/history.json"
